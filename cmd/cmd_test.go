@@ -1,0 +1,136 @@
+// Package cmd_test builds the command-line tools and exercises their key
+// flags end to end — the integration layer the unit tests cannot cover.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "mddm-cmd")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"mdrepro", "mdquery", "mdbench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "mddm/cmd/"+tool)
+		cmd.Dir = ".."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic(tool + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(binDir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(binDir, tool), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestMdreproTables(t *testing.T) {
+	out := run(t, "mdrepro", "-table", "1")
+	for _, want := range []string{"Patient Table", "Jane Doe", "Grouping Table"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 missing %q", want)
+		}
+	}
+	out2 := run(t, "mdrepro", "-table", "2")
+	if !strings.Contains(out2, "This model") || strings.Count(out2, "✓") != 9 {
+		t.Errorf("table 2 output wrong:\n%s", out2)
+	}
+}
+
+func TestMdreproFigures(t *testing.T) {
+	f3 := run(t, "mdrepro", "-figure", "3")
+	for _, want := range []string{"Set-of-Patient", "({1,2}, 11)", "({2}, 12)", "R[Count]"} {
+		if !strings.Contains(f3, want) {
+			t.Errorf("figure 3 missing %q", want)
+		}
+	}
+	dot := run(t, "mdrepro", "-figure", "2", "-dot")
+	if !strings.Contains(dot, "digraph schema") {
+		t.Error("figure 2 DOT missing")
+	}
+	ex := run(t, "mdrepro", "-examples")
+	if !strings.Contains(ex, "Example 10") {
+		t.Error("examples walk missing")
+	}
+}
+
+func TestMdreproCheck(t *testing.T) {
+	out := run(t, "mdrepro", "-check")
+	if !strings.Contains(out, "all checks passed") {
+		t.Errorf("check output:\n%s", out)
+	}
+}
+
+func TestMdqueryEndToEnd(t *testing.T) {
+	out := run(t, "mdquery", "-q",
+		`SELECT SETCOUNT(*) AS Count FROM patients GROUP BY Diagnosis."Diagnosis Group"`)
+	if !strings.Contains(out, "11") || !strings.Contains(out, "not summarizable") {
+		t.Errorf("query output:\n%s", out)
+	}
+	// CSV output.
+	csvOut := run(t, "mdquery", "-csv", "-q",
+		`SELECT SETCOUNT(*) AS Count FROM patients GROUP BY Diagnosis."Diagnosis Group"`)
+	if !strings.HasPrefix(csvOut, "Diagnosis,Count") {
+		t.Errorf("csv output:\n%s", csvOut)
+	}
+	// Save / load round trip.
+	path := filepath.Join(binDir, "saved.json")
+	run(t, "mdquery", "-save", path)
+	loaded := run(t, "mdquery", "-load", path, "-q", `SELECT FACTS FROM patients`)
+	if !strings.Contains(loaded, "1") || !strings.Contains(loaded, "2") {
+		t.Errorf("load output:\n%s", loaded)
+	}
+	// Synthetic data.
+	gen := run(t, "mdquery", "-gen", "50", "-q", `SELECT SETCOUNT(*) AS N FROM patients GROUP BY Residence."Region"`)
+	if !strings.Contains(gen, "R0") {
+		t.Errorf("gen output:\n%s", gen)
+	}
+	// DESCRIBE.
+	desc := run(t, "mdquery", "-q", `DESCRIBE patients Diagnosis`)
+	if !strings.Contains(desc, "Low-level Diagnosis") {
+		t.Errorf("describe output:\n%s", desc)
+	}
+}
+
+func TestMdqueryCSVLoading(t *testing.T) {
+	dimCSV := filepath.Join(binDir, "diag.csv")
+	factCSV := filepath.Join(binDir, "facts.csv")
+	if err := os.WriteFile(dimCSV, []byte("low,family\nL1,F1\nL2,F1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(factCSV, []byte("id,Diagnosis\np1,L1\np2,L2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "mdquery",
+		"-dim", "Diagnosis="+dimCSV,
+		"-facts", factCSV, "-id", "id",
+		"-q", `SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."family"`)
+	if !strings.Contains(out, "F1") || !strings.Contains(out, "2") {
+		t.Errorf("csv-load output:\n%s", out)
+	}
+}
+
+func TestMdbenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench sweep is slow")
+	}
+	out := run(t, "mdbench", "-exp", "B2")
+	if !strings.Contains(out, "bitmap/op") {
+		t.Errorf("bench output:\n%s", out)
+	}
+}

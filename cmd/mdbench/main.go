@@ -1,0 +1,318 @@
+// Command mdbench runs the experiment sweeps of EXPERIMENTS.md and prints
+// one table per experiment. Unlike `go test -bench`, mdbench reports the
+// *shape* measurements (who wins, by what factor, where behaviour changes)
+// that EXPERIMENTS.md records:
+//
+//	mdbench -exp B1   # pre-aggregation reuse vs recompute-from-base
+//	mdbench -exp B2   # bitmap index vs model-layer scan
+//	mdbench -exp B3   # strict vs non-strict hierarchy aggregation
+//	mdbench -exp B4   # timeslice cost vs history length
+//	mdbench -exp B5   # algebra operator scaling
+//	mdbench -exp B6   # query end-to-end
+//	mdbench -exp B7   # cube materialization: derive vs recompute
+//	mdbench -exp B9   # cross tabulation: bitmap vs scan
+//	mdbench -exp B10  # incremental index maintenance vs rebuild
+//	mdbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mddm/internal/agg"
+	"mddm/internal/algebra"
+	"mddm/internal/casestudy"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/query"
+	"mddm/internal/storage"
+	"mddm/internal/temporal"
+)
+
+var ref = temporal.MustDate("01/01/2026")
+
+func ctx() dimension.Context { return dimension.CurrentContext(ref) }
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (B1..B10; B8 runs under go test -bench=WideMO)")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+	if !*all && *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(id string) bool { return *all || *exp == id }
+	if run("B1") {
+		b1()
+	}
+	if run("B2") {
+		b2()
+	}
+	if run("B3") {
+		b3()
+	}
+	if run("B4") {
+		b4()
+	}
+	if run("B5") {
+		b5()
+	}
+	if run("B6") {
+		b6()
+	}
+	if run("B7") {
+		b7()
+	}
+	if run("B9") {
+		b9()
+	}
+	if run("B10") {
+		b10()
+	}
+}
+
+// timeIt reports the per-iteration wall time of fn, auto-scaling the
+// iteration count to ~50ms.
+func timeIt(fn func()) time.Duration {
+	fn() // warm up (builds memoized closures etc.)
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		el := time.Since(start)
+		if el > 50*time.Millisecond || n >= 1<<20 {
+			return el / time.Duration(n)
+		}
+		n *= 2
+	}
+}
+
+func gen(patients int, nonStrict, churn bool) *core.MO {
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = patients
+	cfg.NonStrict = nonStrict
+	cfg.Churn = churn
+	cfg.LowLevel = 140
+	return casestudy.MustGenerate(cfg)
+}
+
+func b1() {
+	fmt.Println("B1: pre-aggregation — combine cached county counts into region counts vs recompute from base")
+	fmt.Printf("%10s %14s %14s %14s %10s\n", "patients", "reuse/op", "base-warm/op", "base-cold/op", "cold/reuse")
+	for _, n := range []int{1000, 5000, 20000} {
+		m := gen(n, false, false)
+		e := storage.NewEngine(m, ctx())
+		c := storage.NewCache(e)
+		if _, err := c.Materialize(casestudy.DimResidence, casestudy.CatCounty, storage.KindCount, ""); err != nil {
+			fatal(err)
+		}
+		reuse := timeIt(func() {
+			if _, err := c.RollupFrom(casestudy.DimResidence, casestudy.CatCounty, casestudy.CatRegion, storage.KindCount, ""); err != nil {
+				fatal(err)
+			}
+		})
+		warm := timeIt(func() {
+			e.CountDistinctBy(casestudy.DimResidence, casestudy.CatRegion)
+		})
+		cold := timeIt(func() {
+			storage.NewEngine(m, ctx()).CountDistinctBy(casestudy.DimResidence, casestudy.CatRegion)
+		})
+		fmt.Printf("%10d %14v %14v %14v %9.1fx\n", n, reuse, warm, cold, float64(cold)/float64(reuse))
+	}
+	fmt.Println("guard: on the non-strict diagnosis hierarchy the reuse guard rejects combining and falls back to base:")
+	m := gen(2000, true, false)
+	c := storage.NewCache(storage.NewEngine(m, ctx()))
+	err := c.ReuseGuard(casestudy.DimDiagnosis, casestudy.CatFamily, casestudy.CatGroup, storage.KindCount)
+	fmt.Printf("  ReuseGuard(Family→Group) = %v\n\n", err)
+}
+
+func b2() {
+	fmt.Println("B2: characterization — bitmap closure index vs model-layer scan (count patients per diagnosis group)")
+	fmt.Printf("%10s %14s %14s %8s\n", "patients", "bitmap/op", "scan/op", "speedup")
+	for _, n := range []int{500, 2000, 8000} {
+		m := gen(n, true, false)
+		e := storage.NewEngine(m, ctx())
+		fast := timeIt(func() { e.CountDistinctBy(casestudy.DimDiagnosis, casestudy.CatGroup) })
+		slow := timeIt(func() { e.CountDistinctScan(casestudy.DimDiagnosis, casestudy.CatGroup) })
+		fmt.Printf("%10d %14v %14v %7.1fx\n", n, fast, slow, float64(slow)/float64(fast))
+	}
+	fmt.Println()
+}
+
+func b3() {
+	fmt.Println("B3: aggregate formation over strict vs non-strict diagnosis hierarchies")
+	fmt.Printf("%10s %14s %14s %8s\n", "patients", "strict/op", "nonstrict/op", "ratio")
+	for _, n := range []int{500, 2000} {
+		strict := gen(n, false, false)
+		loose := gen(n, true, false)
+		spec := algebra.AggSpec{
+			ResultDim: "Count",
+			Func:      agg.MustLookup("SETCOUNT"),
+			GroupBy:   map[string]string{casestudy.DimDiagnosis: casestudy.CatGroup},
+		}
+		ts := timeIt(func() {
+			if _, err := algebra.Aggregate(strict, spec, ctx()); err != nil {
+				fatal(err)
+			}
+		})
+		tn := timeIt(func() {
+			if _, err := algebra.Aggregate(loose, spec, ctx()); err != nil {
+				fatal(err)
+			}
+		})
+		fmt.Printf("%10d %14v %14v %7.2fx\n", n, ts, tn, float64(tn)/float64(ts))
+	}
+	fmt.Println()
+}
+
+func b4() {
+	fmt.Println("B4: valid-timeslice cost vs history length (residence churn)")
+	fmt.Printf("%10s %10s %14s\n", "patients", "churn", "slice/op")
+	for _, n := range []int{1000, 4000} {
+		for _, churn := range []bool{false, true} {
+			m := gen(n, false, churn)
+			at := temporal.MustDate("01/01/1995")
+			d := timeIt(func() {
+				if _, err := algebra.ValidTimeslice(m, at, ref); err != nil {
+					fatal(err)
+				}
+			})
+			fmt.Printf("%10d %10v %14v\n", n, churn, d)
+		}
+	}
+	fmt.Println()
+}
+
+func b5() {
+	fmt.Println("B5: algebra operator scaling")
+	fmt.Printf("%10s %12s %12s %12s %12s %12s\n", "patients", "select", "project", "union", "difference", "aggregate")
+	for _, n := range []int{500, 2000, 8000} {
+		m := gen(n, true, false)
+		m.SetKind(core.Snapshot)
+		sel := timeIt(func() { algebra.Select(m, algebra.NumericCmp(casestudy.DimAge, algebra.GE, 50), ctx()) })
+		prj := timeIt(func() {
+			if _, err := algebra.Project(m, casestudy.DimDiagnosis); err != nil {
+				fatal(err)
+			}
+		})
+		half := algebra.Select(m, algebra.NumericCmp(casestudy.DimAge, algebra.LT, 50), ctx())
+		uni := timeIt(func() {
+			if _, err := algebra.Union(m, half); err != nil {
+				fatal(err)
+			}
+		})
+		dif := timeIt(func() {
+			if _, err := algebra.Difference(m, half); err != nil {
+				fatal(err)
+			}
+		})
+		aggT := timeIt(func() {
+			if _, err := algebra.Aggregate(m, algebra.AggSpec{
+				ResultDim: "Count",
+				Func:      agg.MustLookup("SETCOUNT"),
+				GroupBy:   map[string]string{casestudy.DimResidence: casestudy.CatRegion},
+			}, ctx()); err != nil {
+				fatal(err)
+			}
+		})
+		fmt.Printf("%10d %12v %12v %12v %12v %12v\n", n, sel, prj, uni, dif, aggT)
+	}
+	fmt.Println()
+}
+
+func b6() {
+	fmt.Println("B6: query end-to-end (parse → plan → algebra → rows)")
+	qsrc := `SELECT SETCOUNT(*) AS N FROM patients WHERE Age >= 40 GROUP BY Residence."Region"`
+	fmt.Printf("%10s %14s\n", "patients", "query/op")
+	for _, n := range []int{500, 2000, 8000} {
+		cat := query.Catalog{"patients": gen(n, true, false)}
+		d := timeIt(func() {
+			if _, err := query.Exec(qsrc, cat, ref); err != nil {
+				fatal(err)
+			}
+		})
+		fmt.Printf("%10d %14v\n", n, d)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdbench:", err)
+	os.Exit(1)
+}
+
+func b7() {
+	fmt.Println("B7: cube materialization — guarded derivation vs recompute (warm closure index)")
+	m := gen(5000, false, false)
+	e := storage.NewEngine(m, ctx())
+	e.CountDistinctBy(casestudy.DimResidence, casestudy.CatArea)
+	plan, err := storage.NewCache(e).PlanCube(casestudy.DimResidence, storage.KindCount, "")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(plan)
+	derive := timeIt(func() {
+		c := storage.NewCache(e)
+		if _, err := c.BuildCube(plan); err != nil {
+			fatal(err)
+		}
+	})
+	base := timeIt(func() {
+		c := storage.NewCache(e)
+		for _, cat := range []string{casestudy.CatArea, casestudy.CatCounty, casestudy.CatRegion} {
+			if _, err := c.Materialize(casestudy.DimResidence, cat, storage.KindCount, ""); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	fmt.Printf("  build-derived %v, build-all-from-base %v\n\n", derive, base)
+}
+
+func b9() {
+	fmt.Println("B9: cross tabulation — bitmap intersection vs model-layer scan (group × region)")
+	fmt.Printf("%10s %14s %14s %8s\n", "patients", "bitmap/op", "scan/op", "speedup")
+	for _, n := range []int{500, 2000} {
+		m := gen(n, true, false)
+		e := storage.NewEngine(m, ctx())
+		e.CrossCount(casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatRegion)
+		fast := timeIt(func() {
+			e.CrossCount(casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatRegion)
+		})
+		slow := timeIt(func() {
+			e.CrossCountScan(casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatRegion)
+		})
+		fmt.Printf("%10d %14v %14v %7.1fx\n", n, fast, slow, float64(slow)/float64(fast))
+	}
+	fmt.Println()
+}
+
+func b10() {
+	fmt.Println("B10: incremental index maintenance vs full rebuild (10000-patient base)")
+	base := gen(10000, true, false)
+	m := base.Clone()
+	e := storage.NewEngine(m, ctx())
+	e.CountDistinctBy(casestudy.DimDiagnosis, casestudy.CatGroup)
+	i := 0
+	appendOne := timeIt(func() {
+		id := fmt.Sprintf("bench%d", i)
+		i++
+		if err := m.Relate(casestudy.DimDiagnosis, id, "L0"); err != nil {
+			fatal(err)
+		}
+		if err := m.Relate(casestudy.DimResidence, id, "A0"); err != nil {
+			fatal(err)
+		}
+		m.Relation(casestudy.DimAge).Add(id, "⊤")
+		if err := e.AppendFact(id); err != nil {
+			fatal(err)
+		}
+	})
+	rebuild := timeIt(func() {
+		storage.NewEngine(base, ctx())
+	})
+	fmt.Printf("  append-one %v, rebuild %v (%.0fx)\n\n", appendOne, rebuild, float64(rebuild)/float64(appendOne))
+}

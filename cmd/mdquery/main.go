@@ -1,0 +1,183 @@
+// Command mdquery runs OLAP queries against the paper's clinical case
+// study, synthetic data, a saved JSON MO, or CSV star-schema files:
+//
+//	mdquery -q 'SELECT SETCOUNT(*) FROM patients GROUP BY Diagnosis."Diagnosis Group"'
+//	mdquery -gen 1000 -q 'SELECT SUM(Age) FROM patients GROUP BY Residence."Region"'
+//	mdquery -load saved.json -csv -q '...'
+//	mdquery -dim Diagnosis=diag.csv -dim Residence=area.csv \
+//	        -facts facts.csv -id id -q '...'
+//	mdquery            # REPL: one query per line, empty line or EOF quits
+//
+// The catalog always contains the MO under the name "patients". NOW
+// resolves to -ref (default 01/01/1999, the paper era).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/dimension"
+	"mddm/internal/lint"
+	"mddm/internal/load"
+	"mddm/internal/query"
+	"mddm/internal/serialize"
+	"mddm/internal/temporal"
+)
+
+// dimFlags collects repeated -dim name=path flags.
+type dimFlags map[string]string
+
+func (d dimFlags) String() string { return fmt.Sprint(map[string]string(d)) }
+
+func (d dimFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	d[name] = path
+	return nil
+}
+
+var csvOut = flag.Bool("csv", false, "emit results as CSV instead of a table")
+
+func main() {
+	q := flag.String("q", "", "query to run (omit for a REPL)")
+	refS := flag.String("ref", "01/01/1999", "reference date resolving NOW")
+	gen := flag.Int("gen", 0, "use synthetic data with N patients instead of Table 1")
+	seed := flag.Int64("seed", 1, "synthetic data seed")
+	loadJSON := flag.String("load", "", "load the MO from a JSON file (mddm/1 format)")
+	save := flag.String("save", "", "save the MO to a JSON file and exit")
+	dims := dimFlags{}
+	flag.Var(dims, "dim", "load a dimension hierarchy CSV: name=path (repeatable)")
+	factsPath := flag.String("facts", "", "load the fact table CSV (requires -dim flags)")
+	idCol := flag.String("id", "", "fact-id column of -facts (auto ids when empty)")
+	lintFlag := flag.Bool("lint", false, "lint the MO for modeling smells and exit")
+	flag.Parse()
+
+	ref, err := temporal.ParseDate(*refS)
+	if err != nil {
+		fatal(err)
+	}
+	cat := query.Catalog{}
+	switch {
+	case *factsPath != "":
+		loaded := map[string]*dimension.Dimension{}
+		for name, path := range dims {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			d, err := load.Dimension(load.DimensionSpec{Name: name, R: f})
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			loaded[name] = d
+		}
+		f, err := os.Open(*factsPath)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := load.Facts(load.FactSpec{FactType: "patients", IDColumn: *idCol, Dimensions: loaded, R: f})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cat["patients"] = m
+	case *loadJSON != "":
+		f, err := os.Open(*loadJSON)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := serialize.Decode(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cat["patients"] = m
+	case *gen > 0:
+		cfg := casestudy.DefaultGen()
+		cfg.Patients = *gen
+		cfg.Seed = *seed
+		m, err := casestudy.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		cat["patients"] = m
+	default:
+		m, err := casestudy.BuildPatientMO(casestudy.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		cat["patients"] = m
+	}
+
+	if *lintFlag {
+		fs := lint.Check(cat["patients"], dimension.CurrentContext(ref))
+		if len(fs) == 0 {
+			fmt.Println("no findings")
+			return
+		}
+		for _, f := range fs {
+			fmt.Println(f)
+		}
+		return
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := serialize.Encode(f, cat["patients"]); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("saved to", *save)
+		return
+	}
+
+	if *q != "" {
+		run(*q, cat, ref)
+		return
+	}
+	fmt.Println("mdquery — one query per line (empty line quits)")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		if line == "" {
+			break
+		}
+		run(line, cat, ref)
+	}
+}
+
+func run(src string, cat query.Catalog, ref temporal.Chronon) {
+	res, err := query.Exec(src, cat, ref)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	if *csvOut {
+		if err := serialize.WriteResultCSV(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		return
+	}
+	fmt.Print(query.RenderResult(res))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Engine: the storage layer at scale — bitmap characterization indexes,
+// the summarizability-guarded pre-aggregate cache, cube materialization
+// plans, cross tabulation, and JSON persistence of the MO.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mddm"
+)
+
+func main() {
+	ref := mddm.MustDate("01/01/2026")
+	ctx := mddm.CurrentContext(ref)
+
+	cfg := mddm.DefaultGen()
+	cfg.Patients = 20000
+	cfg.LowLevel = 700
+	mo := mddm.MustGenerate(cfg)
+	fmt.Printf("synthetic clinical MO: %d patients, %d diagnosis values, non-strict hierarchy\n",
+		mo.Facts().Len(), mo.Dimension("Diagnosis").NumValues())
+
+	start := time.Now()
+	engine := mddm.NewEngine(mo, ctx)
+	fmt.Printf("engine (bitmap indexes) built in %v\n\n", time.Since(start))
+
+	// Distinct patients per diagnosis group — microseconds via the closure
+	// bitmaps, regardless of how many diagnoses each patient carries.
+	start = time.Now()
+	counts := engine.CountDistinctBy("Diagnosis", "Diagnosis Group")
+	first := time.Since(start)
+	start = time.Now()
+	engine.CountDistinctBy("Diagnosis", "Diagnosis Group")
+	warm := time.Since(start)
+	fmt.Printf("patients per diagnosis group: %d groups (first %v, warm %v)\n", len(counts), first, warm)
+
+	// Cross tabulation: diagnosis group × region by bitmap intersection.
+	cells := engine.CrossCount("Diagnosis", "Diagnosis Group", "Residence", "Region")
+	fmt.Printf("diagnosis group × region: %d non-empty cells\n\n", len(cells))
+
+	// The pre-aggregation cache with its summarizability guard.
+	cache := mddm.NewPreAggCache(engine)
+	plan, err := cache.PlanCube("Residence", mddm.PreAggCount, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+	planD, err := cache.PlanCube("Diagnosis", mddm.PreAggCount, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(planD)
+	fmt.Println()
+
+	// Persist the MO and load it back — the JSON round trip is exact.
+	path := filepath.Join(os.TempDir(), "mddm-engine-example.json")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mddm.EncodeMO(f, mo); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := mddm.DecodeMO(g)
+	g.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persisted %d facts to %s (%d KiB) and reloaded: equal=%v\n",
+		back.Facts().Len(), path, info.Size()/1024, mo.Equal(back))
+	os.Remove(path)
+}

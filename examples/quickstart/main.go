@@ -1,0 +1,92 @@
+// Quickstart: build a tiny multidimensional object from scratch with the
+// public mddm API, aggregate it, and print the result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mddm"
+)
+
+func main() {
+	ref := mddm.MustDate("01/01/1999")
+	ctx := mddm.CurrentContext(ref)
+
+	// A product dimension with an explicit hierarchy and a price
+	// "measure" dimension — the model treats both symmetrically.
+	product := mddm.MustDimensionType("Product", mddm.Constant, mddm.KindString,
+		"SKU", "Brand", "Category")
+	price := mddm.MustDimensionType("Price", mddm.Sum, mddm.KindFloat, "Amount")
+	schema := mddm.MustSchema("Purchase", product, price)
+	mo := mddm.NewMO(schema)
+
+	p := mo.Dimension("Product")
+	for _, v := range []struct{ cat, id string }{
+		{"Category", "Beverages"},
+		{"Brand", "AcmeCola"}, {"Brand", "SpringWater"},
+		{"SKU", "cola-330"}, {"SKU", "cola-1000"}, {"SKU", "water-500"},
+	} {
+		must(p.AddValue(v.cat, v.id))
+	}
+	must(p.AddEdge("AcmeCola", "Beverages"))
+	must(p.AddEdge("SpringWater", "Beverages"))
+	must(p.AddEdge("cola-330", "AcmeCola"))
+	must(p.AddEdge("cola-1000", "AcmeCola"))
+	must(p.AddEdge("water-500", "SpringWater"))
+
+	amounts := mo.Dimension("Price")
+	for _, purchase := range []struct {
+		id, sku string
+		price   string
+	}{
+		{"t1", "cola-330", "1.5"}, {"t2", "cola-1000", "3"},
+		{"t3", "water-500", "1"}, {"t4", "cola-330", "1.5"},
+	} {
+		if !amounts.Has(purchase.price) {
+			must(amounts.AddValue("Amount", purchase.price))
+		}
+		must(mo.Relate("Product", purchase.id, purchase.sku))
+		must(mo.Relate("Price", purchase.id, purchase.price))
+	}
+	must(mo.Validate())
+
+	// Revenue per brand: SUM over the Price dimension grouped at Brand.
+	rows, res, err := mddm.SQLAggregate(mo, mddm.AggSpec{
+		ResultDim: "Revenue",
+		Func:      mddm.MustAggFunc("SUM"),
+		ArgDims:   []string{"Price"},
+		GroupBy:   map[string]string{"Product": "Brand"},
+	}, ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Revenue per brand:")
+	for _, r := range rows {
+		fmt.Printf("  %-12s %s\n", r.Group[0], r.Value)
+	}
+	fmt.Printf("summarizable: %v (counts may be pre-aggregated and reused)\n\n", res.Report.Summarizable)
+
+	// Count purchases per category, bucketed like the paper's Figure 3.
+	cnt, err := mddm.Aggregate(mo, mddm.AggSpec{
+		ResultDim: "Count",
+		Func:      mddm.MustAggFunc("SETCOUNT"),
+		GroupBy:   map[string]string{"Product": "Category"},
+		Ranges: []mddm.Range{
+			{Label: "0-1", Lo: 0, Hi: 1},
+			{Label: ">1", Lo: 2, Hi: math.Inf(1)},
+		},
+	}, ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Result MO (purchases per category):")
+	fmt.Print(cnt.MO.Render())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Retail: the scenario the paper's introduction motivates — products sold
+// to customers at certain times in certain amounts at certain prices —
+// showing MO families with shared subdimensions, drill-down/roll-up, and
+// the summarizability-guarded pre-aggregation engine at scale.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mddm"
+)
+
+func main() {
+	ref := mddm.MustDate("01/01/1999")
+	ctx := mddm.CurrentContext(ref)
+
+	// Schema: purchases characterized by product, store, and amount.
+	product := mddm.MustDimensionType("Product", mddm.Constant, mddm.KindString,
+		"SKU", "Brand", "Category")
+	store := mddm.MustDimensionType("Store", mddm.Constant, mddm.KindString,
+		"Store", "City", "Country")
+	amount := mddm.MustDimensionType("Amount", mddm.Sum, mddm.KindInt, "Units")
+	purchases := mddm.NewMO(mddm.MustSchema("Purchase", product, store, amount))
+
+	// Populate the dimensions.
+	p := purchases.Dimension("Product")
+	cats := []string{"Beverages", "Snacks"}
+	for _, c := range cats {
+		must(p.AddValue("Category", c))
+	}
+	brands := []string{"AcmeCola", "SpringWater", "CrispyChips", "NuttyMix"}
+	for i, b := range brands {
+		must(p.AddValue("Brand", b))
+		must(p.AddEdge(b, cats[i/2]))
+	}
+	nSKU := 40
+	for i := 0; i < nSKU; i++ {
+		sku := fmt.Sprintf("sku-%02d", i)
+		must(p.AddValue("SKU", sku))
+		must(p.AddEdge(sku, brands[i%len(brands)]))
+	}
+
+	s := purchases.Dimension("Store")
+	must(s.AddValue("Country", "Denmark"))
+	for _, city := range []string{"Aalborg", "Århus", "Copenhagen"} {
+		must(s.AddValue("City", city))
+		must(s.AddEdge(city, "Denmark"))
+	}
+	for i := 0; i < 9; i++ {
+		id := fmt.Sprintf("store-%d", i)
+		must(s.AddValue("Store", id))
+		must(s.AddEdge(id, []string{"Aalborg", "Århus", "Copenhagen"}[i%3]))
+	}
+
+	units := purchases.Dimension("Amount")
+	for u := 1; u <= 10; u++ {
+		must(units.AddValue("Units", fmt.Sprintf("%d", u)))
+	}
+
+	// Synthetic purchases.
+	r := rand.New(rand.NewSource(7))
+	for t := 0; t < 5000; t++ {
+		id := fmt.Sprintf("t%d", t)
+		must(purchases.Relate("Product", id, fmt.Sprintf("sku-%02d", r.Intn(nSKU))))
+		must(purchases.Relate("Store", id, fmt.Sprintf("store-%d", r.Intn(9))))
+		must(purchases.Relate("Amount", id, fmt.Sprintf("%d", 1+r.Intn(10))))
+	}
+	must(purchases.Validate())
+
+	// Units sold per category × city via the algebra.
+	rows, res, err := mddm.SQLAggregate(purchases, mddm.AggSpec{
+		ResultDim: "Units",
+		Func:      mddm.MustAggFunc("SUM"),
+		ArgDims:   []string{"Amount"},
+		GroupBy:   map[string]string{"Product": "Category", "Store": "City"},
+	}, ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Units sold per category × city (summarizable:", res.Report.Summarizable, "):")
+	for _, row := range rows {
+		fmt.Printf("  %-10s %-12s %s\n", row.Group[0], row.Group[1], row.Value)
+	}
+	fmt.Println()
+
+	// Drill down: the same aggregation one level finer on the store
+	// hierarchy.
+	spec := mddm.AggSpec{
+		ResultDim: "Units",
+		Func:      mddm.MustAggFunc("SUM"),
+		ArgDims:   []string{"Amount"},
+		GroupBy:   map[string]string{"Store": "Country"},
+	}
+	down, err := mddm.DrillDown(purchases, spec, "Store", "City", ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Drill-down country → city, units per city:")
+	for _, pr := range down.MO.Relation("Units").Pairs() {
+		city := down.MO.Relation("Store").ValuesOf(pr.FactID)
+		fmt.Printf("  %-12v %s\n", city, pr.ValueID)
+	}
+	fmt.Println()
+
+	// The pre-aggregation engine: store-level sums combine into city- and
+	// country-level sums because the store hierarchy is strict and
+	// covering.
+	engine := mddm.NewEngine(purchases, ctx)
+	cache := mddm.NewPreAggCache(engine)
+	if _, err := cache.Materialize("Store", "Store", mddm.PreAggSum, "Amount"); err != nil {
+		log.Fatal(err)
+	}
+	byCity, err := cache.RollupFrom("Store", "Store", "City", mddm.PreAggSum, "Amount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pre-aggregated store sums reused for city totals (cache hits=%d misses=%d):\n",
+		cache.Hits, cache.Misses)
+	for _, city := range []string{"Aalborg", "Copenhagen", "Århus"} {
+		fmt.Printf("  %-12s %.0f\n", city, byCity[city])
+	}
+
+	// An MO family sharing the product dimension with a returns MO: a
+	// change to the shared dimension is visible to both.
+	family := mddm.NewFamily()
+	must(family.Add("purchases", purchases))
+	returns := mddm.NewMO(mddm.MustSchema("Return", product.Clone("Product")))
+	must(family.Add("returns", returns))
+	must(family.Share("product", purchases.Dimension("Product"), map[string]string{
+		"purchases": "Product",
+		"returns":   "Product",
+	}))
+	must(returns.Relate("Product", "r1", "sku-00"))
+	fmt.Printf("\nMO family: returns MO shares the product dimension (%d values).\n",
+		returns.Dimension("Product").NumValues())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module mddm
+
+go 1.22

@@ -1,0 +1,224 @@
+package agg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+var ref = temporal.MustDate("01/01/1999")
+
+func ctx() dimension.Context { return dimension.CurrentContext(ref) }
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"SUM", "COUNT", "AVG", "MIN", "MAX", "SETCOUNT"} {
+		g, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Name != name {
+			t.Errorf("name mismatch: %q", g.Name)
+		}
+	}
+	if _, err := Lookup("MEDIAN"); err == nil || !strings.Contains(err.Error(), "known") {
+		t.Errorf("unknown lookup must fail helpfully, got %v", err)
+	}
+	names := Names()
+	if len(names) < 6 {
+		t.Errorf("names = %v", names)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register must panic")
+		}
+	}()
+	Register(&Func{Name: "SUM"})
+}
+
+func TestFuncEvaluation(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5}
+	cases := map[string]float64{"SUM": 14, "COUNT": 5, "AVG": 2.8, "MIN": 1, "MAX": 5}
+	for name, want := range cases {
+		g := MustLookup(name)
+		got, ok := g.Apply(99, vals)
+		if !ok || got != want {
+			t.Errorf("%s = %v (%v), want %v", name, got, ok, want)
+		}
+	}
+	// Empty input: COUNT yields 0; the others have no result.
+	for _, name := range []string{"SUM", "AVG", "MIN", "MAX"} {
+		if _, ok := MustLookup(name).Apply(0, nil); ok {
+			t.Errorf("%s over empty input must have no result", name)
+		}
+	}
+	if got, ok := MustLookup("COUNT").Apply(0, nil); !ok || got != 0 {
+		t.Errorf("COUNT over empty input = %v, %v", got, ok)
+	}
+	// SETCOUNT counts the group, ignoring values.
+	if got, ok := MustLookup("SETCOUNT").Apply(7, vals); !ok || got != 7 {
+		t.Errorf("SETCOUNT = %v, %v", got, ok)
+	}
+}
+
+func TestDistributivityQuick(t *testing.T) {
+	// For the distributive functions, g(g(S1), g(S2)) = g(S1 ∪ S2) for
+	// disjoint S1, S2 — the definition the summarizability check relies on.
+	// (COUNT and SUM combine via SUM; MIN/MAX via themselves.)
+	check := func(a, b []float64) bool {
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		all := append(append([]float64{}, a...), b...)
+		sum := MustLookup("SUM")
+		sa, _ := sum.Apply(0, a)
+		sb, _ := sum.Apply(0, b)
+		sAll, _ := sum.Apply(0, all)
+		if combined, _ := sum.Apply(0, []float64{sa, sb}); combined != sAll {
+			return false
+		}
+		min := MustLookup("MIN")
+		ma, _ := min.Apply(0, a)
+		mb, _ := min.Apply(0, b)
+		mAll, _ := min.Apply(0, all)
+		if combined, _ := min.Apply(0, []float64{ma, mb}); combined != mAll {
+			return false
+		}
+		max := MustLookup("MAX")
+		xa, _ := max.Apply(0, a)
+		xb, _ := max.Apply(0, b)
+		xAll, _ := max.Apply(0, all)
+		if combined, _ := max.Apply(0, []float64{xa, xb}); combined != xAll {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: nil}
+	if err := quick.Check(func(a8, b8 []int8) bool {
+		a := make([]float64, len(a8))
+		for i, v := range a8 {
+			a[i] = float64(v)
+		}
+		b := make([]float64, len(b8))
+		for i, v := range b8 {
+			b[i] = float64(v)
+		}
+		return check(a, b)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// AVG is declared non-distributive and indeed is not:
+	// avg(avg{1,2}, avg{3}) = avg(1.5, 3) = 2.25 ≠ avg{1,2,3} = 2.
+	if MustLookup("AVG").Distributive {
+		t.Error("AVG must not be distributive")
+	}
+}
+
+func TestFormatResult(t *testing.T) {
+	cases := map[float64]string{2: "2", 2.5: "2.5", -3: "-3", 0: "0"}
+	for in, want := range cases {
+		if got := FormatResult(in); got != want {
+			t.Errorf("FormatResult(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckSummarizableCaseStudy(t *testing.T) {
+	m, err := casestudy.BuildPatientMO(casestudy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grouping by the non-strict diagnosis hierarchy: not summarizable.
+	rep := CheckSummarizable(m, MustLookup("SETCOUNT"),
+		map[string]string{casestudy.DimDiagnosis: casestudy.CatGroup}, ctx())
+	if rep.Summarizable {
+		t.Error("diagnosis grouping must not be summarizable")
+	}
+	joined := strings.Join(rep.Reasons, "; ")
+	if !strings.Contains(joined, "non-strict") {
+		t.Errorf("reasons = %v", rep.Reasons)
+	}
+	// Grouping by the age hierarchy: summarizable.
+	rep2 := CheckSummarizable(m, MustLookup("SETCOUNT"),
+		map[string]string{casestudy.DimAge: casestudy.CatTenYear}, ctx())
+	if !rep2.Summarizable {
+		t.Errorf("age grouping must be summarizable: %v", rep2.Reasons)
+	}
+	// A non-distributive function is never summarizable.
+	rep3 := CheckSummarizable(m, MustLookup("AVG"),
+		map[string]string{casestudy.DimAge: casestudy.CatTenYear}, ctx())
+	if rep3.Summarizable {
+		t.Error("AVG must not be summarizable")
+	}
+}
+
+func TestStrictPath(t *testing.T) {
+	m, err := casestudy.BuildPatientMO(casestudy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths to ⊤ are always strict (footnote 1).
+	if !StrictPath(m, casestudy.DimDiagnosis, dimension.TopName, ctx()) {
+		t.Error("path to ⊤ must be strict")
+	}
+	// Patient 2 reaches groups 11 and 12 → non-strict.
+	if StrictPath(m, casestudy.DimDiagnosis, casestudy.CatGroup, ctx()) {
+		t.Error("path to Diagnosis Group must be non-strict")
+	}
+	// Every patient has exactly one age → strict.
+	if !StrictPath(m, casestudy.DimAge, casestudy.CatTenYear, ctx()) {
+		t.Error("path to Ten-year Group must be strict")
+	}
+}
+
+func TestResultAggType(t *testing.T) {
+	m, err := casestudy.BuildPatientMO(casestudy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-summarizable → c regardless of arguments.
+	if got := ResultAggType(m, MustLookup("SUM"), []string{casestudy.DimAge}, false); got != dimension.Constant {
+		t.Errorf("unsafe result type = %v", got)
+	}
+	// Summarizable SUM over Age (Σ) → Σ.
+	if got := ResultAggType(m, MustLookup("SUM"), []string{casestudy.DimAge}, true); got != dimension.Sum {
+		t.Errorf("SUM type = %v", got)
+	}
+	// MIN over DOB (φ): result class φ even though the function is
+	// distributive.
+	if got := ResultAggType(m, MustLookup("MIN"), []string{casestudy.DimDOB}, true); got != dimension.Average {
+		t.Errorf("MIN type = %v", got)
+	}
+	// SETCOUNT: its own result class (counts are summable).
+	if got := ResultAggType(m, MustLookup("SETCOUNT"), nil, true); got != dimension.Sum {
+		t.Errorf("SETCOUNT type = %v", got)
+	}
+}
+
+func TestCheckLegal(t *testing.T) {
+	m, err := casestudy.BuildPatientMO(casestudy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLegal(m, MustLookup("SUM"), []string{casestudy.DimAge}); err != nil {
+		t.Errorf("SUM over Age must be legal: %v", err)
+	}
+	if err := CheckLegal(m, MustLookup("SUM"), []string{casestudy.DimDiagnosis}); err == nil {
+		t.Error("SUM over Diagnosis must be illegal")
+	}
+	if err := CheckLegal(m, MustLookup("AVG"), []string{casestudy.DimDOB}); err != nil {
+		t.Errorf("AVG over DOB must be legal: %v", err)
+	}
+	if err := CheckLegal(m, MustLookup("SUM"), nil); err == nil {
+		t.Error("SUM without arguments must be illegal")
+	}
+	if err := CheckLegal(m, MustLookup("SETCOUNT"), []string{casestudy.DimAge}); err == nil {
+		t.Error("SETCOUNT with arguments must be illegal")
+	}
+	if err := CheckLegal(m, MustLookup("SUM"), []string{"Nope"}); err == nil {
+		t.Error("unknown dimension must be illegal")
+	}
+}

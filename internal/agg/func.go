@@ -1,0 +1,253 @@
+// Package agg implements aggregate functions and the summarizability
+// machinery of the extended multidimensional data model (Pedersen & Jensen,
+// ICDE 1999, §3.1 and §3.4): the standard SQL aggregation functions
+// classified by distributivity and by the minimum aggregation type of their
+// argument data, the set-count function of Example 12, and the
+// summarizability check (Definition 1 via the Lenz–Shoshani equivalence:
+// distributive function ∧ strict paths ∧ partitioning hierarchies).
+package agg
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"mddm/internal/dimension"
+)
+
+// Func describes one aggregate function g of the paper's function family.
+// Numeric functions evaluate over the argument values extracted from the
+// facts' argument dimensions; SetCount evaluates over the group itself.
+type Func struct {
+	// Name identifies the function (SUM, COUNT, AVG, MIN, MAX, SETCOUNT,
+	// or a user-registered name).
+	Name string
+	// Distributive reports whether g(g(S1),…,g(Sk)) = g(S1 ∪ … ∪ Sk) for
+	// disjoint Si — a necessary leg of summarizability. (COUNT and SUM
+	// combine distributively via addition; MIN/MAX via themselves; AVG is
+	// not distributive.)
+	Distributive bool
+	// MinClass is the minimum aggregation type the argument category must
+	// have for the application to be "legal": Σ for SUM, φ for AVG/MIN/MAX,
+	// c for COUNT and SETCOUNT.
+	MinClass dimension.AggType
+	// ResultClass is the aggregation type of the result data when the
+	// application is summarizable (before the paper's min-rule with the
+	// argument bottoms): counts and sums are summable, averages and
+	// extrema are orderable.
+	ResultClass dimension.AggType
+	// NeedsArg reports whether the function consumes values from an
+	// argument dimension (false for SETCOUNT).
+	NeedsArg bool
+	// Eval folds the extracted argument values; unused when NeedsArg is
+	// false. ok is false when the input is empty.
+	Eval func(vals []float64) (res float64, ok bool)
+	// NeedsProb reports whether the function consumes the group members'
+	// membership probabilities instead of argument values (EXPECTED,
+	// MINCOUNT, MAXCOUNT).
+	NeedsProb bool
+	// ProbEval folds the membership probabilities; used when NeedsProb.
+	ProbEval func(probs []float64) (res float64, ok bool)
+}
+
+// Apply evaluates the function over a group: n is the group size (|set|),
+// vals the argument values extracted from the argument dimension. For
+// SETCOUNT the result is n. Probabilistic functions are evaluated with
+// ApplyProb instead.
+func (g *Func) Apply(n int, vals []float64) (float64, bool) {
+	if g.NeedsProb {
+		return 0, false // caller must use ApplyProb
+	}
+	if !g.NeedsArg {
+		return float64(n), n >= 0
+	}
+	return g.Eval(vals)
+}
+
+// ApplyProb evaluates a probabilistic function over the group members'
+// membership probabilities.
+func (g *Func) ApplyProb(probs []float64) (float64, bool) {
+	if !g.NeedsProb {
+		return 0, false
+	}
+	return g.ProbEval(probs)
+}
+
+// FormatResult renders a function result as a dimension value id, trimming
+// integral floats ("2", not "2.000000").
+func FormatResult(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var registry = map[string]*Func{}
+
+// Register adds a function to the registry; it panics on duplicates (the
+// registry is assembled at init time).
+func Register(g *Func) {
+	if _, ok := registry[g.Name]; ok {
+		panic(fmt.Sprintf("agg: duplicate function %q", g.Name))
+	}
+	registry[g.Name] = g
+}
+
+// Lookup returns the named function, or an error listing the known names.
+func Lookup(name string) (*Func, error) {
+	if g, ok := registry[name]; ok {
+		return g, nil
+	}
+	return nil, fmt.Errorf("agg: unknown function %q (known: %v)", name, Names())
+}
+
+// MustLookup is Lookup that panics on error.
+func MustLookup(name string) *Func {
+	g, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Names returns the sorted registered function names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(&Func{
+		Name: "SUM", Distributive: true,
+		MinClass: dimension.Sum, ResultClass: dimension.Sum, NeedsArg: true,
+		Eval: func(vals []float64) (float64, bool) {
+			if len(vals) == 0 {
+				return 0, false
+			}
+			var s float64
+			for _, v := range vals {
+				s += v
+			}
+			return s, true
+		},
+	})
+	Register(&Func{
+		Name: "COUNT", Distributive: true,
+		MinClass: dimension.Constant, ResultClass: dimension.Sum, NeedsArg: true,
+		Eval: func(vals []float64) (float64, bool) {
+			return float64(len(vals)), true
+		},
+	})
+	Register(&Func{
+		Name: "AVG", Distributive: false,
+		MinClass: dimension.Average, ResultClass: dimension.Average, NeedsArg: true,
+		Eval: func(vals []float64) (float64, bool) {
+			if len(vals) == 0 {
+				return 0, false
+			}
+			var s float64
+			for _, v := range vals {
+				s += v
+			}
+			return s / float64(len(vals)), true
+		},
+	})
+	Register(&Func{
+		Name: "MIN", Distributive: true,
+		MinClass: dimension.Average, ResultClass: dimension.Average, NeedsArg: true,
+		Eval: func(vals []float64) (float64, bool) {
+			if len(vals) == 0 {
+				return 0, false
+			}
+			m := vals[0]
+			for _, v := range vals[1:] {
+				if v < m {
+					m = v
+				}
+			}
+			return m, true
+		},
+	})
+	Register(&Func{
+		Name: "MAX", Distributive: true,
+		MinClass: dimension.Average, ResultClass: dimension.Average, NeedsArg: true,
+		Eval: func(vals []float64) (float64, bool) {
+			if len(vals) == 0 {
+				return 0, false
+			}
+			m := vals[0]
+			for _, v := range vals[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			return m, true
+		},
+	})
+	// SETCOUNT is the set-count of Example 12: the number of members of a
+	// group. It needs no argument dimension and is distributive over
+	// disjoint groups.
+	Register(&Func{
+		Name: "SETCOUNT", Distributive: true,
+		MinClass: dimension.Constant, ResultClass: dimension.Sum, NeedsArg: false,
+	})
+}
+
+// Probabilistic aggregate functions (§3.3: "the probabilities are also
+// handled by the algebra"). They evaluate over the membership
+// probabilities of a group — the probability that each member fact is
+// characterized by the group's combination of dimension values:
+//
+//   - EXPECTED: the expected number of members (sum of probabilities).
+//   - MINCOUNT: members certainly in the group (probability 1).
+//   - MAXCOUNT: members possibly in the group (probability > 0).
+//
+// All three are distributive over disjoint groups and count-like (their
+// argument data may be of any aggregation type; the result is summable
+// when summarizable).
+func init() {
+	Register(&Func{
+		Name: "EXPECTED", Distributive: true,
+		MinClass: dimension.Constant, ResultClass: dimension.Sum,
+		NeedsProb: true,
+		ProbEval: func(probs []float64) (float64, bool) {
+			var s float64
+			for _, p := range probs {
+				s += p
+			}
+			return s, true
+		},
+	})
+	Register(&Func{
+		Name: "MINCOUNT", Distributive: true,
+		MinClass: dimension.Constant, ResultClass: dimension.Sum,
+		NeedsProb: true,
+		ProbEval: func(probs []float64) (float64, bool) {
+			n := 0
+			for _, p := range probs {
+				if p >= 1 {
+					n++
+				}
+			}
+			return float64(n), true
+		},
+	})
+	Register(&Func{
+		Name: "MAXCOUNT", Distributive: true,
+		MinClass: dimension.Constant, ResultClass: dimension.Sum,
+		NeedsProb: true,
+		ProbEval: func(probs []float64) (float64, bool) {
+			n := 0
+			for _, p := range probs {
+				if p > 0 {
+					n++
+				}
+			}
+			return float64(n), true
+		},
+	})
+}

@@ -1,0 +1,139 @@
+package agg
+
+import (
+	"fmt"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+)
+
+// Report is the outcome of a summarizability check (Definition 1 via the
+// Lenz–Shoshani equivalence). When Summarizable is false, Reasons lists
+// every violated leg — the information a UI needs to warn the user that a
+// pre-computed aggregate cannot be reused or that a result would
+// double-count.
+type Report struct {
+	Summarizable bool
+	Reasons      []string
+}
+
+func (r *Report) fail(format string, args ...interface{}) {
+	r.Summarizable = false
+	r.Reasons = append(r.Reasons, fmt.Sprintf(format, args...))
+}
+
+// CheckSummarizable checks whether aggregating the MO with function g,
+// grouping each dimension at the given category (absent dimensions default
+// to ⊤), is summarizable: g distributive, the path from the facts to each
+// grouping category strict (no fact reaches two values of the category),
+// and the hierarchy up to each grouping category partitioning/covering (no
+// value below the category fails to roll up into it).
+func CheckSummarizable(m *core.MO, g *Func, groupCats map[string]string, ctx dimension.Context) Report {
+	rep := Report{Summarizable: true}
+	if !g.Distributive {
+		rep.fail("function %s is not distributive", g.Name)
+	}
+	for _, dimName := range m.Schema().DimensionNames() {
+		cat, ok := groupCats[dimName]
+		if !ok || cat == dimension.TopName {
+			continue // grouping at ⊤ is trivially strict and covering
+		}
+		d := m.Dimension(dimName)
+		if !StrictPath(m, dimName, cat, ctx) {
+			rep.fail("path from %s facts to %s/%s is non-strict", m.Schema().FactType(), dimName, cat)
+		}
+		// Partitioning up to the grouping category: every inhabited
+		// category below cat must roll up into cat without gaps.
+		for _, below := range d.Type().CategoryTypes() {
+			if below == cat || !d.Type().LessEq(below, cat) {
+				continue
+			}
+			if len(d.Category(below)) == 0 {
+				continue
+			}
+			if !d.Covering(below, cat, ctx) {
+				rep.fail("hierarchy %s: category %s does not fully roll up into %s", dimName, below, cat)
+			}
+		}
+	}
+	return rep
+}
+
+// StrictPath reports whether the path from the MO's fact set to the given
+// category of the given dimension is strict: no fact is characterized by
+// two distinct values of the category (the paper's strict-path condition
+// of Definition 2, footnote 1: paths to ⊤ are always strict).
+func StrictPath(m *core.MO, dimName, cat string, ctx dimension.Context) bool {
+	if cat == dimension.TopName {
+		return true
+	}
+	d := m.Dimension(dimName)
+	r := m.Relation(dimName)
+	for _, f := range m.Facts().IDs() {
+		seen := ""
+		count := 0
+		for _, e := range r.ValuesOf(f) {
+			a, _ := r.Annot(f, e)
+			if !ctx.Admits(a) {
+				continue
+			}
+			for _, anc := range d.AncestorsIn(cat, e, ctx) {
+				if count == 0 || anc != seen {
+					if count > 0 {
+						return false
+					}
+					seen = anc
+					count = 1
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ResultAggType applies the paper's aggregation-type rule for the bottom
+// category of the result dimension: if the application is summarizable,
+// the result type is the minimum over g's argument dimensions of the
+// aggregation type of their bottom categories (for argument-less functions
+// like SETCOUNT, the function's own result class); otherwise it is c, so
+// the "unsafe" result data cannot be aggregated further.
+func ResultAggType(m *core.MO, g *Func, argDims []string, summarizable bool) dimension.AggType {
+	if !summarizable {
+		return dimension.Constant
+	}
+	if len(argDims) == 0 {
+		return g.ResultClass
+	}
+	min := dimension.Sum
+	for _, name := range argDims {
+		d := m.Dimension(name)
+		at := d.Type().AggTypeOf(d.Type().Bottom())
+		min = dimension.MinAgg(min, at)
+	}
+	return dimension.MinAgg(min, g.ResultClass)
+}
+
+// CheckLegal verifies that applying g to the given argument dimensions is
+// admitted by their aggregation types (g ∈ Aggtype(⊥_Dij) in the paper's
+// aggregate-formation precondition). A nil error means the application is
+// legal.
+func CheckLegal(m *core.MO, g *Func, argDims []string) error {
+	if g.NeedsArg && len(argDims) == 0 {
+		return fmt.Errorf("agg: %s needs an argument dimension", g.Name)
+	}
+	if !g.NeedsArg && len(argDims) > 0 {
+		return fmt.Errorf("agg: %s takes no argument dimensions", g.Name)
+	}
+	for _, name := range argDims {
+		d := m.Dimension(name)
+		if d == nil {
+			return fmt.Errorf("agg: unknown argument dimension %q", name)
+		}
+		at := d.Type().AggTypeOf(d.Type().Bottom())
+		if at < g.MinClass {
+			return fmt.Errorf("agg: %s is illegal on %s (aggregation type %v admits only %v)",
+				g.Name, name, at, at.Functions())
+		}
+	}
+	return nil
+}

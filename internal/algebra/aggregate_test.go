@@ -1,0 +1,411 @@
+package algebra
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mddm/internal/agg"
+	"mddm/internal/casestudy"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+var ref = temporal.MustDate("01/01/1999")
+
+func ctx() dimension.Context { return dimension.CurrentContext(ref) }
+
+func patientMO(t *testing.T) *core.MO {
+	t.Helper()
+	m, err := casestudy.BuildPatientMO(casestudy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// figure3Spec is Example 12: set-count grouped by Diagnosis Group (all
+// other dimensions at ⊤), with the result ranges "0-1" and ">1".
+func figure3Spec() AggSpec {
+	return AggSpec{
+		ResultDim: "Count",
+		Func:      agg.MustLookup("SETCOUNT"),
+		GroupBy:   map[string]string{casestudy.DimDiagnosis: casestudy.CatGroup},
+		Ranges: []Range{
+			{Label: "0-1", Lo: 0, Hi: 1},
+			{Label: ">1", Lo: 2, Hi: math.Inf(1)},
+		},
+	}
+}
+
+func TestExample12Figure3(t *testing.T) {
+	m := patientMO(t)
+	res, err := Aggregate(m, figure3Spec(), ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.MO
+
+	// The resulting MO has seven dimensions; facts are sets of patients.
+	if n := out.Schema().NumDimensions(); n != 7 {
+		t.Errorf("dimensions = %d, want 7", n)
+	}
+	if got := out.Schema().FactType(); got != "Set-of-Patient" {
+		t.Errorf("fact type = %q", got)
+	}
+	// F' = {{1,2}, {2}}.
+	if got := strings.Join(out.Facts().IDs(), " "); got != "{1,2} {2}" {
+		t.Fatalf("facts = %q, want {1,2} {2}", got)
+	}
+
+	// R1 = {({1,2}, 11), ({2}, 12)} — each patient counted once per group
+	// even though patient 2 has several diagnoses in each group.
+	diag := out.Relation(casestudy.DimDiagnosis)
+	if !diag.Has("{1,2}", "11") || !diag.Has("{2}", "12") {
+		t.Errorf("R[Diagnosis] = %v", diag.Pairs())
+	}
+	if diag.Len() != 2 {
+		t.Errorf("R[Diagnosis] has %d pairs, want 2: %v", diag.Len(), diag.Pairs())
+	}
+
+	// R7 = {({1,2}, 2), ({2}, 1)}.
+	cnt := out.Relation("Count")
+	if !cnt.Has("{1,2}", "2") || !cnt.Has("{2}", "1") {
+		t.Errorf("R[Count] = %v", cnt.Pairs())
+	}
+
+	// The result dimension groups the counts into the ranges "0-1" and ">1".
+	rd := out.Dimension("Count")
+	if got := rd.AncestorsIn(ResultRangeCat, "2", ctx()); len(got) != 1 || got[0] != ">1" {
+		t.Errorf("range of 2 = %v", got)
+	}
+	if got := rd.AncestorsIn(ResultRangeCat, "1", ctx()); len(got) != 1 || got[0] != "0-1" {
+		t.Errorf("range of 1 = %v", got)
+	}
+
+	// The Diagnosis dimension is cut so that only Diagnosis Group and ⊤
+	// remain.
+	dd := out.Dimension(casestudy.DimDiagnosis)
+	if dd.Type().Bottom() != casestudy.CatGroup {
+		t.Errorf("cut bottom = %q", dd.Type().Bottom())
+	}
+	if dd.Has("9") || dd.Has("5") {
+		t.Error("families and low-level diagnoses must be cut away")
+	}
+
+	// The five remaining argument dimensions are trivial (⊤ only).
+	for _, n := range []string{casestudy.DimDOB, casestudy.DimResidence, casestudy.DimName, casestudy.DimSSN, casestudy.DimAge} {
+		d := out.Dimension(n)
+		if d.NumValues() != 1 {
+			t.Errorf("dimension %s must be trivial, has %d values", n, d.NumValues())
+		}
+		for _, p := range out.Relation(n).Pairs() {
+			if p.ValueID != dimension.TopValue {
+				t.Errorf("dimension %s: pair to %q, want ⊤", n, p.ValueID)
+			}
+		}
+	}
+
+	// Non-strict paths (patient 2 is in both groups) make the result
+	// unsafe: aggregation type c, so re-aggregation beyond counting is
+	// blocked.
+	if res.ResultAggType != dimension.Constant {
+		t.Errorf("result agg type = %v, want c", res.ResultAggType)
+	}
+	if res.Report.Summarizable {
+		t.Error("grouping by the non-strict diagnosis hierarchy must not be summarizable")
+	}
+
+	if err := out.Validate(); err != nil {
+		t.Errorf("result MO invalid: %v", err)
+	}
+}
+
+func TestAggregateTemporalRule(t *testing.T) {
+	m := patientMO(t)
+	res, err := Aggregate(m, figure3Spec(), ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ({1,2}, 11): intersection of 1 ⤳ 11 ([89-NOW]) and 2 ⤳ 11 ([80-NOW]).
+	a, ok := res.MO.Relation(casestudy.DimDiagnosis).Annot("{1,2}", "11")
+	if !ok {
+		t.Fatal("pair missing")
+	}
+	if want := "[01/01/1989 - NOW]"; a.Time.Valid.String() != want {
+		t.Errorf("time = %v, want %v", a.Time.Valid, want)
+	}
+}
+
+func TestAggregateAvgAge(t *testing.T) {
+	m := patientMO(t)
+	// Average age of all patients (single group at ⊤ everywhere).
+	res, err := Aggregate(m, AggSpec{
+		ResultDim: "AvgAge",
+		Func:      agg.MustLookup("AVG"),
+		ArgDims:   []string{casestudy.DimAge},
+	}, ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.MO
+	if out.Facts().Len() != 1 {
+		t.Fatalf("facts = %v", out.Facts().IDs())
+	}
+	// Ages at 01/01/1999: born 25/05/69 → 29; born 20/03/50 → 48. Avg 38.5.
+	vals := out.Relation("AvgAge").ValuesOf("{1,2}")
+	if len(vals) != 1 || vals[0] != "38.5" {
+		t.Errorf("avg = %v, want 38.5", vals)
+	}
+	// AVG is not distributive → never summarizable → result type c.
+	if res.ResultAggType != dimension.Constant {
+		t.Errorf("result agg type = %v", res.ResultAggType)
+	}
+}
+
+func TestAggregateSumAgeByResidence(t *testing.T) {
+	m := patientMO(t)
+	res, err := Aggregate(m, AggSpec{
+		ResultDim: "SumAge",
+		Func:      agg.MustLookup("SUM"),
+		ArgDims:   []string{casestudy.DimAge},
+		GroupBy:   map[string]string{casestudy.DimResidence: casestudy.CatRegion},
+	}, ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.MO
+	// Both patients live in region R1 (any-time); sum of ages 29+48 = 77.
+	vals := out.Relation("SumAge").ValuesOf("{1,2}")
+	if len(vals) != 1 || vals[0] != "77" {
+		t.Errorf("sum = %v, want 77", vals)
+	}
+	// Residence is strict+partitioning and SUM distributive → summarizable;
+	// the result inherits Σ from the Age bottom.
+	if !res.Report.Summarizable {
+		t.Errorf("must be summarizable: %v", res.Report.Reasons)
+	}
+	if res.ResultAggType != dimension.Sum {
+		t.Errorf("result agg type = %v, want Σ", res.ResultAggType)
+	}
+}
+
+func TestAggregateLegalityGuard(t *testing.T) {
+	m := patientMO(t)
+	// SUM over the Diagnosis dimension (aggregation type c) is illegal.
+	_, err := Aggregate(m, AggSpec{
+		ResultDim: "X",
+		Func:      agg.MustLookup("SUM"),
+		ArgDims:   []string{casestudy.DimDiagnosis},
+	}, ctx())
+	if err == nil {
+		t.Fatal("SUM over a constant dimension must be rejected")
+	}
+	// With Warn, the application proceeds and records a warning.
+	res, err := Aggregate(m, AggSpec{
+		ResultDim: "X",
+		Func:      agg.MustLookup("SUM"),
+		ArgDims:   []string{casestudy.DimDiagnosis},
+		Warn:      true,
+	}, ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) == 0 {
+		t.Error("warning expected")
+	}
+	// SUM over DOB (type φ) is likewise illegal.
+	if _, err := Aggregate(m, AggSpec{
+		ResultDim: "X",
+		Func:      agg.MustLookup("SUM"),
+		ArgDims:   []string{casestudy.DimDOB},
+	}, ctx()); err == nil {
+		t.Error("SUM over an average-type dimension must be rejected")
+	}
+	// MIN over DOB is fine.
+	if _, err := Aggregate(m, AggSpec{
+		ResultDim: "X",
+		Func:      agg.MustLookup("MIN"),
+		ArgDims:   []string{casestudy.DimDOB},
+	}, ctx()); err != nil {
+		t.Errorf("MIN over DOB must be legal: %v", err)
+	}
+}
+
+func TestAggregateSpecValidation(t *testing.T) {
+	m := patientMO(t)
+	if _, err := Aggregate(m, AggSpec{ResultDim: "X", Func: nil}, ctx()); err == nil {
+		t.Error("nil function must be rejected")
+	}
+	if _, err := Aggregate(m, AggSpec{ResultDim: "", Func: agg.MustLookup("SETCOUNT")}, ctx()); err == nil {
+		t.Error("empty result name must be rejected")
+	}
+	if _, err := Aggregate(m, AggSpec{ResultDim: casestudy.DimAge, Func: agg.MustLookup("SETCOUNT")}, ctx()); err == nil {
+		t.Error("result name colliding with a dimension must be rejected")
+	}
+	if _, err := Aggregate(m, AggSpec{
+		ResultDim: "X", Func: agg.MustLookup("SETCOUNT"),
+		GroupBy: map[string]string{"Nope": "C"},
+	}, ctx()); err == nil {
+		t.Error("unknown GroupBy dimension must be rejected")
+	}
+	if _, err := Aggregate(m, AggSpec{
+		ResultDim: "X", Func: agg.MustLookup("SETCOUNT"),
+		GroupBy: map[string]string{casestudy.DimAge: "Nope"},
+	}, ctx()); err == nil {
+		t.Error("unknown GroupBy category must be rejected")
+	}
+	if _, err := Aggregate(m, AggSpec{
+		ResultDim: "X", Func: agg.MustLookup("SUM"), ArgDims: []string{"Nope"},
+	}, ctx()); err == nil {
+		t.Error("unknown argument dimension must be rejected")
+	}
+	if _, err := Aggregate(m, AggSpec{
+		ResultDim: "X", Func: agg.MustLookup("SETCOUNT"), ArgDims: []string{casestudy.DimAge},
+	}, ctx()); err == nil {
+		t.Error("argument dimensions for SETCOUNT must be rejected")
+	}
+}
+
+func TestAggregateCanBeReaggregated(t *testing.T) {
+	// Closure in action: aggregate the aggregate. Count patients per
+	// five-year age group, then count groups per ten-year group.
+	m := patientMO(t)
+	first, err := Aggregate(m, AggSpec{
+		ResultDim: "Count",
+		Func:      agg.MustLookup("SETCOUNT"),
+		GroupBy:   map[string]string{casestudy.DimAge: casestudy.CatFiveYear},
+	}, ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.MO.Validate(); err != nil {
+		t.Fatalf("first result invalid: %v", err)
+	}
+	// Age hierarchy is strict+partitioning and set-count distributive →
+	// summarizable; the count data is Σ.
+	if !first.Report.Summarizable {
+		t.Errorf("age grouping must be summarizable: %v", first.Report.Reasons)
+	}
+	if first.ResultAggType != dimension.Sum {
+		t.Errorf("count agg type = %v, want Σ", first.ResultAggType)
+	}
+
+	second, err := Aggregate(first.MO, AggSpec{
+		ResultDim: "SumCount",
+		Func:      agg.MustLookup("SUM"),
+		ArgDims:   []string{"Count"},
+		GroupBy:   map[string]string{casestudy.DimAge: casestudy.CatTenYear},
+	}, ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.MO.Validate(); err != nil {
+		t.Fatalf("second result invalid: %v", err)
+	}
+	// Patients are 29 and 48 → five-year groups 25-29 and 45-49, one each;
+	// ten-year groups 20-29 and 40-49 → sums 1 and 1.
+	sums := map[string]bool{}
+	for _, p := range second.MO.Relation("SumCount").Pairs() {
+		sums[p.ValueID] = true
+	}
+	if len(sums) != 1 || !sums["1"] {
+		t.Errorf("re-aggregated sums = %v", sums)
+	}
+}
+
+func TestReaggregationBlockedOnUnsafeResult(t *testing.T) {
+	// The Figure 3 result has aggregation type c; summing it must be
+	// rejected — the paper's double-counting guard.
+	m := patientMO(t)
+	first, err := Aggregate(m, figure3Spec(), ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Aggregate(first.MO, AggSpec{
+		ResultDim: "Total",
+		Func:      agg.MustLookup("SUM"),
+		ArgDims:   []string{"Count"},
+	}, ctx())
+	if err == nil {
+		t.Fatal("summing an unsafe (type c) result must be rejected")
+	}
+	if !strings.Contains(err.Error(), "illegal") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// Counting it is still fine.
+	if _, err := Aggregate(first.MO, AggSpec{
+		ResultDim: "N",
+		Func:      agg.MustLookup("COUNT"),
+		ArgDims:   []string{"Count"},
+	}, ctx()); err != nil {
+		t.Errorf("COUNT over an unsafe result must remain legal: %v", err)
+	}
+}
+
+func TestAggregateAtInstant(t *testing.T) {
+	// Evaluated at a 1975 instant, only patient 2 has diagnoses, and no
+	// diagnosis groups exist — grouping by Diagnosis Family instead.
+	m := patientMO(t)
+	at := temporal.MustDate("15/06/75")
+	res, err := Aggregate(m, AggSpec{
+		ResultDim: "Count",
+		Func:      agg.MustLookup("SETCOUNT"),
+		GroupBy:   map[string]string{casestudy.DimDiagnosis: casestudy.CatFamily},
+	}, ctx().AtValid(at))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.MO
+	// Patient 2's 1975 diagnoses: 3 (⊑ 7 and ⊑ 8) and 8 directly.
+	diag := out.Relation(casestudy.DimDiagnosis)
+	if !diag.Has("{2}", "7") || !diag.Has("{2}", "8") {
+		t.Errorf("1975 groups = %v", diag.Pairs())
+	}
+	if out.Facts().Len() != 1 {
+		t.Errorf("facts = %v", out.Facts().IDs())
+	}
+}
+
+func TestAggregateMultipleArgDims(t *testing.T) {
+	// The paper's function family includes multi-argument functions like
+	// SUM_ij; ArgDims accepts several dimensions whose values concatenate.
+	dtA := dimension.MustDimensionType("A", dimension.Sum, dimension.KindInt, "V")
+	dtB := dimension.MustDimensionType("B", dimension.Sum, dimension.KindInt, "W")
+	s := core.MustSchema("F", dtA, dtB)
+	m := core.NewMO(s)
+	for _, v := range []string{"1", "2", "3"} {
+		if err := m.Dimension("A").AddValue("V", v); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Dimension("B").AddValue("W", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Relate("A", "f1", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Relate("B", "f1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Relate("A", "f2", "3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Relate("B", "f2", "3"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Aggregate(m, AggSpec{
+		ResultDim: "S",
+		Func:      agg.MustLookup("SUM"),
+		ArgDims:   []string{"A", "B"},
+	}, dimension.Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SUM over both dimensions: 1+2+3+3 = 9.
+	vals := res.MO.Relation("S").ValuesOf(res.MO.Facts().IDs()[0])
+	if len(vals) != 1 || vals[0] != "9" {
+		t.Errorf("SUM_AB = %v, want 9", vals)
+	}
+}

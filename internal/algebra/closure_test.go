@@ -1,0 +1,201 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mddm/internal/agg"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+// Theorem 1: the algebra is closed — the result of every operator is a
+// well-formed MO accepted by every other operator. We check it the way an
+// implementation can: generate random MOs, apply random operator chains,
+// and validate every intermediate result.
+
+// randMO builds a random valid-time MO with two small hierarchical
+// dimensions and one numeric dimension.
+func randMO(r *rand.Rand, tag string) *core.MO {
+	catT := dimension.MustDimensionType("Cat"+tag, dimension.Constant, dimension.KindString, "Leaf"+tag, "Mid"+tag, "Top"+tag)
+	numT := dimension.MustDimensionType("Num"+tag, dimension.Sum, dimension.KindInt, "Val"+tag)
+	s := core.MustSchema("Fact"+tag, catT, numT)
+	m := core.NewMO(s)
+	m.SetKind(core.ValidTime)
+
+	cat := m.Dimension("Cat" + tag)
+	nTop := 2 + r.Intn(2)
+	nMid := 3 + r.Intn(3)
+	nLeaf := 5 + r.Intn(6)
+	for i := 0; i < nTop; i++ {
+		mustNoErr(cat.AddValue("Top"+tag, fmt.Sprintf("t%d", i)))
+	}
+	for i := 0; i < nMid; i++ {
+		mustNoErr(cat.AddValue("Mid"+tag, fmt.Sprintf("m%d", i)))
+		mustNoErr(cat.AddEdge(fmt.Sprintf("m%d", i), fmt.Sprintf("t%d", r.Intn(nTop))))
+	}
+	for i := 0; i < nLeaf; i++ {
+		id := fmt.Sprintf("l%d", i)
+		mustNoErr(cat.AddValueAnnot("Leaf"+tag, id, dimension.ValidDuring(randSpan(r))))
+		mustNoErr(cat.AddEdgeAnnot(id, fmt.Sprintf("m%d", r.Intn(nMid)), dimension.ValidDuring(randSpan(r))))
+		if r.Intn(3) == 0 { // occasionally non-strict
+			mustNoErr(cat.AddEdge(id, fmt.Sprintf("m%d", r.Intn(nMid))))
+		}
+	}
+	num := m.Dimension("Num" + tag)
+	for i := 0; i < 10; i++ {
+		mustNoErr(num.AddValue("Val"+tag, fmt.Sprintf("%d", i)))
+	}
+
+	nFacts := 2 + r.Intn(6)
+	for i := 0; i < nFacts; i++ {
+		f := fmt.Sprintf("f%d", i)
+		mustNoErr(m.RelateAnnot("Cat"+tag, f, fmt.Sprintf("l%d", r.Intn(nLeaf)), dimension.ValidDuring(randSpan(r))))
+		if r.Intn(2) == 0 { // many-to-many
+			mustNoErr(m.Relate("Cat"+tag, f, fmt.Sprintf("m%d", r.Intn(nMid))))
+		}
+		mustNoErr(m.Relate("Num"+tag, f, fmt.Sprintf("%d", r.Intn(10))))
+	}
+	m.EnsureTotal()
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func randSpan(r *rand.Rand) temporal.Element {
+	s := temporal.Chronon(r.Intn(10000))
+	return temporal.NewElement(temporal.NewInterval(s, s+temporal.Chronon(r.Intn(5000))))
+}
+
+func mustNoErr(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func TestAlgebraClosed(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	c := dimension.CurrentContext(temporal.MustDate("01/01/2000"))
+	for iter := 0; iter < 40; iter++ {
+		tag := fmt.Sprintf("%d", iter)
+		m := randMO(r, tag)
+
+		check := func(name string, mo *core.MO, err error) *core.MO {
+			if err != nil {
+				t.Fatalf("iter %d: %s: %v", iter, name, err)
+			}
+			if verr := mo.Validate(); verr != nil {
+				t.Fatalf("iter %d: %s produced invalid MO: %v", iter, name, verr)
+			}
+			return mo
+		}
+
+		sel := check("select", Select(m, NumericCmp("Num"+tag, GE, float64(r.Intn(10))), c), nil)
+		proj, err := Project(sel, "Cat"+tag)
+		check("project", proj, err)
+
+		u, err := Union(m, sel)
+		check("union", u, err)
+		d, err := Difference(u, sel)
+		check("difference", d, err)
+
+		other := randMO(r, tag+"x")
+		j, err := Join(m, other, CrossJoin)
+		check("join", j, err)
+
+		res, err := Aggregate(m, AggSpec{
+			ResultDim: "Agg",
+			Func:      agg.MustLookup("SETCOUNT"),
+			GroupBy:   map[string]string{"Cat" + tag: "Mid" + tag},
+		}, c)
+		if err != nil {
+			t.Fatalf("iter %d: aggregate: %v", iter, err)
+		}
+		check("aggregate", res.MO, nil)
+
+		// Closure under composition: the aggregate result feeds every
+		// operator again.
+		res2, err := Aggregate(res.MO, AggSpec{
+			ResultDim: "Agg2",
+			Func:      agg.MustLookup("COUNT"),
+			ArgDims:   []string{"Agg"},
+			GroupBy:   map[string]string{"Cat" + tag: "Top" + tag},
+		}, c)
+		if err != nil {
+			t.Fatalf("iter %d: re-aggregate: %v", iter, err)
+		}
+		check("re-aggregate", res2.MO, nil)
+
+		ts, err := ValidTimeslice(m, temporal.Chronon(r.Intn(12000)), c.Ref)
+		check("timeslice", ts, err)
+
+		sel2 := check("select-after-slice", Select(ts, TruePred, c), nil)
+		if sel2.Facts().Len() != ts.Facts().Len() {
+			t.Fatalf("iter %d: true-selection must keep all facts", iter)
+		}
+	}
+}
+
+func TestUnionLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 15; iter++ {
+		m := randMO(r, "u")
+		sel1 := Select(m, NumericCmp("Numu", LT, 5), dimension.Context{})
+		sel2 := Select(m, NumericCmp("Numu", GE, 5), dimension.Context{})
+		u12, err := Union(sel1, sel2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u21, err := Union(sel2, sel1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Commutativity on facts and relations.
+		if !u12.Facts().Equal(u21.Facts()) {
+			t.Fatal("union must be commutative on facts")
+		}
+		for _, n := range m.Schema().DimensionNames() {
+			if !u12.Relation(n).Equal(u21.Relation(n)) {
+				t.Fatal("union must be commutative on relations")
+			}
+		}
+		// σ[true](M) ∪ M = M on facts.
+		if !u12.Facts().Equal(m.Facts()) {
+			t.Fatal("partition union must restore the fact set")
+		}
+		// Idempotence.
+		uu, err := Union(m, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !uu.Facts().Equal(m.Facts()) {
+			t.Fatal("union must be idempotent on facts")
+		}
+	}
+}
+
+func TestDifferenceLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 15; iter++ {
+		m := randMO(r, "d")
+		m.SetKind(core.Snapshot)
+		empty := Select(m, Not(TruePred), dimension.Context{})
+		d, err := Difference(m, empty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Facts().Equal(m.Facts()) {
+			t.Fatal("M \\ ∅ must keep all facts")
+		}
+		self, err := Difference(m, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if self.Facts().Len() != 0 {
+			t.Fatal("M \\ M must be empty")
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/fact"
+)
+
+// This file implements the derived operators the paper defines in terms of
+// the fundamental ones: roll-up, drill-down, SQL-like aggregation,
+// value-based join, duplicate removal, and star-join.
+
+// RollUp re-aggregates an MO one or more levels up: it is aggregate
+// formation with the same function at coarser grouping categories.
+func RollUp(m *core.MO, spec AggSpec, ctx dimension.Context) (*AggResult, error) {
+	return Aggregate(m, spec, ctx)
+}
+
+// DrillDown is the inverse navigation of roll-up. Because aggregation
+// discards detail, drilling down re-derives the finer result from the base
+// MO: it is aggregate formation on base with the grouping category of dim
+// lowered to finer.
+func DrillDown(base *core.MO, spec AggSpec, dim, finer string, ctx dimension.Context) (*AggResult, error) {
+	dt := base.Schema().DimensionType(dim)
+	if dt == nil {
+		return nil, fmt.Errorf("algebra: drill-down: unknown dimension %q", dim)
+	}
+	cur, ok := spec.GroupBy[dim]
+	if !ok {
+		cur = dimension.TopName
+	}
+	if !dt.LessEq(finer, cur) || finer == cur {
+		return nil, fmt.Errorf("algebra: drill-down: %q is not finer than %q in dimension %q", finer, cur, dim)
+	}
+	ns := spec
+	ns.GroupBy = make(map[string]string, len(spec.GroupBy)+1)
+	for k, v := range spec.GroupBy {
+		ns.GroupBy[k] = v
+	}
+	ns.GroupBy[dim] = finer
+	return Aggregate(base, ns, ctx)
+}
+
+// Row is one line of a SQL-like aggregation result: the grouping values in
+// GroupBy dimension-name order, then the aggregate value.
+type Row struct {
+	Group []string
+	Value string
+}
+
+// SQLAggregate evaluates aggregate formation and flattens the result MO
+// into SQL-style rows (one per non-empty group), sorted by group values —
+// the "SQL-like aggregation" derived operator. Dimensions grouped at ⊤ are
+// omitted from the row.
+func SQLAggregate(m *core.MO, spec AggSpec, ctx dimension.Context) ([]Row, *AggResult, error) {
+	res, err := Aggregate(m, spec, ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	var shown []string
+	for _, n := range m.Schema().DimensionNames() {
+		if c, ok := spec.GroupBy[n]; ok && c != dimension.TopName {
+			shown = append(shown, n)
+		}
+	}
+	out := res.MO
+	var rows []Row
+	for _, g := range out.Facts().IDs() {
+		vals := out.Relation(spec.ResultDim).ValuesOf(g)
+		if len(vals) == 0 {
+			continue
+		}
+		// One group fact may participate in several grouping combos (e.g.
+		// {2} under groups 11 and 12); emit one row per combo.
+		perDim := make([][]string, len(shown))
+		for i, n := range shown {
+			perDim[i] = out.Relation(n).ValuesOf(g)
+		}
+		expandCombos(perDim, func(combo []string) {
+			for _, v := range vals {
+				row := Row{Group: append([]string(nil), combo...), Value: v}
+				rows = append(rows, row)
+			}
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a.Group {
+			if a.Group[k] != b.Group[k] {
+				return a.Group[k] < b.Group[k]
+			}
+		}
+		return a.Value < b.Value
+	})
+	return rows, res, nil
+}
+
+// ValueJoin is the value-based join: facts of M1 and M2 are paired when
+// they are characterized by a common value of the given category of a
+// shared dimension (present in both MOs, possibly as a shared
+// subdimension). It is defined, per the paper, through the fundamental
+// operators — rename + identity join with true + selection on the shared
+// characterization.
+func ValueJoin(m1, m2 *core.MO, dim1, dim2, cat string, ctx dimension.Context) (*core.MO, error) {
+	d1 := m1.Dimension(dim1)
+	d2 := m2.Dimension(dim2)
+	if d1 == nil || d2 == nil {
+		return nil, fmt.Errorf("algebra: value-join: unknown dimension %q/%q", dim1, dim2)
+	}
+	if !d1.Type().Has(cat) {
+		return nil, fmt.Errorf("algebra: value-join: dimension %q has no category %q", dim1, cat)
+	}
+	// Identity join requires disjoint dimension names; rename M2's clashing
+	// dimensions by suffixing.
+	m2r, suffix, err := disambiguate(m1, m2)
+	if err != nil {
+		return nil, err
+	}
+	dim2r := dim2
+	if suffix != "" && m1.Schema().DimensionType(dim2) != nil {
+		dim2r = dim2 + suffix
+	}
+	joined, err := Join(m1, m2r, CrossJoin)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the pairs sharing a value at the category.
+	pred := func(_ *core.MO, pair string, _ dimension.Context) bool {
+		f1, f2, ok := splitPair(pair)
+		if !ok {
+			return false
+		}
+		a1 := factAncestors(m1, dim1, f1, cat, ctx)
+		a2 := factAncestors(m2, dim2, f2, cat, ctx)
+		for _, x := range a1 {
+			for _, y := range a2 {
+				if x == y && x != dimension.TopValue {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	_ = dim2r
+	return Select(joined, pred, ctx), nil
+}
+
+// disambiguate returns m2 with dimension names clashing with m1's renamed
+// by a suffix, along with the suffix used ("" when nothing clashed).
+func disambiguate(m1, m2 *core.MO) (*core.MO, string, error) {
+	clash := false
+	for _, n := range m2.Schema().DimensionNames() {
+		if m1.Schema().DimensionType(n) != nil {
+			clash = true
+			break
+		}
+	}
+	if !clash {
+		return m2, "", nil
+	}
+	const suffix = "′"
+	s, err := core.NewSchema(m2.Schema().FactType() + suffix)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, n := range m2.Schema().DimensionNames() {
+		name := n
+		if m1.Schema().DimensionType(n) != nil {
+			name = n + suffix
+		}
+		if err := s.AddDimensionType(m2.Schema().DimensionType(n).Clone(name)); err != nil {
+			return nil, "", err
+		}
+	}
+	r, err := Rename(m2, s)
+	if err != nil {
+		return nil, "", err
+	}
+	return r, suffix, nil
+}
+
+// splitPair decomposes a pair-fact identity "(a,b)" produced by Join.
+func splitPair(id string) (string, string, bool) {
+	if len(id) < 2 || id[0] != '(' || id[len(id)-1] != ')' {
+		return "", "", false
+	}
+	body := id[1 : len(id)-1]
+	depth := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				return body[:i], body[i+1:], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// DuplicateRemoval groups the facts characterized by identical
+// combinations of bottom-level dimension values into set-valued facts —
+// the model keeps "duplicate values" (several facts sharing one
+// combination); this derived operator collapses them.
+func DuplicateRemoval(m *core.MO, ctx dimension.Context) (*core.MO, error) {
+	names := m.Schema().DimensionNames()
+	out := core.NewMO(m.Schema())
+	out.SetKind(m.Kind())
+	for _, n := range names {
+		if err := out.SetDimension(n, m.Dimension(n)); err != nil {
+			return nil, err
+		}
+	}
+	sig := map[string][]string{} // signature -> member facts
+	for _, f := range m.Facts().IDs() {
+		var parts []string
+		for _, n := range names {
+			parts = append(parts, n+"="+strings.Join(m.Relation(n).ValuesOf(f), "|"))
+		}
+		key := strings.Join(parts, "\x00")
+		sig[key] = append(sig[key], f)
+	}
+	keys := make([]string, 0, len(sig))
+	for k := range sig {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		members := sig[k]
+		g := fact.NewGroup(members)
+		out.AddFact(g)
+		rep := members[0]
+		for _, n := range names {
+			r := m.Relation(n)
+			for _, e := range r.ValuesOf(rep) {
+				// The group inherits the union of the members' annotations.
+				first := true
+				var a dimension.Annot
+				for _, mem := range members {
+					ma, ok := r.Annot(mem, e)
+					if !ok {
+						continue
+					}
+					if first {
+						a, first = ma, false
+					} else {
+						a = dimension.Annot{Time: a.Time.Union(ma.Time), Prob: maxProb(a.Prob, ma.Prob)}
+					}
+				}
+				out.Relation(n).AddAnnot(g.ID, e, a)
+			}
+		}
+	}
+	return out, nil
+}
+
+func maxProb(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StarJoinFilter is one leg of a star-join: a dimension, a category, and
+// the admitted values of that category.
+type StarJoinFilter struct {
+	Dim    string
+	Cat    string
+	Values []string
+}
+
+// StarJoin implements the star-join derived operator: the fact set is
+// restricted to facts characterized by one of the admitted values in every
+// filter (the dimension-table semi-joins of a star schema), and the result
+// is projected onto the filtered dimensions plus the listed extra
+// dimensions.
+func StarJoin(m *core.MO, filters []StarJoinFilter, extraDims []string, ctx dimension.Context) (*core.MO, error) {
+	preds := make([]Predicate, 0, len(filters))
+	var keepDims []string
+	for _, f := range filters {
+		alts := make([]Predicate, 0, len(f.Values))
+		for _, v := range f.Values {
+			alts = append(alts, Characterized(f.Dim, v))
+		}
+		preds = append(preds, Or(alts...))
+		keepDims = append(keepDims, f.Dim)
+	}
+	selected := Select(m, And(preds...), ctx)
+	keepDims = append(keepDims, extraDims...)
+	seen := map[string]bool{}
+	var uniq []string
+	for _, d := range keepDims {
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	return Project(selected, uniq...)
+}
+
+// DrillAcrossRow is one row of a drill-across result: a shared dimension
+// value and the aggregate from each MO ("" when the MO has no facts for
+// the value).
+type DrillAcrossRow struct {
+	Value string
+	Left  string
+	Right string
+}
+
+// DrillAcross combines two MOs of a family through a shared dimension: it
+// aggregates each MO at the given category of its (possibly shared)
+// dimension and aligns the results by dimension value — the paper's use of
+// shared subdimensions to "join" data from separate MOs.
+func DrillAcross(m1, m2 *core.MO, dim1, dim2, cat string, spec1, spec2 AggSpec, ctx dimension.Context) ([]DrillAcrossRow, error) {
+	spec1.GroupBy = map[string]string{dim1: cat}
+	spec2.GroupBy = map[string]string{dim2: cat}
+	rows1, _, err := SQLAggregate(m1, spec1, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows2, _, err := SQLAggregate(m2, spec2, ctx)
+	if err != nil {
+		return nil, err
+	}
+	left := map[string]string{}
+	for _, r := range rows1 {
+		left[r.Group[0]] = r.Value
+	}
+	right := map[string]string{}
+	for _, r := range rows2 {
+		right[r.Group[0]] = r.Value
+	}
+	seen := map[string]bool{}
+	var out []DrillAcrossRow
+	for v := range left {
+		seen[v] = true
+	}
+	for v := range right {
+		seen[v] = true
+	}
+	vals := make([]string, 0, len(seen))
+	for v := range seen {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	for _, v := range vals {
+		out = append(out, DrillAcrossRow{Value: v, Left: left[v], Right: right[v]})
+	}
+	return out, nil
+}

@@ -1,0 +1,462 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+func TestSelectByDiagnosis(t *testing.T) {
+	m := patientMO(t)
+	// Patients characterized by the new "Diabetes" group (11).
+	sel := Select(m, Characterized(casestudy.DimDiagnosis, "11"), ctx())
+	if got := strings.Join(sel.Facts().IDs(), ","); got != "1,2" {
+		t.Errorf("facts = %v", got)
+	}
+	// Patients characterized by "Other pregnancy diseases" family (7):
+	// only patient 2, via old low-level 3.
+	sel7 := Select(m, Characterized(casestudy.DimDiagnosis, "7"), ctx())
+	if got := strings.Join(sel7.Facts().IDs(), ","); got != "2" {
+		t.Errorf("facts = %v", got)
+	}
+	// Relations restricted to surviving facts; dimensions and schema stay.
+	if sel7.Relation(casestudy.DimDiagnosis).Has("1", "9") {
+		t.Error("relation must drop removed facts")
+	}
+	if sel7.Dimension(casestudy.DimDiagnosis) != m.Dimension(casestudy.DimDiagnosis) {
+		t.Error("selection must not touch dimensions")
+	}
+	if err := sel7.Validate(); err != nil {
+		t.Errorf("selection result invalid: %v", err)
+	}
+}
+
+func TestSelectByRepresentationAndAge(t *testing.T) {
+	m := patientMO(t)
+	// Diagnosis code E10 identifies value 9.
+	sel := Select(m, CharacterizedRep(casestudy.DimDiagnosis, "Code", "E10"), ctx())
+	if got := strings.Join(sel.Facts().IDs(), ","); got != "1,2" {
+		t.Errorf("facts by code = %v", got)
+	}
+	// Measures are dimensions: Age > 40 keeps only patient 2 (48 at ref).
+	old := Select(m, NumericCmp(casestudy.DimAge, GT, 40), ctx())
+	if got := strings.Join(old.Facts().IDs(), ","); got != "2" {
+		t.Errorf("facts by age = %v", got)
+	}
+	// Combinators.
+	both := Select(m, And(
+		Characterized(casestudy.DimDiagnosis, "11"),
+		Not(NumericCmp(casestudy.DimAge, GT, 40)),
+	), ctx())
+	if got := strings.Join(both.Facts().IDs(), ","); got != "1" {
+		t.Errorf("combined = %v", got)
+	}
+	either := Select(m, Or(
+		NumericCmp(casestudy.DimAge, LT, 30),
+		NumericCmp(casestudy.DimAge, GE, 48),
+	), ctx())
+	if either.Facts().Len() != 2 {
+		t.Errorf("or = %v", either.Facts().IDs())
+	}
+	none := Select(m, Not(TruePred), ctx())
+	if none.Facts().Len() != 0 {
+		t.Error("¬true must select nothing")
+	}
+}
+
+func TestProject(t *testing.T) {
+	m := patientMO(t)
+	p, err := Project(m, casestudy.DimDiagnosis, casestudy.DimResidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema().NumDimensions() != 2 {
+		t.Errorf("dims = %d", p.Schema().NumDimensions())
+	}
+	// The set of facts stays the same (no duplicate removal).
+	if p.Facts().Len() != 2 {
+		t.Errorf("facts = %v", p.Facts().IDs())
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("projection invalid: %v", err)
+	}
+	if _, err := Project(m, "Nope"); err == nil {
+		t.Error("unknown dimension must be rejected")
+	}
+}
+
+func TestRename(t *testing.T) {
+	m := patientMO(t)
+	// Rename every dimension with a prime suffix (self-join preparation).
+	s, err := core.NewSchema("Patient2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range m.Schema().DimensionNames() {
+		if err := s.AddDimensionType(m.Schema().DimensionType(n).Clone(n + "2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := Rename(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema().FactType() != "Patient2" {
+		t.Errorf("fact type = %q", r.Schema().FactType())
+	}
+	if r.Dimension("Diagnosis2") == nil || r.Relation("Diagnosis2").Len() != 5 {
+		t.Error("renamed dimension content lost")
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("rename invalid: %v", err)
+	}
+	// Non-isomorphic schema is rejected.
+	bad := core.MustSchema("X", dimension.MustDimensionType("Solo", dimension.Constant, dimension.KindString, "B"))
+	if _, err := Rename(m, bad); err == nil {
+		t.Error("non-isomorphic rename must be rejected")
+	}
+}
+
+func TestUnionAndDifferenceSnapshot(t *testing.T) {
+	m := patientMO(t)
+	a := Select(m, Characterized(casestudy.DimDiagnosis, "12"), ctx()) // {2}
+	b := Select(m, NumericCmp(casestudy.DimAge, LT, 30), ctx())        // {1}
+	a.SetKind(core.Snapshot)
+	b.SetKind(core.Snapshot)
+
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(u.Facts().IDs(), ","); got != "1,2" {
+		t.Errorf("union facts = %v", got)
+	}
+	if err := u.Validate(); err != nil {
+		t.Errorf("union invalid: %v", err)
+	}
+
+	all := m.Clone()
+	all.SetKind(core.Snapshot)
+	d, err := Difference(all, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(d.Facts().IDs(), ","); got != "1" {
+		t.Errorf("difference facts = %v", got)
+	}
+	if d.Relation(casestudy.DimDiagnosis).Has("2", "3") {
+		t.Error("difference must restrict relations to surviving facts")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("difference invalid: %v", err)
+	}
+
+	// Schema mismatch.
+	p, _ := Project(m, casestudy.DimAge)
+	if _, err := Union(a, p); err == nil {
+		t.Error("union with different schema must fail")
+	}
+	if _, err := Difference(a, p); err == nil {
+		t.Error("difference with different schema must fail")
+	}
+}
+
+func TestTemporalDifferenceCutsChronons(t *testing.T) {
+	// Build two small valid-time MOs sharing a pair with overlapping times:
+	// the difference must cut the chronon set, not drop the fact outright.
+	dt := dimension.MustDimensionType("D", dimension.Constant, dimension.KindString, "B")
+	s := core.MustSchema("F", dt)
+	mk := func(from, to string) *core.MO {
+		m := core.NewMO(s)
+		m.SetKind(core.ValidTime)
+		if err := m.Dimension("D").AddValue("B", "v"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RelateAnnot("D", "f", "v", dimension.ValidDuring(temporal.Span(from, to))); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1 := mk("01/01/80", "31/12/89")
+	m2 := mk("01/01/85", "31/12/99")
+	d, err := Difference(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := d.Relation("D").Annot("f", "v")
+	if !ok {
+		t.Fatal("pair must survive with cut time")
+	}
+	if want := "[01/01/1980 - 31/12/1984]"; a.Time.Valid.String() != want {
+		t.Errorf("cut time = %v, want %v", a.Time.Valid, want)
+	}
+	if !d.Facts().Has("f") {
+		t.Error("fact with non-empty remainder must survive")
+	}
+	// Full coverage: the pair vanishes and so does the fact.
+	d2, err := Difference(m1, mk("01/01/70", "NOW"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Facts().Len() != 0 {
+		t.Errorf("fully covered fact must vanish, got %v", d2.Facts().IDs())
+	}
+}
+
+func TestUnionCoalescesTimes(t *testing.T) {
+	dt := dimension.MustDimensionType("D", dimension.Constant, dimension.KindString, "B")
+	s := core.MustSchema("F", dt)
+	mk := func(from, to string) *core.MO {
+		m := core.NewMO(s)
+		m.SetKind(core.ValidTime)
+		if err := m.Dimension("D").AddValue("B", "v"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RelateAnnot("D", "f", "v", dimension.ValidDuring(temporal.Span(from, to))); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	u, err := Union(mk("01/01/80", "31/12/84"), mk("01/01/85", "NOW"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := u.Relation("D").Annot("f", "v")
+	if want := "[01/01/1980 - NOW]"; a.Time.Valid.String() != want {
+		t.Errorf("union time = %v, want %v (coalesced)", a.Time.Valid, want)
+	}
+	if u.Kind() != core.ValidTime {
+		t.Errorf("kind = %v", u.Kind())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	m := patientMO(t)
+	p1, err := Project(m, casestudy.DimDiagnosis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Project(m, casestudy.DimAge)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Equi-join pairs each patient with itself.
+	eq, err := Join(p1, p2, EqJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(eq.Facts().IDs(), " "); got != "(1,1) (2,2)" {
+		t.Errorf("equi-join facts = %q", got)
+	}
+	if eq.Schema().NumDimensions() != 2 {
+		t.Errorf("join dims = %d", eq.Schema().NumDimensions())
+	}
+	// The pair inherits the member's characterizations and annotations.
+	if !eq.Relation(casestudy.DimDiagnosis).Has("(2,2)", "3") {
+		t.Error("pair must inherit member characterization")
+	}
+	a, _ := eq.Relation(casestudy.DimDiagnosis).Annot("(2,2)", "3")
+	if want := "[23/03/1975 - 24/12/1975]"; a.Time.Valid.String() != want {
+		t.Errorf("inherited time = %v", a.Time.Valid)
+	}
+	if err := eq.Validate(); err != nil {
+		t.Errorf("join invalid: %v", err)
+	}
+
+	// Cartesian product has 4 pairs; non-equi-join 2.
+	cross, err := Join(p1, p2, CrossJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.Facts().Len() != 4 {
+		t.Errorf("cross facts = %v", cross.Facts().IDs())
+	}
+	neq, err := Join(p1, p2, NeqJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neq.Facts().Len() != 2 {
+		t.Errorf("neq facts = %v", neq.Facts().IDs())
+	}
+
+	// Colliding dimension names are rejected (rename first).
+	if _, err := Join(p1, p1, EqJoin); err == nil {
+		t.Error("join with shared dimension names must fail")
+	}
+}
+
+func TestValidTimeslice(t *testing.T) {
+	m := patientMO(t)
+	// Slice at 15/06/1975: only the old classification exists; patient 1
+	// has no diagnosis yet.
+	at := temporal.MustDate("15/06/75")
+	s, err := ValidTimeslice(m, at, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind() != core.Snapshot {
+		t.Errorf("kind = %v, want snapshot", s.Kind())
+	}
+	d := s.Dimension(casestudy.DimDiagnosis)
+	// 1980-classification values are gone; old ones remain.
+	for _, gone := range []string{"4", "5", "9", "11"} {
+		if d.Has(gone) {
+			t.Errorf("value %s must not exist in 1975", gone)
+		}
+	}
+	for _, there := range []string{"3", "7", "8"} {
+		if !d.Has(there) {
+			t.Errorf("value %s must exist in 1975", there)
+		}
+	}
+	// Patient 1's only diagnosis (made 1989) is gone — replaced by (1,⊤).
+	r := s.Relation(casestudy.DimDiagnosis)
+	if got := r.ValuesOf("1"); len(got) != 1 || got[0] != dimension.TopValue {
+		t.Errorf("patient 1's 1975 diagnoses = %v, want just ⊤", got)
+	}
+	// Patient 2 keeps 3 and 8 (both valid during 1975).
+	if got := strings.Join(r.ValuesOf("2"), ","); got != "3,8" {
+		t.Errorf("patient 2's 1975 diagnoses = %v", got)
+	}
+	// Annotations carry no valid time anymore.
+	a, _ := r.Annot("2", "3")
+	if !a.Time.Valid.Equal(temporal.AlwaysElement()) {
+		t.Errorf("sliced annotation still carries valid time: %v", a.Time.Valid)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("timeslice invalid: %v", err)
+	}
+}
+
+func TestTransactionTimeslice(t *testing.T) {
+	// A pair recorded in the database during [1990, NOW]: slicing at 1985
+	// drops it; at 1995 keeps it.
+	dt := dimension.MustDimensionType("D", dimension.Constant, dimension.KindString, "B")
+	s := core.MustSchema("F", dt)
+	m := core.NewMO(s)
+	m.SetKind(core.Bitemporal)
+	if err := m.Dimension("D").AddValue("B", "v"); err != nil {
+		t.Fatal(err)
+	}
+	annot := dimension.Annot{
+		Time: temporal.Bitemporal{
+			Valid: temporal.Span("01/01/80", "NOW"),
+			Trans: temporal.Span("01/01/90", "NOW"),
+		},
+		Prob: 1,
+	}
+	if err := m.RelateAnnot("D", "f", "v", annot); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := TransactionTimeslice(m, temporal.MustDate("01/01/85"), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := before.Relation("D").ValuesOf("f"); len(got) != 1 || got[0] != dimension.TopValue {
+		t.Errorf("1985 database state = %v, want just ⊤", got)
+	}
+	if before.Kind() != core.ValidTime {
+		t.Errorf("bitemporal sliced on TT must become valid-time, got %v", before.Kind())
+	}
+
+	after, err := TransactionTimeslice(m, temporal.MustDate("01/01/95"), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := after.Relation("D").Annot("f", "v")
+	if !ok {
+		t.Fatal("1995 database state must contain the pair")
+	}
+	// Valid time survives the transaction slice.
+	if want := "[01/01/1980 - NOW]"; a.Time.Valid.String() != want {
+		t.Errorf("valid time = %v", a.Time.Valid)
+	}
+	if !a.Time.Trans.Equal(temporal.AlwaysElement()) {
+		t.Error("transaction time must be stripped")
+	}
+}
+
+func TestProbThreshold(t *testing.T) {
+	dt := dimension.MustDimensionType("D", dimension.Constant, dimension.KindString, "B")
+	s := core.MustSchema("F", dt)
+	m := core.NewMO(s)
+	if err := m.Dimension("D").AddValue("B", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RelateAnnot("D", "f1", "v", dimension.Always().WithProb(0.95)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RelateAnnot("D", "f2", "v", dimension.Always().WithProb(0.4)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ProbThreshold(m, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Relation("D").Has("f1", "v") {
+		t.Error("high-probability pair must survive")
+	}
+	if out.Relation("D").Has("f2", "v") {
+		t.Error("low-probability pair must be dropped")
+	}
+	// f2 keeps its place in the MO via (f2, ⊤).
+	if got := out.Relation("D").ValuesOf("f2"); len(got) != 1 || got[0] != dimension.TopValue {
+		t.Errorf("f2 characterization = %v", got)
+	}
+}
+
+func TestCmpOpStrings(t *testing.T) {
+	want := map[CmpOp]string{EQ: "=", NE: "<>", LT: "<", LE: "<=", GT: ">", GE: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+	if CmpOp(99).String() == "=" {
+		t.Error("unknown op must not alias a real one")
+	}
+	// Holds over all operators.
+	cases := []struct {
+		op   CmpOp
+		a, b float64
+		want bool
+	}{
+		{EQ, 1, 1, true}, {NE, 1, 2, true}, {LT, 1, 2, true},
+		{LE, 2, 2, true}, {GT, 3, 2, true}, {GE, 2, 2, true},
+		{EQ, 1, 2, false}, {CmpOp(99), 1, 1, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Holds(c.a, c.b); got != c.want {
+			t.Errorf("%v.Holds(%v,%v) = %v", c.op, c.a, c.b, got)
+		}
+	}
+}
+
+func TestCharacterizedDuringThroughout(t *testing.T) {
+	m := patientMO(t)
+	seventies := temporal.NewInterval(temporal.MustDate("01/01/70"), temporal.MustDate("31/12/79"))
+	eighties := temporal.NewInterval(temporal.MustDate("01/01/80"), temporal.MustDate("31/12/89"))
+
+	// Only patient 2 had the old Diabetes family (8) during the 70s.
+	sel := Select(m, CharacterizedDuring(casestudy.DimDiagnosis, "8", seventies), ctx())
+	if got := strings.Join(sel.Facts().IDs(), ","); got != "2" {
+		t.Errorf("during-70s = %v", got)
+	}
+	// Both patients were under the new Diabetes group (11) at some point in
+	// the 80s: 2 from 1980, 1 from 1989.
+	sel2 := Select(m, CharacterizedDuring(casestudy.DimDiagnosis, "11", eighties), ctx())
+	if sel2.Facts().Len() != 2 {
+		t.Errorf("during-80s = %v", sel2.Facts().IDs())
+	}
+	// But only patient 2 was under it *throughout* the 80s.
+	sel3 := Select(m, CharacterizedThroughout(casestudy.DimDiagnosis, "11", eighties), ctx())
+	if got := strings.Join(sel3.Facts().IDs(), ","); got != "2" {
+		t.Errorf("throughout-80s = %v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package algebra
+
+import (
+	"testing"
+
+	"mddm/internal/agg"
+	"mddm/internal/casestudy"
+	"mddm/internal/dimension"
+)
+
+func TestProbabilisticAggregation(t *testing.T) {
+	m, err := casestudy.BuildPatientMO(casestudy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make patient 1's characterization by group 12 uncertain (0.4) and
+	// leave patient 2 certain (via diagnosis 4 ⊑ 12).
+	if err := m.RelateAnnot(casestudy.DimDiagnosis, "1", "12", dimension.Always().WithProb(0.4)); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(fn string) map[string]string {
+		t.Helper()
+		res, err := Aggregate(m, AggSpec{
+			ResultDim: "N",
+			Func:      agg.MustLookup(fn),
+			GroupBy:   map[string]string{casestudy.DimDiagnosis: casestudy.CatGroup},
+		}, ctx())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]string{}
+		for _, g := range res.MO.Facts().IDs() {
+			for _, grp := range res.MO.Relation(casestudy.DimDiagnosis).ValuesOf(g) {
+				for _, v := range res.MO.Relation("N").ValuesOf(g) {
+					out[grp] = v
+				}
+			}
+		}
+		return out
+	}
+
+	// Group 12 now contains {1 (p=0.4), 2 (p=1)}.
+	exp := run("EXPECTED")
+	if exp["12"] != "1.4" {
+		t.Errorf("EXPECTED(12) = %q, want 1.4", exp["12"])
+	}
+	if exp["11"] != "2" {
+		t.Errorf("EXPECTED(11) = %q, want 2", exp["11"])
+	}
+	min := run("MINCOUNT")
+	if min["12"] != "1" {
+		t.Errorf("MINCOUNT(12) = %q, want 1", min["12"])
+	}
+	max := run("MAXCOUNT")
+	if max["12"] != "2" {
+		t.Errorf("MAXCOUNT(12) = %q, want 2", max["12"])
+	}
+
+	// Under a probability threshold the uncertain member drops out of the
+	// group entirely.
+	res, err := Aggregate(m, AggSpec{
+		ResultDim: "N",
+		Func:      agg.MustLookup("EXPECTED"),
+		GroupBy:   map[string]string{casestudy.DimDiagnosis: casestudy.CatGroup},
+	}, ctx().WithMinProb(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.MO.Facts().IDs() {
+		for _, grp := range res.MO.Relation(casestudy.DimDiagnosis).ValuesOf(g) {
+			if grp == "12" {
+				for _, v := range res.MO.Relation("N").ValuesOf(g) {
+					if v != "1" {
+						t.Errorf("thresholded EXPECTED(12) = %q, want 1", v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestProbabilisticFuncGuards(t *testing.T) {
+	m := patientMO(t)
+	// Probabilistic functions take no argument dimension.
+	if _, err := Aggregate(m, AggSpec{
+		ResultDim: "N",
+		Func:      agg.MustLookup("EXPECTED"),
+		ArgDims:   []string{casestudy.DimAge},
+	}, ctx()); err == nil {
+		t.Error("EXPECTED with an argument dimension must be rejected")
+	}
+	// Apply vs ApplyProb dispatch.
+	f := agg.MustLookup("EXPECTED")
+	if _, ok := f.Apply(3, nil); ok {
+		t.Error("Apply on a probabilistic function must refuse")
+	}
+	if v, ok := f.ApplyProb([]float64{0.5, 0.5}); !ok || v != 1 {
+		t.Errorf("ApplyProb = %v, %v", v, ok)
+	}
+	g := agg.MustLookup("SETCOUNT")
+	if _, ok := g.ApplyProb([]float64{1}); ok {
+		t.Error("ApplyProb on a non-probabilistic function must refuse")
+	}
+}

@@ -1,0 +1,64 @@
+package algebra
+
+import (
+	"fmt"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+// TimePoint is one instant of a temporal series: the instant and the
+// number of facts characterized by the watched value at that instant.
+type TimePoint struct {
+	At    temporal.Chronon
+	Count int
+}
+
+// CountOverTime evaluates "how many facts were characterized by value e of
+// the dimension at instant t" for a series of instants from..to stepping
+// by step chronons — the trend analysis the case study motivates (is a
+// diagnosis group growing?). It composes valid-time evaluation contexts
+// rather than materializing timeslices, so the cost per point is one
+// characterization pass.
+func CountOverTime(m *core.MO, dim, value string, from, to temporal.Chronon, step int, ctx dimension.Context) ([]TimePoint, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("algebra: series: step must be positive, got %d", step)
+	}
+	if to < from {
+		return nil, fmt.Errorf("algebra: series: to before from")
+	}
+	if m.Dimension(dim) == nil {
+		return nil, fmt.Errorf("algebra: series: unknown dimension %q", dim)
+	}
+	var out []TimePoint
+	for at := from; at <= to; at += temporal.Chronon(step) {
+		c := ctx.AtValid(at)
+		n := 0
+		for _, f := range m.Facts().IDs() {
+			if ok, _ := m.CharacterizedBy(dim, f, value, c); ok {
+				n++
+			}
+		}
+		out = append(out, TimePoint{At: at, Count: n})
+	}
+	return out, nil
+}
+
+// YearlyCounts is CountOverTime stepping one year (365 chronons) from the
+// first of fromYear to the first of toYear, evaluating each January 1st.
+func YearlyCounts(m *core.MO, dim, value string, fromYear, toYear int, ctx dimension.Context) ([]TimePoint, error) {
+	if toYear < fromYear {
+		return nil, fmt.Errorf("algebra: series: year range inverted")
+	}
+	var out []TimePoint
+	for y := fromYear; y <= toYear; y++ {
+		at := temporal.FromDate(y, 1, 1)
+		pts, err := CountOverTime(m, dim, value, at, at, 1, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mddm/internal/agg"
+	"mddm/internal/casestudy"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+// TestLenzShoshaniEquivalence checks the operational content of the
+// Lenz–Shoshani theorem the paper builds on: whenever CheckSummarizable
+// approves (distributive ∧ strict ∧ partitioning), combining the
+// lower-level aggregate results yields exactly the higher-level results;
+// and on the known non-strict hierarchy the naive combination demonstrably
+// over-counts.
+func TestLenzShoshaniEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	c := dimension.CurrentContext(temporal.MustDate("01/01/2026"))
+	for iter := 0; iter < 10; iter++ {
+		cfg := casestudy.DefaultGen()
+		cfg.Seed = int64(iter)
+		cfg.Patients = 30 + r.Intn(60)
+		cfg.NonStrict = false
+		cfg.Churn = false
+		cfg.MixedGranularity = false
+		m := casestudy.MustGenerate(cfg)
+
+		rep := agg.CheckSummarizable(m, agg.MustLookup("SETCOUNT"),
+			map[string]string{casestudy.DimResidence: casestudy.CatCounty}, c)
+		if !rep.Summarizable {
+			t.Fatalf("iter %d: strict residence grouping must be summarizable: %v", iter, rep.Reasons)
+		}
+
+		// Lower level: counts per county; higher: per region.
+		low := countsBy(t, m, casestudy.DimResidence, casestudy.CatCounty, c)
+		high := countsBy(t, m, casestudy.DimResidence, casestudy.CatRegion, c)
+
+		// Combine low into high through the hierarchy.
+		combined := map[string]int{}
+		d := m.Dimension(casestudy.DimResidence)
+		for county, n := range low {
+			for _, region := range d.AncestorsIn(casestudy.CatRegion, county, c) {
+				combined[region] += n
+			}
+		}
+		for region, n := range high {
+			if combined[region] != n {
+				t.Errorf("iter %d: region %s combined %d, direct %d", iter, region, combined[region], n)
+			}
+		}
+	}
+}
+
+func TestNonStrictCombinationOvercounts(t *testing.T) {
+	// With the user-defined (non-strict) hierarchy, naive combination of
+	// family counts into group counts over-counts exactly the patients
+	// reachable through two families — the error the aggregation-type
+	// system exists to prevent.
+	c := dimension.CurrentContext(temporal.MustDate("01/01/2026"))
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = 80
+	cfg.Churn = false
+	cfg.MixedGranularity = false
+	m := casestudy.MustGenerate(cfg)
+
+	rep := agg.CheckSummarizable(m, agg.MustLookup("SETCOUNT"),
+		map[string]string{casestudy.DimDiagnosis: casestudy.CatFamily}, c)
+	if rep.Summarizable {
+		t.Fatal("non-strict hierarchy must not be summarizable")
+	}
+
+	low := countsBy(t, m, casestudy.DimDiagnosis, casestudy.CatFamily, c)
+	high := countsBy(t, m, casestudy.DimDiagnosis, casestudy.CatGroup, c)
+	d := m.Dimension(casestudy.DimDiagnosis)
+	combined := map[string]int{}
+	for fam, n := range low {
+		for _, grp := range d.AncestorsIn(casestudy.CatGroup, fam, c) {
+			combined[grp] += n
+		}
+	}
+	over := 0
+	for grp, n := range combined {
+		if n > high[grp] {
+			over++
+		}
+		if n < high[grp] {
+			t.Errorf("group %s: combined %d < direct %d (combination must never under-count here)", grp, n, high[grp])
+		}
+	}
+	if over == 0 {
+		t.Error("expected at least one over-counted group on the non-strict hierarchy")
+	}
+}
+
+func countsBy(t *testing.T, m *core.MO, dim, cat string, c dimension.Context) map[string]int {
+	t.Helper()
+	rows, _, err := SQLAggregate(m, AggSpec{
+		ResultDim: "N",
+		Func:      agg.MustLookup("SETCOUNT"),
+		GroupBy:   map[string]string{dim: cat},
+	}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int{}
+	for _, r := range rows {
+		var n int
+		if _, err := fmt.Sscanf(r.Value, "%d", &n); err != nil {
+			t.Fatal(err)
+		}
+		out[r.Group[0]] = n
+	}
+	return out
+}
+
+// TestHundredsOfDimensions exercises the paper's final future-work
+// question — coping with the hundreds of dimensions found in some
+// applications: a 200-dimensional MO builds, validates, selects, and
+// aggregates (all but two dimensions grouped at ⊤).
+func TestHundredsOfDimensions(t *testing.T) {
+	const nDims = 200
+	const nFacts = 50
+	types := make([]*dimension.DimensionType, nDims)
+	for i := range types {
+		types[i] = dimension.MustDimensionType(fmt.Sprintf("D%03d", i), dimension.Sum, dimension.KindInt, "V")
+	}
+	s, err := core.NewSchema("Wide", types...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMO(s)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < nDims; i++ {
+		d := m.Dimension(fmt.Sprintf("D%03d", i))
+		for v := 0; v < 4; v++ {
+			if err := d.AddValue("V", fmt.Sprintf("%d", v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for f := 0; f < nFacts; f++ {
+		id := fmt.Sprintf("f%d", f)
+		for i := 0; i < nDims; i++ {
+			if err := m.Relate(fmt.Sprintf("D%03d", i), id, fmt.Sprintf("%d", r.Intn(4))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := dimension.Context{}
+	sel := Select(m, Characterized("D000", "1"), c)
+	if sel.Facts().Len() == 0 || sel.Facts().Len() == nFacts {
+		t.Fatalf("selection over wide MO degenerate: %d", sel.Facts().Len())
+	}
+	res, err := Aggregate(m, AggSpec{
+		ResultDim: "Sum",
+		Func:      agg.MustLookup("SUM"),
+		ArgDims:   []string{"D001"},
+		GroupBy:   map[string]string{"D000": "V"},
+	}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MO.Schema().NumDimensions() != nDims+1 {
+		t.Errorf("result dims = %d", res.MO.Schema().NumDimensions())
+	}
+	if err := res.MO.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.MO.Facts().Len() != 4 {
+		t.Errorf("groups = %d, want 4", res.MO.Facts().Len())
+	}
+}

@@ -1,0 +1,95 @@
+package algebra
+
+import (
+	"fmt"
+
+	"mddm/internal/core"
+	"mddm/internal/temporal"
+)
+
+// ValidTimeslice implements the valid-timeslice operator ζ_v(M, t): the
+// parts of the MO valid at chronon t are returned with no valid time
+// attached — dimension memberships, order edges, representation mappings
+// and fact–dimension pairs not valid at t are dropped. The temporal type
+// changes from valid-time to snapshot, or from bitemporal to
+// transaction-time. Facts left uncharacterized in some dimension receive
+// the (f, ⊤) pair, keeping the result a well-formed MO.
+func ValidTimeslice(m *core.MO, t temporal.Chronon, ref temporal.Chronon) (*core.MO, error) {
+	out := core.NewMO(m.Schema())
+	switch m.Kind() {
+	case core.ValidTime, core.Snapshot:
+		out.SetKind(core.Snapshot)
+	case core.Bitemporal, core.TransactionTime:
+		out.SetKind(core.TransactionTime)
+	}
+	for _, f := range m.Facts().All() {
+		out.AddFact(f)
+	}
+	for _, name := range m.Schema().DimensionNames() {
+		d := m.Dimension(name).SliceValid(t, ref)
+		if err := out.SetDimension(name, d); err != nil {
+			return nil, fmt.Errorf("algebra: valid-timeslice: %w", err)
+		}
+		// A pair only survives if its value is still a member at t.
+		r := m.Relation(name).SliceValid(t, ref)
+		for _, p := range r.Pairs() {
+			if !d.Has(p.ValueID) {
+				r.Remove(p.FactID, p.ValueID)
+			}
+		}
+		if err := out.SetRelation(name, r); err != nil {
+			return nil, err
+		}
+	}
+	out.EnsureTotal()
+	return out, nil
+}
+
+// TransactionTimeslice implements the transaction-timeslice operator
+// ζ_t(M, t): the parts of the MO current in the database at chronon t are
+// returned with no transaction time attached. The temporal type changes
+// from transaction-time to snapshot, or from bitemporal to valid-time.
+func TransactionTimeslice(m *core.MO, t temporal.Chronon, ref temporal.Chronon) (*core.MO, error) {
+	out := core.NewMO(m.Schema())
+	switch m.Kind() {
+	case core.TransactionTime, core.Snapshot:
+		out.SetKind(core.Snapshot)
+	case core.Bitemporal, core.ValidTime:
+		out.SetKind(core.ValidTime)
+	}
+	for _, f := range m.Facts().All() {
+		out.AddFact(f)
+	}
+	for _, name := range m.Schema().DimensionNames() {
+		d := m.Dimension(name).SliceTrans(t, ref)
+		if err := out.SetDimension(name, d); err != nil {
+			return nil, fmt.Errorf("algebra: transaction-timeslice: %w", err)
+		}
+		r := m.Relation(name).SliceTrans(t, ref)
+		for _, p := range r.Pairs() {
+			if !d.Has(p.ValueID) {
+				r.Remove(p.FactID, p.ValueID)
+			}
+		}
+		if err := out.SetRelation(name, r); err != nil {
+			return nil, err
+		}
+	}
+	out.EnsureTotal()
+	return out, nil
+}
+
+// ProbThreshold returns the MO restricted to fact–dimension pairs with
+// probability at least p (the uncertainty companion of the timeslices,
+// §3.3). Facts losing every characterization in a dimension receive
+// (f, ⊤).
+func ProbThreshold(m *core.MO, p float64) (*core.MO, error) {
+	out := m.ShallowCloneSharing()
+	for _, name := range m.Schema().DimensionNames() {
+		if err := out.SetRelation(name, m.Relation(name).FilterProb(p)); err != nil {
+			return nil, err
+		}
+	}
+	out.EnsureTotal()
+	return out, nil
+}

@@ -1,0 +1,241 @@
+package casestudy
+
+import (
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+// Options controls which parts of the case study enter the built objects.
+type Options struct {
+	// UserHierarchy includes the user-defined grouping rows (non-strict
+	// hierarchy). Default true.
+	UserHierarchy bool
+	// ChangeLinks includes Example 10's cross-classification link
+	// 8 ⊑[01/01/80-NOW] 11 connecting the old "Diabetes" family to the new
+	// "Diabetes" group across the 1980 reclassification. Default true.
+	ChangeLinks bool
+	// Ref is the reference chronon resolving NOW and deriving ages.
+	Ref temporal.Chronon
+}
+
+// DefaultOptions returns the full case study evaluated at the paper-era
+// reference date 01/01/1999.
+func DefaultOptions() Options {
+	return Options{UserHierarchy: true, ChangeLinks: true, Ref: temporal.MustDate("01/01/1999")}
+}
+
+// span converts the paper's (from, to) column pair into a valid-time
+// annotation.
+func span(from, to string) dimension.Annot {
+	return dimension.ValidDuring(temporal.Span(from, to))
+}
+
+// BuildDiagnosisDimension builds the Diagnosis dimension instance from the
+// Diagnosis and Grouping tables: categories per Example 4, the annotated
+// partial order per Table 1, and the Code and Text representations per
+// Example 6.
+func BuildDiagnosisDimension(opt Options) (*dimension.Dimension, error) {
+	d := dimension.New(DiagnosisType())
+	for _, row := range Diagnoses {
+		if err := d.AddValueAnnot(DiagnosisLevel[row.ID], row.ID, span(row.ValidFrom, row.ValidTo)); err != nil {
+			return nil, err
+		}
+	}
+	code, err := d.AddRepresentation("Code", "")
+	if err != nil {
+		return nil, err
+	}
+	text, err := d.AddRepresentation("Text", "")
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range Diagnoses {
+		if err := code.MapAnnot(row.ID, row.Code, span(row.ValidFrom, row.ValidTo)); err != nil {
+			return nil, err
+		}
+		if err := text.MapAnnot(row.ID, row.Text, span(row.ValidFrom, row.ValidTo)); err != nil {
+			return nil, err
+		}
+	}
+	for _, row := range Groupings {
+		if row.Type == "User-defined" && !opt.UserHierarchy {
+			continue
+		}
+		if err := d.AddEdgeAnnot(row.ChildID, row.ParentID, span(row.ValidFrom, row.ValidTo)); err != nil {
+			return nil, err
+		}
+	}
+	if opt.ChangeLinks {
+		if err := d.AddEdgeAnnot("8", "11", span("01/01/80", "NOW")); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// residenceRow is the synthetic completion of the Lives-in relationship:
+// Table 1 does not print residence data, so we supply minimal data
+// consistent with Figure 1 (areas within counties within regions, periods
+// of residence capturing movement).
+type residenceRow struct {
+	PatientID string
+	AreaID    string
+	From, To  string
+}
+
+// ResidenceAreas lists the synthetic areas (id, name, county).
+var ResidenceAreas = []struct{ ID, Name, County string }{
+	{"A1", "Aalborg East", "C1"},
+	{"A2", "Århus North", "C2"},
+	{"A3", "Odder", "C2"},
+}
+
+// ResidenceCounties lists the synthetic counties (id, name, region).
+var ResidenceCounties = []struct{ ID, Name, Region string }{
+	{"C1", "North Jutland", "R1"},
+	{"C2", "Århus County", "R1"},
+}
+
+// ResidenceRegions lists the synthetic regions.
+var ResidenceRegions = []struct{ ID, Name string }{
+	{"R1", "Jutland"},
+}
+
+// residences is the synthetic Lives-in data: patient 2 moves from Århus to
+// Aalborg at the start of 1981.
+var residences = []residenceRow{
+	{"1", "A1", "25/05/69", "NOW"},
+	{"2", "A2", "20/03/50", "31/12/80"},
+	{"2", "A1", "01/01/81", "NOW"},
+}
+
+// BuildResidenceDimension builds the strict, partitioning Residence
+// dimension with a Name representation per level.
+func BuildResidenceDimension() (*dimension.Dimension, error) {
+	d := dimension.New(ResidenceType())
+	name, err := d.AddRepresentation("Name", "")
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range ResidenceRegions {
+		if err := d.AddValue(CatRegion, r.ID); err != nil {
+			return nil, err
+		}
+		if err := name.Map(r.ID, r.Name); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range ResidenceCounties {
+		if err := d.AddValue(CatCounty, c.ID); err != nil {
+			return nil, err
+		}
+		if err := name.Map(c.ID, c.Name); err != nil {
+			return nil, err
+		}
+		if err := d.AddEdge(c.ID, c.Region); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range ResidenceAreas {
+		if err := d.AddValue(CatArea, a.ID); err != nil {
+			return nil, err
+		}
+		if err := name.Map(a.ID, a.Name); err != nil {
+			return nil, err
+		}
+		if err := d.AddEdge(a.ID, a.County); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// BuildPatientMO builds the valid-time "Patient" MO of Example 8 from
+// Table 1 (with the synthetic residence completion): fact type Patient,
+// facts {1, 2}, dimensions Diagnosis, DOB, Residence, Name, SSN, Age, and
+// the corresponding fact–dimension relations. Ages are derived at opt.Ref.
+func BuildPatientMO(opt Options) (*core.MO, error) {
+	m := core.NewMO(PatientSchema())
+	m.SetKind(core.ValidTime)
+
+	diag, err := BuildDiagnosisDimension(opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetDimension(DimDiagnosis, diag); err != nil {
+		return nil, err
+	}
+	res, err := BuildResidenceDimension()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetDimension(DimResidence, res); err != nil {
+		return nil, err
+	}
+
+	dob := m.Dimension(DimDOB)
+	age := m.Dimension(DimAge)
+	for _, p := range Patients {
+		birth := temporal.MustDate(p.DateOfBirth)
+
+		dayID, err := AddDate(dob, birth)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Relate(DimDOB, p.ID, dayID); err != nil {
+			return nil, err
+		}
+
+		ageID, err := AddAge(age, AgeAt(birth, opt.Ref))
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Relate(DimAge, p.ID, ageID); err != nil {
+			return nil, err
+		}
+
+		if err := m.Dimension(DimName).AddValue(CatName, p.Name); err != nil {
+			return nil, err
+		}
+		if err := m.Relate(DimName, p.ID, p.Name); err != nil {
+			return nil, err
+		}
+		if err := m.Dimension(DimSSN).AddValue(CatSSN, p.SSN); err != nil {
+			return nil, err
+		}
+		if err := m.Relate(DimSSN, p.ID, p.SSN); err != nil {
+			return nil, err
+		}
+	}
+
+	// The Has table: diagnoses at mixed granularities with valid time
+	// (Example 7 with the temporal aspects of Example 9).
+	for _, h := range Has {
+		if err := m.RelateAnnot(DimDiagnosis, h.PatientID, h.DiagnosisID, span(h.ValidFrom, h.ValidTo)); err != nil {
+			return nil, err
+		}
+	}
+
+	// The synthetic Lives-in data.
+	for _, r := range residences {
+		if err := m.RelateAnnot(DimResidence, r.PatientID, r.AreaID, span(r.From, r.To)); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustPatientMO builds the default Patient MO, panicking on error;
+// intended for examples and benchmarks.
+func MustPatientMO() *core.MO {
+	m, err := BuildPatientMO(DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

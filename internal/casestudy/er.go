@@ -1,0 +1,87 @@
+package casestudy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EREntity describes one entity of the case study's ER diagram (Figure 1).
+type EREntity struct {
+	Name       string
+	Attributes []string
+	Subtypes   []string
+}
+
+// ERRelationship describes one relationship of Figure 1 with its
+// cardinalities and attributes.
+type ERRelationship struct {
+	Name       string
+	From, To   string
+	FromCard   string
+	ToCard     string
+	Attributes []string
+}
+
+// EREntities lists the entities of Figure 1.
+var EREntities = []EREntity{
+	{Name: "Patient", Attributes: []string{"Name", "SSN", "Date of Birth", "(Age)"}},
+	{Name: "Diagnosis", Attributes: []string{"Code", "Text", "Valid From", "Valid To"},
+		Subtypes: []string{"Low-level Diagnosis", "Diagnosis Family", "Diagnosis Group"}},
+	{Name: "Area", Attributes: []string{"Name"}},
+	{Name: "County", Attributes: []string{"Name"}},
+	{Name: "Region", Attributes: []string{"Name"}},
+}
+
+// ERRelationships lists the relationships of Figure 1.
+var ERRelationships = []ERRelationship{
+	{Name: "Has", From: "Patient", To: "Diagnosis", FromCard: "(1,n)", ToCard: "(0,n)",
+		Attributes: []string{"Valid From", "Valid To", "Type"}},
+	{Name: "Is part of", From: "Low-level Diagnosis", To: "Diagnosis Family", FromCard: "(1,n)", ToCard: "(0,n)",
+		Attributes: []string{"Valid From", "Valid To", "Type"}},
+	{Name: "Grouping", From: "Diagnosis Family", To: "Diagnosis Group", FromCard: "(1,n)", ToCard: "(0,n)",
+		Attributes: []string{"Valid From", "Valid To", "Type"}},
+	{Name: "Lives in", From: "Patient", To: "Area", FromCard: "(1,n)", ToCard: "(0,n)",
+		Attributes: []string{"Valid From", "Valid To"}},
+	{Name: "Area grouping", From: "Area", To: "County", FromCard: "(1,1)", ToCard: "(1,n)"},
+	{Name: "County grouping", From: "County", To: "Region", FromCard: "(1,1)", ToCard: "(1,n)"},
+}
+
+// RenderFigure1 renders the ER diagram of the case study as text.
+func RenderFigure1() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: Patient Diagnosis Case Study (ER)\n\nEntities:\n")
+	for _, e := range EREntities {
+		fmt.Fprintf(&b, "  %s [%s]\n", e.Name, strings.Join(e.Attributes, ", "))
+		if len(e.Subtypes) > 0 {
+			fmt.Fprintf(&b, "    subtypes: %s\n", strings.Join(e.Subtypes, ", "))
+		}
+	}
+	b.WriteString("\nRelationships:\n")
+	for _, r := range ERRelationships {
+		attrs := ""
+		if len(r.Attributes) > 0 {
+			attrs = " [" + strings.Join(r.Attributes, ", ") + "]"
+		}
+		fmt.Fprintf(&b, "  %s %s —%s— %s %s%s\n", r.From, r.FromCard, r.Name, r.ToCard, r.To, attrs)
+	}
+	return b.String()
+}
+
+// DOTFigure1 renders the ER diagram in Graphviz DOT syntax.
+func DOTFigure1() string {
+	var b strings.Builder
+	b.WriteString("graph er {\n  layout=neato;\n  node [shape=box];\n")
+	for _, e := range EREntities {
+		fmt.Fprintf(&b, "  %q;\n", e.Name)
+		for _, s := range e.Subtypes {
+			fmt.Fprintf(&b, "  %q [style=dashed];\n  %q -- %q [style=dotted];\n", s, e.Name, s)
+		}
+	}
+	for _, r := range ERRelationships {
+		fmt.Fprintf(&b, "  %q [shape=diamond];\n", r.Name)
+		fmt.Fprintf(&b, "  %q -- %q [label=%q];\n", r.From, r.Name, r.FromCard)
+		fmt.Fprintf(&b, "  %q -- %q [label=%q];\n", r.Name, r.To, r.ToCard)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

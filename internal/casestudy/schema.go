@@ -1,0 +1,209 @@
+package casestudy
+
+import (
+	"fmt"
+	"time"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+// DiagnosisType builds the Diagnosis dimension type of Example 2:
+// ⊥ = Low-level Diagnosis < Diagnosis Family < Diagnosis Group < ⊤, all of
+// aggregation type c (diagnoses can only be counted).
+func DiagnosisType() *dimension.DimensionType {
+	return dimension.MustDimensionType(DimDiagnosis, dimension.Constant, dimension.KindString,
+		CatLowLevel, CatFamily, CatGroup)
+}
+
+// ResidenceType builds Area < County < Region < ⊤ (strict, partitioning).
+func ResidenceType() *dimension.DimensionType {
+	return dimension.MustDimensionType(DimResidence, dimension.Constant, dimension.KindString,
+		CatArea, CatCounty, CatRegion)
+}
+
+// AgeType builds Age < Five-year Group, Age < Ten-year Group — Example 8
+// groups ages into five-year and ten-year groups (two parallel paths). The
+// bottom Age category has aggregation type Σ (Example 3); the group labels
+// are constants.
+func AgeType() *dimension.DimensionType {
+	t := dimension.NewDimensionType(DimAge)
+	must(t.AddCategoryType(CatAge, dimension.Sum, dimension.KindInt))
+	must(t.AddCategoryType(CatFiveYear, dimension.Constant, dimension.KindString))
+	must(t.AddCategoryType(CatTenYear, dimension.Constant, dimension.KindString))
+	must(t.AddOrder(CatAge, CatFiveYear))
+	must(t.AddOrder(CatFiveYear, CatTenYear))
+	must(t.Finalize())
+	return t
+}
+
+// DOBType builds the Date-of-Birth dimension type with two hierarchies
+// (Example 8): Day < Week, and Day < Month < Quarter < Year < Decade. The
+// bottom has aggregation type φ (Example 3: dates can be compared and
+// averaged but not added).
+func DOBType() *dimension.DimensionType {
+	t := dimension.NewDimensionType(DimDOB)
+	must(t.AddCategoryType(CatDay, dimension.Average, dimension.KindDate))
+	for _, c := range []string{CatWeek, CatMonth, CatQuarter, CatYear, CatDecade} {
+		must(t.AddCategoryType(c, dimension.Constant, dimension.KindString))
+	}
+	must(t.AddOrder(CatDay, CatWeek))
+	must(t.AddOrder(CatDay, CatMonth))
+	must(t.AddOrder(CatMonth, CatQuarter))
+	must(t.AddOrder(CatQuarter, CatYear))
+	must(t.AddOrder(CatYear, CatDecade))
+	must(t.Finalize())
+	return t
+}
+
+// NameType builds the simple Name dimension (⊥ = Name < ⊤, Example 8).
+func NameType() *dimension.DimensionType {
+	return dimension.MustDimensionType(DimName, dimension.Constant, dimension.KindString, CatName)
+}
+
+// SSNType builds the simple SSN dimension (⊥ = SSN < ⊤).
+func SSNType() *dimension.DimensionType {
+	return dimension.MustDimensionType(DimSSN, dimension.Constant, dimension.KindString, CatSSN)
+}
+
+// PatientSchema builds the six-dimensional fact schema of Example 8:
+// S = (Patient, {Diagnosis, DOB, Residence, Name, SSN, Age}).
+func PatientSchema() *core.Schema {
+	return core.MustSchema("Patient",
+		DiagnosisType(), DOBType(), ResidenceType(), NameType(), SSNType(), AgeType())
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// --- Date-of-Birth hierarchy helpers -------------------------------------
+
+// DayID returns the Day category value id for a chronon, e.g. "1969-05-25".
+func DayID(c temporal.Chronon) string {
+	y, m, d := c.Date()
+	return fmt.Sprintf("%04d-%02d-%02d", y, int(m), d)
+}
+
+// WeekID returns the ISO week value id, e.g. "1969-W21".
+func WeekID(c temporal.Chronon) string {
+	y, m, d := c.Date()
+	yy, ww := time.Date(y, m, d, 0, 0, 0, 0, time.UTC).ISOWeek()
+	return fmt.Sprintf("%04d-W%02d", yy, ww)
+}
+
+// MonthID returns the month value id, e.g. "1969-05".
+func MonthID(c temporal.Chronon) string {
+	y, m, _ := c.Date()
+	return fmt.Sprintf("%04d-%02d", y, int(m))
+}
+
+// QuarterID returns the quarter value id, e.g. "1969-Q2".
+func QuarterID(c temporal.Chronon) string {
+	y, m, _ := c.Date()
+	return fmt.Sprintf("%04d-Q%d", y, (int(m)+2)/3)
+}
+
+// YearID returns the year value id, e.g. "1969".
+func YearID(c temporal.Chronon) string {
+	y, _, _ := c.Date()
+	return fmt.Sprintf("%04d", y)
+}
+
+// DecadeID returns the decade value id, e.g. "1960s".
+func DecadeID(c temporal.Chronon) string {
+	y, _, _ := c.Date()
+	return fmt.Sprintf("%ds", y/10*10)
+}
+
+// AddDate inserts a Day value and its Week, Month, Quarter, Year, and
+// Decade ancestors (with the connecting order edges) into a DOB-typed
+// dimension, returning the Day value id. Insertion is idempotent.
+func AddDate(d *dimension.Dimension, c temporal.Chronon) (string, error) {
+	type node struct{ cat, id string }
+	day := node{CatDay, DayID(c)}
+	chain := []node{
+		day,
+		{CatWeek, WeekID(c)},
+		{CatMonth, MonthID(c)},
+		{CatQuarter, QuarterID(c)},
+		{CatYear, YearID(c)},
+		{CatDecade, DecadeID(c)},
+	}
+	for _, n := range chain {
+		if !d.Has(n.id) {
+			if err := d.AddValue(n.cat, n.id); err != nil {
+				return "", err
+			}
+		}
+	}
+	edges := [][2]string{
+		{chain[0].id, chain[1].id}, // day -> week
+		{chain[0].id, chain[2].id}, // day -> month
+		{chain[2].id, chain[3].id}, // month -> quarter
+		{chain[3].id, chain[4].id}, // quarter -> year
+		{chain[4].id, chain[5].id}, // year -> decade
+	}
+	for _, e := range edges {
+		if err := d.AddEdge(e[0], e[1]); err != nil {
+			return "", err
+		}
+	}
+	return day.id, nil
+}
+
+// --- Age hierarchy helpers ------------------------------------------------
+
+// FiveYearGroup returns the five-year group label of an age, e.g. 12 →
+// "10-14".
+func FiveYearGroup(age int) string {
+	lo := age / 5 * 5
+	return fmt.Sprintf("%d-%d", lo, lo+4)
+}
+
+// TenYearGroup returns the ten-year group label of an age, e.g. 12 →
+// "10-19".
+func TenYearGroup(age int) string {
+	lo := age / 10 * 10
+	return fmt.Sprintf("%d-%d", lo, lo+9)
+}
+
+// AddAge inserts an age value with its five- and ten-year groups (and the
+// connecting edges) into an Age-typed dimension, returning the Age value
+// id. Insertion is idempotent.
+func AddAge(d *dimension.Dimension, age int) (string, error) {
+	id := fmt.Sprintf("%d", age)
+	five := FiveYearGroup(age)
+	ten := TenYearGroup(age)
+	for _, n := range []struct{ cat, id string }{
+		{CatAge, id}, {CatFiveYear, five}, {CatTenYear, ten},
+	} {
+		if !d.Has(n.id) {
+			if err := d.AddValue(n.cat, n.id); err != nil {
+				return "", err
+			}
+		}
+	}
+	if err := d.AddEdge(id, five); err != nil {
+		return "", err
+	}
+	if err := d.AddEdge(five, ten); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// AgeAt returns the age in completed years at the reference date for a
+// birth chronon.
+func AgeAt(birth, ref temporal.Chronon) int {
+	by, bm, bd := birth.Date()
+	ry, rm, rd := ref.Date()
+	age := ry - by
+	if rm < bm || (rm == bm && rd < bd) {
+		age--
+	}
+	return age
+}

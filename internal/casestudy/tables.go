@@ -1,0 +1,194 @@
+// Package casestudy embeds the clinical case study of Pedersen & Jensen
+// (ICDE 1999), §2.1: the Patient, Has, Diagnosis and Grouping tables of
+// Table 1, verbatim, and a builder for the six-dimensional "Patient" MO of
+// Example 8. A synthetic generator scales the same schema for benchmarks.
+package casestudy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PatientRow is one row of the paper's Patient table.
+type PatientRow struct {
+	ID          string
+	Name        string
+	SSN         string
+	DateOfBirth string // dd/mm/yy as printed in the paper
+}
+
+// HasRow is one row of the paper's Has table: a diagnosis made for a
+// patient, with the valid-time interval and the diagnosis type.
+type HasRow struct {
+	PatientID   string
+	DiagnosisID string
+	ValidFrom   string
+	ValidTo     string
+	Type        string // Primary or Secondary
+}
+
+// DiagnosisRow is one row of the paper's Diagnosis table.
+type DiagnosisRow struct {
+	ID        string
+	Code      string
+	Text      string
+	ValidFrom string
+	ValidTo   string
+}
+
+// GroupingRow is one row of the paper's Grouping table: ParentID logically
+// contains ChildID during the interval, in the WHO or user-defined
+// hierarchy.
+type GroupingRow struct {
+	ParentID  string
+	ChildID   string
+	ValidFrom string
+	ValidTo   string
+	Type      string // "WHO" or "User-defined"
+}
+
+// Patients is the Patient table of Table 1.
+var Patients = []PatientRow{
+	{"1", "John Doe", "12345678", "25/05/69"},
+	{"2", "Jane Doe", "87654321", "20/03/50"},
+}
+
+// Has is the Has table of Table 1.
+var Has = []HasRow{
+	{"1", "9", "01/01/89", "NOW", "Primary"},
+	{"2", "3", "23/03/75", "24/12/75", "Secondary"},
+	{"2", "8", "01/01/70", "31/12/81", "Primary"},
+	{"2", "5", "01/01/82", "30/09/82", "Secondary"},
+	{"2", "9", "01/01/82", "NOW", "Primary"},
+}
+
+// Diagnoses is the Diagnosis table of Table 1.
+var Diagnoses = []DiagnosisRow{
+	{"3", "P11", "Diabetes, pregnancy", "01/01/70", "31/12/79"},
+	{"4", "O24", "Diabetes, pregnancy", "01/01/80", "NOW"},
+	{"5", "O24.0", "Ins. dep. diab., pregn.", "01/01/80", "NOW"},
+	{"6", "O24.1", "Non ins. dep. diab., pregn.", "01/01/80", "NOW"},
+	{"7", "P1", "Other pregnancy diseases", "01/01/70", "31/12/79"},
+	{"8", "D1", "Diabetes", "01/10/70", "31/12/79"},
+	{"9", "E10", "Insulin dep. diabetes", "01/01/80", "NOW"},
+	{"10", "E11", "Non insulin dep. diabetes", "01/01/80", "NOW"},
+	{"11", "E1", "Diabetes", "01/01/80", "NOW"},
+	{"12", "O2", "Other pregnancy diseases", "01/10/80", "NOW"},
+}
+
+// Groupings is the Grouping table of Table 1.
+var Groupings = []GroupingRow{
+	{"4", "5", "01/01/80", "NOW", "WHO"},
+	{"4", "6", "01/01/80", "NOW", "WHO"},
+	{"7", "3", "01/01/70", "31/12/79", "WHO"},
+	{"8", "3", "01/01/70", "31/12/79", "User-defined"},
+	{"9", "5", "01/01/80", "NOW", "User-defined"},
+	{"10", "6", "01/01/80", "NOW", "User-defined"},
+	{"11", "9", "01/01/80", "NOW", "WHO"},
+	{"11", "10", "01/01/80", "NOW", "WHO"},
+	{"12", "4", "01/01/80", "NOW", "WHO"},
+}
+
+// DiagnosisLevel maps each diagnosis of Table 1 to its category per
+// Example 4: Low-level Diagnosis = {3,5,6}, Diagnosis Family =
+// {4,7,8,9,10}, Diagnosis Group = {11,12}.
+var DiagnosisLevel = map[string]string{
+	"3": CatLowLevel, "5": CatLowLevel, "6": CatLowLevel,
+	"4": CatFamily, "7": CatFamily, "8": CatFamily, "9": CatFamily, "10": CatFamily,
+	"11": CatGroup, "12": CatGroup,
+}
+
+// Category type names of the case-study dimensions.
+const (
+	CatLowLevel = "Low-level Diagnosis"
+	CatFamily   = "Diagnosis Family"
+	CatGroup    = "Diagnosis Group"
+
+	CatArea   = "Area"
+	CatCounty = "County"
+	CatRegion = "Region"
+
+	CatAge      = "Age"
+	CatFiveYear = "Five-year Group"
+	CatTenYear  = "Ten-year Group"
+
+	CatDay     = "Day"
+	CatWeek    = "Week"
+	CatMonth   = "Month"
+	CatQuarter = "Quarter"
+	CatYear    = "Year"
+	CatDecade  = "Decade"
+
+	CatName = "Name"
+	CatSSN  = "SSN"
+)
+
+// Dimension names of the "Patient" MO (Example 1/8).
+const (
+	DimDiagnosis = "Diagnosis"
+	DimResidence = "Residence"
+	DimAge       = "Age"
+	DimDOB       = "DOB"
+	DimName      = "Name"
+	DimSSN       = "SSN"
+)
+
+// renderTable renders rows as a fixed-width text table.
+func renderTable(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// RenderTable1 reproduces the paper's Table 1 as four text tables.
+func RenderTable1() string {
+	var b strings.Builder
+	rows := make([][]string, len(Patients))
+	for i, p := range Patients {
+		rows[i] = []string{p.ID, p.Name, p.SSN, p.DateOfBirth}
+	}
+	b.WriteString(renderTable("Patient Table", []string{"ID", "Name", "SSN", "Date of Birth"}, rows))
+	b.WriteString("\n")
+
+	rows = make([][]string, len(Has))
+	for i, h := range Has {
+		rows[i] = []string{h.PatientID, h.DiagnosisID, h.ValidFrom, h.ValidTo, h.Type}
+	}
+	b.WriteString(renderTable("Has Table", []string{"PatientID", "DiagnosisID", "ValidFrom", "ValidTo", "Type"}, rows))
+	b.WriteString("\n")
+
+	rows = make([][]string, len(Diagnoses))
+	for i, d := range Diagnoses {
+		rows[i] = []string{d.ID, d.Code, d.Text, d.ValidFrom, d.ValidTo}
+	}
+	b.WriteString(renderTable("Diagnosis Table", []string{"ID", "Code", "Text", "ValidFrom", "ValidTo"}, rows))
+	b.WriteString("\n")
+
+	rows = make([][]string, len(Groupings))
+	for i, g := range Groupings {
+		rows[i] = []string{g.ParentID, g.ChildID, g.ValidFrom, g.ValidTo, g.Type}
+	}
+	b.WriteString(renderTable("Grouping Table", []string{"ParentID", "ChildID", "ValidFrom", "ValidTo", "Type"}, rows))
+	return b.String()
+}

@@ -1,0 +1,141 @@
+// Package compare reproduces Table 2 of Pedersen & Jensen (ICDE 1999): the
+// evaluation of eight previously proposed multidimensional data models
+// against the paper's nine requirements, extended with a row for this
+// implementation whose support levels are established by *executable
+// probes* — each requirement is demonstrated by running the model code
+// rather than by assertion.
+package compare
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Support is a cell of Table 2.
+type Support int
+
+const (
+	// None is "-": no support.
+	None Support = iota
+	// Partial is "p": partial support.
+	Partial
+	// Full is "√": full support.
+	Full
+)
+
+// String renders the paper's symbols.
+func (s Support) String() string {
+	switch s {
+	case Full:
+		return "√"
+	case Partial:
+		return "p"
+	default:
+		return "-"
+	}
+}
+
+// NumRequirements is the number of requirements in §2.2.
+const NumRequirements = 9
+
+// Requirements lists the paper's nine requirements, 1-indexed by position.
+var Requirements = [NumRequirements]string{
+	"explicit hierarchies in dimensions",
+	"symmetric treatment of dimensions and measures",
+	"multiple hierarchies in a dimension",
+	"correct aggregation of data (summarizability)",
+	"non-strict hierarchies",
+	"many-to-many relationships between facts and dimensions",
+	"handling change and time",
+	"handling uncertainty",
+	"different levels of granularity",
+}
+
+// Model is one surveyed data model with its support row.
+type Model struct {
+	Name string
+	Ref  string
+	Row  [NumRequirements]Support
+}
+
+// Surveyed is the eight-model matrix exactly as printed in Table 2.
+var Surveyed = []Model{
+	{"Rafanelli", "[6]", [NumRequirements]Support{Full, None, None, Full, Partial, None, None, None, None}},
+	{"Agrawal", "[5]", [NumRequirements]Support{Partial, Full, Partial, None, Partial, None, None, None, None}},
+	{"Gray", "[2]", [NumRequirements]Support{None, Full, Partial, Partial, None, None, None, None, None}},
+	{"Kimball", "[3]", [NumRequirements]Support{None, None, Full, Partial, None, None, Partial, None, None}},
+	{"Li", "[10]", [NumRequirements]Support{Partial, None, Full, Partial, None, None, None, None, None}},
+	{"Gyssens", "[9]", [NumRequirements]Support{None, Full, Partial, Partial, None, None, None, None, None}},
+	{"Datta", "[13]", [NumRequirements]Support{None, Full, Partial, None, Partial, None, None, None, None}},
+	{"Lehner", "[11]", [NumRequirements]Support{Full, None, None, Full, None, None, None, None, None}},
+}
+
+// ProbeResult is the outcome of probing one requirement against this
+// implementation.
+type ProbeResult struct {
+	Requirement int // 1-based
+	Support     Support
+	Evidence    string
+	Err         error
+}
+
+// RenderTable2 prints the matrix (surveyed models plus, when probes are
+// supplied, the "This model" row).
+func RenderTable2(probes []ProbeResult) string {
+	var b strings.Builder
+	b.WriteString("Table 2. Evaluation of the Data Models\n")
+	fmt.Fprintf(&b, "%-14s", "")
+	for i := 1; i <= NumRequirements; i++ {
+		fmt.Fprintf(&b, "%3d", i)
+	}
+	b.WriteString("\n")
+	for _, m := range Surveyed {
+		fmt.Fprintf(&b, "%-14s", m.Name+" "+m.Ref)
+		for _, s := range m.Row {
+			fmt.Fprintf(&b, "%3s", s)
+		}
+		b.WriteString("\n")
+	}
+	if len(probes) == NumRequirements {
+		fmt.Fprintf(&b, "%-14s", "This model")
+		for _, p := range probes {
+			fmt.Fprintf(&b, "%3s", p.Support)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SummaryClaims checks the paper's prose claims about Table 2 against the
+// matrix (used by the tests that pin the matrix to the paper).
+func SummaryClaims() error {
+	// "Requirement 5 … partially supported by three of the models."
+	n5 := 0
+	for _, m := range Surveyed {
+		if m.Row[4] == Partial {
+			n5++
+		}
+	}
+	if n5 != 3 {
+		return fmt.Errorf("compare: requirement 5 partial count = %d, want 3", n5)
+	}
+	// "Requirement 7 … only partially supported by Kimball."
+	for _, m := range Surveyed {
+		want := None
+		if m.Name == "Kimball" {
+			want = Partial
+		}
+		if m.Row[6] != want {
+			return fmt.Errorf("compare: requirement 7 for %s = %v", m.Name, m.Row[6])
+		}
+	}
+	// "Requirements 6, 8, and 9 are not supported by any of the models."
+	for _, m := range Surveyed {
+		for _, i := range []int{5, 7, 8} {
+			if m.Row[i] != None {
+				return fmt.Errorf("compare: requirement %d for %s = %v, want -", i+1, m.Name, m.Row[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package compare
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2Matrix(t *testing.T) {
+	// The matrix must match the paper's Table 2 cell for cell.
+	want := map[string]string{
+		"Rafanelli": "√--√p----",
+		"Agrawal":   "p√p-p----",
+		"Gray":      "-√pp-----",
+		"Kimball":   "--√p--p--",
+		"Li":        "p-√p-----",
+		"Gyssens":   "-√pp-----",
+		"Datta":     "-√p-p----",
+		"Lehner":    "√--√-----",
+	}
+	if len(Surveyed) != 8 {
+		t.Fatalf("models = %d", len(Surveyed))
+	}
+	for _, m := range Surveyed {
+		var row strings.Builder
+		for _, s := range m.Row {
+			row.WriteString(s.String())
+		}
+		if row.String() != want[m.Name] {
+			t.Errorf("%s: %s, want %s", m.Name, row.String(), want[m.Name])
+		}
+	}
+	if err := SummaryClaims(); err != nil {
+		t.Errorf("paper prose claims violated: %v", err)
+	}
+}
+
+func TestProbesAllFull(t *testing.T) {
+	// The paper's model — this implementation — supports all nine
+	// requirements; each probe demonstrates one by running the code.
+	probes := ProbeAll()
+	if len(probes) != NumRequirements {
+		t.Fatalf("probes = %d", len(probes))
+	}
+	for _, p := range probes {
+		if p.Err != nil {
+			t.Errorf("requirement %d (%s): %v", p.Requirement, Requirements[p.Requirement-1], p.Err)
+			continue
+		}
+		if p.Support != Full {
+			t.Errorf("requirement %d: support %v", p.Requirement, p.Support)
+		}
+		if p.Evidence == "" {
+			t.Errorf("requirement %d: no evidence", p.Requirement)
+		}
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	out := RenderTable2(ProbeAll())
+	for _, want := range []string{"Table 2", "Rafanelli [6]", "Lehner [11]", "This model"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Our row is all √.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if strings.Count(last, "√") != NumRequirements {
+		t.Errorf("our row must be nine √: %q", last)
+	}
+	// Without probes, no "This model" row.
+	if strings.Contains(RenderTable2(nil), "This model") {
+		t.Error("row must require probes")
+	}
+}
+
+func TestSupportString(t *testing.T) {
+	if Full.String() != "√" || Partial.String() != "p" || None.String() != "-" {
+		t.Error("symbols wrong")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mddm/internal/dimension"
+)
+
+// Family is a multidimensional object family: a collection of named MOs,
+// possibly with shared subdimensions. Shared dimensions are installed as
+// shared *dimension.Dimension pointers, so an update through one MO is seen
+// by all — the paper uses shared subdimensions to "join" data from separate
+// MOs (drill-across).
+type Family struct {
+	mos    map[string]*MO
+	shared map[string]*dimension.Dimension
+}
+
+// NewFamily returns an empty MO family.
+func NewFamily() *Family {
+	return &Family{mos: map[string]*MO{}, shared: map[string]*dimension.Dimension{}}
+}
+
+// Add registers an MO under a name.
+func (f *Family) Add(name string, m *MO) error {
+	if name == "" {
+		return fmt.Errorf("core: empty MO name")
+	}
+	if _, ok := f.mos[name]; ok {
+		return fmt.Errorf("core: duplicate MO %q", name)
+	}
+	f.mos[name] = m
+	return nil
+}
+
+// MO returns the named MO, or nil.
+func (f *Family) MO(name string) *MO { return f.mos[name] }
+
+// Names returns the sorted MO names.
+func (f *Family) Names() []string {
+	out := make([]string, 0, len(f.mos))
+	for n := range f.mos {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Share registers a dimension instance under a shared name and installs it
+// into the given (MO, dimension) slots. All listed MOs afterwards point at
+// the same instance.
+func (f *Family) Share(sharedName string, d *dimension.Dimension, slots map[string]string) error {
+	if _, ok := f.shared[sharedName]; ok {
+		return fmt.Errorf("core: duplicate shared dimension %q", sharedName)
+	}
+	for moName, dimName := range slots {
+		m, ok := f.mos[moName]
+		if !ok {
+			return fmt.Errorf("core: unknown MO %q", moName)
+		}
+		if err := m.SetDimension(dimName, d); err != nil {
+			return err
+		}
+	}
+	f.shared[sharedName] = d
+	return nil
+}
+
+// Shared returns the shared dimension registered under the given name, or
+// nil.
+func (f *Family) Shared(name string) *dimension.Dimension { return f.shared[name] }
+
+// SharedNames returns the sorted names of shared dimensions.
+func (f *Family) SharedNames() []string {
+	out := make([]string, 0, len(f.shared))
+	for n := range f.shared {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mddm/internal/temporal"
+)
+
+// RenderSchema renders the fact schema in the style of the paper's
+// Figure 2: the fact type in the center and every dimension type's category
+// lattice, bottom-up.
+func (s *Schema) RenderSchema() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fact type: %s\n", s.factType)
+	for _, name := range s.DimensionNames() {
+		b.WriteString(s.dimTypes[name].RenderType())
+	}
+	return b.String()
+}
+
+// DOTSchema renders the schema as a Graphviz digraph: one cluster per
+// dimension type, the fact type connected to each bottom category.
+func (s *Schema) DOTSchema() string {
+	var b strings.Builder
+	b.WriteString("digraph schema {\n  rankdir=BT;\n  node [shape=box];\n")
+	fmt.Fprintf(&b, "  %q [shape=ellipse, style=bold];\n", s.factType)
+	for _, name := range s.DimensionNames() {
+		t := s.dimTypes[name]
+		b.WriteString(indent(t.DOTType(true)))
+		fmt.Fprintf(&b, "  %q -> %q;\n", s.factType, name+"/"+t.Bottom())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// Render renders the MO: schema header, facts, and per-dimension relation
+// pairs with annotations — the textual form of the paper's instance
+// figures (e.g. Figure 3).
+func (m *MO) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MO (%s): fact type %s, %d facts, %d dimensions\n",
+		m.kind, m.schema.FactType(), m.facts.Len(), m.schema.NumDimensions())
+	fmt.Fprintf(&b, "F = %s\n", m.facts)
+	for _, name := range m.schema.DimensionNames() {
+		r := m.rels[name]
+		fmt.Fprintf(&b, "R[%s] = {", name)
+		parts := make([]string, 0, r.Len())
+		for _, p := range r.Pairs() {
+			ann := ""
+			if !p.Annot.Time.Valid.Equal(alwaysValid) {
+				ann = " @" + p.Annot.Time.Valid.String()
+			}
+			if p.Annot.Prob != 1 {
+				ann += fmt.Sprintf(" p=%.2f", p.Annot.Prob)
+			}
+			parts = append(parts, fmt.Sprintf("(%s, %s)%s", p.FactID, p.ValueID, ann))
+		}
+		b.WriteString(strings.Join(parts, ", "))
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+var alwaysValid = temporal.AlwaysElement()

@@ -1,0 +1,134 @@
+// Package core implements the central objects of the extended
+// multidimensional data model of Pedersen & Jensen (ICDE 1999): fact
+// schemas, multidimensional objects (MOs), and MO families with shared
+// subdimensions. Everything that characterizes the fact type is dimensional
+// — including attributes other models treat as measures — and facts are
+// linked to dimension values of any granularity through many-to-many
+// fact–dimension relations.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mddm/internal/dimension"
+)
+
+// Schema is an n-dimensional fact schema S = (F, D): a fact type and its
+// corresponding dimension types, addressable by name.
+type Schema struct {
+	factType string
+	dimTypes map[string]*dimension.DimensionType
+	order    []string // insertion order of dimension type names
+}
+
+// NewSchema creates a fact schema for the given fact type.
+func NewSchema(factType string, dims ...*dimension.DimensionType) (*Schema, error) {
+	if factType == "" {
+		return nil, fmt.Errorf("core: empty fact type name")
+	}
+	s := &Schema{factType: factType, dimTypes: map[string]*dimension.DimensionType{}}
+	for _, d := range dims {
+		if err := s.AddDimensionType(d); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(factType string, dims ...*dimension.DimensionType) *Schema {
+	s, err := NewSchema(factType, dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AddDimensionType appends a finalized dimension type to the schema.
+func (s *Schema) AddDimensionType(d *dimension.DimensionType) error {
+	if !d.Finalized() {
+		return fmt.Errorf("core: dimension type %q is not finalized", d.Name())
+	}
+	if _, ok := s.dimTypes[d.Name()]; ok {
+		return fmt.Errorf("core: duplicate dimension type %q", d.Name())
+	}
+	s.dimTypes[d.Name()] = d
+	s.order = append(s.order, d.Name())
+	return nil
+}
+
+// FactType returns the name of the fact type.
+func (s *Schema) FactType() string { return s.factType }
+
+// DimensionNames returns the dimension type names in declaration order.
+func (s *Schema) DimensionNames() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// DimensionType returns the named dimension type, or nil.
+func (s *Schema) DimensionType(name string) *dimension.DimensionType { return s.dimTypes[name] }
+
+// NumDimensions returns n, the dimensionality of the schema.
+func (s *Schema) NumDimensions() int { return len(s.order) }
+
+// Equal reports whether two schemas have the same fact type and identical
+// dimension types under the same names (the S1 = S2 precondition of the
+// union and difference operators).
+func (s *Schema) Equal(o *Schema) bool {
+	if s.factType != o.factType || len(s.order) != len(o.order) {
+		return false
+	}
+	for _, name := range s.order {
+		od, ok := o.dimTypes[name]
+		if !ok || !s.dimTypes[name].Isomorphic(od) {
+			return false
+		}
+	}
+	return true
+}
+
+// Isomorphic reports whether two schemas have the same structure up to
+// renaming of the fact type and dimension types: equal dimension counts and
+// pairwise isomorphic dimension types in declaration order. This is the
+// precondition of the rename operator.
+func (s *Schema) Isomorphic(o *Schema) bool {
+	if len(s.order) != len(o.order) {
+		return false
+	}
+	for i, name := range s.order {
+		// DimensionType.Isomorphic compares category structure only, so it
+		// is already insensitive to the dimension type's own name.
+		if !s.dimTypes[name].Isomorphic(o.dimTypes[o.order[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new schema retaining only the named dimension types, in
+// the given order (the schema part of the projection operator).
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	n := &Schema{factType: s.factType, dimTypes: map[string]*dimension.DimensionType{}}
+	for _, name := range names {
+		d, ok := s.dimTypes[name]
+		if !ok {
+			return nil, fmt.Errorf("core: projection over unknown dimension %q", name)
+		}
+		if err := n.AddDimensionType(d); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// SortedDimensionNames returns the dimension names sorted alphabetically
+// (used by renderers that want a stable, order-independent layout).
+func (s *Schema) SortedDimensionNames() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,114 @@
+// Package dimension implements dimensions of the extended multidimensional
+// data model of Pedersen & Jensen (ICDE 1999), §3.1: dimension types as
+// lattices of category types, aggregation types, dimension instances with a
+// temporal and probabilistic partial order on dimension values,
+// representations (alternate keys), subdimensions, and the hierarchy
+// properties of §3.4 (strict / partitioning and their snapshot variants).
+package dimension
+
+import "fmt"
+
+// AggType classifies what aggregate functions may be applied to the data of
+// a category, following the paper's three-level ordering c ⊑ φ ⊑ Σ:
+//
+//   - Constant (c): data that may only be counted (e.g. diagnoses).
+//   - Average (φ): data with an ordering, usable for AVG/MIN/MAX but not
+//     meaningfully added (e.g. dates of birth).
+//   - Sum (Σ): data that may also be added (e.g. ages, sales amounts).
+//
+// Data of a higher aggregation type also possesses the characteristics of
+// the lower types.
+type AggType int
+
+const (
+	// Constant is the paper's c: COUNT only.
+	Constant AggType = iota
+	// Average is the paper's φ: COUNT, AVG, MIN, MAX.
+	Average
+	// Sum is the paper's Σ: SUM, COUNT, AVG, MIN, MAX.
+	Sum
+)
+
+// String returns the paper's symbol for the aggregation type.
+func (a AggType) String() string {
+	switch a {
+	case Constant:
+		return "c"
+	case Average:
+		return "φ"
+	case Sum:
+		return "Σ"
+	default:
+		return fmt.Sprintf("AggType(%d)", int(a))
+	}
+}
+
+// MinAgg returns the smaller of two aggregation types under c ⊑ φ ⊑ Σ.
+func MinAgg(a, b AggType) AggType {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Allows reports whether data of this aggregation type admits the SQL
+// aggregate function named fn (SUM, COUNT, AVG, MIN, MAX, case-insensitive
+// names are not accepted — callers normalize).
+func (a AggType) Allows(fn string) bool {
+	switch fn {
+	case "COUNT":
+		return true
+	case "AVG", "MIN", "MAX":
+		return a >= Average
+	case "SUM":
+		return a >= Sum
+	default:
+		return false
+	}
+}
+
+// Functions returns the set of standard SQL aggregation functions admitted
+// by the aggregation type, mirroring the paper's Σ, φ and c sets.
+func (a AggType) Functions() []string {
+	switch a {
+	case Sum:
+		return []string{"SUM", "COUNT", "AVG", "MIN", "MAX"}
+	case Average:
+		return []string{"COUNT", "AVG", "MIN", "MAX"}
+	default:
+		return []string{"COUNT"}
+	}
+}
+
+// ValueKind describes how the identifiers (or "Value" representations) of a
+// category's members are interpreted when the category is used as an
+// aggregate-function argument — the paper treats measures as ordinary
+// dimensions, so numeric interpretation is a category property.
+type ValueKind int
+
+const (
+	// KindString values have no numeric or temporal interpretation.
+	KindString ValueKind = iota
+	// KindInt values parse as 64-bit integers.
+	KindInt
+	// KindFloat values parse as 64-bit floating point.
+	KindFloat
+	// KindDate values parse as dates (chronons).
+	KindDate
+)
+
+// String names the kind.
+func (k ValueKind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindDate:
+		return "date"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", int(k))
+	}
+}

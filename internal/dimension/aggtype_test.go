@@ -1,0 +1,79 @@
+package dimension
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggTypeOrdering(t *testing.T) {
+	if !(Constant < Average && Average < Sum) {
+		t.Fatal("ordering c ⊑ φ ⊑ Σ broken")
+	}
+	if MinAgg(Sum, Constant) != Constant || MinAgg(Average, Sum) != Average {
+		t.Error("MinAgg wrong")
+	}
+}
+
+func TestAggTypeAllows(t *testing.T) {
+	cases := []struct {
+		a    AggType
+		fn   string
+		want bool
+	}{
+		{Sum, "SUM", true}, {Sum, "AVG", true}, {Sum, "COUNT", true},
+		{Average, "SUM", false}, {Average, "AVG", true}, {Average, "MIN", true}, {Average, "MAX", true},
+		{Constant, "COUNT", true}, {Constant, "AVG", false}, {Constant, "SUM", false},
+		{Sum, "MEDIAN", false},
+	}
+	for _, c := range cases {
+		if got := c.a.Allows(c.fn); got != c.want {
+			t.Errorf("%v.Allows(%s) = %v, want %v", c.a, c.fn, got, c.want)
+		}
+	}
+}
+
+func TestAggTypeFunctions(t *testing.T) {
+	// The paper's sets: Σ = {SUM, COUNT, AVG, MIN, MAX}, φ = {COUNT, AVG,
+	// MIN, MAX}, c = {COUNT}.
+	if got := strings.Join(Sum.Functions(), ","); got != "SUM,COUNT,AVG,MIN,MAX" {
+		t.Errorf("Σ = %v", got)
+	}
+	if got := strings.Join(Average.Functions(), ","); got != "COUNT,AVG,MIN,MAX" {
+		t.Errorf("φ = %v", got)
+	}
+	if got := strings.Join(Constant.Functions(), ","); got != "COUNT" {
+		t.Errorf("c = %v", got)
+	}
+}
+
+func TestAggTypeMonotone(t *testing.T) {
+	// Higher aggregation types admit everything lower types admit.
+	fns := []string{"SUM", "COUNT", "AVG", "MIN", "MAX"}
+	err := quick.Check(func(ai, bi uint8, fi uint8) bool {
+		a := AggType(ai % 3)
+		b := AggType(bi % 3)
+		fn := fns[int(fi)%len(fns)]
+		if a <= b && a.Allows(fn) && !b.Allows(fn) {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggTypeStrings(t *testing.T) {
+	if Sum.String() != "Σ" || Average.String() != "φ" || Constant.String() != "c" {
+		t.Error("symbols wrong")
+	}
+	if !strings.Contains(AggType(9).String(), "9") {
+		t.Error("unknown AggType must render its number")
+	}
+	for k, want := range map[ValueKind]string{KindString: "string", KindInt: "int", KindFloat: "float", KindDate: "date"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

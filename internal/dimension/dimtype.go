@@ -1,0 +1,546 @@
+package dimension
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopName is the reserved name of the ⊤ category type that every dimension
+// type contains. Its single member is the top value ⊤, which logically
+// contains all other values (the ALL construct of Gray et al.).
+const TopName = "⊤"
+
+// TopValue is the reserved identifier of the single member of the ⊤
+// category.
+const TopValue = "⊤"
+
+// CategoryType describes one category type C_j of a dimension type: its
+// name, the aggregation type Aggtype(C_j), and how member identifiers are
+// interpreted numerically.
+type CategoryType struct {
+	Name    string
+	AggType AggType
+	Kind    ValueKind
+}
+
+// DimensionType is the paper's four-tuple T = (C, ⊑_T, ⊤_T, ⊥_T): a set of
+// category types with a partial order forming a lattice, a top, and a
+// bottom. Build one with NewDimensionType, AddCategoryType and AddOrder,
+// then call Finalize (or use the Builder helpers); a finalized type is
+// immutable.
+type DimensionType struct {
+	name      string
+	cats      map[string]*CategoryType
+	higher    map[string]map[string]bool // immediate containment: cat -> coarser cats
+	lower     map[string]map[string]bool // inverse of higher
+	bottom    string
+	finalized bool
+}
+
+// NewDimensionType creates an empty dimension type with the given name. The
+// ⊤ category type is added automatically with aggregation type c.
+func NewDimensionType(name string) *DimensionType {
+	t := &DimensionType{
+		name:   name,
+		cats:   map[string]*CategoryType{},
+		higher: map[string]map[string]bool{},
+		lower:  map[string]map[string]bool{},
+	}
+	t.cats[TopName] = &CategoryType{Name: TopName, AggType: Constant, Kind: KindString}
+	return t
+}
+
+// Name returns the dimension type's name.
+func (t *DimensionType) Name() string { return t.name }
+
+// AddCategoryType adds a category type. It returns an error if the name is
+// reserved, duplicate, or empty, or if the type is already finalized.
+func (t *DimensionType) AddCategoryType(name string, agg AggType, kind ValueKind) error {
+	if t.finalized {
+		return fmt.Errorf("dimension type %s: finalized", t.name)
+	}
+	if name == "" {
+		return fmt.Errorf("dimension type %s: empty category type name", t.name)
+	}
+	if name == TopName {
+		return fmt.Errorf("dimension type %s: category type name %q is reserved", t.name, TopName)
+	}
+	if _, ok := t.cats[name]; ok {
+		return fmt.Errorf("dimension type %s: duplicate category type %q", t.name, name)
+	}
+	t.cats[name] = &CategoryType{Name: name, AggType: agg, Kind: kind}
+	return nil
+}
+
+// AddOrder declares that category type lowerCat is immediately contained in
+// (finer than) higherCat: lowerCat <_T higherCat. Edges to ⊤ are implicit
+// and need not be declared.
+func (t *DimensionType) AddOrder(lowerCat, higherCat string) error {
+	if t.finalized {
+		return fmt.Errorf("dimension type %s: finalized", t.name)
+	}
+	if _, ok := t.cats[lowerCat]; !ok {
+		return fmt.Errorf("dimension type %s: unknown category type %q", t.name, lowerCat)
+	}
+	if _, ok := t.cats[higherCat]; !ok {
+		return fmt.Errorf("dimension type %s: unknown category type %q", t.name, higherCat)
+	}
+	if lowerCat == higherCat {
+		return fmt.Errorf("dimension type %s: self-loop on %q", t.name, lowerCat)
+	}
+	if t.higher[lowerCat] == nil {
+		t.higher[lowerCat] = map[string]bool{}
+	}
+	t.higher[lowerCat][higherCat] = true
+	if t.lower[higherCat] == nil {
+		t.lower[higherCat] = map[string]bool{}
+	}
+	t.lower[higherCat][lowerCat] = true
+	return nil
+}
+
+// Finalize validates the structure — acyclic, a unique bottom ⊥_T, every
+// category type connected upward to ⊤ — wires maximal category types to ⊤,
+// and freezes the type.
+func (t *DimensionType) Finalize() error {
+	if t.finalized {
+		return nil
+	}
+	if len(t.cats) == 1 {
+		return fmt.Errorf("dimension type %s: no category types besides ⊤", t.name)
+	}
+	// Wire maximal non-top category types to ⊤.
+	for name := range t.cats {
+		if name == TopName {
+			continue
+		}
+		if len(t.higher[name]) == 0 {
+			if err := t.addTopEdge(name); err != nil {
+				return err
+			}
+		}
+	}
+	// Acyclicity via topological sort over `higher`.
+	if !t.acyclic() {
+		return fmt.Errorf("dimension type %s: category order contains a cycle", t.name)
+	}
+	// Unique bottom: exactly one category type with no lower types.
+	var bottoms []string
+	for name := range t.cats {
+		if name == TopName {
+			continue
+		}
+		if len(t.lower[name]) == 0 {
+			bottoms = append(bottoms, name)
+		}
+	}
+	sort.Strings(bottoms)
+	if len(bottoms) != 1 {
+		return fmt.Errorf("dimension type %s: want exactly one bottom category type, found %d (%v)", t.name, len(bottoms), bottoms)
+	}
+	t.bottom = bottoms[0]
+	t.finalized = true
+	return nil
+}
+
+func (t *DimensionType) addTopEdge(name string) error {
+	if t.higher[name] == nil {
+		t.higher[name] = map[string]bool{}
+	}
+	t.higher[name][TopName] = true
+	if t.lower[TopName] == nil {
+		t.lower[TopName] = map[string]bool{}
+	}
+	t.lower[TopName][name] = true
+	return nil
+}
+
+func (t *DimensionType) acyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		for m := range t.higher[n] {
+			switch color[m] {
+			case gray:
+				return false
+			case white:
+				if !visit(m) {
+					return false
+				}
+			}
+		}
+		color[n] = black
+		return true
+	}
+	for n := range t.cats {
+		if color[n] == white && !visit(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Finalized reports whether Finalize has succeeded.
+func (t *DimensionType) Finalized() bool { return t.finalized }
+
+// Bottom returns the name of ⊥_T. It panics if the type is not finalized.
+func (t *DimensionType) Bottom() string {
+	t.mustFinal()
+	return t.bottom
+}
+
+// Top returns the name of ⊤_T.
+func (t *DimensionType) Top() string { return TopName }
+
+func (t *DimensionType) mustFinal() {
+	if !t.finalized {
+		panic(fmt.Sprintf("dimension type %s: not finalized", t.name))
+	}
+}
+
+// Has reports whether the named category type belongs to the dimension
+// type (C_j ∈ T).
+func (t *DimensionType) Has(name string) bool {
+	_, ok := t.cats[name]
+	return ok
+}
+
+// CategoryType returns the named category type, or nil.
+func (t *DimensionType) CategoryType(name string) *CategoryType { return t.cats[name] }
+
+// AggTypeOf returns Aggtype(C) for the named category type; Constant for
+// unknown names.
+func (t *DimensionType) AggTypeOf(name string) AggType {
+	if c, ok := t.cats[name]; ok {
+		return c.AggType
+	}
+	return Constant
+}
+
+// CategoryTypes returns all category type names in a deterministic
+// (sorted) order, ⊥ first and ⊤ last.
+func (t *DimensionType) CategoryTypes() []string {
+	names := make([]string, 0, len(t.cats))
+	for n := range t.cats {
+		if n == TopName || n == t.bottom {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, 0, len(t.cats))
+	if t.bottom != "" {
+		out = append(out, t.bottom)
+	}
+	out = append(out, names...)
+	out = append(out, TopName)
+	return out
+}
+
+// Pred returns the paper's Pred(C_j): the set of immediate predecessors of a
+// category type — the immediately coarser category types that contain it.
+// The result is sorted.
+func (t *DimensionType) Pred(name string) []string {
+	var out []string
+	for m := range t.higher[name] {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Succ returns the immediately finer category types contained in name
+// (the inverse of Pred). The result is sorted.
+func (t *DimensionType) Succ(name string) []string {
+	var out []string
+	for m := range t.lower[name] {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LessEq reports a ⊑_T b: b is reachable from a following containment
+// upward (reflexively).
+func (t *DimensionType) LessEq(a, b string) bool {
+	if !t.Has(a) || !t.Has(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	if b == TopName {
+		return true
+	}
+	seen := map[string]bool{}
+	stack := []string{a}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for m := range t.higher[n] {
+			stack = append(stack, m)
+		}
+	}
+	return false
+}
+
+// UpSet returns every category type C with a ⊑_T C (including a itself),
+// sorted bottom-up by name with a first and ⊤ last.
+func (t *DimensionType) UpSet(a string) []string {
+	if !t.Has(a) {
+		return nil
+	}
+	seen := map[string]bool{a: true}
+	stack := []string{a}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range t.higher[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	seen[TopName] = true
+	var mids []string
+	for n := range seen {
+		if n != a && n != TopName {
+			mids = append(mids, n)
+		}
+	}
+	sort.Strings(mids)
+	out := []string{a}
+	out = append(out, mids...)
+	if a != TopName {
+		out = append(out, TopName)
+	}
+	return out
+}
+
+// IsLattice reports whether every pair of category types has a unique least
+// upper bound and greatest lower bound — the paper states the category
+// types form a lattice; the checker lets schema authors verify it.
+func (t *DimensionType) IsLattice() bool {
+	t.mustFinal()
+	names := t.CategoryTypes()
+	ups := map[string]map[string]bool{}
+	downs := map[string]map[string]bool{}
+	for _, n := range names {
+		ups[n] = map[string]bool{}
+		for _, u := range t.UpSet(n) {
+			ups[n][u] = true
+		}
+	}
+	for _, n := range names {
+		downs[n] = map[string]bool{}
+		for _, m := range names {
+			if ups[m][n] {
+				downs[n][m] = true
+			}
+		}
+	}
+	unique := func(common map[string]bool, cmp func(x, y string) bool) bool {
+		// minimal (resp. maximal) elements of the common set must be unique
+		var extremes []string
+		for x := range common {
+			extreme := true
+			for y := range common {
+				if x != y && cmp(y, x) {
+					extreme = false
+					break
+				}
+			}
+			if extreme {
+				extremes = append(extremes, x)
+			}
+		}
+		return len(extremes) == 1
+	}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			// lub: common upper bounds, unique minimal one.
+			common := map[string]bool{}
+			for u := range ups[a] {
+				if ups[b][u] {
+					common[u] = true
+				}
+			}
+			if len(common) == 0 || !unique(common, func(x, y string) bool { return x != y && t.LessEq(x, y) }) {
+				return false
+			}
+			// glb: common lower bounds, unique maximal one.
+			commonD := map[string]bool{}
+			for d := range downs[a] {
+				if downs[b][d] {
+					commonD[d] = true
+				}
+			}
+			if len(commonD) == 0 || !unique(commonD, func(x, y string) bool { return x != y && t.LessEq(y, x) }) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Isomorphic reports whether two dimension types have the same structure:
+// same category type names with same aggregation types and kinds, and the
+// same immediate order. Isomorphic types may differ in dimension-type name
+// (used by the algebra's rename operator).
+func (t *DimensionType) Isomorphic(o *DimensionType) bool {
+	if len(t.cats) != len(o.cats) {
+		return false
+	}
+	for n, c := range t.cats {
+		oc, ok := o.cats[n]
+		if !ok || oc.AggType != c.AggType || oc.Kind != c.Kind {
+			return false
+		}
+		if len(t.higher[n]) != len(o.higher[n]) {
+			return false
+		}
+		for m := range t.higher[n] {
+			if !o.higher[n][m] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Restrict returns a new finalized dimension type containing only the given
+// category types (⊤ is always included), with the order restricted to them.
+// newBottom must be the unique minimal element of the kept set. Used by the
+// aggregate-formation operator to cut a dimension type at the grouping
+// category.
+func (t *DimensionType) Restrict(name string, keep []string) (*DimensionType, error) {
+	t.mustFinal()
+	kept := map[string]bool{TopName: true}
+	for _, k := range keep {
+		if !t.Has(k) {
+			return nil, fmt.Errorf("dimension type %s: restrict: unknown category type %q", t.name, k)
+		}
+		kept[k] = true
+	}
+	nt := NewDimensionType(name)
+	for k := range kept {
+		if k == TopName {
+			continue
+		}
+		c := t.cats[k]
+		if err := nt.AddCategoryType(c.Name, c.AggType, c.Kind); err != nil {
+			return nil, err
+		}
+	}
+	// Preserve reachability: connect a kept type to the *nearest* kept types
+	// above it.
+	for k := range kept {
+		if k == TopName {
+			continue
+		}
+		for _, up := range t.nearestKeptAbove(k, kept) {
+			if up == TopName {
+				continue
+			}
+			if err := nt.AddOrder(k, up); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := nt.Finalize(); err != nil {
+		return nil, err
+	}
+	return nt, nil
+}
+
+// nearestKeptAbove walks upward from start and returns the first kept
+// category types encountered on each path (excluding start itself).
+func (t *DimensionType) nearestKeptAbove(start string, kept map[string]bool) []string {
+	seen := map[string]bool{}
+	found := map[string]bool{}
+	var walk func(n string)
+	walk = func(n string) {
+		for m := range t.higher[n] {
+			if kept[m] {
+				found[m] = true
+				continue
+			}
+			if !seen[m] {
+				seen[m] = true
+				walk(m)
+			}
+		}
+	}
+	walk(start)
+	out := make([]string, 0, len(found))
+	for m := range found {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the dimension type under a new name, in the
+// same finalization state.
+func (t *DimensionType) Clone(name string) *DimensionType {
+	nt := &DimensionType{
+		name:      name,
+		cats:      map[string]*CategoryType{},
+		higher:    map[string]map[string]bool{},
+		lower:     map[string]map[string]bool{},
+		bottom:    t.bottom,
+		finalized: t.finalized,
+	}
+	for n, c := range t.cats {
+		cc := *c
+		nt.cats[n] = &cc
+	}
+	for n, set := range t.higher {
+		nt.higher[n] = map[string]bool{}
+		for m := range set {
+			nt.higher[n][m] = true
+		}
+	}
+	for n, set := range t.lower {
+		nt.lower[n] = map[string]bool{}
+		for m := range set {
+			nt.lower[n][m] = true
+		}
+	}
+	return nt
+}
+
+// MustDimensionType builds and finalizes a linear ("chain") dimension type
+// ⊥ = cats[0] < cats[1] < … < ⊤ where all categories share one aggregation
+// type and kind. It panics on error; intended for tests and examples.
+func MustDimensionType(name string, agg AggType, kind ValueKind, cats ...string) *DimensionType {
+	t := NewDimensionType(name)
+	for _, c := range cats {
+		if err := t.AddCategoryType(c, agg, kind); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i+1 < len(cats); i++ {
+		if err := t.AddOrder(cats[i], cats[i+1]); err != nil {
+			panic(err)
+		}
+	}
+	if err := t.Finalize(); err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,237 @@
+package dimension
+
+import (
+	"strings"
+	"testing"
+)
+
+// diagnosisType builds the Diagnosis dimension type of Example 2:
+// ⊥ = Low-level Diagnosis < Diagnosis Family < Diagnosis Group < ⊤.
+func diagnosisType(t *testing.T) *DimensionType {
+	t.Helper()
+	return MustDimensionType("Diagnosis", Constant, KindString,
+		"Low-level Diagnosis", "Diagnosis Family", "Diagnosis Group")
+}
+
+// dobType builds the Date-of-Birth dimension type of Example 8 with two
+// hierarchies: Day < Week, and Day < Month < Quarter < Year < Decade.
+func dobType(t *testing.T) *DimensionType {
+	t.Helper()
+	dt := NewDimensionType("DOB")
+	for _, c := range []string{"Day", "Week", "Month", "Quarter", "Year", "Decade"} {
+		if err := dt.AddCategoryType(c, Average, KindDate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"Day", "Week"}, {"Day", "Month"}, {"Month", "Quarter"}, {"Quarter", "Year"}, {"Year", "Decade"}} {
+		if err := dt.AddOrder(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dt.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return dt
+}
+
+func TestDimensionTypeBasics(t *testing.T) {
+	dt := diagnosisType(t)
+	if dt.Bottom() != "Low-level Diagnosis" {
+		t.Errorf("bottom = %q", dt.Bottom())
+	}
+	if dt.Top() != TopName {
+		t.Errorf("top = %q", dt.Top())
+	}
+	if !dt.Has("Diagnosis Family") || dt.Has("Nope") {
+		t.Error("Has is wrong")
+	}
+	// Example 2: Pred(Low-level Diagnosis) = {Diagnosis Family}.
+	if got := dt.Pred("Low-level Diagnosis"); len(got) != 1 || got[0] != "Diagnosis Family" {
+		t.Errorf("Pred = %v", got)
+	}
+	if got := dt.Pred("Diagnosis Group"); len(got) != 1 || got[0] != TopName {
+		t.Errorf("Pred(Group) = %v", got)
+	}
+	if got := dt.Succ("Diagnosis Family"); len(got) != 1 || got[0] != "Low-level Diagnosis" {
+		t.Errorf("Succ = %v", got)
+	}
+}
+
+func TestDimensionTypeLessEq(t *testing.T) {
+	dt := diagnosisType(t)
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"Low-level Diagnosis", "Diagnosis Family", true},
+		{"Low-level Diagnosis", "Diagnosis Group", true},
+		{"Low-level Diagnosis", TopName, true},
+		{"Diagnosis Family", "Low-level Diagnosis", false},
+		{"Diagnosis Group", "Diagnosis Group", true},
+		{TopName, "Diagnosis Group", false},
+		{"Nope", "Diagnosis Group", false},
+	}
+	for _, c := range cases {
+		if got := dt.LessEq(c.a, c.b); got != c.want {
+			t.Errorf("LessEq(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDimensionTypeUpSet(t *testing.T) {
+	dt := dobType(t)
+	up := dt.UpSet("Quarter")
+	want := []string{"Quarter", "Decade", "Year", TopName}
+	if len(up) != len(want) {
+		t.Fatalf("UpSet = %v", up)
+	}
+	for i := range want {
+		if up[i] != want[i] {
+			t.Fatalf("UpSet = %v, want %v", up, want)
+		}
+	}
+}
+
+func TestDimensionTypeValidation(t *testing.T) {
+	dt := NewDimensionType("X")
+	if err := dt.Finalize(); err == nil {
+		t.Error("finalizing an empty type must fail")
+	}
+	if err := dt.AddCategoryType(TopName, Constant, KindString); err == nil {
+		t.Error("reserved name must be rejected")
+	}
+	if err := dt.AddCategoryType("", Constant, KindString); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if err := dt.AddCategoryType("A", Constant, KindString); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.AddCategoryType("A", Constant, KindString); err == nil {
+		t.Error("duplicate must be rejected")
+	}
+	if err := dt.AddOrder("A", "A"); err == nil {
+		t.Error("self-loop must be rejected")
+	}
+	if err := dt.AddOrder("A", "Missing"); err == nil {
+		t.Error("unknown target must be rejected")
+	}
+
+	// Cycle detection.
+	cyc := NewDimensionType("Cyc")
+	for _, c := range []string{"A", "B", "C"} {
+		if err := cyc.AddCategoryType(c, Constant, KindString); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = cyc.AddOrder("A", "B")
+	_ = cyc.AddOrder("B", "C")
+	_ = cyc.AddOrder("C", "A")
+	if err := cyc.Finalize(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle must be detected, got %v", err)
+	}
+
+	// Two bottoms.
+	twoB := NewDimensionType("TwoB")
+	for _, c := range []string{"A", "B", "C"} {
+		if err := twoB.AddCategoryType(c, Constant, KindString); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = twoB.AddOrder("A", "C")
+	_ = twoB.AddOrder("B", "C")
+	if err := twoB.Finalize(); err == nil || !strings.Contains(err.Error(), "bottom") {
+		t.Errorf("two bottoms must be rejected, got %v", err)
+	}
+
+	// Mutation after finalize.
+	ok := MustDimensionType("OK", Constant, KindString, "A")
+	if err := ok.AddCategoryType("B", Constant, KindString); err == nil {
+		t.Error("mutation after finalize must fail")
+	}
+}
+
+func TestIsLattice(t *testing.T) {
+	if !diagnosisType(t).IsLattice() {
+		t.Error("a chain must be a lattice")
+	}
+	if !dobType(t).IsLattice() {
+		t.Error("the DOB diamond-ish type must be a lattice (Week and Month meet at Day, join at ⊤)")
+	}
+	// A genuine non-lattice: two parallel middle levels with two joins.
+	nl := NewDimensionType("NL")
+	for _, c := range []string{"Bot", "M1", "M2", "T1", "T2"} {
+		if err := nl.AddCategoryType(c, Constant, KindString); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"Bot", "M1"}, {"Bot", "M2"}, {"M1", "T1"}, {"M1", "T2"}, {"M2", "T1"}, {"M2", "T2"}} {
+		if err := nl.AddOrder(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nl.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if nl.IsLattice() {
+		t.Error("M1, M2 have two minimal upper bounds; not a lattice")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	dt := dobType(t)
+	rt, err := dt.Restrict("DOB'", []string{"Quarter", "Decade"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Bottom() != "Quarter" {
+		t.Errorf("bottom = %q", rt.Bottom())
+	}
+	// Year was dropped; Quarter must now be immediately below Decade.
+	if got := rt.Pred("Quarter"); len(got) != 1 || got[0] != "Decade" {
+		t.Errorf("Pred(Quarter) = %v", got)
+	}
+	if _, err := dt.Restrict("X", []string{"Nope"}); err == nil {
+		t.Error("unknown category must be rejected")
+	}
+}
+
+func TestIsomorphicAndClone(t *testing.T) {
+	a := diagnosisType(t)
+	b := a.Clone("Diagnosis2")
+	if !a.Isomorphic(b) {
+		t.Error("clone must be isomorphic")
+	}
+	c := dobType(t)
+	if a.Isomorphic(c) {
+		t.Error("different structures must not be isomorphic")
+	}
+	if b.Name() != "Diagnosis2" || !b.Finalized() {
+		t.Error("clone must keep state under new name")
+	}
+}
+
+func TestCategoryTypesOrder(t *testing.T) {
+	dt := diagnosisType(t)
+	cats := dt.CategoryTypes()
+	if cats[0] != "Low-level Diagnosis" || cats[len(cats)-1] != TopName {
+		t.Errorf("order = %v", cats)
+	}
+}
+
+func TestRenderTypeAndDOT(t *testing.T) {
+	dt := diagnosisType(t)
+	txt := dt.RenderType()
+	for _, want := range []string{"Low-level Diagnosis = ⊥", "Diagnosis Family", "→ ⊤"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("render missing %q:\n%s", want, txt)
+		}
+	}
+	dot := dt.DOTType(false)
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Errorf("DOT malformed:\n%s", dot)
+	}
+	sub := dt.DOTType(true)
+	if !strings.Contains(sub, "subgraph cluster_") {
+		t.Errorf("DOT subgraph malformed:\n%s", sub)
+	}
+}

@@ -1,0 +1,125 @@
+package dimension
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderType renders the dimension type's category lattice bottom-up as
+// indented text, one category per line with its aggregation type and the
+// immediate containment edges — the building block of the paper's Figure 2.
+func (t *DimensionType) RenderType() string {
+	t.mustFinal()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", t.name)
+	levels := t.levels()
+	for i, level := range levels {
+		for _, c := range level {
+			ct := t.cats[c]
+			marker := ""
+			if c == t.bottom {
+				marker = " = ⊥"
+			}
+			preds := t.Pred(c)
+			arrow := ""
+			if len(preds) > 0 && c != TopName {
+				arrow = " → " + strings.Join(preds, ", ")
+			}
+			fmt.Fprintf(&b, "  %s%s (%v)%s\n", ct.Name, marker, ct.AggType, arrow)
+		}
+		_ = i
+	}
+	return b.String()
+}
+
+// levels orders category types into levels by longest distance from the
+// bottom, so a chain renders ⊥ first and ⊤ last.
+func (t *DimensionType) levels() [][]string {
+	depth := map[string]int{}
+	var calc func(n string) int
+	calc = func(n string) int {
+		if dep, ok := depth[n]; ok {
+			return dep
+		}
+		depth[n] = 0 // guards cycles; the type is validated acyclic
+		max := 0
+		for m := range t.lower[n] {
+			if d := calc(m) + 1; d > max {
+				max = d
+			}
+		}
+		depth[n] = max
+		return max
+	}
+	maxDepth := 0
+	for n := range t.cats {
+		if d := calc(n); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	out := make([][]string, maxDepth+1)
+	for n, dep := range depth {
+		out[dep] = append(out[dep], n)
+	}
+	for _, level := range out {
+		sort.Strings(level)
+	}
+	return out
+}
+
+// DOTType renders the dimension type's category lattice in Graphviz DOT
+// syntax (as a subgraph body when sub is true).
+func (t *DimensionType) DOTType(sub bool) string {
+	t.mustFinal()
+	var b strings.Builder
+	name := strings.Map(dotIdent, t.name)
+	if sub {
+		fmt.Fprintf(&b, "subgraph cluster_%s {\n  label=%q;\n", name, t.name)
+	} else {
+		fmt.Fprintf(&b, "digraph %s {\n  rankdir=BT;\n", name)
+	}
+	for _, c := range t.CategoryTypes() {
+		fmt.Fprintf(&b, "  %q [label=\"%s (%v)\"];\n", t.name+"/"+c, c, t.cats[c].AggType)
+	}
+	for _, c := range t.CategoryTypes() {
+		for _, p := range t.Pred(c) {
+			fmt.Fprintf(&b, "  %q -> %q;\n", t.name+"/"+c, t.name+"/"+p)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotIdent(r rune) rune {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+		return r
+	default:
+		return '_'
+	}
+}
+
+// RenderInstance renders the dimension instance: each category with its
+// values and each order edge with its annotation.
+func (d *Dimension) RenderInstance() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dimension %s\n", d.dtype.Name())
+	for _, cat := range d.dtype.CategoryTypes() {
+		vals := d.Category(cat)
+		fmt.Fprintf(&b, "  %s = {%s}\n", cat, strings.Join(vals, ", "))
+	}
+	for _, e := range d.Edges() {
+		ann := ""
+		if !e.Annot.Time.Valid.Equal(alwaysValid) {
+			ann = " @" + e.Annot.Time.Valid.String()
+		}
+		if e.Annot.Prob != 1 {
+			ann += fmt.Sprintf(" p=%.2f", e.Annot.Prob)
+		}
+		fmt.Fprintf(&b, "  %s ⊑ %s%s\n", e.Child, e.Parent, ann)
+	}
+	return b.String()
+}
+
+var alwaysValid = Always().Time.Valid

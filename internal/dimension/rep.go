@@ -1,0 +1,173 @@
+package dimension
+
+import (
+	"fmt"
+	"sort"
+
+	"mddm/internal/temporal"
+)
+
+// repEntry is one temporally annotated mapping Rep(e) =Tv v.
+type repEntry struct {
+	id    string
+	val   string
+	annot Annot
+}
+
+// Representation is a named alternate key for the values of one category: a
+// bijective, temporally varying mapping between dimension values and
+// representation values (§3.1). At any instant, a value has at most one
+// representation value and vice versa — enforced on insertion.
+type Representation struct {
+	Name     string
+	Category string
+	byID     map[string][]repEntry
+	byVal    map[string][]repEntry
+}
+
+// AddRepresentation registers a new representation for the category of the
+// given type and returns it. An empty category name registers a
+// dimension-wide representation spanning all categories (the case study's
+// Code and Text representations identify diagnoses at every granularity).
+func (d *Dimension) AddRepresentation(name, cat string) (*Representation, error) {
+	if cat != "" && !d.dtype.Has(cat) {
+		return nil, fmt.Errorf("dimension %s: unknown category type %q", d.dtype.Name(), cat)
+	}
+	if _, ok := d.reps[name]; ok {
+		return nil, fmt.Errorf("dimension %s: duplicate representation %q", d.dtype.Name(), name)
+	}
+	r := &Representation{
+		Name:     name,
+		Category: cat,
+		byID:     map[string][]repEntry{},
+		byVal:    map[string][]repEntry{},
+	}
+	d.reps[name] = r
+	return r, nil
+}
+
+// Representation returns the named representation, or nil.
+func (d *Dimension) Representation(name string) *Representation { return d.reps[name] }
+
+// Representations returns the representation names, sorted.
+func (d *Dimension) Representations() []string {
+	names := make([]string, 0, len(d.reps))
+	for n := range d.reps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Map records Rep(id) = val with an Always annotation.
+func (r *Representation) Map(id, val string) error {
+	return r.MapAnnot(id, val, Always())
+}
+
+// MapAnnot records Rep(id) =Tv val. It rejects mappings that would destroy
+// bijectivity at some instant: the same id mapping to two values at
+// overlapping times, or two ids sharing a value at overlapping times.
+func (r *Representation) MapAnnot(id, val string, a Annot) error {
+	for _, e := range r.byID[id] {
+		if e.val != val && e.annot.Time.Valid.Overlaps(a.Time.Valid) && e.annot.Time.Trans.Overlaps(a.Time.Trans) {
+			return fmt.Errorf("representation %s: %q would map to both %q and %q at overlapping times", r.Name, id, e.val, val)
+		}
+	}
+	for _, e := range r.byVal[val] {
+		if e.id != id && e.annot.Time.Valid.Overlaps(a.Time.Valid) && e.annot.Time.Trans.Overlaps(a.Time.Trans) {
+			return fmt.Errorf("representation %s: value %q would identify both %q and %q at overlapping times", r.Name, val, e.id, id)
+		}
+	}
+	entry := repEntry{id: id, val: val, annot: a}
+	r.byID[id] = append(r.byID[id], entry)
+	r.byVal[val] = append(r.byVal[val], entry)
+	return nil
+}
+
+// RepOf returns the representation value of id under the context. With no
+// instant filter, the entry with the latest valid time is returned (the
+// most recent name).
+func (r *Representation) RepOf(id string, ctx Context) (string, bool) {
+	e, ok := r.pick(r.byID[id], ctx)
+	return e.val, ok
+}
+
+// IDOf returns the dimension value identified by the representation value
+// under the context.
+func (r *Representation) IDOf(val string, ctx Context) (string, bool) {
+	e, ok := r.pick(r.byVal[val], ctx)
+	return e.id, ok
+}
+
+// RepTime returns the valid-time element during which Rep(id) = val.
+func (r *Representation) RepTime(id, val string) temporal.Element {
+	for _, e := range r.byID[id] {
+		if e.val == val {
+			return e.annot.Time.Valid
+		}
+	}
+	return temporal.Empty()
+}
+
+// Entries returns all (id, value, annotation) triples, sorted by id then
+// value, for rendering and serialization.
+func (r *Representation) Entries() []struct {
+	ID, Val string
+	Annot   Annot
+} {
+	var out []struct {
+		ID, Val string
+		Annot   Annot
+	}
+	for _, es := range r.byID {
+		for _, e := range es {
+			out = append(out, struct {
+				ID, Val string
+				Annot   Annot
+			}{e.id, e.val, e.annot})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Val < out[j].Val
+	})
+	return out
+}
+
+func (r *Representation) pick(es []repEntry, ctx Context) (repEntry, bool) {
+	var best repEntry
+	var bestStart temporal.Chronon = temporal.MinChronon
+	found := false
+	for _, e := range es {
+		if !ctx.Admits(e.annot) {
+			continue
+		}
+		end, _ := e.annot.Time.Valid.End()
+		if !found || end >= bestStart {
+			best, bestStart, found = e, end, true
+		}
+	}
+	return best, found
+}
+
+func (r *Representation) clone() *Representation {
+	nr := &Representation{
+		Name:     r.Name,
+		Category: r.Category,
+		byID:     map[string][]repEntry{},
+		byVal:    map[string][]repEntry{},
+	}
+	for id, es := range r.byID {
+		cp := make([]repEntry, len(es))
+		copy(cp, es)
+		nr.byID[id] = cp
+	}
+	for v, es := range r.byVal {
+		cp := make([]repEntry, len(es))
+		copy(cp, es)
+		nr.byVal[v] = cp
+	}
+	return nr
+}

@@ -1,0 +1,83 @@
+package dimension
+
+import "mddm/internal/temporal"
+
+// SliceValid returns the dimension as it appeared in the modeled reality at
+// valid-time instant t (the dimension part of the paper's valid-timeslice
+// operator): memberships, order edges and representation mappings not valid
+// at t are dropped, and the surviving statements carry no valid time.
+// Transaction time and probabilities are preserved.
+func (d *Dimension) SliceValid(t temporal.Chronon, ref temporal.Chronon) *Dimension {
+	keep := func(a Annot) (Annot, bool) {
+		if !a.Time.Valid.Contains(t, ref) {
+			return Annot{}, false
+		}
+		a.Time.Valid = temporal.AlwaysElement()
+		return a, true
+	}
+	return d.slice(keep)
+}
+
+// SliceTrans returns the dimension as it was current in the database at
+// transaction-time instant t (the dimension part of the
+// transaction-timeslice operator): statements not current at t are
+// dropped, and the surviving statements carry no transaction time.
+func (d *Dimension) SliceTrans(t temporal.Chronon, ref temporal.Chronon) *Dimension {
+	keep := func(a Annot) (Annot, bool) {
+		if !a.Time.Trans.Contains(t, ref) {
+			return Annot{}, false
+		}
+		a.Time.Trans = temporal.AlwaysElement()
+		return a, true
+	}
+	return d.slice(keep)
+}
+
+func (d *Dimension) slice(keep func(Annot) (Annot, bool)) *Dimension {
+	nd := New(d.dtype)
+	for id, cat := range d.valueCat {
+		if id == TopValue {
+			continue
+		}
+		if a, ok := keep(d.memberAt[id]); ok {
+			// Insertion into a fresh dimension of the same type cannot fail.
+			if err := nd.AddValueAnnot(cat, id, a); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for child, es := range d.up {
+		if !nd.Has(child) {
+			continue
+		}
+		for _, e := range es {
+			if !nd.Has(e.other) {
+				continue
+			}
+			if a, ok := keep(e.annot); ok {
+				if err := nd.AddEdgeAnnot(child, e.other, a); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	for name, r := range d.reps {
+		nr, err := nd.AddRepresentation(name, r.Category)
+		if err != nil {
+			panic(err)
+		}
+		for _, es := range r.byID {
+			for _, e := range es {
+				if !nd.Has(e.id) {
+					continue
+				}
+				if a, ok := keep(e.annot); ok {
+					if err := nr.MapAnnot(e.id, e.val, a); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	}
+	return nd
+}

@@ -1,0 +1,202 @@
+package dimension
+
+import (
+	"strings"
+	"testing"
+
+	"mddm/internal/temporal"
+)
+
+func TestSliceValid(t *testing.T) {
+	d := diagnosisDim(t)
+	code, err := d.AddRepresentation("Code", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Code P11 belongs to diagnosis 3 during the 70s; O24 to 4 from 1980.
+	if err := code.MapAnnot("3", "P11", ValidDuring(temporal.Span("01/01/70", "31/12/79"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := code.MapAnnot("4", "O24", ValidDuring(temporal.Span("01/01/80", "NOW"))); err != nil {
+		t.Fatal(err)
+	}
+
+	s75 := d.SliceValid(temporal.MustDate("15/06/75"), ref)
+	// 1975: old classification only.
+	for _, gone := range []string{"4", "5", "6", "9", "10", "11", "12"} {
+		if s75.Has(gone) {
+			t.Errorf("1975 slice must not contain %s", gone)
+		}
+	}
+	for _, there := range []string{"3", "7", "8"} {
+		if !s75.Has(there) {
+			t.Errorf("1975 slice must contain %s", there)
+		}
+	}
+	// The surviving order edge 3 ⊑ 7 carries no valid time anymore.
+	a, ok := s75.EdgeAnnot("3", "7")
+	if !ok {
+		t.Fatal("edge 3 ⊑ 7 must survive")
+	}
+	if !a.Time.Valid.Equal(temporal.AlwaysElement()) {
+		t.Errorf("sliced edge still carries time: %v", a.Time.Valid)
+	}
+	// The representation is sliced too: P11 survives, O24 does not.
+	sc := s75.Representation("Code")
+	if sc == nil {
+		t.Fatal("representation lost")
+	}
+	if _, ok := sc.RepOf("3", Context{Ref: ref}); !ok {
+		t.Error("P11 must survive the 1975 slice")
+	}
+	if id, ok := sc.IDOf("O24", Context{Ref: ref}); ok {
+		t.Errorf("O24 must not survive, got %s", id)
+	}
+	// Memberships carry no valid time.
+	m, _ := s75.Membership("3")
+	if !m.Time.Valid.Equal(temporal.AlwaysElement()) {
+		t.Errorf("sliced membership still carries time: %v", m.Time.Valid)
+	}
+}
+
+func TestSliceTrans(t *testing.T) {
+	d := New(diagnosisType(t))
+	// A value recorded in the database during [1990, NOW].
+	a := Annot{
+		Time: temporal.Bitemporal{
+			Valid: temporal.Span("01/01/80", "NOW"),
+			Trans: temporal.Span("01/01/90", "NOW"),
+		},
+		Prob: 1,
+	}
+	if err := d.AddValueAnnot("Diagnosis Group", "11", a); err != nil {
+		t.Fatal(err)
+	}
+	before := d.SliceTrans(temporal.MustDate("01/01/85"), ref)
+	if before.Has("11") {
+		t.Error("value must be absent from the 1985 database state")
+	}
+	after := d.SliceTrans(temporal.MustDate("01/01/95"), ref)
+	if !after.Has("11") {
+		t.Fatal("value must be present in the 1995 database state")
+	}
+	// Valid time survives a transaction slice; transaction time is
+	// stripped.
+	m, _ := after.Membership("11")
+	if !m.Time.Trans.Equal(temporal.AlwaysElement()) {
+		t.Error("transaction time must be stripped")
+	}
+	if m.Time.Valid.Equal(temporal.AlwaysElement()) {
+		t.Error("valid time must survive")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := diagnosisDim(t)
+	if cat, ok := d.CategoryOf("9"); !ok || cat != "Diagnosis Family" {
+		t.Errorf("CategoryOf = %q %v", cat, ok)
+	}
+	if _, ok := d.CategoryOf("nope"); ok {
+		t.Error("unknown value has no category")
+	}
+	vals := d.Values()
+	if len(vals) != 11 || vals[len(vals)-1] != TopValue {
+		t.Errorf("Values = %v", vals)
+	}
+	kids := d.Children("11")
+	if strings.Join(kids, ",") != "10,8,9" {
+		t.Errorf("Children(11) = %v", kids)
+	}
+	// CategoryAt filters by membership time: in 1975 only old values.
+	at := ctx().AtValid(temporal.MustDate("15/06/75"))
+	if got := d.CategoryAt("Diagnosis Family", at); strings.Join(got, ",") != "7,8" {
+		t.Errorf("1975 families = %v", got)
+	}
+	if got := d.CategoryAt("Diagnosis Group", at); len(got) != 0 {
+		t.Errorf("1975 groups = %v", got)
+	}
+	// Covering: every 1975 family member rolls into ⊤ trivially; low-level
+	// into family holds for the case data.
+	if !d.Covering("Low-level Diagnosis", "Diagnosis Family", ctx()) {
+		t.Error("low-level must be covered by families")
+	}
+	if d.Covering("Diagnosis Family", "Diagnosis Group", ctx()) {
+		t.Error("family 7 never reaches a group (any-time)")
+	}
+	// AggTypeOf on the type.
+	if d.Type().AggTypeOf("Diagnosis Family") != Constant {
+		t.Error("AggTypeOf wrong")
+	}
+	if d.Type().AggTypeOf("Nope") != Constant {
+		t.Error("unknown category defaults to c")
+	}
+}
+
+func TestNumericKinds(t *testing.T) {
+	ft := MustDimensionType("F", Sum, KindFloat, "V")
+	f := New(ft)
+	if err := f.AddValue("V", "2.5"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := f.Numeric("2.5", ctx()); !ok || v != 2.5 {
+		t.Errorf("float numeric = %v %v", v, ok)
+	}
+	if _, ok := f.Numeric("nope", ctx()); ok {
+		t.Error("unknown value has no numeric")
+	}
+
+	dt := MustDimensionType("D", Average, KindDate, "Day")
+	d := New(dt)
+	if err := d.AddValue("Day", "01/01/1980"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d.Numeric("01/01/1980", ctx()); !ok || v != float64(temporal.MustDate("01/01/1980")) {
+		t.Errorf("date numeric = %v %v", v, ok)
+	}
+	if err := d.AddValue("Day", "not-a-date"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Numeric("not-a-date", ctx()); ok {
+		t.Error("garbage date must have no numeric")
+	}
+
+	st := MustDimensionType("S", Constant, KindString, "V")
+	s := New(st)
+	if err := s.AddValue("V", "42"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Numeric("42", ctx()); ok {
+		t.Error("string categories have no numeric interpretation")
+	}
+
+	it := MustDimensionType("I", Sum, KindInt, "V")
+	i := New(it)
+	if err := i.AddValue("V", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := i.Numeric("x", ctx()); ok {
+		t.Error("unparsable int must have no numeric")
+	}
+}
+
+func TestContextAtTrans(t *testing.T) {
+	d := New(diagnosisType(t))
+	a := Annot{
+		Time: temporal.Bitemporal{
+			Valid: temporal.AlwaysElement(),
+			Trans: temporal.Span("01/01/90", "NOW"),
+		},
+		Prob: 1,
+	}
+	if err := d.AddValueAnnot("Diagnosis Group", "11", a); err != nil {
+		t.Fatal(err)
+	}
+	early := ctx().AtTrans(temporal.MustDate("01/01/85"))
+	if got := d.CategoryAt("Diagnosis Group", early); len(got) != 0 {
+		t.Errorf("1985 database state = %v", got)
+	}
+	late := ctx().AtTrans(temporal.MustDate("01/01/95"))
+	if got := d.CategoryAt("Diagnosis Group", late); len(got) != 1 {
+		t.Errorf("1995 database state = %v", got)
+	}
+}

@@ -1,0 +1,201 @@
+package dimension
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SubDimension returns the subdimension D' of D obtained by restricting to
+// the given category types (⊤ is always retained). The partial order is the
+// restriction of ⊑ to the kept categories: for values e1, e2 in kept
+// categories, e1 ⊑' e2 iff e1 ⊑ e2 in D. Contracted paths through dropped
+// categories intersect the annotations' times and multiply their
+// probabilities; parallel contracted paths union times and take the maximum
+// probability.
+func (d *Dimension) SubDimension(typeName string, keep ...string) (*Dimension, error) {
+	nt, err := d.dtype.Restrict(typeName, keep)
+	if err != nil {
+		return nil, err
+	}
+	keptCat := map[string]bool{TopName: true}
+	for _, k := range keep {
+		keptCat[k] = true
+	}
+	nd := New(nt)
+	for id, cat := range d.valueCat {
+		if id == TopValue || !keptCat[cat] {
+			continue
+		}
+		if err := nd.AddValueAnnot(cat, id, d.memberAt[id]); err != nil {
+			return nil, err
+		}
+	}
+	// Contract order edges through dropped values.
+	for id, cat := range d.valueCat {
+		if id == TopValue || !keptCat[cat] {
+			continue
+		}
+		for parent, a := range d.nearestKeptAncestors(id, keptCat) {
+			if err := nd.AddEdgeAnnot(id, parent, a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for name, r := range d.reps {
+		if keptCat[r.Category] {
+			nd.reps[name] = r.clone()
+		}
+	}
+	return nd, nil
+}
+
+// nearestKeptAncestors walks upward from start through values in dropped
+// categories and returns, for each first-encountered value in a kept
+// category, the combined annotation of the contracted path(s).
+func (d *Dimension) nearestKeptAncestors(start string, keptCat map[string]bool) map[string]Annot {
+	found := map[string]Annot{}
+	var walk func(n string, a Annot)
+	walk = func(n string, a Annot) {
+		for _, e := range d.up[n] {
+			combined := Annot{
+				Time: a.Time.Intersect(e.annot.Time),
+				Prob: a.Prob * e.annot.Prob,
+			}
+			if combined.IsEmpty() {
+				continue
+			}
+			cat := d.valueCat[e.other]
+			if keptCat[cat] {
+				if old, ok := found[e.other]; ok {
+					found[e.other] = Annot{Time: old.Time.Union(combined.Time), Prob: maxf(old.Prob, combined.Prob)}
+				} else {
+					found[e.other] = combined
+				}
+				continue
+			}
+			walk(e.other, combined)
+		}
+	}
+	walk(start, Always())
+	return found
+}
+
+// Union implements the paper's ⋃D operator on two dimensions of a common
+// type: categories are unioned, and the partial orders are unioned with the
+// temporal rule of §4.2 — annotations of statements present in both
+// dimensions union their chronon sets (probabilities combine by max).
+// Membership annotations follow the same rule. Representations are merged;
+// conflicting entries that would break bijectivity are rejected.
+func (d *Dimension) Union(o *Dimension) (*Dimension, error) {
+	if !d.dtype.Isomorphic(o.dtype) {
+		return nil, fmt.Errorf("dimension union: types %q and %q are not isomorphic", d.dtype.Name(), o.dtype.Name())
+	}
+	nd := d.Clone()
+	for id, cat := range o.valueCat {
+		if id == TopValue {
+			continue
+		}
+		if prevCat, ok := nd.valueCat[id]; ok {
+			if prevCat != cat {
+				return nil, fmt.Errorf("dimension union: value %q in categories %q and %q", id, prevCat, cat)
+			}
+			old := nd.memberAt[id]
+			oa := o.memberAt[id]
+			nd.memberAt[id] = Annot{Time: old.Time.Union(oa.Time), Prob: maxf(old.Prob, oa.Prob)}
+			continue
+		}
+		if err := nd.AddValueAnnot(cat, id, o.memberAt[id]); err != nil {
+			return nil, err
+		}
+	}
+	for child, es := range o.up {
+		for _, e := range es {
+			if err := nd.AddEdgeAnnot(child, e.other, e.annot); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for name, r := range o.reps {
+		existing, ok := nd.reps[name]
+		if !ok {
+			nd.reps[name] = r.clone()
+			continue
+		}
+		for _, es := range r.byID {
+			for _, e := range es {
+				if t := existing.RepTime(e.id, e.val); t.Covers(e.annot.Time.Valid) {
+					continue // identical mapping already present
+				}
+				if err := existing.MapAnnot(e.id, e.val, e.annot); err != nil {
+					return nil, fmt.Errorf("dimension union: %w", err)
+				}
+			}
+		}
+	}
+	return nd, nil
+}
+
+// Equal reports whether two dimensions have identical values, memberships,
+// edges and annotations (used by tests and the algebra's closure checks).
+func (d *Dimension) Equal(o *Dimension) bool {
+	if len(d.valueCat) != len(o.valueCat) {
+		return false
+	}
+	for id, cat := range d.valueCat {
+		oc, ok := o.valueCat[id]
+		if !ok || oc != cat {
+			return false
+		}
+		da, oa := d.memberAt[id], o.memberAt[id]
+		if da.Prob != oa.Prob || !da.Time.Valid.Equal(oa.Time.Valid) || !da.Time.Trans.Equal(oa.Time.Trans) {
+			return false
+		}
+	}
+	edgeKey := func(m map[string][]edge) map[string]Annot {
+		out := map[string]Annot{}
+		for child, es := range m {
+			for _, e := range es {
+				out[child+"\x00"+e.other] = e.annot
+			}
+		}
+		return out
+	}
+	de, oe := edgeKey(d.up), edgeKey(o.up)
+	if len(de) != len(oe) {
+		return false
+	}
+	for k, a := range de {
+		b, ok := oe[k]
+		if !ok || a.Prob != b.Prob || !a.Time.Valid.Equal(b.Time.Valid) || !a.Time.Trans.Equal(b.Time.Trans) {
+			return false
+		}
+	}
+	return true
+}
+
+// Edges returns all order edges (child, parent, annotation), sorted, for
+// rendering and serialization.
+func (d *Dimension) Edges() []struct {
+	Child, Parent string
+	Annot         Annot
+} {
+	var out []struct {
+		Child, Parent string
+		Annot         Annot
+	}
+	for child, es := range d.up {
+		for _, e := range es {
+			out = append(out, struct {
+				Child, Parent string
+				Annot         Annot
+			}{child, e.other, e.annot})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Child != out[j].Child {
+			return out[i].Child < out[j].Child
+		}
+		return out[i].Parent < out[j].Parent
+	})
+	return out
+}

@@ -1,0 +1,98 @@
+package dimension
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mddm/internal/temporal"
+)
+
+// randDim builds a random two-level dimension with temporal annotations.
+func randDim(t *testing.T, r *rand.Rand, dt *DimensionType) *Dimension {
+	t.Helper()
+	d := New(dt)
+	nTop := 1 + r.Intn(3)
+	for i := 0; i < nTop; i++ {
+		if err := d.AddValueAnnot("Hi", fmt.Sprintf("h%d", i), randAnnot(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2+r.Intn(5); i++ {
+		id := fmt.Sprintf("l%d", i)
+		if err := d.AddValueAnnot("Lo", id, randAnnot(r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddEdgeAnnot(id, fmt.Sprintf("h%d", r.Intn(nTop)), randAnnot(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func randAnnot(r *rand.Rand) Annot {
+	s := temporal.Chronon(r.Intn(1000))
+	return ValidDuring(temporal.NewElement(temporal.NewInterval(s, s+temporal.Chronon(1+r.Intn(1000)))))
+}
+
+func TestDimensionUnionLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	dt := MustDimensionType("U", Constant, KindString, "Lo", "Hi")
+	for iter := 0; iter < 40; iter++ {
+		a := randDim(t, r, dt)
+		b := randDim(t, r, dt)
+
+		ab, err := a.Union(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := b.Union(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Commutativity.
+		if !ab.Equal(ba) {
+			t.Fatalf("iter %d: union not commutative", iter)
+		}
+		// Idempotence.
+		aa, err := a.Union(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !aa.Equal(a) {
+			t.Fatalf("iter %d: union not idempotent", iter)
+		}
+		// Upper bound: every value and edge of both operands survives with
+		// at least its original chronon set.
+		for _, id := range a.Values() {
+			ma, _ := a.Membership(id)
+			mu, ok := ab.Membership(id)
+			if !ok || !mu.Time.Valid.Covers(ma.Time.Valid) {
+				t.Fatalf("iter %d: union lost membership time of %s", iter, id)
+			}
+		}
+		for _, e := range b.Edges() {
+			ua, ok := ab.EdgeAnnot(e.Child, e.Parent)
+			if !ok || !ua.Time.Valid.Covers(e.Annot.Time.Valid) {
+				t.Fatalf("iter %d: union lost edge %s⊑%s", iter, e.Child, e.Parent)
+			}
+		}
+		// Associativity on a third operand.
+		c := randDim(t, r, dt)
+		left, err := ab.Union(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := b.Union(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := a.Union(bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !left.Equal(right) {
+			t.Fatalf("iter %d: union not associative", iter)
+		}
+	}
+}

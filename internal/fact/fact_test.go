@@ -1,0 +1,180 @@
+package fact
+
+import (
+	"testing"
+
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+func TestNewGroupCanonical(t *testing.T) {
+	g := NewGroup([]string{"2", "1", "2"})
+	if g.ID != "{1,2}" {
+		t.Errorf("ID = %q", g.ID)
+	}
+	if !g.IsGroup() || g.Size() != 2 {
+		t.Errorf("group props wrong: %+v", g)
+	}
+	base := NewFact("1")
+	if base.IsGroup() || base.Size() != 1 {
+		t.Errorf("base props wrong: %+v", base)
+	}
+	// Canonical identity: same members, same fact.
+	if NewGroup([]string{"b", "a"}).ID != NewGroup([]string{"a", "b"}).ID {
+		t.Error("group identity must be order-independent")
+	}
+	if NewGroup(nil).ID != "{}" {
+		t.Error("empty group renders as {}")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := NewSet(NewFact("1"), NewFact("2"), NewFact("3"))
+	b := NewSet(NewFact("2"), NewFact("4"))
+	if a.Len() != 3 || !a.Has("1") || a.Has("4") {
+		t.Error("basic set ops wrong")
+	}
+	u := a.Union(b)
+	if u.Len() != 4 {
+		t.Errorf("union len = %d", u.Len())
+	}
+	d := a.Difference(b)
+	if d.Len() != 2 || d.Has("2") || !d.Has("1") {
+		t.Errorf("difference = %v", d)
+	}
+	if got := u.String(); got != "{1, 2, 3, 4}" {
+		t.Errorf("String = %q", got)
+	}
+	// Duplicate add is idempotent (facts are a set).
+	a.Add(NewFact("1"))
+	if a.Len() != 3 {
+		t.Error("duplicate add must be idempotent")
+	}
+	c := a.Clone()
+	c.Remove("1")
+	if !a.Has("1") {
+		t.Error("clone mutation leaked")
+	}
+	if a.Equal(c) {
+		t.Error("sets with different members must differ")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone must be equal")
+	}
+	if f, ok := a.Get("2"); !ok || f.ID != "2" {
+		t.Error("Get wrong")
+	}
+}
+
+func TestPairFact(t *testing.T) {
+	p := PairFact(NewFact("1"), NewFact("2"))
+	if p.ID != "(1,2)" {
+		t.Errorf("pair id = %q", p.ID)
+	}
+	if PairFact(NewFact("2"), NewFact("1")).ID == p.ID {
+		t.Error("pairs are ordered")
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation()
+	r.Add("1", "9")
+	r.Add("2", "3")
+	r.Add("2", "9")
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if !r.Has("1", "9") || r.Has("1", "3") {
+		t.Error("Has wrong")
+	}
+	if got := r.ValuesOf("2"); len(got) != 2 || got[0] != "3" || got[1] != "9" {
+		t.Errorf("ValuesOf = %v", got)
+	}
+	if got := r.FactsOf("9"); len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Errorf("FactsOf = %v", got)
+	}
+	if got := r.Facts(); len(got) != 2 {
+		t.Errorf("Facts = %v", got)
+	}
+	r.Remove("2", "3")
+	if r.Has("2", "3") || r.Len() != 2 {
+		t.Error("Remove failed")
+	}
+	if got := r.FactsOf("3"); len(got) != 0 {
+		t.Errorf("inverse index stale: %v", got)
+	}
+}
+
+func TestRelationCoalesce(t *testing.T) {
+	r := NewRelation()
+	// Example 9: (2,3) ∈ [23/03/75-24/12/75] R, extended by an adjacent
+	// interval must coalesce into one maximal chronon set.
+	r.AddAnnot("2", "3", dimension.ValidDuring(temporal.Span("23/03/75", "24/12/75")))
+	r.AddAnnot("2", "3", dimension.ValidDuring(temporal.Span("25/12/75", "31/12/75")))
+	a, ok := r.Annot("2", "3")
+	if !ok {
+		t.Fatal("pair missing")
+	}
+	if want := "[23/03/1975 - 31/12/1975]"; a.Time.Valid.String() != want {
+		t.Errorf("coalesced = %v, want %v", a.Time.Valid, want)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	// Probability combines by max.
+	r.AddAnnot("2", "3", dimension.Always().WithProb(0.5))
+	a, _ = r.Annot("2", "3")
+	if a.Prob != 1 {
+		t.Errorf("prob = %v, want max(1, 0.5) = 1", a.Prob)
+	}
+}
+
+func TestRelationUnionRestrictCloneEqual(t *testing.T) {
+	r := NewRelation()
+	r.AddAnnot("1", "9", dimension.ValidDuring(temporal.Span("01/01/89", "NOW")))
+	r.Add("2", "9")
+
+	o := NewRelation()
+	o.AddAnnot("1", "9", dimension.ValidDuring(temporal.Span("01/01/70", "31/12/79")))
+	o.Add("3", "5")
+
+	u := r.Union(o)
+	if u.Len() != 3 {
+		t.Errorf("union len = %d", u.Len())
+	}
+	a, _ := u.Annot("1", "9")
+	if want := "[01/01/1970 - 31/12/1979] ∪ [01/01/1989 - NOW]"; a.Time.Valid.String() != want {
+		t.Errorf("union annot = %v", a.Time.Valid)
+	}
+
+	restricted := u.Restrict(func(f string) bool { return f == "2" })
+	if restricted.Len() != 1 || !restricted.Has("2", "9") {
+		t.Errorf("restrict wrong: %v", restricted.Pairs())
+	}
+
+	c := r.Clone()
+	if !c.Equal(r) {
+		t.Error("clone must equal original")
+	}
+	c.Add("9", "9")
+	if c.Equal(r) {
+		t.Error("mutated clone must differ")
+	}
+	if r.Equal(o) {
+		t.Error("different relations must differ")
+	}
+}
+
+func TestRelationPairsDeterministic(t *testing.T) {
+	r := NewRelation()
+	r.Add("2", "9")
+	r.Add("1", "9")
+	r.Add("2", "3")
+	ps := r.Pairs()
+	want := []string{"1/9", "2/3", "2/9"}
+	for i, p := range ps {
+		if got := p.FactID + "/" + p.ValueID; got != want[i] {
+			t.Errorf("pair %d = %s, want %s", i, got, want[i])
+		}
+	}
+}

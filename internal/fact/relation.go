@@ -1,0 +1,202 @@
+package fact
+
+import (
+	"sort"
+
+	"mddm/internal/dimension"
+)
+
+// Pair is one annotated element (f, e) ∈Tv,p R of a fact–dimension
+// relation.
+type Pair struct {
+	FactID  string
+	ValueID string
+	Annot   dimension.Annot
+}
+
+// Relation is a fact–dimension relation R between a fact set and a
+// dimension: a set of annotated (fact, value) pairs. A fact may be related
+// to any number of values, at any granularity — the relation captures the
+// many-to-many relationships and mixed granularities of requirement 6
+// and 9. Duplicate (fact, value) pairs coalesce their chronon sets.
+type Relation struct {
+	pairs  map[string]map[string]dimension.Annot // fact -> value -> annot
+	byVal  map[string]map[string]bool            // value -> facts
+	nPairs int
+}
+
+// NewRelation returns an empty fact–dimension relation.
+func NewRelation() *Relation {
+	return &Relation{
+		pairs: map[string]map[string]dimension.Annot{},
+		byVal: map[string]map[string]bool{},
+	}
+}
+
+// Add records (f, e) ∈ R with an Always annotation.
+func (r *Relation) Add(factID, valueID string) {
+	r.AddAnnot(factID, valueID, dimension.Always())
+}
+
+// AddAnnot records (f, e) ∈Tv R. A pre-existing pair coalesces: chronon
+// sets union per the paper's rule for value-equivalent data, probabilities
+// combine by max.
+func (r *Relation) AddAnnot(factID, valueID string, a dimension.Annot) {
+	vs := r.pairs[factID]
+	if vs == nil {
+		vs = map[string]dimension.Annot{}
+		r.pairs[factID] = vs
+	}
+	if old, ok := vs[valueID]; ok {
+		p := old.Prob
+		if a.Prob > p {
+			p = a.Prob
+		}
+		vs[valueID] = dimension.Annot{Time: old.Time.Union(a.Time), Prob: p}
+	} else {
+		vs[valueID] = a
+		r.nPairs++
+	}
+	if r.byVal[valueID] == nil {
+		r.byVal[valueID] = map[string]bool{}
+	}
+	r.byVal[valueID][factID] = true
+}
+
+// Remove deletes the (fact, value) pair.
+func (r *Relation) Remove(factID, valueID string) {
+	if vs, ok := r.pairs[factID]; ok {
+		if _, had := vs[valueID]; had {
+			delete(vs, valueID)
+			r.nPairs--
+			if len(vs) == 0 {
+				delete(r.pairs, factID)
+			}
+		}
+	}
+	if fs, ok := r.byVal[valueID]; ok {
+		delete(fs, factID)
+		if len(fs) == 0 {
+			delete(r.byVal, valueID)
+		}
+	}
+}
+
+// Annot returns the annotation of the pair (f, e) and whether it exists.
+func (r *Relation) Annot(factID, valueID string) (dimension.Annot, bool) {
+	a, ok := r.pairs[factID][valueID]
+	return a, ok
+}
+
+// Has reports whether (f, e) ∈ R for some annotation.
+func (r *Relation) Has(factID, valueID string) bool {
+	_, ok := r.pairs[factID][valueID]
+	return ok
+}
+
+// ValuesOf returns the sorted dimension values directly related to a fact.
+func (r *Relation) ValuesOf(factID string) []string {
+	out := make([]string, 0, len(r.pairs[factID]))
+	for v := range r.pairs[factID] {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FactsOf returns the sorted facts directly related to a value.
+func (r *Relation) FactsOf(valueID string) []string {
+	out := make([]string, 0, len(r.byVal[valueID]))
+	for f := range r.byVal[valueID] {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Facts returns the sorted fact ids that appear in the relation.
+func (r *Relation) Facts() []string {
+	out := make([]string, 0, len(r.pairs))
+	for f := range r.pairs {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of (fact, value) pairs.
+func (r *Relation) Len() int { return r.nPairs }
+
+// Pairs returns all pairs sorted by fact then value, for deterministic
+// iteration and rendering.
+func (r *Relation) Pairs() []Pair {
+	out := make([]Pair, 0, r.nPairs)
+	for f, vs := range r.pairs {
+		for v, a := range vs {
+			out = append(out, Pair{FactID: f, ValueID: v, Annot: a})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FactID != out[j].FactID {
+			return out[i].FactID < out[j].FactID
+		}
+		return out[i].ValueID < out[j].ValueID
+	})
+	return out
+}
+
+// Restrict returns a new relation keeping only pairs whose fact is in keep.
+func (r *Relation) Restrict(keep func(factID string) bool) *Relation {
+	n := NewRelation()
+	for f, vs := range r.pairs {
+		if !keep(f) {
+			continue
+		}
+		for v, a := range vs {
+			n.AddAnnot(f, v, a)
+		}
+	}
+	return n
+}
+
+// Union returns the union of two relations, coalescing common pairs per the
+// paper's temporal union rule: (f,e) ∈T1 R1 ∧ (f,e) ∈T2 R2 ⇒
+// (f,e) ∈T1∪T2 R'.
+func (r *Relation) Union(o *Relation) *Relation {
+	n := r.Clone()
+	for f, vs := range o.pairs {
+		for v, a := range vs {
+			n.AddAnnot(f, v, a)
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	n := NewRelation()
+	for f, vs := range r.pairs {
+		for v, a := range vs {
+			n.AddAnnot(f, v, a)
+		}
+	}
+	return n
+}
+
+// Equal reports whether two relations hold the same pairs with equal
+// annotations.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.nPairs != o.nPairs {
+		return false
+	}
+	for f, vs := range r.pairs {
+		for v, a := range vs {
+			b, ok := o.pairs[f][v]
+			if !ok || a.Prob != b.Prob ||
+				!a.Time.Valid.Equal(b.Time.Valid) || !a.Time.Trans.Equal(b.Time.Trans) {
+				return false
+			}
+		}
+	}
+	return true
+}

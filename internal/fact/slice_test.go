@@ -1,0 +1,81 @@
+package fact
+
+import (
+	"testing"
+
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+var ref = temporal.MustDate("01/01/1999")
+
+func TestRelationSliceValid(t *testing.T) {
+	r := NewRelation()
+	r.AddAnnot("1", "9", dimension.ValidDuring(temporal.Span("01/01/89", "NOW")))
+	r.AddAnnot("2", "3", dimension.ValidDuring(temporal.Span("23/03/75", "24/12/75")))
+
+	s := r.SliceValid(temporal.MustDate("15/06/75"), ref)
+	if s.Has("1", "9") {
+		t.Error("pair not valid in 1975 must drop")
+	}
+	a, ok := s.Annot("2", "3")
+	if !ok {
+		t.Fatal("pair valid in 1975 must survive")
+	}
+	if !a.Time.Valid.Equal(temporal.AlwaysElement()) {
+		t.Errorf("valid time must be stripped: %v", a.Time.Valid)
+	}
+}
+
+func TestRelationSliceTrans(t *testing.T) {
+	r := NewRelation()
+	r.AddAnnot("1", "9", dimension.Annot{
+		Time: temporal.Bitemporal{
+			Valid: temporal.Span("01/01/80", "NOW"),
+			Trans: temporal.Span("01/01/90", "NOW"),
+		},
+		Prob: 1,
+	})
+	if r.SliceTrans(temporal.MustDate("01/01/85"), ref).Has("1", "9") {
+		t.Error("pair not yet in the database must drop")
+	}
+	s := r.SliceTrans(temporal.MustDate("01/01/95"), ref)
+	a, ok := s.Annot("1", "9")
+	if !ok {
+		t.Fatal("recorded pair must survive")
+	}
+	if !a.Time.Trans.Equal(temporal.AlwaysElement()) {
+		t.Error("transaction time must be stripped")
+	}
+	if a.Time.Valid.Equal(temporal.AlwaysElement()) {
+		t.Error("valid time must survive")
+	}
+}
+
+func TestRelationFilterProb(t *testing.T) {
+	r := NewRelation()
+	r.AddAnnot("1", "a", dimension.Always().WithProb(0.95))
+	r.AddAnnot("1", "b", dimension.Always().WithProb(0.4))
+	f := r.FilterProb(0.9)
+	if !f.Has("1", "a") || f.Has("1", "b") {
+		t.Errorf("filtered = %v", f.Pairs())
+	}
+}
+
+func TestFactStringAndAll(t *testing.T) {
+	s := NewSet(NewFact("b"), NewFact("a"))
+	all := s.All()
+	if len(all) != 2 || all[0].ID != "a" || all[1].ID != "b" {
+		t.Errorf("All = %v", all)
+	}
+	if NewFact("x").String() != "x" {
+		t.Error("String wrong")
+	}
+	g := NewGroupTagged([]string{"2", "1"}, "G1")
+	if g.ID != "{1,2}@G1" || g.Size() != 2 {
+		t.Errorf("tagged group = %+v", g)
+	}
+	if NewGroupTagged([]string{"1"}, "").ID != "{1}" {
+		t.Error("empty tag must render plain")
+	}
+}

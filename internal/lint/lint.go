@@ -1,0 +1,146 @@
+// Package lint inspects multidimensional objects for modeling smells that
+// are legal in the model but usually unintended, and for the structural
+// facts an analyst should know before aggregating: non-strict mappings
+// (pre-aggregates will not combine), non-covering rollups (facts silently
+// missing from coarser groupings), uninhabited categories, values no fact
+// reaches, and representation entries naming unknown values.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// Info findings are structural facts worth knowing.
+	Info Severity = iota
+	// Warn findings usually indicate a modeling problem.
+	Warn
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Warn {
+		return "WARN"
+	}
+	return "INFO"
+}
+
+// Finding is one lint result.
+type Finding struct {
+	Severity Severity
+	Dim      string
+	Msg      string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s [%s] %s", f.Severity, f.Dim, f.Msg)
+}
+
+// Check inspects the MO under the evaluation context and returns findings
+// sorted by dimension then message. An empty result means no smells.
+func Check(m *core.MO, ctx dimension.Context) []Finding {
+	var out []Finding
+	add := func(sev Severity, dim, format string, args ...interface{}) {
+		out = append(out, Finding{Severity: sev, Dim: dim, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	for _, name := range m.Schema().DimensionNames() {
+		d := m.Dimension(name)
+		dt := d.Type()
+		cats := dt.CategoryTypes()
+
+		// Uninhabited categories.
+		for _, c := range cats {
+			if c == dimension.TopName {
+				continue
+			}
+			if len(d.Category(c)) == 0 {
+				add(Warn, name, "category %q has no values", c)
+			}
+		}
+
+		// Lattice sanity.
+		if !dt.IsLattice() {
+			add(Info, name, "category types do not form a lattice (some pairs lack a unique least upper bound)")
+		}
+
+		// Strictness and covering per category pair on the order.
+		for _, lo := range cats {
+			if lo == dimension.TopName || len(d.Category(lo)) == 0 {
+				continue
+			}
+			for _, hi := range cats {
+				if hi == lo || hi == dimension.TopName || !dt.LessEq(lo, hi) || len(d.Category(hi)) == 0 {
+					continue
+				}
+				if !d.IsStrictBetween(lo, hi, ctx) {
+					add(Info, name, "mapping %s→%s is non-strict: pre-aggregated counts cannot be combined upward", lo, hi)
+				}
+				if !d.Covering(lo, hi, ctx) {
+					add(Warn, name, "mapping %s→%s does not cover: some %s values reach no %s value, so they vanish from %s-level aggregates", lo, hi, lo, hi, hi)
+				}
+			}
+		}
+
+		// Values no fact reaches (directly or through descendants).
+		r := m.Relation(name)
+		reached := map[string]bool{}
+		for _, f := range m.Facts().IDs() {
+			for _, v := range r.ValuesOf(f) {
+				reached[v] = true
+				for _, anc := range d.Ancestors(v, ctx) {
+					reached[anc] = true
+				}
+			}
+		}
+		unreached := 0
+		for _, v := range d.Values() {
+			if v == dimension.TopValue || reached[v] {
+				continue
+			}
+			unreached++
+		}
+		if unreached > 0 {
+			add(Info, name, "%d dimension value(s) characterize no fact", unreached)
+		}
+
+		// Representation entries naming unknown values.
+		for _, rn := range d.Representations() {
+			rep := d.Representation(rn)
+			for _, e := range rep.Entries() {
+				if !d.Has(e.ID) {
+					add(Warn, name, "representation %q maps unknown value %q", rn, e.ID)
+				}
+			}
+		}
+
+		// Facts characterized only by ⊤ (unknown everywhere in this
+		// dimension).
+		onlyTop := 0
+		for _, f := range m.Facts().IDs() {
+			vs := r.ValuesOf(f)
+			if len(vs) == 1 && vs[0] == dimension.TopValue {
+				onlyTop++
+			}
+		}
+		if onlyTop > 0 {
+			add(Info, name, "%d fact(s) are characterized only by ⊤ (unknown)", onlyTop)
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dim != out[j].Dim {
+			return out[i].Dim < out[j].Dim
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	return out
+}

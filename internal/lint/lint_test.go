@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+var ref = temporal.MustDate("01/01/1999")
+
+func findings(t *testing.T, m *core.MO) []Finding {
+	t.Helper()
+	return Check(m, dimension.CurrentContext(ref))
+}
+
+func has(fs []Finding, substr string) bool {
+	for _, f := range fs {
+		if strings.Contains(f.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckCaseStudy(t *testing.T) {
+	m := casestudy.MustPatientMO()
+	fs := findings(t, m)
+	// Known structural facts of the case study: the diagnosis hierarchy is
+	// non-strict and (any-time) non-covering at the family→group step.
+	if !has(fs, "non-strict") {
+		t.Errorf("expected a non-strict finding, got %v", fs)
+	}
+	if !has(fs, "does not cover") {
+		t.Errorf("expected a covering finding, got %v", fs)
+	}
+	// No warnings about unknown representation values or empty categories.
+	for _, f := range fs {
+		if strings.Contains(f.Msg, "unknown value") || strings.Contains(f.Msg, "has no values") {
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+}
+
+func TestCheckCleanStrictMO(t *testing.T) {
+	cfg := casestudy.DefaultGen()
+	cfg.NonStrict = false
+	cfg.Churn = false
+	cfg.MixedGranularity = false
+	cfg.Patients = 200
+	cfg.LowLevel = 35
+	m := casestudy.MustGenerate(cfg)
+	fs := findings(t, m)
+	for _, f := range fs {
+		if f.Severity == Warn {
+			t.Errorf("clean MO produced a warning: %v", f)
+		}
+	}
+}
+
+func TestCheckDetectsSmells(t *testing.T) {
+	dt := dimension.MustDimensionType("D", dimension.Constant, dimension.KindString, "Lo", "Hi")
+	s := core.MustSchema("F", dt)
+	m := core.NewMO(s)
+	d := m.Dimension("D")
+	// Lo value with no Hi parent (non-covering), Hi category inhabited.
+	if err := d.AddValue("Lo", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddValue("Lo", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddValue("Hi", "H"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge("a", "H"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Relate("D", "f1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	m.EnsureTotal()
+	fs := findings(t, m)
+	if !has(fs, "does not cover") {
+		t.Errorf("missing covering warning: %v", fs)
+	}
+	if !has(fs, "characterize no fact") {
+		t.Errorf("missing unreached-values info: %v", fs)
+	}
+
+	// A fact known nowhere in the dimension.
+	if err := m.Relate("D", "f2", dimension.TopValue); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := findings(t, m)
+	if !has(fs2, "only by ⊤") {
+		t.Errorf("missing ⊤-only info: %v", fs2)
+	}
+
+	// Empty category.
+	dt2 := dimension.MustDimensionType("E", dimension.Constant, dimension.KindString, "Bot", "Mid")
+	s2 := core.MustSchema("F2", dt2)
+	m2 := core.NewMO(s2)
+	if err := m2.Dimension("E").AddValue("Bot", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Relate("E", "f", "x"); err != nil {
+		t.Fatal(err)
+	}
+	fs3 := findings(t, m2)
+	if !has(fs3, "has no values") {
+		t.Errorf("missing empty-category warning: %v", fs3)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Severity: Warn, Dim: "D", Msg: "x"}
+	if f.String() != "WARN [D] x" {
+		t.Errorf("String = %q", f.String())
+	}
+	if Info.String() != "INFO" {
+		t.Error("severity names wrong")
+	}
+}

@@ -1,0 +1,264 @@
+// Package load builds multidimensional objects from CSV files — the
+// star-schema ETL path a downstream adopter needs: one fact table plus one
+// CSV per dimension describing its hierarchy rows.
+//
+// A dimension CSV has a header naming the categories bottom-up, e.g.
+//
+//	area,county,region
+//	A1,North Jutland,Jutland
+//	A2,Århus County,Jutland
+//
+// Each row lists one bottom value's ancestors; values are created on first
+// sight and the order edges follow the columns left to right. Ragged rows
+// (empty cells) end the chain early, producing non-partitioning
+// hierarchies; repeated bottom values with different parents produce
+// non-strict ones — both are first-class in the model.
+//
+// The fact table names its dimension columns in the header; each column
+// maps to a dimension by name and each cell to a value of that dimension's
+// bottom category (or any category — mixed granularity is allowed when the
+// cell names a known higher value). Optional valid-time columns
+// "<dim>:from" and "<dim>:to" attach intervals to that column's pairs, and
+// "<dim>:prob" attaches probabilities.
+package load
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/fact"
+	"mddm/internal/temporal"
+)
+
+// DimensionSpec describes one dimension to load.
+type DimensionSpec struct {
+	// Name is the dimension (and dimension-type) name.
+	Name string
+	// AggType and Kind apply to the bottom category.
+	AggType dimension.AggType
+	Kind    dimension.ValueKind
+	// R reads the dimension CSV.
+	R io.Reader
+}
+
+// Dimension loads a dimension from its hierarchy CSV.
+func Dimension(spec DimensionSpec) (*dimension.Dimension, error) {
+	rows, err := csv.NewReader(spec.R).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("load: dimension %s: %w", spec.Name, err)
+	}
+	if len(rows) < 1 || len(rows[0]) < 1 {
+		return nil, fmt.Errorf("load: dimension %s: missing header", spec.Name)
+	}
+	cats := rows[0]
+	dt := dimension.NewDimensionType(spec.Name)
+	for i, c := range cats {
+		at := dimension.Constant
+		k := dimension.KindString
+		if i == 0 {
+			at, k = spec.AggType, spec.Kind
+		}
+		if err := dt.AddCategoryType(strings.TrimSpace(c), at, k); err != nil {
+			return nil, fmt.Errorf("load: dimension %s: %w", spec.Name, err)
+		}
+	}
+	for i := 0; i+1 < len(cats); i++ {
+		if err := dt.AddOrder(strings.TrimSpace(cats[i]), strings.TrimSpace(cats[i+1])); err != nil {
+			return nil, err
+		}
+	}
+	if err := dt.Finalize(); err != nil {
+		return nil, err
+	}
+	d := dimension.New(dt)
+	for ln, row := range rows[1:] {
+		if len(row) > len(cats) {
+			return nil, fmt.Errorf("load: dimension %s row %d: %d cells for %d categories", spec.Name, ln+2, len(row), len(cats))
+		}
+		prev := ""
+		for i, cell := range row {
+			v := strings.TrimSpace(cell)
+			if v == "" {
+				break // ragged row: chain ends here
+			}
+			cat := strings.TrimSpace(cats[i])
+			if !d.Has(v) {
+				if err := d.AddValue(cat, v); err != nil {
+					return nil, fmt.Errorf("load: dimension %s row %d: %w", spec.Name, ln+2, err)
+				}
+			} else if got, _ := d.CategoryOf(v); got != cat {
+				return nil, fmt.Errorf("load: dimension %s row %d: value %q in categories %q and %q", spec.Name, ln+2, v, got, cat)
+			}
+			if prev != "" {
+				if err := d.AddEdgeAnnot(prev, v, dimension.Always()); err != nil {
+					return nil, fmt.Errorf("load: dimension %s row %d: %w", spec.Name, ln+2, err)
+				}
+			}
+			prev = v
+		}
+	}
+	return d, nil
+}
+
+// FactSpec describes the fact table to load.
+type FactSpec struct {
+	// FactType names the fact type; IDColumn names the column holding fact
+	// identities ("" auto-generates row ids).
+	FactType string
+	IDColumn string
+	// Dimensions supplies the loaded dimensions by name.
+	Dimensions map[string]*dimension.Dimension
+	// R reads the fact CSV.
+	R io.Reader
+}
+
+// Facts loads the fact table and assembles the MO.
+func Facts(spec FactSpec) (*core.MO, error) {
+	rows, err := csv.NewReader(spec.R).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("load: facts: %w", err)
+	}
+	if len(rows) < 1 {
+		return nil, fmt.Errorf("load: facts: missing header")
+	}
+	header := rows[0]
+
+	type colInfo struct {
+		dim      string
+		from, to int // column indexes of :from/:to, -1 when absent
+		prob     int
+		valueCol int
+	}
+	var cols []colInfo
+	idCol := -1
+	index := map[string]int{}
+	for i, h := range header {
+		index[strings.TrimSpace(h)] = i
+	}
+	hasTime := false
+	for i, h := range header {
+		name := strings.TrimSpace(h)
+		if name == spec.IDColumn && spec.IDColumn != "" {
+			idCol = i
+			continue
+		}
+		if strings.Contains(name, ":") {
+			continue // qualifier column, resolved from its base column
+		}
+		d, ok := spec.Dimensions[name]
+		if !ok {
+			return nil, fmt.Errorf("load: facts: column %q matches no dimension (have %v)", name, dimNames(spec.Dimensions))
+		}
+		_ = d
+		ci := colInfo{dim: name, valueCol: i, from: -1, to: -1, prob: -1}
+		if j, ok := index[name+":from"]; ok {
+			ci.from = j
+			hasTime = true
+		}
+		if j, ok := index[name+":to"]; ok {
+			ci.to = j
+			hasTime = true
+		}
+		if j, ok := index[name+":prob"]; ok {
+			ci.prob = j
+		}
+		cols = append(cols, ci)
+	}
+	if spec.IDColumn != "" && idCol < 0 {
+		return nil, fmt.Errorf("load: facts: id column %q not in header", spec.IDColumn)
+	}
+
+	var types []*dimension.DimensionType
+	for _, ci := range cols {
+		types = append(types, spec.Dimensions[ci.dim].Type())
+	}
+	s, err := core.NewSchema(spec.FactType, types...)
+	if err != nil {
+		return nil, err
+	}
+	m := core.NewMO(s)
+	for _, ci := range cols {
+		if err := m.SetDimension(ci.dim, spec.Dimensions[ci.dim]); err != nil {
+			return nil, err
+		}
+	}
+	if hasTime {
+		m.SetKind(core.ValidTime)
+	}
+
+	for ln, row := range rows[1:] {
+		id := fmt.Sprintf("%s#%d", spec.FactType, ln+1)
+		if idCol >= 0 {
+			id = strings.TrimSpace(row[idCol])
+			if id == "" {
+				return nil, fmt.Errorf("load: facts row %d: empty id", ln+2)
+			}
+		}
+		for _, ci := range cols {
+			cell := strings.TrimSpace(row[ci.valueCol])
+			if cell == "" {
+				continue // unknown characterization: EnsureTotal adds (f,⊤)
+			}
+			d := spec.Dimensions[ci.dim]
+			if !d.Has(cell) {
+				return nil, fmt.Errorf("load: facts row %d: dimension %s has no value %q", ln+2, ci.dim, cell)
+			}
+			a := dimension.Always()
+			if ci.from >= 0 || ci.to >= 0 {
+				fromS, toS := "BEGINNING", "NOW"
+				if ci.from >= 0 && strings.TrimSpace(row[ci.from]) != "" {
+					fromS = strings.TrimSpace(row[ci.from])
+				}
+				if ci.to >= 0 && strings.TrimSpace(row[ci.to]) != "" {
+					toS = strings.TrimSpace(row[ci.to])
+				}
+				from, err := temporal.ParseDate(fromS)
+				if err != nil {
+					return nil, fmt.Errorf("load: facts row %d: %w", ln+2, err)
+				}
+				to, err := temporal.ParseDate(toS)
+				if err != nil {
+					return nil, fmt.Errorf("load: facts row %d: %w", ln+2, err)
+				}
+				if from > to {
+					return nil, fmt.Errorf("load: facts row %d: empty interval %s-%s", ln+2, fromS, toS)
+				}
+				a = dimension.ValidDuring(temporal.NewElement(temporal.NewInterval(from, to)))
+			}
+			if ci.prob >= 0 && strings.TrimSpace(row[ci.prob]) != "" {
+				p, err := strconv.ParseFloat(strings.TrimSpace(row[ci.prob]), 64)
+				if err != nil || p < 0 || p > 1 {
+					return nil, fmt.Errorf("load: facts row %d: bad probability %q", ln+2, row[ci.prob])
+				}
+				a = a.WithProb(p)
+			}
+			if err := m.RelateAnnot(ci.dim, id, cell, a); err != nil {
+				return nil, fmt.Errorf("load: facts row %d: %w", ln+2, err)
+			}
+		}
+		if !m.Facts().Has(id) {
+			// A row with all-empty dimension cells still contributes a fact.
+			m.AddFact(factOf(id))
+		}
+	}
+	m.EnsureTotal()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func dimNames(ds map[string]*dimension.Dimension) []string {
+	out := make([]string, 0, len(ds))
+	for n := range ds {
+		out = append(out, n)
+	}
+	return out
+}
+
+func factOf(id string) fact.Fact { return fact.NewFact(id) }

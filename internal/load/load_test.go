@@ -1,0 +1,222 @@
+package load
+
+import (
+	"strings"
+	"testing"
+
+	"mddm/internal/agg"
+	"mddm/internal/algebra"
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+const areaCSV = `area,county,region
+A1,C1,R1
+A2,C1,R1
+A3,C2,R1
+A4,C3,R2
+`
+
+const diagCSV = `low,family,group
+L1,F1,G1
+L2,F1,G1
+L3,F2,G1
+L3,F1,G1
+`
+
+func loadDim(t *testing.T, name, csv string, at dimension.AggType, k dimension.ValueKind) *dimension.Dimension {
+	t.Helper()
+	d, err := Dimension(DimensionSpec{Name: name, AggType: at, Kind: k, R: strings.NewReader(csv)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLoadDimension(t *testing.T) {
+	d := loadDim(t, "Residence", areaCSV, dimension.Constant, dimension.KindString)
+	if d.Type().Bottom() != "area" {
+		t.Errorf("bottom = %q", d.Type().Bottom())
+	}
+	if got := d.Category("area"); len(got) != 4 {
+		t.Errorf("areas = %v", got)
+	}
+	ctx := dimension.Context{}
+	if got := d.AncestorsIn("region", "A1", ctx); len(got) != 1 || got[0] != "R1" {
+		t.Errorf("ancestors = %v", got)
+	}
+	if !d.IsStrict() || !d.IsPartitioning() {
+		t.Error("loaded residence must be strict and partitioning")
+	}
+
+	// The diagnosis CSV repeats L3 under two families: non-strict.
+	nd := loadDim(t, "Diagnosis", diagCSV, dimension.Constant, dimension.KindString)
+	if nd.IsStrict() {
+		t.Error("repeated bottom values must yield a non-strict hierarchy")
+	}
+	if got := nd.AncestorsIn("family", "L3", ctx); len(got) != 2 {
+		t.Errorf("L3 families = %v", got)
+	}
+}
+
+func TestLoadDimensionErrors(t *testing.T) {
+	cases := []string{
+		"",                     // no header
+		"a,b\nx,y,z,w",         // too many cells (csv lib errors first)
+		"a,a\nx,y",             // duplicate category
+		"low,family\nx,y\ny,x", // value in two categories
+	}
+	for _, src := range cases {
+		if _, err := Dimension(DimensionSpec{Name: "D", R: strings.NewReader(src)}); err == nil {
+			t.Errorf("Dimension(%q): expected error", src)
+		}
+	}
+	// Ragged rows are fine (non-partitioning).
+	d, err := Dimension(DimensionSpec{Name: "D", R: strings.NewReader("low,family\nx,\ny,F\n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.IsPartitioning() {
+		t.Error("ragged hierarchy must be non-partitioning")
+	}
+}
+
+const factCSV = `id,Residence,Diagnosis,Diagnosis:from,Diagnosis:to,Diagnosis:prob
+p1,A1,L1,01/01/80,NOW,
+p2,A2,L3,01/01/85,31/12/90,0.9
+p3,A4,,,,
+`
+
+func TestLoadFacts(t *testing.T) {
+	dims := map[string]*dimension.Dimension{
+		"Residence": loadDim(t, "Residence", areaCSV, dimension.Constant, dimension.KindString),
+		"Diagnosis": loadDim(t, "Diagnosis", diagCSV, dimension.Constant, dimension.KindString),
+	}
+	m, err := Facts(FactSpec{FactType: "Patient", IDColumn: "id", Dimensions: dims, R: strings.NewReader(factCSV)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Facts().Len() != 3 {
+		t.Fatalf("facts = %v", m.Facts().IDs())
+	}
+	// Time and probability columns are honored.
+	a, ok := m.Relation("Diagnosis").Annot("p2", "L3")
+	if !ok {
+		t.Fatal("pair missing")
+	}
+	if want := "[01/01/1985 - 31/12/1990]"; a.Time.Valid.String() != want {
+		t.Errorf("time = %v", a.Time.Valid)
+	}
+	if a.Prob != 0.9 {
+		t.Errorf("prob = %v", a.Prob)
+	}
+	// p3 has no diagnosis: characterized by ⊤.
+	if got := m.Relation("Diagnosis").ValuesOf("p3"); len(got) != 1 || got[0] != dimension.TopValue {
+		t.Errorf("p3 diagnoses = %v", got)
+	}
+	// The loaded MO is queryable through the algebra.
+	ctx := dimension.CurrentContext(temporal.MustDate("01/01/2000"))
+	res, err := algebra.Aggregate(m, algebra.AggSpec{
+		ResultDim: "N",
+		Func:      agg.MustLookup("SETCOUNT"),
+		GroupBy:   map[string]string{"Residence": "region"},
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.MO.Relation("N")
+	if !n.Has("{p1,p2}", "2") || !n.Has("{p3}", "1") {
+		t.Errorf("region counts = %v", n.Pairs())
+	}
+}
+
+func TestLoadFactsErrors(t *testing.T) {
+	dims := map[string]*dimension.Dimension{
+		"Residence": loadDim(t, "Residence", areaCSV, dimension.Constant, dimension.KindString),
+	}
+	cases := []struct {
+		name, csv string
+		idCol     string
+	}{
+		{"empty", "", ""},
+		{"unknown column", "id,Nope\np1,x\n", "id"},
+		{"missing id column", "Residence\nA1\n", "id"},
+		{"empty id", "id,Residence\n,A1\n", "id"},
+		{"unknown value", "id,Residence\np1,Atlantis\n", "id"},
+		{"bad from", "id,Residence,Residence:from\np1,A1,bogus\n", "id"},
+		{"bad to", "id,Residence,Residence:to\np1,A1,bogus\n", "id"},
+		{"inverted interval", "id,Residence,Residence:from,Residence:to\np1,A1,01/01/90,01/01/80\n", "id"},
+		{"bad prob", "id,Residence,Residence:prob\np1,A1,2.5\n", "id"},
+	}
+	for _, c := range cases {
+		_, err := Facts(FactSpec{FactType: "F", IDColumn: c.idCol, Dimensions: dims, R: strings.NewReader(c.csv)})
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Auto-generated ids.
+	m, err := Facts(FactSpec{FactType: "F", Dimensions: dims, R: strings.NewReader("Residence\nA1\nA2\n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Facts().Len() != 2 || !m.Facts().Has("F#1") {
+		t.Errorf("auto ids = %v", m.Facts().IDs())
+	}
+	// Mixed granularity: a fact related directly to a county.
+	m2, err := Facts(FactSpec{FactType: "F", Dimensions: dims, R: strings.NewReader("Residence\nC1\n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Relation("Residence").Has("F#1", "C1") {
+		t.Error("mixed-granularity cell must relate to the county value")
+	}
+}
+
+// TestLoadTable1Parity rebuilds the paper's diagnosis analysis from CSV
+// text generated out of the embedded Table 1 and checks it agrees with the
+// hand-built case-study MO on the Figure 3 query.
+func TestLoadTable1Parity(t *testing.T) {
+	// Dimension CSV: one row per low-level diagnosis chain of Table 1's
+	// WHO hierarchy (3⊑7 has no group; use a ragged row).
+	diagCSV := strings.Join([]string{
+		"Low-level Diagnosis,Diagnosis Family,Diagnosis Group",
+		"3,7,",   // 1970s chain ends at the family level
+		"3,8,11", // user-defined family + Example 10's change link
+		"5,4,12",
+		"5,9,11",
+		"6,4,12",
+		"6,10,11",
+	}, "\n")
+	factsCSV := strings.Join([]string{
+		"id,Diagnosis",
+		"1,9",
+		"2,3",
+		"2,8",
+		"2,5",
+		"2,9",
+	}, "\n")
+	d, err := Dimension(DimensionSpec{Name: "Diagnosis", R: strings.NewReader(diagCSV)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Facts(FactSpec{FactType: "Patient", IDColumn: "id",
+		Dimensions: map[string]*dimension.Dimension{"Diagnosis": d},
+		R:          strings.NewReader(factsCSV)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := dimension.CurrentContext(temporal.MustDate("01/01/1999"))
+	res, err := algebra.Aggregate(m, algebra.AggSpec{
+		ResultDim: "Count",
+		Func:      agg.MustLookup("SETCOUNT"),
+		GroupBy:   map[string]string{"Diagnosis": "Diagnosis Group"},
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3: group 11 → {1,2}, group 12 → {2}.
+	cnt := res.MO.Relation("Count")
+	if !cnt.Has("{1,2}", "2") || !cnt.Has("{2}", "1") {
+		t.Errorf("loaded Figure 3 = %v", cnt.Pairs())
+	}
+}

@@ -1,0 +1,158 @@
+// Package query implements a small OLAP query language over
+// multidimensional objects — the user-facing layer the paper's future work
+// calls for ("the lattice structures of the schema … used directly in the
+// user interface of an OLAP tool"). Queries compile to the algebra of
+// package algebra:
+//
+//	SELECT SETCOUNT(*) FROM patients
+//	  WHERE Residence = 'R1' AND Age > 40
+//	  GROUP BY Diagnosis."Diagnosis Group"
+//	  ASOF VALID '15/06/1975'
+//	  WITH PROB >= 0.9
+//
+// Aggregate functions are the registry of package agg (SETCOUNT(*),
+// COUNT(d), SUM(d), AVG(d), MIN(d), MAX(d)); SELECT FACTS lists the
+// qualifying facts without aggregation.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString // 'single quoted'
+	tokQIdent // "double quoted"
+	tokNumber
+	tokSymbol // ( ) . , * and comparison operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a query string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			if err := l.quoted('\'', tokString); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.quoted('"', tokQIdent); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.ident()
+		case c >= '0' && c <= '9':
+			l.number()
+		case strings.ContainsRune("().,*", rune(c)):
+			l.emit(tokSymbol, string(c))
+			l.pos++
+		case c == '=', c == '<', c == '>', c == '!':
+			l.cmp()
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) quoted(q byte, kind tokKind) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == q {
+			// Doubled quote escapes itself.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == q {
+				b.WriteByte(q)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(kind, b.String())
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("query: unterminated quote starting at %d", start)
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '⊤'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '⊤'
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(tokIdent, l.src[start:l.pos])
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		// A trailing '.' followed by a non-digit belongs to the grammar
+		// (qualified names never start with a digit, so this is safe here
+		// only for numbers like "0.9"; "12." is read as 12 + symbol '.').
+		if l.src[l.pos] == '.' && (l.pos+1 >= len(l.src) || l.src[l.pos+1] < '0' || l.src[l.pos+1] > '9') {
+			break
+		}
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos])
+}
+
+func (l *lexer) cmp() {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.emit(tokSymbol, two)
+		l.pos += 2
+		return
+	}
+	l.emit(tokSymbol, string(l.src[l.pos]))
+	l.pos++
+}

@@ -1,0 +1,492 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mddm/internal/temporal"
+)
+
+// Query is the parsed form of a query.
+type Query struct {
+	// Describe names an MO whose schema should be rendered (DESCRIBE mo
+	// [dimension]); when set, all other fields except DescribeDim are
+	// unused.
+	Describe    string
+	DescribeDim string
+	// FactsOnly is SELECT FACTS: list qualifying facts, no aggregation.
+	FactsOnly bool
+	// Agg is the aggregate function name (when not FactsOnly).
+	Agg string
+	// AggArg is the argument dimension, or "*" for SETCOUNT/COUNT(*).
+	AggArg string
+	// Alias names the result dimension (AS alias; defaults to the function
+	// name).
+	Alias string
+	// From names the MO in the catalog.
+	From string
+	// Where is the predicate tree, or nil.
+	Where PredNode
+	// GroupBy lists dimension/category pairs.
+	GroupBy []GroupItem
+	// AsofValid / AsofTrans are the timeslice instants, if given.
+	AsofValid *temporal.Chronon
+	AsofTrans *temporal.Chronon
+	// MinProb is the WITH PROB >= threshold (0 if absent).
+	MinProb float64
+	// OrderBy names an output column to sort by ("" keeps the canonical
+	// group order); OrderDesc reverses.
+	OrderBy   string
+	OrderDesc bool
+	// Limit caps the number of output rows (0: no limit).
+	Limit int
+	// Having filters aggregation rows by the aggregate value (the column
+	// named by Alias/Agg); HavingOp is one of the comparison operators.
+	Having    bool
+	HavingOp  string
+	HavingVal float64
+}
+
+// GroupItem is one GROUP BY entry: a dimension and a category of it.
+type GroupItem struct {
+	Dim string
+	Cat string
+}
+
+// PredNode is a node of the WHERE tree.
+type PredNode interface{ isPred() }
+
+// CondNode is a comparison: Dim [.Qualifier] op literal. Qualifier names a
+// representation (for string comparisons) and is empty for direct value or
+// numeric comparisons.
+type CondNode struct {
+	Dim       string
+	Qualifier string
+	Op        string // = <> != < <= > >=
+	StrVal    string
+	NumVal    float64
+	IsNum     bool
+}
+
+// InNode is a membership test: Dim [.Qualifier] IN ('a', 'b', …) —
+// shorthand for a disjunction of equalities.
+type InNode struct {
+	Dim       string
+	Qualifier string
+	Vals      []string
+	Negated   bool // NOT IN
+}
+
+// AndNode conjoins children.
+type AndNode struct{ Kids []PredNode }
+
+// OrNode disjoins children.
+type OrNode struct{ Kids []PredNode }
+
+// NotNode negates its child.
+type NotNode struct{ Kid PredNode }
+
+func (CondNode) isPred() {}
+func (InNode) isPred()   {}
+func (AndNode) isPred()  {}
+func (OrNode) isPred()   {}
+func (NotNode) isPred()  {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a query string.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("query: unexpected %q after end of query", p.peek().text)
+	}
+	return q, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// kw reports whether the next token is the given keyword
+// (case-insensitive) and consumes it when it is.
+func (p *parser) kw(word string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.kw(word) {
+		return fmt.Errorf("query: expected %s, got %q", word, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectSym(sym string) error {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return nil
+	}
+	return fmt.Errorf("query: expected %q, got %q", sym, t.text)
+}
+
+// name accepts an identifier or a double-quoted identifier.
+func (p *parser) name() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent || t.kind == tokQIdent {
+		p.pos++
+		return t.text, nil
+	}
+	return "", fmt.Errorf("query: expected a name, got %q", t.text)
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{}
+	// DESCRIBE <mo> [<dimension>] shows the schema's category lattices —
+	// the paper's future-work idea of using the lattice structures
+	// directly in the OLAP tool's interface.
+	if p.kw("DESCRIBE") {
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		q.Describe = name
+		if p.peek().kind == tokIdent || p.peek().kind == tokQIdent {
+			dim, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			q.DescribeDim = dim
+		}
+		return q, nil
+	}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.kw("FACTS") {
+		q.FactsOnly = true
+	} else {
+		fn, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		q.Agg = strings.ToUpper(fn)
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokSymbol && p.peek().text == "*" {
+			p.pos++
+			q.AggArg = "*"
+		} else {
+			arg, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			q.AggArg = arg
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		if p.kw("AS") {
+			alias, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			q.Alias = alias
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+
+	if p.kw("WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.kw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			dim, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			item := GroupItem{Dim: dim}
+			if p.peek().kind == tokSymbol && p.peek().text == "." {
+				p.pos++
+				cat, err := p.name()
+				if err != nil {
+					return nil, err
+				}
+				item.Cat = cat
+			}
+			q.GroupBy = append(q.GroupBy, item)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if p.kw("HAVING") {
+		// HAVING <op> <number> compares the aggregate column.
+		op := p.peek()
+		if op.kind != tokSymbol || !isCmp(op.text) {
+			return nil, fmt.Errorf("query: expected a comparison after HAVING, got %q", op.text)
+		}
+		p.pos++
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("query: expected a number after HAVING %s, got %q", op.text, t.text)
+		}
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, err
+		}
+		q.Having = true
+		q.HavingOp = op.text
+		q.HavingVal = v
+	}
+	for p.kw("ASOF") {
+		which := ""
+		switch {
+		case p.kw("VALID"):
+			which = "valid"
+		case p.kw("TRANS"), p.kw("TRANSACTION"):
+			which = "trans"
+		default:
+			return nil, fmt.Errorf("query: expected VALID or TRANS after ASOF")
+		}
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("query: expected a quoted date after ASOF, got %q", t.text)
+		}
+		p.pos++
+		c, err := temporal.ParseDate(t.text)
+		if err != nil {
+			return nil, err
+		}
+		if which == "valid" {
+			q.AsofValid = &c
+		} else {
+			q.AsofTrans = &c
+		}
+	}
+	if p.kw("WITH") {
+		if err := p.expectKw("PROB"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(">="); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("query: expected a number after PROB >=, got %q", t.text)
+		}
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, err
+		}
+		q.MinProb = v
+	}
+	if p.kw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = col
+		switch {
+		case p.kw("DESC"):
+			q.OrderDesc = true
+		case p.kw("ASC"):
+		}
+	}
+	if p.kw("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("query: expected a number after LIMIT, got %q", t.text)
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("query: bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) orExpr() (PredNode, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []PredNode{left}
+	for p.kw("OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return OrNode{Kids: kids}, nil
+}
+
+func (p *parser) andExpr() (PredNode, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []PredNode{left}
+	for p.kw("AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return AndNode{Kids: kids}, nil
+}
+
+func (p *parser) notExpr() (PredNode, error) {
+	if p.kw("NOT") {
+		kid, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return NotNode{Kid: kid}, nil
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.pos++
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.cond()
+}
+
+func (p *parser) cond() (PredNode, error) {
+	dim, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	c := CondNode{Dim: dim}
+	if p.peek().kind == tokSymbol && p.peek().text == "." {
+		p.pos++
+		qual, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		c.Qualifier = qual
+	}
+	negated := false
+	if p.kw("NOT") {
+		negated = true
+		if !kwPeekIn(p) {
+			return nil, fmt.Errorf("query: expected IN after NOT in a condition")
+		}
+	}
+	if p.kw("IN") {
+		in := InNode{Dim: c.Dim, Qualifier: c.Qualifier, Negated: negated}
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.peek()
+			if t.kind != tokString {
+				return nil, fmt.Errorf("query: expected a quoted value in IN list, got %q", t.text)
+			}
+			p.pos++
+			in.Vals = append(in.Vals, t.text)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	op := p.peek()
+	if op.kind != tokSymbol || !isCmp(op.text) {
+		return nil, fmt.Errorf("query: expected a comparison operator, got %q", op.text)
+	}
+	p.pos++
+	c.Op = op.text
+	lit := p.peek()
+	switch lit.kind {
+	case tokString:
+		c.StrVal = lit.text
+	case tokNumber:
+		v, err := strconv.ParseFloat(lit.text, 64)
+		if err != nil {
+			return nil, err
+		}
+		c.NumVal = v
+		c.IsNum = true
+	default:
+		return nil, fmt.Errorf("query: expected a literal, got %q", lit.text)
+	}
+	p.pos++
+	if !c.IsNum && c.Op != "=" && c.Op != "<>" && c.Op != "!=" {
+		return nil, fmt.Errorf("query: operator %q requires a numeric literal", c.Op)
+	}
+	return c, nil
+}
+
+func isCmp(s string) bool {
+	switch s {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// kwPeekIn reports whether the next token is the IN keyword without
+// consuming it.
+func kwPeekIn(p *parser) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, "IN")
+}

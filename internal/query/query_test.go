@@ -1,0 +1,517 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+var ref = temporal.MustDate("01/01/1999")
+
+func catalog(t *testing.T) Catalog {
+	t.Helper()
+	m, err := casestudy.BuildPatientMO(casestudy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Catalog{"patients": m}
+}
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse(`SELECT SETCOUNT(*) AS Count FROM patients WHERE Age > 40 GROUP BY Diagnosis."Diagnosis Group" ASOF VALID '01/01/1995' WITH PROB >= 0.9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg != "SETCOUNT" || q.AggArg != "*" || q.Alias != "Count" || q.From != "patients" {
+		t.Errorf("head = %+v", q)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Dim != "Diagnosis" || q.GroupBy[0].Cat != "Diagnosis Group" {
+		t.Errorf("group by = %+v", q.GroupBy)
+	}
+	if q.AsofValid == nil || q.AsofValid.String() != "01/01/1995" {
+		t.Errorf("asof = %v", q.AsofValid)
+	}
+	if q.MinProb != 0.9 {
+		t.Errorf("prob = %v", q.MinProb)
+	}
+	cond, ok := q.Where.(CondNode)
+	if !ok || cond.Dim != "Age" || cond.Op != ">" || !cond.IsNum || cond.NumVal != 40 {
+		t.Errorf("where = %+v", q.Where)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	q, err := Parse(`SELECT FACTS FROM m WHERE (A = 'x' OR B.Code = 'y') AND NOT C >= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := q.Where.(AndNode)
+	if !ok || len(and.Kids) != 2 {
+		t.Fatalf("where = %+v", q.Where)
+	}
+	or, ok := and.Kids[0].(OrNode)
+	if !ok || len(or.Kids) != 2 {
+		t.Fatalf("or = %+v", and.Kids[0])
+	}
+	if c := or.Kids[1].(CondNode); c.Qualifier != "Code" || c.StrVal != "y" {
+		t.Errorf("qualified cond = %+v", c)
+	}
+	if _, ok := and.Kids[1].(NotNode); !ok {
+		t.Errorf("not = %+v", and.Kids[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`SELECT`,
+		`SELECT SETCOUNT(*)`,
+		`SELECT SETCOUNT(* FROM m`,
+		`SELECT SETCOUNT(*) FROM`,
+		`SELECT SETCOUNT(*) FROM m WHERE`,
+		`SELECT SETCOUNT(*) FROM m WHERE A`,
+		`SELECT SETCOUNT(*) FROM m WHERE A = `,
+		`SELECT SETCOUNT(*) FROM m GROUP`,
+		`SELECT SETCOUNT(*) FROM m ASOF '01/01/80'`,
+		`SELECT SETCOUNT(*) FROM m ASOF VALID 01/01/80`,
+		`SELECT SETCOUNT(*) FROM m ASOF VALID 'garbage'`,
+		`SELECT SETCOUNT(*) FROM m WITH PROB > 0.9`,
+		`SELECT SETCOUNT(*) FROM m WITH PROB >= x`,
+		`SELECT SETCOUNT(*) FROM m trailing`,
+		`SELECT SETCOUNT(*) FROM m WHERE A < 'str'`,
+		`SELECT SETCOUNT(*) FROM m WHERE 'lit' = 'lit'`,
+		`SELECT X(*) FROM m WHERE (A = 'x'`,
+		`SELECT F( FROM m`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+	// Lexer errors.
+	if _, err := Parse(`SELECT SETCOUNT(*) FROM m WHERE A = 'unterminated`); err == nil {
+		t.Error("unterminated quote must fail")
+	}
+	if _, err := Parse("SELECT # FROM m"); err == nil {
+		t.Error("bad character must fail")
+	}
+}
+
+func TestLexerDetails(t *testing.T) {
+	toks, err := lex(`a "b c" 'd''e' 0.9 <= <> != ( ) . , *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := make([]string, 0, len(toks))
+	for _, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		texts = append(texts, tk.text)
+	}
+	want := []string{"a", "b c", "d'e", "0.9", "<=", "<>", "!=", "(", ")", ".", ",", "*"}
+	if strings.Join(texts, "|") != strings.Join(want, "|") {
+		t.Errorf("tokens = %v, want %v", texts, want)
+	}
+}
+
+func TestExecFigure3(t *testing.T) {
+	res, err := Exec(`SELECT SETCOUNT(*) AS Count FROM patients GROUP BY Diagnosis."Diagnosis Group"`, catalog(t), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(res.Columns, ",") != "Diagnosis,Count" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "11" || res.Rows[0][1] != "2" || res.Rows[1][0] != "12" || res.Rows[1][1] != "1" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if res.Summarizable {
+		t.Error("non-strict grouping must be flagged")
+	}
+	out := RenderResult(res)
+	if !strings.Contains(out, "not summarizable") {
+		t.Errorf("render must warn:\n%s", out)
+	}
+}
+
+func TestExecWhere(t *testing.T) {
+	// By code representation, unqualified: E10 resolves via the Code rep.
+	res, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis = 'E10'`, catalog(t), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Qualified representation.
+	res2, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis.Text = 'Diabetes' AND Age > 40`, catalog(t), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 1 || res2.Rows[0][0] != "2" {
+		t.Errorf("rows = %v", res2.Rows)
+	}
+	// By direct value id.
+	res3, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis = '12'`, catalog(t), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Rows) != 1 || res3.Rows[0][0] != "2" {
+		t.Errorf("rows = %v", res3.Rows)
+	}
+	// Negation.
+	res4, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis <> '12'`, catalog(t), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res4.Rows) != 1 || res4.Rows[0][0] != "1" {
+		t.Errorf("rows = %v", res4.Rows)
+	}
+	// A literal that matches nothing.
+	res5, err := Exec(`SELECT FACTS FROM patients WHERE Residence = 'Atlantis'`, catalog(t), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res5.Rows) != 0 {
+		t.Errorf("rows = %v", res5.Rows)
+	}
+}
+
+func TestExecAsofValid(t *testing.T) {
+	// In 1975, no patient is characterized by the 1980 classification.
+	res, err := Exec(`SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Family" ASOF VALID '15/06/1975'`, catalog(t), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, r := range res.Rows {
+		got[r[0]] = r[1]
+	}
+	if got["7"] != "1" || got["8"] != "1" || len(got) != 2 {
+		t.Errorf("1975 rows = %v", res.Rows)
+	}
+}
+
+func TestExecAggVariants(t *testing.T) {
+	cat := catalog(t)
+	avg, err := Exec(`SELECT AVG(Age) FROM patients`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avg.Rows) != 1 || avg.Rows[0][0] != "38.5" {
+		t.Errorf("avg = %v", avg.Rows)
+	}
+	sum, err := Exec(`SELECT SUM(Age) AS Total FROM patients GROUP BY Residence."Region"`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) != 1 || sum.Rows[0][1] != "77" {
+		t.Errorf("sum = %v", sum.Rows)
+	}
+	if !sum.Summarizable {
+		t.Errorf("region SUM must be summarizable: %v", sum.Reasons)
+	}
+	// GROUP BY with defaulted (bottom) category.
+	bot, err := Exec(`SELECT SETCOUNT(*) FROM patients GROUP BY Residence`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bot.Rows) != 2 { // areas A1 and A2
+		t.Errorf("bottom rows = %v", bot.Rows)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	cat := catalog(t)
+	cases := []string{
+		`SELECT SETCOUNT(*) FROM nope`,
+		`SELECT SETCOUNT(*) FROM patients GROUP BY Nope`,
+		`SELECT SETCOUNT(*) FROM patients GROUP BY Diagnosis."Nope"`,
+		`SELECT SETCOUNT(Age) FROM patients`,
+		`SELECT SUM(*) FROM patients`,
+		`SELECT MEDIAN(Age) FROM patients`,
+		`SELECT SUM(Diagnosis) FROM patients`,
+		`SELECT FACTS FROM patients WHERE Nope = 'x'`,
+		`SELECT FACTS FROM patients WHERE Diagnosis.Nope = 'x'`,
+	}
+	for _, src := range cases {
+		if _, err := Exec(src, cat, ref); err == nil {
+			t.Errorf("Exec(%q): expected error", src)
+		}
+	}
+}
+
+func TestExecProbThreshold(t *testing.T) {
+	cat := catalog(t)
+	m := cat["patients"]
+	// Add an uncertain diagnosis for patient 1.
+	if err := m.RelateAnnot(casestudy.DimDiagnosis, "1", "12", alwaysWithProb(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	all, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis = '12'`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Rows) != 2 {
+		t.Errorf("without threshold: %v", all.Rows)
+	}
+	sure, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis = '12' WITH PROB >= 0.9`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sure.Rows) != 1 || sure.Rows[0][0] != "2" {
+		t.Errorf("with threshold: %v", sure.Rows)
+	}
+}
+
+func TestRunOnEmptyMO(t *testing.T) {
+	cat := Catalog{"empty": core.NewMO(casestudy.PatientSchema())}
+	res, err := Exec(`SELECT SETCOUNT(*) FROM empty GROUP BY Diagnosis."Diagnosis Group"`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func alwaysWithProb(p float64) dimension.Annot { return dimension.Always().WithProb(p) }
+
+func TestExecProbabilisticAggregates(t *testing.T) {
+	cat := catalog(t)
+	m := cat["patients"]
+	// An uncertain diagnosis: patient 1 in group 12 with probability 0.4.
+	if err := m.RelateAnnot(casestudy.DimDiagnosis, "1", "12", alwaysWithProb(0.4)); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Exec(`SELECT EXPECTED(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group"`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, r := range exp.Rows {
+		got[r[0]] = r[1]
+	}
+	if got["11"] != "2" || got["12"] != "1.4" {
+		t.Errorf("EXPECTED rows = %v", exp.Rows)
+	}
+	// Probabilistic functions reject argument dimensions in the language
+	// too.
+	if _, err := Exec(`SELECT EXPECTED(Age) FROM patients`, cat, ref); err == nil {
+		t.Error("EXPECTED(Age) must be rejected")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	cat := catalog(t)
+	res, err := Exec(`DESCRIBE patients`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 4 || res.Columns[0] != "Dimension" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	// Six dimensions, each with its categories including ⊤.
+	found := map[string]bool{}
+	for _, r := range res.Rows {
+		found[r[0]+"/"+r[1]] = true
+	}
+	for _, want := range []string{
+		"Diagnosis/Low-level Diagnosis", "Diagnosis/⊤", "Age/Five-year Group", "DOB/Week",
+	} {
+		if !found[want] {
+			t.Errorf("describe missing %s", want)
+		}
+	}
+	// Single dimension.
+	one, err := Exec(`DESCRIBE patients Diagnosis`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Rows) != 4 {
+		t.Errorf("diagnosis rows = %v", one.Rows)
+	}
+	// The aggregation type column shows the paper's symbols.
+	if one.Rows[0][2] != "c" {
+		t.Errorf("aggtype = %q", one.Rows[0][2])
+	}
+	// Errors.
+	if _, err := Exec(`DESCRIBE nope`, cat, ref); err == nil {
+		t.Error("unknown MO must fail")
+	}
+	if _, err := Exec(`DESCRIBE patients Nope`, cat, ref); err == nil {
+		t.Error("unknown dimension must fail")
+	}
+	if _, err := Exec(`DESCRIBE`, cat, ref); err == nil {
+		t.Error("missing name must fail")
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	cat := catalog(t)
+	// Order by the count descending: group 11 (2 patients) first.
+	res, err := Exec(`SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group" ORDER BY N DESC`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "11" || res.Rows[1][0] != "12" {
+		t.Errorf("desc rows = %v", res.Rows)
+	}
+	asc, err := Exec(`SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group" ORDER BY N ASC`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Rows[0][0] != "12" {
+		t.Errorf("asc rows = %v", asc.Rows)
+	}
+	// LIMIT caps output.
+	one, err := Exec(`SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group" ORDER BY N DESC LIMIT 1`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Rows) != 1 || one.Rows[0][0] != "11" {
+		t.Errorf("limited rows = %v", one.Rows)
+	}
+	// Ordering by a grouping column sorts lexically/numerically.
+	byDim, err := Exec(`SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group" ORDER BY Diagnosis DESC`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byDim.Rows[0][0] != "12" {
+		t.Errorf("by-dim rows = %v", byDim.Rows)
+	}
+	// Errors.
+	if _, err := Exec(`SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis ORDER BY Nope`, cat, ref); err == nil {
+		t.Error("unknown ORDER BY column must fail")
+	}
+	if _, err := Exec(`SELECT SETCOUNT(*) FROM patients LIMIT x`, cat, ref); err == nil {
+		t.Error("bad LIMIT must fail")
+	}
+	if _, err := Exec(`SELECT SETCOUNT(*) FROM patients ORDER N`, cat, ref); err == nil {
+		t.Error("ORDER without BY must fail")
+	}
+}
+
+func TestHaving(t *testing.T) {
+	cat := catalog(t)
+	res, err := Exec(`SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group" HAVING > 1`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "11" {
+		t.Errorf("HAVING rows = %v", res.Rows)
+	}
+	all, err := Exec(`SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group" HAVING >= 1`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Rows) != 2 {
+		t.Errorf("HAVING >= 1 rows = %v", all.Rows)
+	}
+	// HAVING composes with ORDER BY and LIMIT.
+	combo, err := Exec(`SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group" HAVING >= 1 ORDER BY N DESC LIMIT 1`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combo.Rows) != 1 || combo.Rows[0][1] != "2" {
+		t.Errorf("combo rows = %v", combo.Rows)
+	}
+	// Errors.
+	if _, err := Exec(`SELECT SETCOUNT(*) FROM patients HAVING 1`, cat, ref); err == nil {
+		t.Error("HAVING without operator must fail")
+	}
+	if _, err := Exec(`SELECT SETCOUNT(*) FROM patients HAVING > x`, cat, ref); err == nil {
+		t.Error("HAVING without number must fail")
+	}
+}
+
+func TestInList(t *testing.T) {
+	cat := catalog(t)
+	res, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis IN ('E10', 'O2')`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("IN rows = %v", res.Rows)
+	}
+	only12, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis IN ('12')`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only12.Rows) != 1 || only12.Rows[0][0] != "2" {
+		t.Errorf("IN('12') rows = %v", only12.Rows)
+	}
+	neg, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis NOT IN ('12')`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(neg.Rows) != 1 || neg.Rows[0][0] != "1" {
+		t.Errorf("NOT IN rows = %v", neg.Rows)
+	}
+	qual, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis.Code IN ('E10', 'E11')`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qual.Rows) != 2 {
+		t.Errorf("qualified IN rows = %v", qual.Rows)
+	}
+	// Errors.
+	for _, src := range []string{
+		`SELECT FACTS FROM patients WHERE Diagnosis IN ()`,
+		`SELECT FACTS FROM patients WHERE Diagnosis IN ('a'`,
+		`SELECT FACTS FROM patients WHERE Diagnosis IN ('a', 3)`,
+		`SELECT FACTS FROM patients WHERE Diagnosis NOT = 'x'`,
+		`SELECT FACTS FROM patients WHERE Nope IN ('a')`,
+	} {
+		if _, err := Exec(src, cat, ref); err == nil {
+			t.Errorf("Exec(%q): expected error", src)
+		}
+	}
+}
+
+func TestExecAsofTrans(t *testing.T) {
+	// A bitemporal MO: a diagnosis valid from 1982 but only entered into
+	// the database in 1990.
+	cat := catalog(t)
+	m := cat["patients"]
+	m.SetKind(core.Bitemporal)
+	a := dimension.Annot{
+		Time: temporal.Bitemporal{
+			Valid: temporal.Span("01/01/82", "NOW"),
+			Trans: temporal.Span("01/01/90", "NOW"),
+		},
+		Prob: 1,
+	}
+	if err := m.RelateAnnot(casestudy.DimDiagnosis, "1", "10", a); err != nil {
+		t.Fatal(err)
+	}
+	before, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis = '10' ASOF TRANS '01/01/1985'`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Rows) != 0 {
+		t.Errorf("1985 database state = %v", before.Rows)
+	}
+	after, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis = '10' ASOF TRANS '01/01/1995'`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != 1 || after.Rows[0][0] != "1" {
+		t.Errorf("1995 database state = %v", after.Rows)
+	}
+	// Both slices together: database of 1995, world of 1983.
+	both, err := Exec(`SELECT FACTS FROM patients WHERE Diagnosis = '10' ASOF VALID '01/01/1983' ASOF TRANS '01/01/1995'`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both.Rows) != 1 {
+		t.Errorf("bitemporal rows = %v", both.Rows)
+	}
+}

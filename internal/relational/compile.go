@@ -1,0 +1,267 @@
+package relational
+
+import (
+	"fmt"
+
+	"mddm/internal/agg"
+	"mddm/internal/algebra"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+)
+
+// Compile translates a relational-algebra-with-aggregation expression to a
+// pipeline of MO-algebra operators over the MO encodings of the base
+// relations — the constructive content of Theorem 2. The resulting MO
+// decodes (DecodeMO) to the same relation the relational engine computes;
+// the property test TestTheorem2Equivalence checks this on randomized
+// databases and expressions.
+//
+// The operator mapping:
+//
+//	base       → EncodeRelation
+//	σ[p]       → algebra.Select with p lifted to the characterizing values
+//	π[A…]      → algebra.Project + DuplicateRemoval (set semantics)
+//	∪          → algebra.Union + DuplicateRemoval (identity vs value sets)
+//	\          → algebra.Select with an anti-join predicate on value combos
+//	×          → algebra.Join with the true predicate
+//	⟨G,g(a)⟩   → algebra.Aggregate grouped at the bottom categories of G
+func Compile(e Expr, db Database, ctx dimension.Context) (*core.MO, error) {
+	switch x := e.(type) {
+	case Base:
+		r, ok := db[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("relational: unknown relation %q", x.Name)
+		}
+		return EncodeRelation(r)
+
+	case SelectE:
+		in, err := Compile(x.In, db, ctx)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := OutSchema(x.In, db)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Select(in, liftPred(x.Pred, schema), ctx), nil
+
+	case ProjectE:
+		in, err := Compile(x.In, db, ctx)
+		if err != nil {
+			return nil, err
+		}
+		p, err := algebra.Project(in, x.Attrs...)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.DuplicateRemoval(p, ctx)
+
+	case UnionE:
+		l, err := Compile(x.L, db, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(x.R, db, ctx)
+		if err != nil {
+			return nil, err
+		}
+		// The encodings carry distinct fact identities; align the schemas
+		// (attribute names may coincide, fact type names may differ) by
+		// rename, union, then collapse value-equal facts.
+		r2, err := alignSchemas(l, r)
+		if err != nil {
+			return nil, err
+		}
+		u, err := algebra.Union(l, r2)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.DuplicateRemoval(u, ctx)
+
+	case DiffE:
+		l, err := Compile(x.L, db, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(x.R, db, ctx)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := OutSchema(x.L, db)
+		if err != nil {
+			return nil, err
+		}
+		rRel, err := DecodeMO(r, schema, ctx)
+		if err != nil {
+			return nil, err
+		}
+		// Anti-join: keep the facts of L whose value combination is absent
+		// from R (value-based difference via selection).
+		pred := func(m *core.MO, f string, c dimension.Context) bool {
+			ts, err := factTuples(m, schema, f, c)
+			if err != nil || len(ts) == 0 {
+				return false
+			}
+			for _, t := range ts {
+				if rRel.Has(t) {
+					return false
+				}
+			}
+			return true
+		}
+		return algebra.Select(l, pred, ctx), nil
+
+	case ProductE:
+		l, err := Compile(x.L, db, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(x.R, db, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Join(l, r, algebra.CrossJoin)
+
+	case AggregateE:
+		in, err := Compile(x.In, db, ctx)
+		if err != nil {
+			return nil, err
+		}
+		fn, err := mapAggFunc(x.Fn, x.Arg)
+		if err != nil {
+			return nil, err
+		}
+		spec := algebra.AggSpec{
+			ResultDim: x.Out,
+			Func:      fn,
+			GroupBy:   map[string]string{},
+			Warn:      true, // relational semantics has no legality guard
+		}
+		if fn.NeedsArg {
+			spec.ArgDims = []string{x.Arg}
+		}
+		for _, a := range x.GroupBy {
+			dt := in.Schema().DimensionType(a)
+			if dt == nil {
+				return nil, fmt.Errorf("relational: compile: unknown grouping attribute %q", a)
+			}
+			spec.GroupBy[a] = dt.Bottom()
+		}
+		res, err := algebra.Aggregate(in, spec, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return res.MO, nil
+
+	case RenameE:
+		in, err := Compile(x.In, db, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(x.Attrs) != in.Schema().NumDimensions() {
+			return nil, fmt.Errorf("relational: compile: rename arity mismatch")
+		}
+		s, err := core.NewSchema(x.Name)
+		if err != nil {
+			return nil, err
+		}
+		for i, old := range in.Schema().DimensionNames() {
+			if err := s.AddDimensionType(in.Schema().DimensionType(old).Clone(x.Attrs[i])); err != nil {
+				return nil, err
+			}
+		}
+		return algebra.Rename(in, s)
+
+	case JoinE:
+		// The natural join is derived: desugar into rename, product,
+		// selection and projection, then compile the desugared expression —
+		// exactly how the paper defines derived operators in terms of the
+		// fundamental ones.
+		desugared, err := x.Desugar(db)
+		if err != nil {
+			return nil, err
+		}
+		return Compile(desugared, db, ctx)
+
+	default:
+		return nil, fmt.Errorf("relational: compile: unknown expression %T", e)
+	}
+}
+
+// mapAggFunc maps a relational aggregation function to the MO registry.
+// COUNT(*) becomes SETCOUNT (a group holds exactly the facts of the SQL
+// group, and set semantics makes |group| = COUNT(*)).
+func mapAggFunc(fn AggFunc, arg string) (*agg.Func, error) {
+	if fn == COUNT && arg == "" {
+		return agg.Lookup("SETCOUNT")
+	}
+	return agg.Lookup(string(fn))
+}
+
+// liftPred lifts a relational predicate to an MO predicate over the values
+// characterizing a fact — the paper's σ with p ranging over (e1,…,en).
+func liftPred(p Pred, schema Schema) algebra.Predicate {
+	return func(m *core.MO, f string, ctx dimension.Context) bool {
+		ts, err := factTuples(m, schema, f, ctx)
+		if err != nil {
+			return false
+		}
+		for _, t := range ts {
+			if p.Holds(schema, t) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// factTuples decodes the value combinations characterizing a single fact.
+func factTuples(m *core.MO, schema Schema, f string, ctx dimension.Context) ([]Tuple, error) {
+	tmp, err := NewRelation("tmp", schema)
+	if err != nil {
+		return nil, err
+	}
+	perAttr := make([][]Datum, len(schema))
+	for i, a := range schema {
+		d := m.Dimension(a.Name)
+		r := m.Relation(a.Name)
+		if d == nil || r == nil {
+			return nil, fmt.Errorf("relational: no dimension %q", a.Name)
+		}
+		for _, v := range r.ValuesOf(f) {
+			if v == dimension.TopValue {
+				continue
+			}
+			text := v
+			if rep := d.Representation("Value"); rep != nil {
+				if s, ok := rep.RepOf(v, ctx); ok {
+					text = s
+				}
+			}
+			dat, err := ParseDatum(a.Type, text)
+			if err != nil {
+				return nil, err
+			}
+			perAttr[i] = append(perAttr[i], dat)
+		}
+		if len(perAttr[i]) == 0 {
+			return nil, nil
+		}
+	}
+	if err := emitCombos(tmp, perAttr); err != nil {
+		return nil, err
+	}
+	return tmp.Tuples(), nil
+}
+
+// alignSchemas renames r's schema to l's when they are isomorphic but not
+// equal (same attributes, different fact-type name).
+func alignSchemas(l, r *core.MO) (*core.MO, error) {
+	if l.Schema().Equal(r.Schema()) {
+		return r, nil
+	}
+	if !l.Schema().Isomorphic(r.Schema()) {
+		return nil, fmt.Errorf("relational: union operands have incompatible schemas")
+	}
+	return algebra.Rename(r, l.Schema())
+}

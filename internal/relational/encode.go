@@ -1,0 +1,156 @@
+package relational
+
+import (
+	"fmt"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+)
+
+// This file encodes relations as multidimensional objects — the embedding
+// underlying Theorem 2: every tuple becomes a fact with separate identity,
+// every attribute becomes a simple dimension (⊥ = the attribute's value
+// category < ⊤), and the fact–dimension relations record the tuple's
+// values. Numeric attributes get aggregation type Σ, strings c, so the
+// paper's legality guard coincides with what is meaningful relationally.
+
+// emptyMarker stands in for the empty string, which cannot be a dimension
+// value id. The "Value" representation maps every id back to the original
+// text.
+const emptyMarker = "(empty)"
+
+func encodeText(s string) string {
+	if s == "" {
+		return emptyMarker
+	}
+	return s
+}
+
+// AttrDimensionType builds the simple dimension type of an attribute.
+func AttrDimensionType(a Attr) *dimension.DimensionType {
+	aggType := dimension.Constant
+	kind := dimension.KindString
+	switch a.Type {
+	case TInt:
+		aggType, kind = dimension.Sum, dimension.KindInt
+	case TFloat:
+		aggType, kind = dimension.Sum, dimension.KindFloat
+	}
+	return dimension.MustDimensionType(a.Name, aggType, kind, a.Name)
+}
+
+// EncodeRelation builds the MO encoding of a relation: one fact per tuple
+// (identity "<rel>#<row>"), one dimension per attribute.
+func EncodeRelation(r *Relation) (*core.MO, error) {
+	types := make([]*dimension.DimensionType, len(r.Schema))
+	for i, a := range r.Schema {
+		types[i] = AttrDimensionType(a)
+	}
+	s, err := core.NewSchema(r.Name, types...)
+	if err != nil {
+		return nil, err
+	}
+	m := core.NewMO(s)
+	// A "Value" representation recovers the original text (also for the
+	// empty-string marker).
+	reps := make([]*dimension.Representation, len(r.Schema))
+	for i, a := range r.Schema {
+		rep, err := m.Dimension(a.Name).AddRepresentation("Value", a.Name)
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = rep
+	}
+	for row, t := range r.Tuples() {
+		fid := fmt.Sprintf("%s#%d", r.Name, row)
+		for i, a := range r.Schema {
+			id := encodeText(t[i].String())
+			d := m.Dimension(a.Name)
+			if !d.Has(id) {
+				if err := d.AddValue(a.Name, id); err != nil {
+					return nil, err
+				}
+				if err := reps[i].Map(id, t[i].String()); err != nil {
+					return nil, err
+				}
+			}
+			if err := m.Relate(a.Name, fid, id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeMO extracts a relation from an MO whose dimensions encode
+// attributes: for every fact, its non-⊤ values in each attribute dimension
+// (one tuple per combination — a group fact participating in several
+// grouping combos yields several tuples, exactly as SQL emits one row per
+// group). Facts lacking a value in some attribute dimension are skipped.
+func DecodeMO(m *core.MO, schema Schema, ctx dimension.Context) (*Relation, error) {
+	out, err := NewRelation(m.Schema().FactType(), schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range m.Facts().IDs() {
+		perAttr := make([][]Datum, len(schema))
+		ok := true
+		for i, a := range schema {
+			d := m.Dimension(a.Name)
+			r := m.Relation(a.Name)
+			if d == nil || r == nil {
+				return nil, fmt.Errorf("relational: decode: MO has no dimension %q", a.Name)
+			}
+			var ds []Datum
+			for _, v := range r.ValuesOf(f) {
+				if v == dimension.TopValue {
+					continue
+				}
+				text := v
+				if rep := d.Representation("Value"); rep != nil {
+					if s, okr := rep.RepOf(v, ctx); okr {
+						text = s
+					}
+				}
+				dat, err := ParseDatum(a.Type, text)
+				if err != nil {
+					return nil, fmt.Errorf("relational: decode %s: %w", a.Name, err)
+				}
+				ds = append(ds, dat)
+			}
+			if len(ds) == 0 {
+				ok = false
+				break
+			}
+			perAttr[i] = ds
+		}
+		if !ok {
+			continue
+		}
+		if err := emitCombos(out, perAttr); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func emitCombos(out *Relation, perAttr [][]Datum) error {
+	t := make(Tuple, len(perAttr))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(perAttr) {
+			return out.Insert(t)
+		}
+		for _, d := range perAttr[i] {
+			t[i] = d
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}

@@ -1,0 +1,389 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a relational-algebra-with-aggregation expression over a database
+// — the language of Klug's algebra that Theorem 2 measures the
+// multidimensional algebra against. Expressions are introspectable structs
+// so the compiler in compile.go can translate them to MO-algebra pipelines.
+type Expr interface {
+	// Eval evaluates the expression directly over the relational engine.
+	Eval(db Database) (*Relation, error)
+}
+
+// Base references a database relation by name.
+type Base struct{ Name string }
+
+// Eval implements Expr.
+func (e Base) Eval(db Database) (*Relation, error) {
+	r, ok := db[e.Name]
+	if !ok {
+		return nil, fmt.Errorf("relational: unknown relation %q", e.Name)
+	}
+	return r, nil
+}
+
+// SelectE is σ[Pred](In).
+type SelectE struct {
+	In   Expr
+	Pred Pred
+}
+
+// Eval implements Expr.
+func (e SelectE) Eval(db Database) (*Relation, error) {
+	in, err := e.In.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	return Select(in, e.Pred.Holds), nil
+}
+
+// ProjectE is π[Attrs](In).
+type ProjectE struct {
+	In    Expr
+	Attrs []string
+}
+
+// Eval implements Expr.
+func (e ProjectE) Eval(db Database) (*Relation, error) {
+	in, err := e.In.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	return Project(in, e.Attrs...)
+}
+
+// UnionE is L ∪ R.
+type UnionE struct{ L, R Expr }
+
+// Eval implements Expr.
+func (e UnionE) Eval(db Database) (*Relation, error) {
+	l, err := e.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	return Union(l, r)
+}
+
+// DiffE is L \ R.
+type DiffE struct{ L, R Expr }
+
+// Eval implements Expr.
+func (e DiffE) Eval(db Database) (*Relation, error) {
+	l, err := e.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	return Difference(l, r)
+}
+
+// ProductE is L × R (attribute names must be disjoint).
+type ProductE struct{ L, R Expr }
+
+// Eval implements Expr.
+func (e ProductE) Eval(db Database) (*Relation, error) {
+	l, err := e.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	return Product(l, r)
+}
+
+// AggregateE is Klug's aggregate formation ⟨GroupBy, Fn(Arg) → Out⟩(In).
+type AggregateE struct {
+	In      Expr
+	GroupBy []string
+	Fn      AggFunc
+	Arg     string // "" for COUNT(*)
+	Out     string
+}
+
+// Eval implements Expr.
+func (e AggregateE) Eval(db Database) (*Relation, error) {
+	in, err := e.In.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	return Aggregate(in, e.GroupBy, e.Fn, e.Arg, e.Out)
+}
+
+// Op is a comparison operator on data.
+type Op int
+
+// Comparison operators.
+const (
+	OpEQ Op = iota
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+)
+
+// Holds applies the operator.
+func (op Op) Holds(a, b Datum) bool {
+	switch op {
+	case OpEQ:
+		return a.Equal(b)
+	case OpNE:
+		return !a.Equal(b)
+	case OpLT:
+		return a.Less(b)
+	case OpLE:
+		return a.Less(b) || a.Equal(b)
+	case OpGT:
+		return b.Less(a)
+	case OpGE:
+		return b.Less(a) || a.Equal(b)
+	default:
+		return false
+	}
+}
+
+// Pred is a selection predicate (introspectable for compilation).
+type Pred interface {
+	Holds(s Schema, t Tuple) bool
+}
+
+// AttrConst compares an attribute with a constant.
+type AttrConst struct {
+	Attr string
+	Op   Op
+	Val  Datum
+}
+
+// Holds implements Pred.
+func (p AttrConst) Holds(s Schema, t Tuple) bool {
+	i := s.Index(p.Attr)
+	return i >= 0 && p.Op.Holds(t[i], p.Val)
+}
+
+// AttrAttr compares two attributes.
+type AttrAttr struct {
+	A, B string
+	Op   Op
+}
+
+// Holds implements Pred.
+func (p AttrAttr) Holds(s Schema, t Tuple) bool {
+	i, j := s.Index(p.A), s.Index(p.B)
+	return i >= 0 && j >= 0 && p.Op.Holds(t[i], t[j])
+}
+
+// AndP conjoins predicates.
+type AndP []Pred
+
+// Holds implements Pred.
+func (p AndP) Holds(s Schema, t Tuple) bool {
+	for _, q := range p {
+		if !q.Holds(s, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// OrP disjoins predicates.
+type OrP []Pred
+
+// Holds implements Pred.
+func (p OrP) Holds(s Schema, t Tuple) bool {
+	for _, q := range p {
+		if q.Holds(s, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// NotP negates a predicate.
+type NotP struct{ P Pred }
+
+// Holds implements Pred.
+func (p NotP) Holds(s Schema, t Tuple) bool { return !p.P.Holds(s, t) }
+
+// OutSchema computes the schema an expression produces without evaluating
+// data (needed by the compiler to decode MOs positionally).
+func OutSchema(e Expr, db Database) (Schema, error) {
+	switch x := e.(type) {
+	case Base:
+		r, ok := db[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("relational: unknown relation %q", x.Name)
+		}
+		return r.Schema, nil
+	case SelectE:
+		return OutSchema(x.In, db)
+	case ProjectE:
+		in, err := OutSchema(x.In, db)
+		if err != nil {
+			return nil, err
+		}
+		out := make(Schema, 0, len(x.Attrs))
+		for _, a := range x.Attrs {
+			i := in.Index(a)
+			if i < 0 {
+				return nil, fmt.Errorf("relational: unknown attribute %q", a)
+			}
+			out = append(out, in[i])
+		}
+		return out, nil
+	case UnionE:
+		return OutSchema(x.L, db)
+	case DiffE:
+		return OutSchema(x.L, db)
+	case ProductE:
+		l, err := OutSchema(x.L, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := OutSchema(x.R, db)
+		if err != nil {
+			return nil, err
+		}
+		return append(append(Schema{}, l...), r...), nil
+	case AggregateE:
+		in, err := OutSchema(x.In, db)
+		if err != nil {
+			return nil, err
+		}
+		out := make(Schema, 0, len(x.GroupBy)+1)
+		for _, a := range x.GroupBy {
+			i := in.Index(a)
+			if i < 0 {
+				return nil, fmt.Errorf("relational: unknown attribute %q", a)
+			}
+			out = append(out, in[i])
+		}
+		return append(out, Attr{Name: x.Out, Type: TFloat}), nil
+	case RenameE:
+		in, err := OutSchema(x.In, db)
+		if err != nil {
+			return nil, err
+		}
+		if len(x.Attrs) != len(in) {
+			return nil, fmt.Errorf("relational: rename arity mismatch")
+		}
+		out := make(Schema, len(in))
+		for i, a := range in {
+			out[i] = Attr{Name: x.Attrs[i], Type: a.Type}
+		}
+		return out, nil
+	case JoinE:
+		l, err := OutSchema(x.L, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := OutSchema(x.R, db)
+		if err != nil {
+			return nil, err
+		}
+		out := append(Schema{}, l...)
+		for _, a := range r {
+			if l.Index(a.Name) < 0 {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("relational: unknown expression %T", e)
+	}
+}
+
+// RenameE is ρ: the input relation under a new name with positionally
+// renamed attributes.
+type RenameE struct {
+	In    Expr
+	Name  string
+	Attrs []string
+}
+
+// Eval implements Expr.
+func (e RenameE) Eval(db Database) (*Relation, error) {
+	in, err := e.In.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	return Rename(in, e.Name, e.Attrs)
+}
+
+// JoinE is the natural join L ⋈ R on all shared attribute names. It is a
+// derived operator: the compiler desugars it into rename, product,
+// selection and projection.
+type JoinE struct{ L, R Expr }
+
+// Eval implements Expr (using the native natural-join implementation; the
+// compiler's desugaring is checked equivalent by the property tests).
+func (e JoinE) Eval(db Database) (*Relation, error) {
+	l, err := e.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	return NaturalJoin(l, r)
+}
+
+// Desugar rewrites the natural join into fundamental operators:
+// π[L ∪ (R \ shared)](σ[l.s = r.s′ ∀ shared s](L × ρ(R))).
+func (e JoinE) Desugar(db Database) (Expr, error) {
+	ls, err := OutSchema(e.L, db)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := OutSchema(e.R, db)
+	if err != nil {
+		return nil, err
+	}
+	const suffix = "′"
+	var shared []string
+	renamed := make([]string, len(rs))
+	for i, a := range rs {
+		renamed[i] = a.Name
+		if ls.Index(a.Name) >= 0 {
+			shared = append(shared, a.Name)
+			renamed[i] = a.Name + suffix
+		}
+	}
+	if len(shared) == 0 {
+		return ProductE{L: e.L, R: e.R}, nil
+	}
+	right := Expr(RenameE{In: e.R, Name: "R" + suffix, Attrs: renamed})
+	var conds AndP
+	for _, s := range shared {
+		conds = append(conds, AttrAttr{A: s, B: s + suffix, Op: OpEQ})
+	}
+	sel := SelectE{In: ProductE{L: e.L, R: right}, Pred: conds}
+	keep := append([]string{}, ls.Names()...)
+	for i, a := range rs {
+		if ls.Index(a.Name) < 0 {
+			keep = append(keep, renamed[i])
+		}
+	}
+	// Keep duplicates out (natural join has set semantics like every
+	// relational operator here) and restore the right-side attribute names.
+	proj := ProjectE{In: sel, Attrs: keep}
+	restored := make([]string, len(keep))
+	copy(restored, keep)
+	for i := range restored {
+		restored[i] = strings.TrimSuffix(restored[i], suffix)
+	}
+	return RenameE{In: proj, Name: "join", Attrs: restored}, nil
+}

@@ -1,0 +1,306 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Select returns the tuples satisfying the predicate.
+func Select(r *Relation, pred func(Schema, Tuple) bool) *Relation {
+	out := MustRelation(r.Name, r.Schema)
+	for _, t := range r.tuples {
+		if pred(r.Schema, t) {
+			if err := out.Insert(t); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return out
+}
+
+// Project returns the relation restricted to the named attributes, with
+// duplicate tuples removed (set semantics).
+func Project(r *Relation, attrs ...string) (*Relation, error) {
+	idx := make([]int, len(attrs))
+	schema := make(Schema, len(attrs))
+	for i, a := range attrs {
+		j := r.Schema.Index(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relational: project: unknown attribute %q", a)
+		}
+		idx[i] = j
+		schema[i] = r.Schema[j]
+	}
+	out, err := NewRelation(r.Name, schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range r.tuples {
+		nt := make(Tuple, len(idx))
+		for i, j := range idx {
+			nt[i] = t[j]
+		}
+		if err := out.Insert(nt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Rename returns the relation with attributes renamed positionally.
+func Rename(r *Relation, newName string, attrNames []string) (*Relation, error) {
+	if len(attrNames) != len(r.Schema) {
+		return nil, fmt.Errorf("relational: rename: %d names for %d attributes", len(attrNames), len(r.Schema))
+	}
+	schema := make(Schema, len(r.Schema))
+	for i, a := range r.Schema {
+		schema[i] = Attr{Name: attrNames[i], Type: a.Type}
+	}
+	out, err := NewRelation(newName, schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range r.tuples {
+		if err := out.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Union returns r ∪ o (schemas must be compatible: same types positionally).
+func Union(r, o *Relation) (*Relation, error) {
+	if err := compatible(r, o); err != nil {
+		return nil, err
+	}
+	out := r.Clone()
+	for _, t := range o.tuples {
+		if err := out.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Difference returns r \ o.
+func Difference(r, o *Relation) (*Relation, error) {
+	if err := compatible(r, o); err != nil {
+		return nil, err
+	}
+	out := MustRelation(r.Name, r.Schema)
+	for _, t := range r.tuples {
+		if !o.index[t.key()] {
+			if err := out.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func compatible(r, o *Relation) error {
+	if len(r.Schema) != len(o.Schema) {
+		return fmt.Errorf("relational: arity mismatch %d vs %d", len(r.Schema), len(o.Schema))
+	}
+	for i := range r.Schema {
+		if r.Schema[i].Type != o.Schema[i].Type {
+			return fmt.Errorf("relational: attribute %d type mismatch", i)
+		}
+	}
+	return nil
+}
+
+// Product returns the Cartesian product; attribute names must be disjoint.
+func Product(r, o *Relation) (*Relation, error) {
+	for _, a := range o.Schema {
+		if r.Schema.Index(a.Name) >= 0 {
+			return nil, fmt.Errorf("relational: product: attribute %q occurs in both relations", a.Name)
+		}
+	}
+	schema := append(append(Schema{}, r.Schema...), o.Schema...)
+	out, err := NewRelation(r.Name+"×"+o.Name, schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, t1 := range r.tuples {
+		for _, t2 := range o.tuples {
+			nt := append(append(Tuple{}, t1...), t2...)
+			if err := out.Insert(nt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// NaturalJoin joins on all shared attribute names.
+func NaturalJoin(r, o *Relation) (*Relation, error) {
+	var shared []string
+	for _, a := range o.Schema {
+		if r.Schema.Index(a.Name) >= 0 {
+			shared = append(shared, a.Name)
+		}
+	}
+	if len(shared) == 0 {
+		return Product(r, o)
+	}
+	var extra Schema
+	var extraIdx []int
+	for i, a := range o.Schema {
+		if r.Schema.Index(a.Name) < 0 {
+			extra = append(extra, a)
+			extraIdx = append(extraIdx, i)
+		}
+	}
+	schema := append(append(Schema{}, r.Schema...), extra...)
+	out, err := NewRelation(r.Name+"⋈"+o.Name, schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, t1 := range r.tuples {
+		for _, t2 := range o.tuples {
+			match := true
+			for _, s := range shared {
+				if !t1[r.Schema.Index(s)].Equal(t2[o.Schema.Index(s)]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			nt := append(Tuple{}, t1...)
+			for _, j := range extraIdx {
+				nt = append(nt, t2[j])
+			}
+			if err := out.Insert(nt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// AggFunc names a relational aggregation function.
+type AggFunc string
+
+// The standard SQL aggregation functions of Klug's algebra.
+const (
+	SUM   AggFunc = "SUM"
+	COUNT AggFunc = "COUNT"
+	AVG   AggFunc = "AVG"
+	MIN   AggFunc = "MIN"
+	MAX   AggFunc = "MAX"
+)
+
+// Aggregate implements Klug-style aggregate formation: group by the listed
+// attributes and compute fn over the argument attribute of each group. The
+// result schema is the grouping attributes followed by a float attribute
+// named out. COUNT admits arg == "" (count tuples).
+func Aggregate(r *Relation, groupBy []string, fn AggFunc, arg, out string) (*Relation, error) {
+	gIdx := make([]int, len(groupBy))
+	schema := make(Schema, 0, len(groupBy)+1)
+	for i, a := range groupBy {
+		j := r.Schema.Index(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relational: aggregate: unknown grouping attribute %q", a)
+		}
+		gIdx[i] = j
+		schema = append(schema, r.Schema[j])
+	}
+	aIdx := -1
+	if arg != "" {
+		aIdx = r.Schema.Index(arg)
+		if aIdx < 0 {
+			return nil, fmt.Errorf("relational: aggregate: unknown argument attribute %q", arg)
+		}
+	}
+	if fn != COUNT && aIdx < 0 {
+		return nil, fmt.Errorf("relational: aggregate: %s needs an argument attribute", fn)
+	}
+	schema = append(schema, Attr{Name: out, Type: TFloat})
+
+	type group struct {
+		key  Tuple
+		vals []float64
+		n    int
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, t := range r.tuples {
+		key := make(Tuple, len(gIdx))
+		for i, j := range gIdx {
+			key[i] = t[j]
+		}
+		k := key.key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: key}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.n++
+		if aIdx >= 0 {
+			if v, ok := t[aIdx].Num(); ok {
+				g.vals = append(g.vals, v)
+			}
+		}
+	}
+	sort.Strings(order)
+
+	res, err := NewRelation(r.Name+"/agg", schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range order {
+		g := groups[k]
+		var v float64
+		switch fn {
+		case COUNT:
+			if aIdx >= 0 {
+				v = float64(len(g.vals))
+			} else {
+				v = float64(g.n)
+			}
+		case SUM:
+			for _, x := range g.vals {
+				v += x
+			}
+		case AVG:
+			if len(g.vals) == 0 {
+				continue
+			}
+			for _, x := range g.vals {
+				v += x
+			}
+			v /= float64(len(g.vals))
+		case MIN:
+			if len(g.vals) == 0 {
+				continue
+			}
+			v = g.vals[0]
+			for _, x := range g.vals[1:] {
+				if x < v {
+					v = x
+				}
+			}
+		case MAX:
+			if len(g.vals) == 0 {
+				continue
+			}
+			v = g.vals[0]
+			for _, x := range g.vals[1:] {
+				if x > v {
+					v = x
+				}
+			}
+		default:
+			return nil, fmt.Errorf("relational: aggregate: unknown function %q", fn)
+		}
+		nt := append(append(Tuple{}, g.key...), Float(v))
+		if err := res.Insert(nt); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,194 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attr is one attribute of a relation schema.
+type Attr struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of attributes with unique names.
+type Schema []Attr
+
+// Index returns the position of the named attribute, or -1.
+func (s Schema) Index(name string) int {
+	for i, a := range s {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two schemas have the same attributes in the same
+// order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Names returns the attribute names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, a := range s {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Tuple is one row; its length and types match the schema positionally.
+type Tuple []Datum
+
+// key returns the canonical identity of the tuple (set semantics).
+func (t Tuple) key() string {
+	parts := make([]string, len(t))
+	for i, d := range t {
+		parts[i] = fmt.Sprintf("%d:%s", d.Kind, d.String())
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// Equal compares tuples value-wise.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a named relation with set semantics: inserting a duplicate
+// tuple is a no-op.
+type Relation struct {
+	Name   string
+	Schema Schema
+	tuples []Tuple
+	index  map[string]bool
+}
+
+// NewRelation creates an empty relation. Attribute names must be unique.
+func NewRelation(name string, schema Schema) (*Relation, error) {
+	seen := map[string]bool{}
+	for _, a := range schema {
+		if a.Name == "" {
+			return nil, fmt.Errorf("relational: empty attribute name in %s", name)
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("relational: duplicate attribute %q in %s", a.Name, name)
+		}
+		seen[a.Name] = true
+	}
+	return &Relation{Name: name, Schema: schema, index: map[string]bool{}}, nil
+}
+
+// MustRelation is NewRelation that panics on error.
+func MustRelation(name string, schema Schema) *Relation {
+	r, err := NewRelation(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Insert adds a tuple (set semantics; type-checked against the schema).
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != len(r.Schema) {
+		return fmt.Errorf("relational: tuple arity %d, schema arity %d", len(t), len(r.Schema))
+	}
+	for i, d := range t {
+		if d.Kind != r.Schema[i].Type {
+			return fmt.Errorf("relational: attribute %s: got %v, want %v", r.Schema[i].Name, d.Kind, r.Schema[i].Type)
+		}
+	}
+	k := t.key()
+	if r.index[k] {
+		return nil
+	}
+	r.index[k] = true
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	r.tuples = append(r.tuples, cp)
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (r *Relation) MustInsert(data ...Datum) {
+	if err := r.Insert(Tuple(data)); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the tuples in canonical (sorted-by-key) order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// Has reports whether an equal tuple is present.
+func (r *Relation) Has(t Tuple) bool { return r.index[t.key()] }
+
+// Equal reports whether two relations hold the same tuple sets (names are
+// ignored; schemas must match).
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.Schema.Equal(o.Schema) || r.Len() != o.Len() {
+		return false
+	}
+	for k := range r.index {
+		if !o.index[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy under the same name.
+func (r *Relation) Clone() *Relation {
+	n := MustRelation(r.Name, append(Schema(nil), r.Schema...))
+	for _, t := range r.tuples {
+		if err := n.Insert(t); err != nil {
+			panic(err)
+		}
+	}
+	return n
+}
+
+// String renders the relation as a fixed-width table.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s): %d tuples\n", r.Name, strings.Join(r.Schema.Names(), ", "), r.Len())
+	for _, t := range r.Tuples() {
+		parts := make([]string, len(t))
+		for i, d := range t {
+			parts[i] = d.String()
+		}
+		fmt.Fprintf(&b, "  (%s)\n", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// Database is a named collection of relations.
+type Database map[string]*Relation
+
+// Add registers a relation under its name.
+func (db Database) Add(r *Relation) { db[r.Name] = r }

@@ -1,0 +1,257 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleDB builds a small clinical database mirroring the case study:
+// patients and diagnoses-per-patient.
+func sampleDB() Database {
+	patients := MustRelation("P", Schema{
+		{Name: "pid", Type: TInt},
+		{Name: "name", Type: TString},
+		{Name: "age", Type: TInt},
+	})
+	patients.MustInsert(Int(1), Str("John Doe"), Int(29))
+	patients.MustInsert(Int(2), Str("Jane Doe"), Int(48))
+	patients.MustInsert(Int(3), Str("Jim Roe"), Int(48))
+
+	has := MustRelation("H", Schema{
+		{Name: "hpid", Type: TInt},
+		{Name: "diag", Type: TString},
+	})
+	has.MustInsert(Int(1), Str("E10"))
+	has.MustInsert(Int(2), Str("E10"))
+	has.MustInsert(Int(2), Str("O24.0"))
+	has.MustInsert(Int(3), Str("E11"))
+
+	db := Database{}
+	db.Add(patients)
+	db.Add(has)
+	return db
+}
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := MustRelation("R", Schema{{Name: "a", Type: TInt}})
+	r.MustInsert(Int(1))
+	r.MustInsert(Int(1))
+	if r.Len() != 1 {
+		t.Errorf("duplicates must collapse, len = %d", r.Len())
+	}
+	if err := r.Insert(Tuple{Str("x")}); err == nil {
+		t.Error("type mismatch must be rejected")
+	}
+	if err := r.Insert(Tuple{Int(1), Int(2)}); err == nil {
+		t.Error("arity mismatch must be rejected")
+	}
+	if _, err := NewRelation("X", Schema{{Name: "a", Type: TInt}, {Name: "a", Type: TInt}}); err == nil {
+		t.Error("duplicate attribute must be rejected")
+	}
+	if _, err := NewRelation("X", Schema{{Name: "", Type: TInt}}); err == nil {
+		t.Error("empty attribute must be rejected")
+	}
+}
+
+func TestDatum(t *testing.T) {
+	if !Int(2).Equal(Float(2)) {
+		t.Error("numeric equality must cross int/float")
+	}
+	if Int(2).Equal(Str("2")) {
+		t.Error("numbers and strings must differ")
+	}
+	if !Int(1).Less(Float(1.5)) || !Float(1.5).Less(Str("a")) || Str("b").Less(Str("a")) {
+		t.Error("ordering wrong")
+	}
+	if Float(2.5).String() != "2.5" || Float(2).String() != "2" || Int(7).String() != "7" {
+		t.Error("formatting wrong")
+	}
+	if d, err := ParseDatum(TInt, "42"); err != nil || d.I != 42 {
+		t.Error("int parse failed")
+	}
+	if _, err := ParseDatum(TInt, "x"); err == nil {
+		t.Error("bad int must fail")
+	}
+	if d, err := ParseDatum(TFloat, "2.5"); err != nil || d.F != 2.5 {
+		t.Error("float parse failed")
+	}
+	if _, err := ParseDatum(TFloat, "x"); err == nil {
+		t.Error("bad float must fail")
+	}
+	if d, _ := ParseDatum(TString, "s"); d.S != "s" {
+		t.Error("string parse failed")
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	db := sampleDB()
+	sel := Select(db["P"], AttrConst{Attr: "age", Op: OpEQ, Val: Int(48)}.Holds)
+	if sel.Len() != 2 {
+		t.Errorf("selected %d, want 2", sel.Len())
+	}
+	p, err := Project(sel, "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Errorf("projection must dedup, len = %d", p.Len())
+	}
+	if _, err := Project(sel, "nope"); err == nil {
+		t.Error("unknown attribute must be rejected")
+	}
+}
+
+func TestUnionDifferenceProduct(t *testing.T) {
+	db := sampleDB()
+	young := Select(db["P"], AttrConst{Attr: "age", Op: OpLT, Val: Int(40)}.Holds)
+	old := Select(db["P"], AttrConst{Attr: "age", Op: OpGE, Val: Int(40)}.Holds)
+	u, err := Union(young, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(db["P"]) {
+		t.Error("partition union must restore the relation")
+	}
+	d, err := Difference(db["P"], young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(old) {
+		t.Error("difference wrong")
+	}
+	prod, err := Product(db["P"], db["H"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Len() != 12 {
+		t.Errorf("product len = %d", prod.Len())
+	}
+	if _, err := Product(db["P"], db["P"]); err == nil {
+		t.Error("product with shared attributes must fail")
+	}
+	bad := MustRelation("B", Schema{{Name: "x", Type: TString}})
+	if _, err := Union(db["P"], bad); err == nil {
+		t.Error("incompatible union must fail")
+	}
+}
+
+func TestNaturalJoin(t *testing.T) {
+	db := sampleDB()
+	// Rename H's hpid to pid so the join connects.
+	h, err := Rename(db["H"], "H2", []string{"pid", "diag"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NaturalJoin(db["P"], h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 4 {
+		t.Errorf("join len = %d, want 4", j.Len())
+	}
+	if j.Schema.Index("diag") < 0 || j.Schema.Index("name") < 0 {
+		t.Errorf("join schema = %v", j.Schema.Names())
+	}
+	// Disjoint attributes fall back to product.
+	pj, err := NaturalJoin(db["P"], db["H"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pj.Len() != 12 {
+		t.Errorf("disjoint natural join len = %d", pj.Len())
+	}
+}
+
+func TestAggregateRelational(t *testing.T) {
+	db := sampleDB()
+	// Count patients per age.
+	byAge, err := Aggregate(db["P"], []string{"age"}, COUNT, "", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"29": 1, "48": 2}
+	for _, tp := range byAge.Tuples() {
+		if want[tp[0].String()] != tp[1].F {
+			t.Errorf("count(%s) = %v", tp[0], tp[1])
+		}
+	}
+	// Average age overall.
+	avg, err := Aggregate(db["P"], nil, AVG, "age", "avgAge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := avg.Tuples(); len(ts) != 1 || ts[0][0].F != (29.0+48+48)/3 {
+		t.Errorf("avg = %v", ts)
+	}
+	// SUM / MIN / MAX.
+	for fn, want := range map[AggFunc]float64{SUM: 125, MIN: 29, MAX: 48} {
+		r, err := Aggregate(db["P"], nil, fn, "age", "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Tuples()[0][0].F != want {
+			t.Errorf("%s = %v, want %v", fn, r.Tuples()[0][0].F, want)
+		}
+	}
+	// Errors.
+	if _, err := Aggregate(db["P"], []string{"nope"}, COUNT, "", "n"); err == nil {
+		t.Error("unknown grouping attribute must fail")
+	}
+	if _, err := Aggregate(db["P"], nil, SUM, "nope", "n"); err == nil {
+		t.Error("unknown argument attribute must fail")
+	}
+	if _, err := Aggregate(db["P"], nil, SUM, "", "n"); err == nil {
+		t.Error("SUM without argument must fail")
+	}
+	if _, err := Aggregate(db["P"], nil, AggFunc("MEDIAN"), "age", "n"); err == nil {
+		t.Error("unknown function must fail")
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	db := sampleDB()
+	// π[name](σ[age ≥ 40](P))
+	e := ProjectE{In: SelectE{In: Base{Name: "P"}, Pred: AttrConst{Attr: "age", Op: OpGE, Val: Int(40)}}, Attrs: []string{"name"}}
+	r, err := e.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("len = %d", r.Len())
+	}
+	// Predicate combinators.
+	combo := SelectE{In: Base{Name: "P"}, Pred: AndP{
+		OrP{AttrConst{Attr: "age", Op: OpEQ, Val: Int(29)}, AttrConst{Attr: "age", Op: OpEQ, Val: Int(48)}},
+		NotP{P: AttrConst{Attr: "name", Op: OpEQ, Val: Str("Jim Roe")}},
+		AttrAttr{A: "age", B: "age", Op: OpLE},
+	}}
+	r2, err := combo.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 2 {
+		t.Errorf("combo len = %d", r2.Len())
+	}
+	// Unknown base.
+	if _, err := (Base{Name: "X"}).Eval(db); err != nil {
+		// expected
+	} else {
+		t.Error("unknown base must fail")
+	}
+	// OutSchema agreement.
+	s, err := OutSchema(e, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(r.Schema) {
+		t.Errorf("OutSchema = %v, eval schema = %v", s.Names(), r.Schema.Names())
+	}
+}
+
+func TestRelationRender(t *testing.T) {
+	db := sampleDB()
+	out := db["P"].String()
+	if !strings.Contains(out, "P(pid, name, age): 3 tuples") || !strings.Contains(out, "Jane Doe") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,254 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+// Theorem 2: the MO algebra is at least as powerful as Klug's relational
+// algebra with aggregation. The compiler in compile.go is the constructive
+// witness; these tests check that compiled pipelines compute exactly what
+// the relational engine computes — on the fixed sample database for each
+// operator, and on randomized databases and expressions.
+
+var tctx = dimension.CurrentContext(temporal.MustDate("01/01/2000"))
+
+// checkEquiv evaluates e both ways and compares.
+func checkEquiv(t *testing.T, db Database, e Expr, label string) {
+	t.Helper()
+	want, err := e.Eval(db)
+	if err != nil {
+		t.Fatalf("%s: relational eval: %v", label, err)
+	}
+	mo, err := Compile(e, db, tctx)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", label, err)
+	}
+	schema, err := OutSchema(e, db)
+	if err != nil {
+		t.Fatalf("%s: schema: %v", label, err)
+	}
+	got, err := DecodeMO(mo, schema, tctx)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", label, err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("%s mismatch:\nrelational:\n%v\nMO algebra:\n%v", label, want, got)
+	}
+}
+
+func TestTheorem2PerOperator(t *testing.T) {
+	db := sampleDB()
+	checkEquiv(t, db, Base{Name: "P"}, "base")
+	checkEquiv(t, db, SelectE{In: Base{Name: "P"}, Pred: AttrConst{Attr: "age", Op: OpGE, Val: Int(40)}}, "select")
+	checkEquiv(t, db, SelectE{In: Base{Name: "P"}, Pred: AttrConst{Attr: "name", Op: OpEQ, Val: Str("Jane Doe")}}, "select-string")
+	checkEquiv(t, db, ProjectE{In: Base{Name: "P"}, Attrs: []string{"age"}}, "project-dedup")
+	checkEquiv(t, db, ProjectE{In: Base{Name: "P"}, Attrs: []string{"name", "age"}}, "project")
+	checkEquiv(t, db, UnionE{
+		L: SelectE{In: Base{Name: "P"}, Pred: AttrConst{Attr: "age", Op: OpLT, Val: Int(40)}},
+		R: SelectE{In: Base{Name: "P"}, Pred: AttrConst{Attr: "age", Op: OpGE, Val: Int(40)}},
+	}, "union-partition")
+	checkEquiv(t, db, UnionE{L: Base{Name: "P"}, R: Base{Name: "P"}}, "union-self")
+	checkEquiv(t, db, DiffE{
+		L: Base{Name: "P"},
+		R: SelectE{In: Base{Name: "P"}, Pred: AttrConst{Attr: "age", Op: OpLT, Val: Int(40)}},
+	}, "difference")
+	checkEquiv(t, db, DiffE{L: Base{Name: "P"}, R: Base{Name: "P"}}, "difference-self")
+	checkEquiv(t, db, ProductE{L: Base{Name: "P"}, R: Base{Name: "H"}}, "product")
+	checkEquiv(t, db, AggregateE{In: Base{Name: "P"}, GroupBy: []string{"age"}, Fn: COUNT, Arg: "", Out: "n"}, "count-star")
+	checkEquiv(t, db, AggregateE{In: Base{Name: "P"}, GroupBy: nil, Fn: SUM, Arg: "age", Out: "s"}, "sum")
+	checkEquiv(t, db, AggregateE{In: Base{Name: "P"}, GroupBy: []string{"name"}, Fn: MAX, Arg: "age", Out: "m"}, "max-by-name")
+	checkEquiv(t, db, AggregateE{In: Base{Name: "P"}, GroupBy: nil, Fn: AVG, Arg: "age", Out: "a"}, "avg")
+}
+
+func TestTheorem2Composed(t *testing.T) {
+	db := sampleDB()
+	// Join patients with diagnoses, then count diagnoses per patient name:
+	// ⟨name, COUNT(*)⟩(σ[pid = hpid](P × H)).
+	e := AggregateE{
+		In: SelectE{
+			In:   ProductE{L: Base{Name: "P"}, R: Base{Name: "H"}},
+			Pred: AttrAttr{A: "pid", B: "hpid", Op: OpEQ},
+		},
+		GroupBy: []string{"name"},
+		Fn:      COUNT, Arg: "", Out: "nDiag",
+	}
+	checkEquiv(t, db, e, "join-count")
+
+	// Nested aggregation: max per-name diagnosis count.
+	e2 := AggregateE{In: e, GroupBy: nil, Fn: MAX, Arg: "nDiag", Out: "worst"}
+	checkEquiv(t, db, e2, "nested-agg")
+
+	// Difference of projections.
+	e3 := DiffE{
+		L: ProjectE{In: Base{Name: "P"}, Attrs: []string{"pid"}},
+		R: ProjectE{In: SelectE{In: Base{Name: "H"}, Pred: AttrConst{Attr: "diag", Op: OpEQ, Val: Str("E10")}},
+			Attrs: []string{"hpid"}},
+	}
+	// Schemas of L and R differ in attribute name; make them comparable by
+	// renaming through projection of the same attribute names: use pid-only
+	// database expressions instead.
+	_ = e3
+	e4 := DiffE{
+		L: ProjectE{In: Base{Name: "P"}, Attrs: []string{"age"}},
+		R: ProjectE{In: SelectE{In: Base{Name: "P"}, Pred: AttrConst{Attr: "name", Op: OpEQ, Val: Str("John Doe")}},
+			Attrs: []string{"age"}},
+	}
+	checkEquiv(t, db, e4, "diff-projections")
+}
+
+// randDB builds a random database with two relations over small domains so
+// joins and differences hit collisions.
+func randDB(r *rand.Rand) Database {
+	a := MustRelation("A", Schema{
+		{Name: "x", Type: TInt},
+		{Name: "y", Type: TString},
+		{Name: "z", Type: TInt},
+	})
+	for i := 0; i < 3+r.Intn(10); i++ {
+		a.MustInsert(Int(int64(r.Intn(5))), Str(fmt.Sprintf("s%d", r.Intn(4))), Int(int64(r.Intn(20))))
+	}
+	b := MustRelation("B", Schema{
+		{Name: "u", Type: TInt},
+		{Name: "v", Type: TString},
+	})
+	for i := 0; i < 2+r.Intn(8); i++ {
+		b.MustInsert(Int(int64(r.Intn(5))), Str(fmt.Sprintf("s%d", r.Intn(4))))
+	}
+	db := Database{}
+	db.Add(a)
+	db.Add(b)
+	return db
+}
+
+// randExpr builds a random expression over A (keeping schema bookkeeping
+// simple: unary chains over A plus an optional product with B and a final
+// aggregation).
+func randExpr(r *rand.Rand) Expr {
+	var e Expr = Base{Name: "A"}
+	for i := 0; i < r.Intn(3); i++ {
+		switch r.Intn(4) {
+		case 0:
+			e = SelectE{In: e, Pred: AttrConst{Attr: "x", Op: Op(r.Intn(6)), Val: Int(int64(r.Intn(5)))}}
+		case 1:
+			e = SelectE{In: e, Pred: OrP{
+				AttrConst{Attr: "y", Op: OpEQ, Val: Str(fmt.Sprintf("s%d", r.Intn(4)))},
+				AttrConst{Attr: "z", Op: OpGT, Val: Int(int64(r.Intn(20)))},
+			}}
+		case 2:
+			e = UnionE{L: e, R: SelectE{In: Base{Name: "A"}, Pred: AttrConst{Attr: "x", Op: OpLE, Val: Int(int64(r.Intn(5)))}}}
+		case 3:
+			e = DiffE{L: e, R: SelectE{In: Base{Name: "A"}, Pred: AttrConst{Attr: "x", Op: OpEQ, Val: Int(int64(r.Intn(5)))}}}
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		e = ProjectE{In: e, Attrs: []string{"x", "y"}}
+	case 1:
+		e = ProductE{L: e, R: Base{Name: "B"}}
+	case 2:
+		fns := []AggFunc{COUNT, SUM, MIN, MAX, AVG}
+		fn := fns[r.Intn(len(fns))]
+		arg := "z"
+		if fn == COUNT && r.Intn(2) == 0 {
+			arg = ""
+		}
+		e = AggregateE{In: e, GroupBy: []string{"y"}, Fn: fn, Arg: arg, Out: "res"}
+	}
+	return e
+}
+
+func TestTheorem2Equivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 60; iter++ {
+		db := randDB(r)
+		e := randExpr(r)
+		checkEquiv(t, db, e, fmt.Sprintf("random-%d", iter))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	db := sampleDB()
+	for name, rel := range db {
+		mo, err := EncodeRelation(rel)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := DecodeMO(mo, rel.Schema, tctx)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !back.Equal(rel) {
+			t.Errorf("%s: round trip broken:\n%v\n%v", name, rel, back)
+		}
+	}
+	// Empty strings survive via the marker + Value representation.
+	r := MustRelation("E", Schema{{Name: "s", Type: TString}})
+	r.MustInsert(Str(""))
+	r.MustInsert(Str("x"))
+	mo, err := EncodeRelation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeMO(mo, r.Schema, tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Errorf("empty-string round trip broken:\n%v\n%v", r, back)
+	}
+}
+
+func TestTheorem2JoinAndRename(t *testing.T) {
+	db := sampleDB()
+	// Rename H(hpid,diag) to H2(pid,diag) and natural-join with P on pid.
+	renamed := RenameE{In: Base{Name: "H"}, Name: "H2", Attrs: []string{"pid", "diag"}}
+	checkEquiv(t, db, renamed, "rename")
+	join := JoinE{L: Base{Name: "P"}, R: renamed}
+	checkEquiv(t, db, join, "natural-join")
+	// Join with no shared attributes degenerates to the product.
+	checkEquiv(t, db, JoinE{L: Base{Name: "P"}, R: Base{Name: "H"}}, "join-disjoint")
+	// Aggregation over a join: diagnoses per patient name.
+	checkEquiv(t, db, AggregateE{
+		In: join, GroupBy: []string{"name"}, Fn: COUNT, Arg: "", Out: "n",
+	}, "agg-over-join")
+	// The desugaring itself evaluates to the same relation as the native
+	// natural join.
+	native, err := join.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugar, err := join.Desugar(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSugar, err := sugar.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schemas differ in attribute order guarantees? Desugar preserves
+	// L-then-extras order, same as NaturalJoin.
+	if !viaSugar.Equal(native) {
+		t.Errorf("desugared join differs:\n%v\n%v", native, viaSugar)
+	}
+}
+
+func TestTheorem2RandomJoins(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for iter := 0; iter < 20; iter++ {
+		db := randDB(r)
+		// Rename B(u,v) so u aligns with A's x, then join and aggregate.
+		join := JoinE{
+			L: Base{Name: "A"},
+			R: RenameE{In: Base{Name: "B"}, Name: "B2", Attrs: []string{"x", "v"}},
+		}
+		checkEquiv(t, db, join, fmt.Sprintf("rand-join-%d", iter))
+		checkEquiv(t, db, AggregateE{
+			In: join, GroupBy: []string{"v"}, Fn: SUM, Arg: "z", Out: "s",
+		}, fmt.Sprintf("rand-join-agg-%d", iter))
+	}
+}

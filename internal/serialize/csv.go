@@ -1,0 +1,38 @@
+package serialize
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"mddm/internal/query"
+)
+
+// WriteResultCSV exports a query result as CSV (header row first).
+func WriteResultCSV(w io.Writer, r *query.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRowsCSV reads CSV back into a header plus rows (the inverse of
+// WriteResultCSV for checking round trips and loading external tables).
+func ReadRowsCSV(r io.Reader) (header []string, rows [][]string, err error) {
+	cr := csv.NewReader(r)
+	all, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(all) == 0 {
+		return nil, nil, fmt.Errorf("serialize: empty CSV")
+	}
+	return all[0], all[1:], nil
+}

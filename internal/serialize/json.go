@@ -1,0 +1,401 @@
+// Package serialize persists multidimensional objects: a stable JSON
+// format for full MOs (schema, dimensions with annotated orders and
+// representations, facts, fact–dimension relations with bitemporal and
+// probability annotations) and CSV export for flattened query results.
+// The JSON round trip is exact — Decode(Encode(mo)) is Equal to mo — and
+// pinned by property tests.
+package serialize
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/fact"
+	"mddm/internal/temporal"
+)
+
+// jsonInterval is one closed interval; NOW is encoded as the string "NOW".
+type jsonInterval struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// jsonAnnot carries a statement's bitemporal element and probability.
+// Empty interval lists mean "always"; Prob 0 means 1 (the JSON zero value
+// maps to the common case).
+type jsonAnnot struct {
+	Valid []jsonInterval `json:"valid,omitempty"`
+	Trans []jsonInterval `json:"trans,omitempty"`
+	Prob  *float64       `json:"prob,omitempty"`
+}
+
+type jsonCategoryType struct {
+	Name    string `json:"name"`
+	AggType string `json:"aggType"`
+	Kind    string `json:"kind"`
+}
+
+type jsonDimensionType struct {
+	Name       string             `json:"name"`
+	Categories []jsonCategoryType `json:"categories"`
+	Order      [][2]string        `json:"order"` // [lower, higher]
+}
+
+type jsonValue struct {
+	Category string    `json:"category"`
+	ID       string    `json:"id"`
+	Annot    jsonAnnot `json:"annot"`
+}
+
+type jsonEdge struct {
+	Child  string    `json:"child"`
+	Parent string    `json:"parent"`
+	Annot  jsonAnnot `json:"annot"`
+}
+
+type jsonRepEntry struct {
+	ID    string    `json:"id"`
+	Value string    `json:"value"`
+	Annot jsonAnnot `json:"annot"`
+}
+
+type jsonRepresentation struct {
+	Name     string         `json:"name"`
+	Category string         `json:"category,omitempty"`
+	Entries  []jsonRepEntry `json:"entries"`
+}
+
+type jsonDimension struct {
+	Type            jsonDimensionType    `json:"type"`
+	Values          []jsonValue          `json:"values"`
+	Edges           []jsonEdge           `json:"edges"`
+	Representations []jsonRepresentation `json:"representations,omitempty"`
+}
+
+type jsonFact struct {
+	ID      string   `json:"id"`
+	Members []string `json:"members,omitempty"`
+}
+
+type jsonPair struct {
+	Fact  string    `json:"fact"`
+	Value string    `json:"value"`
+	Annot jsonAnnot `json:"annot"`
+}
+
+type jsonMO struct {
+	Format    string                `json:"format"`
+	FactType  string                `json:"factType"`
+	Kind      string                `json:"kind"`
+	Dims      []jsonDimension       `json:"dimensions"`
+	Facts     []jsonFact            `json:"facts"`
+	Relations map[string][]jsonPair `json:"relations"`
+}
+
+// FormatVersion identifies the JSON format.
+const FormatVersion = "mddm/1"
+
+// Encode writes the MO as JSON.
+func Encode(w io.Writer, m *core.MO) error {
+	doc, err := toJSON(m)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Decode reads an MO back from JSON.
+func Decode(r io.Reader) (*core.MO, error) {
+	var doc jsonMO
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("serialize: %w", err)
+	}
+	return fromJSON(&doc)
+}
+
+func toJSON(m *core.MO) (*jsonMO, error) {
+	doc := &jsonMO{
+		Format:    FormatVersion,
+		FactType:  m.Schema().FactType(),
+		Kind:      m.Kind().String(),
+		Relations: map[string][]jsonPair{},
+	}
+	for _, name := range m.Schema().DimensionNames() {
+		d := m.Dimension(name)
+		jd := jsonDimension{Type: typeToJSON(d.Type())}
+		for _, id := range d.Values() {
+			if id == dimension.TopValue {
+				continue
+			}
+			cat, _ := d.CategoryOf(id)
+			a, _ := d.Membership(id)
+			jd.Values = append(jd.Values, jsonValue{Category: cat, ID: id, Annot: annotToJSON(a)})
+		}
+		for _, e := range d.Edges() {
+			jd.Edges = append(jd.Edges, jsonEdge{Child: e.Child, Parent: e.Parent, Annot: annotToJSON(e.Annot)})
+		}
+		for _, rn := range d.Representations() {
+			rep := d.Representation(rn)
+			jr := jsonRepresentation{Name: rep.Name, Category: rep.Category}
+			for _, e := range rep.Entries() {
+				jr.Entries = append(jr.Entries, jsonRepEntry{ID: e.ID, Value: e.Val, Annot: annotToJSON(e.Annot)})
+			}
+			jd.Representations = append(jd.Representations, jr)
+		}
+		doc.Dims = append(doc.Dims, jd)
+
+		var pairs []jsonPair
+		for _, p := range m.Relation(name).Pairs() {
+			pairs = append(pairs, jsonPair{Fact: p.FactID, Value: p.ValueID, Annot: annotToJSON(p.Annot)})
+		}
+		doc.Relations[name] = pairs
+	}
+	for _, f := range m.Facts().All() {
+		doc.Facts = append(doc.Facts, jsonFact{ID: f.ID, Members: f.Members})
+	}
+	return doc, nil
+}
+
+func fromJSON(doc *jsonMO) (*core.MO, error) {
+	if doc.Format != FormatVersion {
+		return nil, fmt.Errorf("serialize: unknown format %q (want %q)", doc.Format, FormatVersion)
+	}
+	var types []*dimension.DimensionType
+	for _, jd := range doc.Dims {
+		t, err := typeFromJSON(jd.Type)
+		if err != nil {
+			return nil, err
+		}
+		types = append(types, t)
+	}
+	s, err := core.NewSchema(doc.FactType, types...)
+	if err != nil {
+		return nil, err
+	}
+	m := core.NewMO(s)
+	kind, err := kindFromString(doc.Kind)
+	if err != nil {
+		return nil, err
+	}
+	m.SetKind(kind)
+	for i, jd := range doc.Dims {
+		name := types[i].Name()
+		d := m.Dimension(name)
+		for _, v := range jd.Values {
+			a, err := annotFromJSON(v.Annot)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.AddValueAnnot(v.Category, v.ID, a); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range jd.Edges {
+			a, err := annotFromJSON(e.Annot)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.AddEdgeAnnot(e.Child, e.Parent, a); err != nil {
+				return nil, err
+			}
+		}
+		for _, jr := range jd.Representations {
+			rep, err := d.AddRepresentation(jr.Name, jr.Category)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range jr.Entries {
+				a, err := annotFromJSON(e.Annot)
+				if err != nil {
+					return nil, err
+				}
+				if err := rep.MapAnnot(e.ID, e.Value, a); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, f := range doc.Facts {
+		if f.Members != nil {
+			m.AddFact(fact.NewGroup(f.Members))
+		} else {
+			m.AddFact(fact.NewFact(f.ID))
+		}
+	}
+	for name, pairs := range doc.Relations {
+		for _, p := range pairs {
+			a, err := annotFromJSON(p.Annot)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.RelateAnnot(name, p.Fact, p.Value, a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("serialize: decoded MO invalid: %w", err)
+	}
+	return m, nil
+}
+
+func typeToJSON(t *dimension.DimensionType) jsonDimensionType {
+	jt := jsonDimensionType{Name: t.Name()}
+	for _, c := range t.CategoryTypes() {
+		if c == dimension.TopName {
+			continue
+		}
+		ct := t.CategoryType(c)
+		jt.Categories = append(jt.Categories, jsonCategoryType{
+			Name: ct.Name, AggType: ct.AggType.String(), Kind: ct.Kind.String(),
+		})
+		for _, p := range t.Pred(c) {
+			if p == dimension.TopName {
+				continue
+			}
+			jt.Order = append(jt.Order, [2]string{c, p})
+		}
+	}
+	return jt
+}
+
+func typeFromJSON(jt jsonDimensionType) (*dimension.DimensionType, error) {
+	t := dimension.NewDimensionType(jt.Name)
+	for _, c := range jt.Categories {
+		at, err := aggTypeFromString(c.AggType)
+		if err != nil {
+			return nil, err
+		}
+		k, err := kindFromStringVK(c.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddCategoryType(c.Name, at, k); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range jt.Order {
+		if err := t.AddOrder(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Finalize(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func annotToJSON(a dimension.Annot) jsonAnnot {
+	ja := jsonAnnot{}
+	if !a.Time.Valid.Equal(temporal.AlwaysElement()) {
+		ja.Valid = elementToJSON(a.Time.Valid)
+	}
+	if !a.Time.Trans.Equal(temporal.AlwaysElement()) {
+		ja.Trans = elementToJSON(a.Time.Trans)
+	}
+	if a.Prob != 1 {
+		p := a.Prob
+		ja.Prob = &p
+	}
+	return ja
+}
+
+func annotFromJSON(ja jsonAnnot) (dimension.Annot, error) {
+	a := dimension.Always()
+	if ja.Valid != nil {
+		e, err := elementFromJSON(ja.Valid)
+		if err != nil {
+			return a, err
+		}
+		a.Time.Valid = e
+	}
+	if ja.Trans != nil {
+		e, err := elementFromJSON(ja.Trans)
+		if err != nil {
+			return a, err
+		}
+		a.Time.Trans = e
+	}
+	if ja.Prob != nil {
+		a.Prob = *ja.Prob
+	}
+	return a, nil
+}
+
+func elementToJSON(e temporal.Element) []jsonInterval {
+	ivs := e.Intervals()
+	out := make([]jsonInterval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = jsonInterval{From: chrononToString(iv.Start), To: chrononToString(iv.End)}
+	}
+	if out == nil {
+		out = []jsonInterval{}
+	}
+	return out
+}
+
+func elementFromJSON(ivs []jsonInterval) (temporal.Element, error) {
+	parsed := make([]temporal.Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		from, err := temporal.ParseDate(iv.From)
+		if err != nil {
+			return temporal.Empty(), err
+		}
+		to, err := temporal.ParseDate(iv.To)
+		if err != nil {
+			return temporal.Empty(), err
+		}
+		parsed = append(parsed, temporal.NewInterval(from, to))
+	}
+	return temporal.NewElement(parsed...), nil
+}
+
+func chrononToString(c temporal.Chronon) string { return c.String() }
+
+func aggTypeFromString(s string) (dimension.AggType, error) {
+	switch s {
+	case "c":
+		return dimension.Constant, nil
+	case "φ":
+		return dimension.Average, nil
+	case "Σ":
+		return dimension.Sum, nil
+	default:
+		return 0, fmt.Errorf("serialize: unknown aggregation type %q", s)
+	}
+}
+
+func kindFromStringVK(s string) (dimension.ValueKind, error) {
+	switch s {
+	case "string":
+		return dimension.KindString, nil
+	case "int":
+		return dimension.KindInt, nil
+	case "float":
+		return dimension.KindFloat, nil
+	case "date":
+		return dimension.KindDate, nil
+	default:
+		return 0, fmt.Errorf("serialize: unknown value kind %q", s)
+	}
+}
+
+func kindFromString(s string) (core.TemporalKind, error) {
+	switch s {
+	case "snapshot":
+		return core.Snapshot, nil
+	case "valid-time":
+		return core.ValidTime, nil
+	case "transaction-time":
+		return core.TransactionTime, nil
+	case "bitemporal":
+		return core.Bitemporal, nil
+	default:
+		return 0, fmt.Errorf("serialize: unknown temporal kind %q", s)
+	}
+}

@@ -1,0 +1,186 @@
+package serialize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/fact"
+	"mddm/internal/query"
+	"mddm/internal/temporal"
+)
+
+func TestJSONRoundTripCaseStudy(t *testing.T) {
+	m, err := casestudy.BuildPatientMO(casestudy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Error("round trip is not exact")
+	}
+	if back.Kind() != core.ValidTime {
+		t.Errorf("kind = %v", back.Kind())
+	}
+	// Representations survive.
+	code := back.Dimension(casestudy.DimDiagnosis).Representation("Code")
+	if code == nil {
+		t.Fatal("Code representation lost")
+	}
+	ctx := dimension.CurrentContext(temporal.MustDate("01/01/1999"))
+	if v, ok := code.RepOf("9", ctx); !ok || v != "E10" {
+		t.Errorf("Code(9) = %q, %v", v, ok)
+	}
+}
+
+func TestJSONRoundTripSynthetic(t *testing.T) {
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = 40
+	m := casestudy.MustGenerate(cfg)
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Error("synthetic round trip is not exact")
+	}
+}
+
+func TestJSONRoundTripGroupFacts(t *testing.T) {
+	// Aggregate results (set-valued facts, Range categories) survive.
+	s := core.MustSchema("F", dimension.MustDimensionType("D", dimension.Constant, dimension.KindString, "B"))
+	m := core.NewMO(s)
+	if err := m.Dimension("D").AddValue("B", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Relate("D", "{1,2}", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the auto-added base fact with a true group fact.
+	m.Facts().Remove("{1,2}")
+	m.AddFact(groupFact([]string{"1", "2"}))
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := back.Facts().Get("{1,2}")
+	if !ok || !f.IsGroup() || f.Size() != 2 {
+		t.Errorf("group fact lost: %+v (%v)", f, ok)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"format":"other/1"}`,
+		`{"format":"mddm/1","factType":"F","kind":"weird","dimensions":[],"facts":[],"relations":{}}`,
+		`{"format":"mddm/1","factType":"F","kind":"snapshot","dimensions":[{"type":{"name":"D","categories":[{"name":"B","aggType":"X","kind":"string"}],"order":[]},"values":[],"edges":[]}],"facts":[],"relations":{}}`,
+		`{"format":"mddm/1","factType":"F","kind":"snapshot","dimensions":[{"type":{"name":"D","categories":[{"name":"B","aggType":"c","kind":"weird"}],"order":[]},"values":[],"edges":[]}],"facts":[],"relations":{}}`,
+	}
+	for _, src := range cases {
+		if _, err := Decode(strings.NewReader(src)); err == nil {
+			t.Errorf("Decode(%q): expected error", src)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	res := &query.Result{
+		Columns: []string{"Diagnosis", "Count"},
+		Rows:    [][]string{{"11", "2"}, {"12", "1"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteResultCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	header, rows, err := ReadRowsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(header, ",") != "Diagnosis,Count" || len(rows) != 2 || rows[1][1] != "1" {
+		t.Errorf("round trip: %v %v", header, rows)
+	}
+	if _, _, err := ReadRowsCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV must fail")
+	}
+}
+
+func TestAnnotOmission(t *testing.T) {
+	// Always/certain annotations serialize to the empty object.
+	ja := annotToJSON(dimension.Always())
+	if ja.Valid != nil || ja.Trans != nil || ja.Prob != nil {
+		t.Errorf("Always annot = %+v", ja)
+	}
+	back, err := annotFromJSON(ja)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Prob != 1 || !back.Time.Valid.Equal(temporal.AlwaysElement()) {
+		t.Errorf("round trip = %+v", back)
+	}
+	// A probabilistic, valid-time annotation keeps both.
+	a := dimension.ValidDuring(temporal.Span("01/01/80", "NOW")).WithProb(0.9)
+	ja2 := annotToJSON(a)
+	back2, err := annotFromJSON(ja2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Prob != 0.9 || !back2.Time.Valid.Equal(a.Time.Valid) {
+		t.Errorf("round trip = %+v", back2)
+	}
+}
+
+func groupFact(members []string) fact.Fact { return fact.NewGroup(members) }
+
+func TestJSONRoundTripRandom(t *testing.T) {
+	// Randomized MOs (temporal annotations, probabilities, non-strict
+	// hierarchies, churned residences) round-trip exactly.
+	for seed := int64(0); seed < 8; seed++ {
+		cfg := casestudy.DefaultGen()
+		cfg.Seed = seed
+		cfg.Patients = 25
+		m := casestudy.MustGenerate(cfg)
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !m.Equal(back) {
+			t.Errorf("seed %d: round trip not exact", seed)
+		}
+	}
+}
+
+func TestZeroProbRoundTrip(t *testing.T) {
+	// An explicit probability-0 annotation must not decode as certain.
+	a := dimension.Always().WithProb(0)
+	back, err := annotFromJSON(annotToJSON(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Prob != 0 {
+		t.Errorf("Prob = %v, want 0", back.Prob)
+	}
+}

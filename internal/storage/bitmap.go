@@ -1,0 +1,126 @@
+// Package storage implements the special-purpose data structures the paper
+// defers to future work ("how the model can be efficiently implemented
+// using special-purpose algorithms and data structures"): dense fact and
+// value dictionaries, bitmap indexes over the characterization relation
+// f ⤳ e, memoized rollup closures over the dimension lattices, and a
+// pre-aggregate cache guarded by the summarizability conditions of §3.4 —
+// the guard decides whether a cached lower-level aggregate may be combined
+// into a higher-level one or the engine must recompute from base data.
+package storage
+
+import (
+	"math/bits"
+)
+
+// Bitmap is an uncompressed bitmap over dense fact indices.
+type Bitmap struct {
+	words []uint64
+	n     int // universe size in bits
+}
+
+// NewBitmap returns an empty bitmap over a universe of n facts.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the universe size.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set marks fact i.
+func (b *Bitmap) Set(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Has reports whether fact i is marked.
+func (b *Bitmap) Has(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of marked facts (population count).
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or folds the other bitmap into this one (in place) and returns the
+// receiver.
+func (b *Bitmap) Or(o *Bitmap) *Bitmap {
+	for i := range b.words {
+		if i < len(o.words) {
+			b.words[i] |= o.words[i]
+		}
+	}
+	return b
+}
+
+// And intersects in place and returns the receiver.
+func (b *Bitmap) And(o *Bitmap) *Bitmap {
+	for i := range b.words {
+		if i < len(o.words) {
+			b.words[i] &= o.words[i]
+		} else {
+			b.words[i] = 0
+		}
+	}
+	return b
+}
+
+// AndNot removes o's bits in place and returns the receiver.
+func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
+	for i := range b.words {
+		if i < len(o.words) {
+			b.words[i] &^= o.words[i]
+		}
+	}
+	return b
+}
+
+// Clone copies the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// IsEmpty reports whether no fact is marked.
+func (b *Bitmap) IsEmpty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Iterate calls fn for every marked fact index in ascending order; fn
+// returning false stops the iteration.
+func (b *Bitmap) Iterate(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the marked fact indices.
+func (b *Bitmap) Indices() []int {
+	out := make([]int, 0, b.Count())
+	b.Iterate(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}

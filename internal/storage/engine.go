@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+)
+
+// Engine is a read-optimized snapshot of an MO evaluated under a fixed
+// context: dense fact indices, per-dimension bitmap indexes of the direct
+// fact–dimension pairs, and lazily memoized rollup closures giving, for any
+// dimension value e, the bitmap of facts with f ⤳ e. Distinct-count
+// aggregation (requirement 4's "count the same patient once per group") is
+// a population count on the closure bitmap.
+type Engine struct {
+	mo    *core.MO
+	ctx   dimension.Context
+	facts []string
+	idx   map[string]int
+	dims  map[string]*dimIndex
+}
+
+type dimIndex struct {
+	direct  map[string]*Bitmap
+	closure map[string]*Bitmap
+}
+
+// NewEngine builds the indexes for an MO under the given evaluation
+// context (time instants and probability thresholds are baked in).
+func NewEngine(m *core.MO, ctx dimension.Context) *Engine {
+	e := &Engine{
+		mo:    m,
+		ctx:   ctx,
+		facts: m.Facts().IDs(),
+		idx:   map[string]int{},
+		dims:  map[string]*dimIndex{},
+	}
+	for i, f := range e.facts {
+		e.idx[f] = i
+	}
+	n := len(e.facts)
+	for _, name := range m.Schema().DimensionNames() {
+		di := &dimIndex{direct: map[string]*Bitmap{}, closure: map[string]*Bitmap{}}
+		r := m.Relation(name)
+		for _, p := range r.Pairs() {
+			if !ctx.Admits(p.Annot) {
+				continue
+			}
+			bm, ok := di.direct[p.ValueID]
+			if !ok {
+				bm = NewBitmap(n)
+				di.direct[p.ValueID] = bm
+			}
+			bm.Set(e.idx[p.FactID])
+		}
+		e.dims[name] = di
+	}
+	return e
+}
+
+// NumFacts returns the number of indexed facts.
+func (e *Engine) NumFacts() int { return len(e.facts) }
+
+// FactID returns the fact identity of a dense index.
+func (e *Engine) FactID(i int) string { return e.facts[i] }
+
+// Characterizing returns the bitmap of facts with f ⤳ value in the named
+// dimension: the direct bitmap unioned with the closures of all direct
+// children (memoized; the dimension order is a DAG, so the recursion
+// terminates).
+func (e *Engine) Characterizing(dim, value string) *Bitmap {
+	di, ok := e.dims[dim]
+	if !ok {
+		return NewBitmap(len(e.facts))
+	}
+	return e.closure(dim, di, value, map[string]bool{})
+}
+
+func (e *Engine) closure(dim string, di *dimIndex, value string, onPath map[string]bool) *Bitmap {
+	if bm, ok := di.closure[value]; ok {
+		return bm
+	}
+	if onPath[value] {
+		// Defensive: the dimension order is acyclic by construction.
+		return NewBitmap(len(e.facts))
+	}
+	onPath[value] = true
+	bm := NewBitmap(len(e.facts))
+	if d := di.direct[value]; d != nil {
+		bm.Or(d)
+	}
+	d := e.mo.Dimension(dim)
+	if value == dimension.TopValue {
+		// ⊤ logically contains every value: union every direct bitmap.
+		for _, dbm := range di.direct {
+			bm.Or(dbm)
+		}
+	} else {
+		for _, child := range d.Children(value) {
+			a, _ := d.EdgeAnnot(child, value)
+			if !e.ctx.Admits(a) {
+				continue
+			}
+			bm.Or(e.closure(dim, di, child, onPath))
+		}
+	}
+	delete(onPath, value)
+	di.closure[value] = bm
+	return bm
+}
+
+// CountDistinctBy returns, for every value of the category, the number of
+// distinct facts characterized by it — the bitmap-index fast path of
+// Example 12's set-count.
+func (e *Engine) CountDistinctBy(dim, cat string) map[string]int {
+	d := e.mo.Dimension(dim)
+	out := map[string]int{}
+	for _, v := range d.CategoryAt(cat, e.ctx) {
+		if c := e.Characterizing(dim, v).Count(); c > 0 {
+			out[v] = c
+		}
+	}
+	return out
+}
+
+// CountDistinctScan is the index-free comparator: it answers the same
+// query by testing f ⤳ e for every (fact, value) pair through the model
+// layer. Benchmarks contrast it with CountDistinctBy.
+func (e *Engine) CountDistinctScan(dim, cat string) map[string]int {
+	d := e.mo.Dimension(dim)
+	out := map[string]int{}
+	for _, v := range d.CategoryAt(cat, e.ctx) {
+		c := 0
+		for _, f := range e.facts {
+			if ok, _ := e.mo.CharacterizedBy(dim, f, v, e.ctx); ok {
+				c++
+			}
+		}
+		if c > 0 {
+			out[v] = c
+		}
+	}
+	return out
+}
+
+// SumBy computes SUM of the argument dimension's values per category value
+// of the grouping dimension, using the closure bitmaps. Facts with several
+// argument values contribute all of them.
+func (e *Engine) SumBy(dim, cat, argDim string) map[string]float64 {
+	d := e.mo.Dimension(dim)
+	vals := e.argValues(argDim)
+	out := map[string]float64{}
+	for _, v := range d.CategoryAt(cat, e.ctx) {
+		sum := 0.0
+		any := false
+		e.Characterizing(dim, v).Iterate(func(i int) bool {
+			for _, x := range vals[i] {
+				sum += x
+				any = true
+			}
+			return true
+		})
+		if any {
+			out[v] = sum
+		}
+	}
+	return out
+}
+
+// argValues precomputes, per dense fact index, the numeric values of the
+// fact in the argument dimension.
+func (e *Engine) argValues(argDim string) [][]float64 {
+	d := e.mo.Dimension(argDim)
+	r := e.mo.Relation(argDim)
+	out := make([][]float64, len(e.facts))
+	for i, f := range e.facts {
+		for _, v := range r.ValuesOf(f) {
+			a, _ := r.Annot(f, v)
+			if !e.ctx.Admits(a) {
+				continue
+			}
+			if x, ok := d.Numeric(v, e.ctx); ok {
+				out[i] = append(out[i], x)
+			}
+		}
+	}
+	return out
+}
+
+// Values returns the sorted values of a category that characterize at
+// least one fact.
+func (e *Engine) Values(dim, cat string) []string {
+	d := e.mo.Dimension(dim)
+	var out []string
+	for _, v := range d.CategoryAt(cat, e.ctx) {
+		if !e.Characterizing(dim, v).IsEmpty() {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MO returns the engine's underlying MO.
+func (e *Engine) MO() *core.MO { return e.mo }
+
+// Context returns the engine's evaluation context.
+func (e *Engine) Context() dimension.Context { return e.ctx }
+
+// String summarizes the engine.
+func (e *Engine) String() string {
+	return fmt.Sprintf("storage.Engine{%d facts, %d dimensions}", len(e.facts), len(e.dims))
+}

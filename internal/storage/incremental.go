@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"fmt"
+
+	"mddm/internal/dimension"
+)
+
+// dimTopValue aliases the ⊤ value id.
+const dimTopValue = dimension.TopValue
+
+// This file implements incremental index maintenance: appending facts to a
+// built engine without rebuilding it. New facts extend the dense index
+// space; their direct pairs are folded into the affected direct bitmaps
+// and propagated into the memoized closure bitmaps of every ancestor, so
+// warm closures stay warm. Removals and dimension-hierarchy edits are out
+// of scope — those invalidate closures wholesale and a rebuild is the
+// honest answer.
+
+// grow extends the bitmap universe to n bits.
+func (b *Bitmap) grow(n int) {
+	if n <= b.n {
+		return
+	}
+	words := (n + 63) / 64
+	if words > len(b.words) {
+		nw := make([]uint64, words)
+		copy(nw, b.words)
+		b.words = nw
+	}
+	b.n = n
+}
+
+// AppendFact indexes one new fact of the underlying MO: the fact must
+// already exist in the MO with its fact–dimension pairs recorded. Pairs
+// not admitted by the engine's context are skipped, mirroring NewEngine.
+func (e *Engine) AppendFact(factID string) error {
+	if _, ok := e.idx[factID]; ok {
+		return fmt.Errorf("storage: fact %q already indexed", factID)
+	}
+	if !e.mo.Facts().Has(factID) {
+		return fmt.Errorf("storage: fact %q not in the MO", factID)
+	}
+	i := len(e.facts)
+	e.facts = append(e.facts, factID)
+	e.idx[factID] = i
+	n := len(e.facts)
+
+	for _, name := range e.mo.Schema().DimensionNames() {
+		di := e.dims[name]
+		if di == nil {
+			continue
+		}
+		d := e.mo.Dimension(name)
+		r := e.mo.Relation(name)
+		for _, v := range r.ValuesOf(factID) {
+			a, _ := r.Annot(factID, v)
+			if !e.ctx.Admits(a) {
+				continue
+			}
+			bm, ok := di.direct[v]
+			if !ok {
+				bm = NewBitmap(n)
+				di.direct[v] = bm
+			} else {
+				bm.grow(n)
+			}
+			bm.Set(i)
+			// Propagate into the memoized closures of the value itself and
+			// of its ancestors (walked once; only existing closures are
+			// touched).
+			if cbm, ok := di.closure[v]; ok {
+				cbm.grow(n)
+				cbm.Set(i)
+			}
+			for _, anc := range d.Ancestors(v, e.ctx) {
+				if cbm, ok := di.closure[anc]; ok {
+					cbm.grow(n)
+					cbm.Set(i)
+				}
+			}
+			if cbm, ok := di.closure[dimTopValue]; ok {
+				cbm.grow(n)
+				cbm.Set(i)
+			}
+		}
+	}
+	return nil
+}

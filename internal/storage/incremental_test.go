@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/dimension"
+)
+
+func TestAppendFactMatchesRebuild(t *testing.T) {
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = 60
+	m := casestudy.MustGenerate(cfg)
+	c := dimension.CurrentContext(ref)
+	e := NewEngine(m, c)
+	// Warm some closures before appending, so propagation is exercised.
+	e.CountDistinctBy(casestudy.DimDiagnosis, casestudy.CatGroup)
+	e.CountDistinctBy(casestudy.DimResidence, casestudy.CatRegion)
+
+	// Add 10 new patients to the MO and append them to the engine.
+	diag := m.Dimension(casestudy.DimDiagnosis)
+	lows := diag.Category(casestudy.CatLowLevel)
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("new%d", i)
+		if err := m.Relate(casestudy.DimDiagnosis, id, lows[i%len(lows)]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Relate(casestudy.DimResidence, id, "A0"); err != nil {
+			t.Fatal(err)
+		}
+		ageID, err := casestudy.AddAge(m.Dimension(casestudy.DimAge), 30+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Relate(casestudy.DimAge, id, ageID); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AppendFact(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The incrementally maintained engine must answer exactly like a fresh
+	// rebuild, for warm and cold closures alike.
+	fresh := NewEngine(m, c)
+	for _, q := range []struct{ dim, cat string }{
+		{casestudy.DimDiagnosis, casestudy.CatGroup},
+		{casestudy.DimDiagnosis, casestudy.CatFamily},
+		{casestudy.DimResidence, casestudy.CatRegion},
+		{casestudy.DimResidence, casestudy.CatArea},
+	} {
+		inc := e.CountDistinctBy(q.dim, q.cat)
+		reb := fresh.CountDistinctBy(q.dim, q.cat)
+		if len(inc) != len(reb) {
+			t.Fatalf("%s/%s: %v vs %v", q.dim, q.cat, inc, reb)
+		}
+		for v, n := range reb {
+			if inc[v] != n {
+				t.Errorf("%s/%s/%s: incremental %d, rebuild %d", q.dim, q.cat, v, inc[v], n)
+			}
+		}
+	}
+	if e.NumFacts() != 70 {
+		t.Errorf("NumFacts = %d", e.NumFacts())
+	}
+}
+
+func TestAppendFactErrors(t *testing.T) {
+	e := patientEngine(t)
+	if err := e.AppendFact("1"); err == nil {
+		t.Error("re-appending an indexed fact must fail")
+	}
+	if err := e.AppendFact("ghost"); err == nil {
+		t.Error("appending a fact absent from the MO must fail")
+	}
+}
+
+func TestBitmapGrow(t *testing.T) {
+	b := NewBitmap(10)
+	b.Set(3)
+	b.grow(200)
+	if !b.Has(3) || b.Has(150) {
+		t.Error("grow must preserve bits")
+	}
+	b.Set(150)
+	if !b.Has(150) || b.Count() != 2 {
+		t.Error("bits beyond the old universe must work after grow")
+	}
+	b.grow(5) // shrink is a no-op
+	if b.Len() != 200 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}

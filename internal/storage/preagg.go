@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the summarizability-guarded pre-aggregate cache:
+// the flexible reuse of pre-computed aggregates that §3.4 identifies as the
+// payoff of summarizability. A materialized lower-level result is combined
+// into a higher-level result only when the guard holds (distributive
+// function, strict mapping, covering rollup between the two categories);
+// otherwise the engine recomputes from the base bitmaps — by Lenz &
+// Shoshani, combining would double-count or drop data.
+
+// AggKind is the cached aggregate's function (the distributive subset that
+// pre-aggregation supports).
+type AggKind string
+
+// Cacheable aggregate kinds.
+const (
+	KindCount AggKind = "COUNT" // distinct facts per value
+	KindSum   AggKind = "SUM"   // sum of an argument dimension per value
+)
+
+// Materialization is one cached aggregate: fn per value of (dim, cat).
+type Materialization struct {
+	Dim  string
+	Cat  string
+	Kind AggKind
+	Arg  string // argument dimension for SUM
+	Rows map[string]float64
+}
+
+// Cache holds materializations keyed by (dim, cat, kind, arg).
+type Cache struct {
+	engine *Engine
+	mats   map[string]*Materialization
+	guards map[string]error // memoized ReuseGuard verdicts
+	// Hits and Misses count reuse outcomes, for observability and tests.
+	Hits, Misses int
+}
+
+// NewCache creates an empty pre-aggregate cache over an engine.
+func NewCache(e *Engine) *Cache {
+	return &Cache{engine: e, mats: map[string]*Materialization{}, guards: map[string]error{}}
+}
+
+func key(dim, cat string, kind AggKind, arg string) string {
+	return strings.Join([]string{dim, cat, string(kind), arg}, "\x00")
+}
+
+// Materialize computes and caches the aggregate at (dim, cat).
+func (c *Cache) Materialize(dim, cat string, kind AggKind, arg string) (*Materialization, error) {
+	var rows map[string]float64
+	switch kind {
+	case KindCount:
+		counts := c.engine.CountDistinctBy(dim, cat)
+		rows = make(map[string]float64, len(counts))
+		for v, n := range counts {
+			rows[v] = float64(n)
+		}
+	case KindSum:
+		if arg == "" {
+			return nil, fmt.Errorf("storage: SUM materialization needs an argument dimension")
+		}
+		rows = c.engine.SumBy(dim, cat, arg)
+	default:
+		return nil, fmt.Errorf("storage: unsupported aggregate kind %q", kind)
+	}
+	m := &Materialization{Dim: dim, Cat: cat, Kind: kind, Arg: arg, Rows: rows}
+	c.mats[key(dim, cat, kind, arg)] = m
+	return m, nil
+}
+
+// Lookup returns the cached materialization, if any.
+func (c *Cache) Lookup(dim, cat string, kind AggKind, arg string) (*Materialization, bool) {
+	m, ok := c.mats[key(dim, cat, kind, arg)]
+	return m, ok
+}
+
+// ReuseGuard checks whether a materialization at fromCat may be combined
+// into results at toCat: toCat must be strictly above fromCat in the
+// dimension's category order, the value mapping fromCat → toCat must be
+// strict (no value of fromCat under two values of toCat — combining would
+// double-count), and every contributing value must roll up (covering — a
+// gap would silently drop facts). COUNT additionally requires the paths
+// from the facts to fromCat to be strict, because distinct counts only add
+// up when the fact sets being combined are disjoint.
+func (c *Cache) ReuseGuard(dim, fromCat, toCat string, kind AggKind) error {
+	d := c.engine.mo.Dimension(dim)
+	dt := d.Type()
+	if !dt.LessEq(fromCat, toCat) || fromCat == toCat {
+		return fmt.Errorf("storage: %q is not above %q in dimension %s", toCat, fromCat, dim)
+	}
+	ctx := c.engine.ctx
+	if !d.IsStrictBetween(fromCat, toCat, ctx) {
+		return fmt.Errorf("storage: mapping %s→%s is non-strict; combining would double-count", fromCat, toCat)
+	}
+	if !d.Covering(fromCat, toCat, ctx) {
+		return fmt.Errorf("storage: mapping %s→%s has gaps; combining would drop facts", fromCat, toCat)
+	}
+	if kind == KindCount {
+		// Distinct counts combine only when the underlying fact sets are
+		// disjoint: a fact must not be characterized by two values of
+		// fromCat.
+		for _, v1 := range d.CategoryAt(fromCat, ctx) {
+			for _, v2 := range d.CategoryAt(fromCat, ctx) {
+				if v1 >= v2 {
+					continue
+				}
+				if c.engine.Characterizing(dim, v1).Clone().And(c.engine.Characterizing(dim, v2)).Count() > 0 {
+					return fmt.Errorf("storage: values %s and %s of %s share facts; distinct counts cannot be added", v1, v2, fromCat)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// guardCached memoizes ReuseGuard per (dim, fromCat, toCat, kind): the
+// engine is an immutable snapshot, so a hierarchy's verdict cannot change
+// and a production system validates it once, not per query.
+func (c *Cache) guardCached(dim, fromCat, toCat string, kind AggKind) error {
+	k := strings.Join([]string{dim, fromCat, toCat, string(kind)}, "\x00")
+	if err, ok := c.guards[k]; ok {
+		return err
+	}
+	err := c.ReuseGuard(dim, fromCat, toCat, kind)
+	c.guards[k] = err
+	return err
+}
+
+// RollupFrom combines a cached materialization at fromCat into the
+// aggregate at toCat, after checking the (memoized) reuse guard. On guard
+// failure it recomputes from base data (and reports the fallback through
+// Misses).
+func (c *Cache) RollupFrom(dim, fromCat, toCat string, kind AggKind, arg string) (map[string]float64, error) {
+	m, ok := c.Lookup(dim, fromCat, kind, arg)
+	if !ok {
+		var err error
+		m, err = c.Materialize(dim, fromCat, kind, arg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := c.guardCached(dim, fromCat, toCat, kind); err != nil {
+		c.Misses++
+		return c.computeBase(dim, toCat, kind, arg)
+	}
+	c.Hits++
+	d := c.engine.mo.Dimension(dim)
+	out := map[string]float64{}
+	for v1, x := range m.Rows {
+		for _, v2 := range d.AncestorsIn(toCat, v1, c.engine.ctx) {
+			out[v2] += x
+		}
+	}
+	return out, nil
+}
+
+// computeBase answers at toCat directly from the bitmap indexes.
+func (c *Cache) computeBase(dim, toCat string, kind AggKind, arg string) (map[string]float64, error) {
+	switch kind {
+	case KindCount:
+		counts := c.engine.CountDistinctBy(dim, toCat)
+		out := make(map[string]float64, len(counts))
+		for v, n := range counts {
+			out[v] = float64(n)
+		}
+		return out, nil
+	case KindSum:
+		return c.engine.SumBy(dim, toCat, arg), nil
+	default:
+		return nil, fmt.Errorf("storage: unsupported aggregate kind %q", kind)
+	}
+}
+
+// Materialized lists the cached materialization keys, sorted.
+func (c *Cache) Materialized() []string {
+	out := make([]string, 0, len(c.mats))
+	for k := range c.mats {
+		out = append(out, strings.ReplaceAll(k, "\x00", "/"))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,96 @@
+package temporal
+
+// AllenRelation is one of the thirteen basic relations of Allen's interval
+// algebra, useful for temporal predicates over validity intervals.
+type AllenRelation int
+
+// The thirteen Allen relations. X <relation> Y reads left to right:
+// Before means X ends before Y starts, MetBy means Y meets X, and so on.
+const (
+	Before AllenRelation = iota
+	After
+	Meets
+	MetBy
+	OverlapsWith
+	OverlappedBy
+	Starts
+	StartedBy
+	During
+	Contains
+	Finishes
+	FinishedBy
+	Equals
+)
+
+// String names the relation.
+func (r AllenRelation) String() string {
+	switch r {
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Meets:
+		return "meets"
+	case MetBy:
+		return "met-by"
+	case OverlapsWith:
+		return "overlaps"
+	case OverlappedBy:
+		return "overlapped-by"
+	case Starts:
+		return "starts"
+	case StartedBy:
+		return "started-by"
+	case During:
+		return "during"
+	case Contains:
+		return "contains"
+	case Finishes:
+		return "finishes"
+	case FinishedBy:
+		return "finished-by"
+	case Equals:
+		return "equals"
+	default:
+		return "unknown"
+	}
+}
+
+// Relate classifies the relation of interval x to interval y under the
+// reference time ref (resolving NOW endpoints). Exactly one of the
+// thirteen relations holds for any two non-empty intervals.
+func Relate(x, y Interval, ref Chronon) AllenRelation {
+	xs, xe := x.Start.Resolve(ref), x.End.Resolve(ref)
+	ys, ye := y.Start.Resolve(ref), y.End.Resolve(ref)
+	switch {
+	case xe < ys:
+		// Disjoint, x earlier: adjacent chronons meet, a gap is before.
+		if xe.Succ() == ys {
+			return Meets
+		}
+		return Before
+	case ye < xs:
+		if ye.Succ() == xs {
+			return MetBy
+		}
+		return After
+	case xs == ys && xe == ye:
+		return Equals
+	case xs == ys && xe < ye:
+		return Starts
+	case xs == ys && xe > ye:
+		return StartedBy
+	case xe == ye && xs > ys:
+		return Finishes
+	case xe == ye && xs < ys:
+		return FinishedBy
+	case xs > ys && xe < ye:
+		return During
+	case xs < ys && xe > ye:
+		return Contains
+	case xs < ys:
+		return OverlapsWith
+	default:
+		return OverlappedBy
+	}
+}

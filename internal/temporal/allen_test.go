@@ -1,0 +1,88 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func iv(s, e Chronon) Interval { return NewInterval(s, e) }
+
+func TestAllenRelations(t *testing.T) {
+	cases := []struct {
+		x, y Interval
+		want AllenRelation
+	}{
+		{iv(0, 5), iv(10, 20), Before},
+		{iv(10, 20), iv(0, 5), After},
+		{iv(0, 9), iv(10, 20), Meets},
+		{iv(10, 20), iv(0, 9), MetBy},
+		{iv(0, 15), iv(10, 20), OverlapsWith},
+		{iv(10, 20), iv(0, 15), OverlappedBy},
+		{iv(10, 15), iv(10, 20), Starts},
+		{iv(10, 20), iv(10, 15), StartedBy},
+		{iv(12, 15), iv(10, 20), During},
+		{iv(10, 20), iv(12, 15), Contains},
+		{iv(15, 20), iv(10, 20), Finishes},
+		{iv(10, 20), iv(15, 20), FinishedBy},
+		{iv(10, 20), iv(10, 20), Equals},
+	}
+	for _, c := range cases {
+		if got := Relate(c.x, c.y, MustDate("01/01/2000")); got != c.want {
+			t.Errorf("Relate(%v, %v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestAllenWithNow(t *testing.T) {
+	refT := MustDate("04/07/2026")
+	open := NewInterval(MustDate("01/01/80"), Now)
+	past := NewInterval(MustDate("01/01/70"), MustDate("31/12/75"))
+	if got := Relate(open, past, refT); got != After {
+		t.Errorf("open vs past = %v", got)
+	}
+	if got := Relate(past, open, refT); got != Before {
+		t.Errorf("past vs open = %v", got)
+	}
+	inside := NewInterval(MustDate("01/01/90"), MustDate("31/12/95"))
+	if got := Relate(inside, open, refT); got != During {
+		t.Errorf("inside vs open = %v", got)
+	}
+}
+
+func TestAllenExhaustive(t *testing.T) {
+	// Exactly one relation holds for every pair, and the inverses pair up.
+	inverse := map[AllenRelation]AllenRelation{
+		Before: After, After: Before, Meets: MetBy, MetBy: Meets,
+		OverlapsWith: OverlappedBy, OverlappedBy: OverlapsWith,
+		Starts: StartedBy, StartedBy: Starts,
+		During: Contains, Contains: During,
+		Finishes: FinishedBy, FinishedBy: Finishes,
+		Equals: Equals,
+	}
+	r := rand.New(rand.NewSource(2))
+	refT := MustDate("01/01/2000")
+	for i := 0; i < 2000; i++ {
+		xs := Chronon(r.Intn(30))
+		xe := xs + Chronon(r.Intn(10))
+		ys := Chronon(r.Intn(30))
+		ye := ys + Chronon(r.Intn(10))
+		x, y := iv(xs, xe), iv(ys, ye)
+		rel := Relate(x, y, refT)
+		inv := Relate(y, x, refT)
+		if inverse[rel] != inv {
+			t.Fatalf("Relate(%v,%v)=%v but Relate(%v,%v)=%v (want inverse %v)",
+				x, y, rel, y, x, inv, inverse[rel])
+		}
+	}
+}
+
+func TestAllenStrings(t *testing.T) {
+	for r := Before; r <= Equals; r++ {
+		if r.String() == "unknown" {
+			t.Errorf("relation %d has no name", r)
+		}
+	}
+	if AllenRelation(99).String() != "unknown" {
+		t.Error("out-of-range must be unknown")
+	}
+}

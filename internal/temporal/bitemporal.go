@@ -1,0 +1,48 @@
+package temporal
+
+import "fmt"
+
+// Bitemporal pairs a valid-time element with a transaction-time element,
+// representing the set of bitemporal chronons Tt × Tv of the paper (§3.2).
+// The addition of transaction time is orthogonal to valid time: either
+// component may be the full time line when the corresponding aspect is not
+// recorded.
+type Bitemporal struct {
+	Valid Element // when the statement is true in the modeled reality
+	Trans Element // when the statement is current in the database
+}
+
+// AlwaysBitemporal returns the bitemporal element covering all of valid time
+// and all of transaction time — the annotation of data in a snapshot MO.
+func AlwaysBitemporal() Bitemporal {
+	return Bitemporal{Valid: AlwaysElement(), Trans: AlwaysElement()}
+}
+
+// ValidOnly wraps a valid-time element with an unconstrained transaction
+// time.
+func ValidOnly(v Element) Bitemporal { return Bitemporal{Valid: v, Trans: AlwaysElement()} }
+
+// TransOnly wraps a transaction-time element with an unconstrained valid
+// time.
+func TransOnly(t Element) Bitemporal { return Bitemporal{Valid: AlwaysElement(), Trans: t} }
+
+// IsEmpty reports whether the bitemporal region is empty.
+func (b Bitemporal) IsEmpty() bool { return b.Valid.IsEmpty() || b.Trans.IsEmpty() }
+
+// Intersect intersects both components.
+func (b Bitemporal) Intersect(o Bitemporal) Bitemporal {
+	return Bitemporal{Valid: b.Valid.Intersect(o.Valid), Trans: b.Trans.Intersect(o.Trans)}
+}
+
+// Union unions both components. Note that the union of two rectangles is a
+// rectangle over-approximation; the model only unions annotations of
+// identical statements (paper §4.2), where the rectangle set semantics of
+// each component is exactly what the union rules prescribe.
+func (b Bitemporal) Union(o Bitemporal) Bitemporal {
+	return Bitemporal{Valid: b.Valid.Union(o.Valid), Trans: b.Trans.Union(o.Trans)}
+}
+
+// String renders the bitemporal element as "tt ⨯ vt".
+func (b Bitemporal) String() string {
+	return fmt.Sprintf("%v ⨯ %v", b.Trans, b.Valid)
+}

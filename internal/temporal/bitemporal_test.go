@@ -1,0 +1,40 @@
+package temporal
+
+import "testing"
+
+func TestBitemporalBasics(t *testing.T) {
+	b := AlwaysBitemporal()
+	if b.IsEmpty() {
+		t.Fatal("always bitemporal must be non-empty")
+	}
+	v := ValidOnly(Span("01/01/80", "31/12/89"))
+	if v.IsEmpty() || !v.Trans.Equal(AlwaysElement()) {
+		t.Error("ValidOnly must leave transaction time unconstrained")
+	}
+	tt := TransOnly(Span("01/01/90", "31/12/99"))
+	if tt.IsEmpty() || !tt.Valid.Equal(AlwaysElement()) {
+		t.Error("TransOnly must leave valid time unconstrained")
+	}
+
+	x := v.Intersect(tt)
+	if !x.Valid.Equal(v.Valid) || !x.Trans.Equal(tt.Trans) {
+		t.Error("intersection must constrain both components")
+	}
+
+	empty := v.Intersect(ValidOnly(Span("01/01/10", "31/12/10")))
+	if !empty.IsEmpty() {
+		t.Error("disjoint valid times must yield empty bitemporal region")
+	}
+}
+
+func TestBitemporalUnionString(t *testing.T) {
+	a := ValidOnly(Span("01/01/80", "31/12/84"))
+	b := ValidOnly(Span("01/01/85", "31/12/89"))
+	u := a.Union(b)
+	if got, want := u.Valid.String(), "[01/01/1980 - 31/12/1989]"; got != want {
+		t.Errorf("union valid = %q, want %q", got, want)
+	}
+	if u.String() == "" {
+		t.Error("String must render something")
+	}
+}

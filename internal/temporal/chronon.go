@@ -1,0 +1,120 @@
+// Package temporal implements the time-domain substrate of the extended
+// multidimensional data model of Pedersen & Jensen (ICDE 1999), §3.2.
+//
+// The time domain is discrete and bounded, isomorphic with a bounded subset
+// of the natural numbers; its values are called chronons. Following the
+// paper's examples, the chronon size is one day. A temporal element is a
+// maximal (coalesced) set of chronons represented as sorted, disjoint,
+// non-adjacent closed intervals. The special value NOW denotes the
+// continuously growing current time (Clifford et al., "On the Semantics of
+// 'NOW' in Databases").
+package temporal
+
+import (
+	"fmt"
+	"time"
+)
+
+// Chronon is a single day-granule time value, counted in days since
+// 1970-01-01 (negative values reach back before the epoch).
+type Chronon int32
+
+const (
+	// MinChronon is the earliest representable chronon ("beginning").
+	MinChronon Chronon = -(1 << 30)
+	// MaxChronon is the latest representable fixed chronon ("forever").
+	MaxChronon Chronon = 1<<30 - 1
+	// Now is the special, continuously growing value denoting the current
+	// time. It compares greater than every fixed chronon and is resolved
+	// against a reference time by Resolve.
+	Now Chronon = 1<<31 - 1
+)
+
+// IsNow reports whether c is the special NOW marker.
+func (c Chronon) IsNow() bool { return c == Now }
+
+// Resolve replaces the NOW marker by the reference chronon ref and returns
+// fixed chronons unchanged.
+func (c Chronon) Resolve(ref Chronon) Chronon {
+	if c == Now {
+		return ref
+	}
+	return c
+}
+
+// Succ returns the successor chronon in the chain
+// MinChronon < … < MaxChronon < NOW. NOW is its own successor.
+func (c Chronon) Succ() Chronon {
+	switch {
+	case c == Now:
+		return Now
+	case c == MaxChronon:
+		return Now
+	default:
+		return c + 1
+	}
+}
+
+// PredC returns the predecessor chronon in the chain, saturating at
+// MinChronon; the predecessor of NOW is MaxChronon. (Named PredC to avoid
+// clashing with the dimension-lattice Pred function of the paper.)
+func (c Chronon) PredC() Chronon {
+	switch {
+	case c == Now:
+		return MaxChronon
+	case c <= MinChronon:
+		return c
+	default:
+		return c - 1
+	}
+}
+
+// FromDate converts a calendar date to a chronon.
+func FromDate(year int, month time.Month, day int) Chronon {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return Chronon(t.Unix() / 86400)
+}
+
+// Date converts a fixed chronon back to a calendar date. Date panics when
+// called on the NOW marker; resolve it first.
+func (c Chronon) Date() (year int, month time.Month, day int) {
+	if c == Now {
+		panic("temporal: Date called on NOW; call Resolve first")
+	}
+	t := time.Unix(int64(c)*86400, 0).UTC()
+	return t.Date()
+}
+
+// String renders the chronon in the paper's dd/mm/yyyy style, or "NOW".
+func (c Chronon) String() string {
+	switch {
+	case c == Now:
+		return "NOW"
+	case c == MinChronon:
+		return "BEGINNING"
+	case c == MaxChronon:
+		return "FOREVER"
+	}
+	y, m, d := c.Date()
+	return fmt.Sprintf("%02d/%02d/%04d", d, int(m), y)
+}
+
+// Before reports whether c is strictly earlier than d, treating NOW as later
+// than every fixed chronon.
+func (c Chronon) Before(d Chronon) bool { return c < d }
+
+// MinOf returns the earlier of two chronons.
+func MinOf(a, b Chronon) Chronon {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxOf returns the later of two chronons.
+func MaxOf(a, b Chronon) Chronon {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package temporal
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChrononDateRoundTrip(t *testing.T) {
+	cases := []struct {
+		y int
+		m time.Month
+		d int
+	}{
+		{1970, time.January, 1},
+		{1969, time.May, 25},
+		{1950, time.March, 20},
+		{1980, time.January, 1},
+		{1999, time.December, 31},
+		{2026, time.July, 4},
+		{1900, time.February, 28},
+		{2000, time.February, 29},
+	}
+	for _, c := range cases {
+		ch := FromDate(c.y, c.m, c.d)
+		y, m, d := ch.Date()
+		if y != c.y || m != c.m || d != c.d {
+			t.Errorf("round trip %04d-%02d-%02d: got %04d-%02d-%02d", c.y, c.m, c.d, y, m, d)
+		}
+	}
+}
+
+func TestChrononEpoch(t *testing.T) {
+	if got := FromDate(1970, time.January, 1); got != 0 {
+		t.Fatalf("epoch chronon = %d, want 0", got)
+	}
+	if got := FromDate(1970, time.January, 2); got != 1 {
+		t.Fatalf("epoch+1 chronon = %d, want 1", got)
+	}
+	if got := FromDate(1969, time.December, 31); got != -1 {
+		t.Fatalf("epoch-1 chronon = %d, want -1", got)
+	}
+}
+
+func TestNowOrdering(t *testing.T) {
+	if !(MaxChronon < Now) {
+		t.Error("NOW must be greater than every fixed chronon")
+	}
+	if !(MinChronon < MaxChronon) {
+		t.Error("MinChronon must be below MaxChronon")
+	}
+	ref := MustDate("04/07/2026")
+	if Now.Resolve(ref) != ref {
+		t.Error("NOW must resolve to the reference chronon")
+	}
+	if ref.Resolve(MustDate("01/01/1990")) != ref {
+		t.Error("fixed chronons must resolve to themselves")
+	}
+}
+
+func TestSuccPredChain(t *testing.T) {
+	if MaxChronon.Succ() != Now {
+		t.Error("Succ(MaxChronon) must be NOW")
+	}
+	if Now.Succ() != Now {
+		t.Error("Succ(NOW) must saturate")
+	}
+	if Now.PredC() != MaxChronon {
+		t.Error("PredC(NOW) must be MaxChronon")
+	}
+	if MinChronon.PredC() != MinChronon {
+		t.Error("PredC(MinChronon) must saturate")
+	}
+	c := Chronon(100)
+	if c.Succ() != 101 || c.PredC() != 99 {
+		t.Errorf("Succ/PredC on interior chronon: got %d, %d", c.Succ(), c.PredC())
+	}
+}
+
+func TestChrononString(t *testing.T) {
+	cases := map[Chronon]string{
+		Now:                  "NOW",
+		MinChronon:           "BEGINNING",
+		MaxChronon:           "FOREVER",
+		MustDate("25/05/69"): "25/05/1969",
+		MustDate("01/01/80"): "01/01/1980",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestMinMaxOf(t *testing.T) {
+	a, b := Chronon(1), Chronon(2)
+	if MinOf(a, b) != a || MinOf(b, a) != a {
+		t.Error("MinOf wrong")
+	}
+	if MaxOf(a, b) != b || MaxOf(b, a) != b {
+		t.Error("MaxOf wrong")
+	}
+	if MaxOf(a, Now) != Now {
+		t.Error("MaxOf with NOW must be NOW")
+	}
+}
+
+func TestDatePanicsOnNow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Date() on NOW must panic")
+		}
+	}()
+	Now.Date()
+}

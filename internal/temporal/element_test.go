@@ -1,0 +1,259 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var ref = MustDate("04/07/2026")
+
+func el(ivs ...string) Element { return MustElement(ivs...) }
+
+func TestNewElementCoalesces(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Element
+		want string
+	}{
+		{"overlap", NewElement(NewInterval(0, 10), NewInterval(5, 20)), "[01/01/1970 - 21/01/1970]"},
+		{"adjacent", NewElement(NewInterval(0, 4), NewInterval(5, 9)), "[01/01/1970 - 10/01/1970]"},
+		{"disjoint", NewElement(NewInterval(0, 1), NewInterval(5, 6)), "[01/01/1970 - 02/01/1970] ∪ [06/01/1970 - 07/01/1970]"},
+		{"contained", NewElement(NewInterval(0, 100), NewInterval(10, 20)), "[01/01/1970 - 11/04/1970]"},
+		{"unordered", NewElement(NewInterval(50, 60), NewInterval(0, 1)), "[01/01/1970 - 02/01/1970] ∪ [20/02/1970 - 02/03/1970]"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%s: got %q, want %q", c.name, got, c.want)
+		}
+		if !c.in.Valid() {
+			t.Errorf("%s: invariant violated", c.name)
+		}
+	}
+}
+
+func TestElementContains(t *testing.T) {
+	e := el("[01/01/70 - 31/12/79]", "[01/01/85 - NOW]")
+	for _, c := range []struct {
+		d    string
+		want bool
+	}{
+		{"01/01/70", true}, {"31/12/79", true}, {"15/06/75", true},
+		{"01/01/80", false}, {"31/12/84", false},
+		{"01/01/85", true}, {"04/07/2026", true},
+		{"31/12/69", false},
+	} {
+		if got := e.Contains(MustDate(c.d), ref); got != c.want {
+			t.Errorf("Contains(%s) = %v, want %v", c.d, got, c.want)
+		}
+	}
+	if e.Contains(MustDate("01/01/2030"), ref) {
+		t.Error("chronon after resolved NOW must not be contained")
+	}
+}
+
+func TestElementUnionIntersectDifference(t *testing.T) {
+	a := el("[01/01/70 - 31/12/79]")
+	b := el("[01/01/75 - 31/12/84]")
+	if got, want := a.Union(b).String(), "[01/01/1970 - 31/12/1984]"; got != want {
+		t.Errorf("union: got %q want %q", got, want)
+	}
+	if got, want := a.Intersect(b).String(), "[01/01/1975 - 31/12/1979]"; got != want {
+		t.Errorf("intersect: got %q want %q", got, want)
+	}
+	if got, want := a.Difference(b).String(), "[01/01/1970 - 31/12/1974]"; got != want {
+		t.Errorf("difference: got %q want %q", got, want)
+	}
+	if got, want := b.Difference(a).String(), "[01/01/1980 - 31/12/1984]"; got != want {
+		t.Errorf("difference rev: got %q want %q", got, want)
+	}
+}
+
+func TestDifferenceSplitsInterval(t *testing.T) {
+	a := el("[01/01/80 - NOW]")
+	b := el("[01/01/85 - 31/12/89]")
+	got := a.Difference(b).String()
+	want := "[01/01/1980 - 31/12/1984] ∪ [01/01/1990 - NOW]"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestDifferenceWithNowEndpoints(t *testing.T) {
+	a := el("[01/01/80 - NOW]")
+	b := el("[01/01/85 - NOW]")
+	got := a.Difference(b).String()
+	want := "[01/01/1980 - 31/12/1984]"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+	if !a.Difference(a).IsEmpty() {
+		t.Error("e \\ e must be empty")
+	}
+}
+
+func TestIntersectKeepsNow(t *testing.T) {
+	a := el("[01/01/80 - NOW]")
+	b := el("[01/01/90 - NOW]")
+	if got, want := a.Intersect(b).String(), "[01/01/1990 - NOW]"; got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestCoversAndOverlaps(t *testing.T) {
+	a := el("[01/01/70 - NOW]")
+	b := el("[01/01/80 - 31/12/89]")
+	if !a.Covers(b) {
+		t.Error("a must cover b")
+	}
+	if b.Covers(a) {
+		t.Error("b must not cover a")
+	}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("overlap must hold both ways")
+	}
+	c := el("[01/01/60 - 31/12/65]")
+	if a.Overlaps(c) {
+		t.Error("disjoint elements must not overlap")
+	}
+	if !a.Covers(Empty()) {
+		t.Error("everything covers the empty element")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	e := el("[01/01/80 - NOW]")
+	r := e.Resolve(ref)
+	want := "[01/01/1980 - 04/07/2026]"
+	if got := r.String(); got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+	// Resolving an already-fixed element is the identity.
+	if !r.Resolve(ref).Equal(r) {
+		t.Error("resolve must be idempotent")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	e := el("[01/01/70 - 10/01/70]")
+	if got := e.Duration(ref); got != 10 {
+		t.Errorf("duration = %d, want 10", got)
+	}
+	two := NewElement(At(0), At(5))
+	if got := two.Duration(ref); got != 2 {
+		t.Errorf("duration = %d, want 2", got)
+	}
+}
+
+func TestStartEnd(t *testing.T) {
+	e := el("[01/01/70 - 31/12/79]", "[01/01/85 - NOW]")
+	s, ok := e.Start()
+	if !ok || s != MustDate("01/01/70") {
+		t.Errorf("Start = %v, %v", s, ok)
+	}
+	en, ok := e.End()
+	if !ok || en != Now {
+		t.Errorf("End = %v, %v", en, ok)
+	}
+	if _, ok := Empty().Start(); ok {
+		t.Error("empty element has no start")
+	}
+}
+
+// randomElement builds a random element from up to n intervals in a small
+// chronon universe so set-level cross-checks are cheap.
+func randomElement(r *rand.Rand, n int) Element {
+	k := r.Intn(n + 1)
+	ivs := make([]Interval, 0, k)
+	for i := 0; i < k; i++ {
+		s := Chronon(r.Intn(64))
+		e := s + Chronon(r.Intn(16))
+		ivs = append(ivs, NewInterval(s, e))
+	}
+	return NewElement(ivs...)
+}
+
+// toSet expands an element over the small universe [0, 128).
+func toSet(e Element) map[Chronon]bool {
+	m := map[Chronon]bool{}
+	for c := Chronon(0); c < 128; c++ {
+		if e.Contains(c, ref) {
+			m[c] = true
+		}
+	}
+	return m
+}
+
+func TestElementSetSemanticsQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		a := randomElement(r, 5)
+		b := randomElement(r, 5)
+		sa, sb := toSet(a), toSet(b)
+
+		check := func(name string, got Element, pred func(c Chronon) bool) {
+			if !got.Valid() {
+				t.Fatalf("%s: result not canonical: %v", name, got)
+			}
+			for c := Chronon(0); c < 128; c++ {
+				if got.Contains(c, ref) != pred(c) {
+					t.Fatalf("%s: mismatch at %d (a=%v b=%v got=%v)", name, c, a, b, got)
+				}
+			}
+		}
+		check("union", a.Union(b), func(c Chronon) bool { return sa[c] || sb[c] })
+		check("intersect", a.Intersect(b), func(c Chronon) bool { return sa[c] && sb[c] })
+		check("difference", a.Difference(b), func(c Chronon) bool { return sa[c] && !sb[c] })
+	}
+}
+
+func TestElementAlgebraPropertiesQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	gen := func() Element { return randomElement(r, 4) }
+	cfg := &quick.Config{MaxCount: 200}
+
+	// Union commutativity.
+	if err := quick.Check(func(seed int64) bool {
+		a, b := gen(), gen()
+		return a.Union(b).Equal(b.Union(a))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Intersection distributes over union.
+	if err := quick.Check(func(seed int64) bool {
+		a, b, c := gen(), gen(), gen()
+		left := a.Intersect(b.Union(c))
+		right := a.Intersect(b).Union(a.Intersect(c))
+		return left.Equal(right)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// De Morgan within a universe: a \ (b ∪ c) = (a \ b) ∩ (a \ c).
+	if err := quick.Check(func(seed int64) bool {
+		a, b, c := gen(), gen(), gen()
+		left := a.Difference(b.Union(c))
+		right := a.Difference(b).Intersect(a.Difference(c))
+		return left.Equal(right)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Idempotence and identity laws.
+	if err := quick.Check(func(seed int64) bool {
+		a := gen()
+		return a.Union(a).Equal(a) && a.Intersect(a).Equal(a) &&
+			a.Union(Empty()).Equal(a) && a.Intersect(Empty()).IsEmpty() &&
+			a.Difference(Empty()).Equal(a) && Empty().Difference(a).IsEmpty()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlwaysElement(t *testing.T) {
+	a := AlwaysElement()
+	if !a.Contains(MustDate("01/01/1850"), ref) || !a.Contains(ref, ref) {
+		t.Error("AlwaysElement must contain every chronon")
+	}
+	if !a.Covers(el("[01/01/70 - NOW]")) {
+		t.Error("AlwaysElement must cover any element")
+	}
+}

@@ -1,0 +1,47 @@
+package temporal
+
+import "testing"
+
+// FuzzParseDate checks that date parsing never panics and that accepted
+// dates round-trip through String.
+func FuzzParseDate(f *testing.F) {
+	for _, s := range []string{
+		"25/05/69", "01/01/1980", "NOW", "now", "BEGINNING", "FOREVER",
+		"1999-12-31", "31/02/99", "0/0/0", "////", "¼/½/¾", "99999999-1-1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseDate(s)
+		if err != nil {
+			return
+		}
+		// Accepted dates render and re-parse to the same chronon.
+		back, err := ParseDate(c.String())
+		if err != nil {
+			t.Fatalf("ParseDate(%q) = %v, but its rendering %q does not re-parse: %v", s, c, c.String(), err)
+		}
+		if back != c {
+			t.Fatalf("round trip %q: %v != %v", s, back, c)
+		}
+	})
+}
+
+// FuzzParseInterval checks interval parsing never panics and accepted
+// intervals are well-formed.
+func FuzzParseInterval(f *testing.F) {
+	for _, s := range []string{
+		"[01/01/80 - NOW]", "[23/03/75]", "01/01/70 - 31/12/79", "[x - y]", "[]",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		iv, err := ParseInterval(s)
+		if err != nil {
+			return
+		}
+		if iv.Start > iv.End {
+			t.Fatalf("ParseInterval(%q) accepted an empty interval %v", s, iv)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package temporal
+
+import "fmt"
+
+// Interval is a non-empty closed interval of chronons [Start, End]. An
+// interval whose End is the NOW marker grows with the current time; it is
+// interpreted against a reference chronon when resolved.
+type Interval struct {
+	Start Chronon
+	End   Chronon
+}
+
+// NewInterval returns the closed interval [start, end]. It panics if
+// start > end (after conceptually placing NOW after all fixed chronons),
+// because empty intervals are not representable.
+func NewInterval(start, end Chronon) Interval {
+	if start > end {
+		panic(fmt.Sprintf("temporal: empty interval [%v, %v]", start, end))
+	}
+	if start == Now && end != Now {
+		panic("temporal: interval starting at NOW must end at NOW")
+	}
+	return Interval{Start: start, End: end}
+}
+
+// At returns the degenerate interval [c, c].
+func At(c Chronon) Interval { return NewInterval(c, c) }
+
+// Always is the interval covering the whole time domain including NOW.
+func Always() Interval { return Interval{Start: MinChronon, End: Now} }
+
+// Contains reports whether chronon c lies in the interval, resolving NOW
+// endpoints against ref.
+func (iv Interval) Contains(c, ref Chronon) bool {
+	s := iv.Start.Resolve(ref)
+	e := iv.End.Resolve(ref)
+	cc := c.Resolve(ref)
+	return s <= cc && cc <= e
+}
+
+// Resolve replaces NOW endpoints with ref. If the resolved interval is empty
+// (a [NOW, NOW] row whose ref precedes its start, which cannot occur for
+// well-formed data), ok is false.
+func (iv Interval) Resolve(ref Chronon) (Interval, bool) {
+	s := iv.Start.Resolve(ref)
+	e := iv.End.Resolve(ref)
+	if s > e {
+		return Interval{}, false
+	}
+	return Interval{Start: s, End: e}, true
+}
+
+// Overlaps reports whether the two intervals share at least one chronon
+// under the reference time ref.
+func (iv Interval) Overlaps(other Interval, ref Chronon) bool {
+	a, ok := iv.Resolve(ref)
+	if !ok {
+		return false
+	}
+	b, ok := other.Resolve(ref)
+	if !ok {
+		return false
+	}
+	return a.Start <= b.End && b.Start <= a.End
+}
+
+// Intersect returns the common part of two intervals under ref, and whether
+// it is non-empty. NOW endpoints are preserved when both inputs share them
+// so that the result keeps growing semantics.
+func (iv Interval) Intersect(other Interval, ref Chronon) (Interval, bool) {
+	if !iv.Overlaps(other, ref) {
+		return Interval{}, false
+	}
+	start := MaxOf(iv.Start, other.Start)
+	// For the end, pick the smaller resolved endpoint but keep NOW when both
+	// ends are NOW (the intersection keeps growing).
+	end := MinOf(iv.End, other.End)
+	if iv.End == Now && other.End == Now {
+		end = Now
+	} else {
+		end = MinOf(iv.End.Resolve(ref), other.End.Resolve(ref))
+	}
+	if start.Resolve(ref) > end.Resolve(ref) {
+		return Interval{}, false
+	}
+	return Interval{Start: start, End: end}, true
+}
+
+// Duration returns the number of chronons in the interval under ref.
+func (iv Interval) Duration(ref Chronon) int64 {
+	r, ok := iv.Resolve(ref)
+	if !ok {
+		return 0
+	}
+	return int64(r.End) - int64(r.Start) + 1
+}
+
+// String renders the interval in the paper's bracketed notation, e.g.
+// [01/01/80 - NOW].
+func (iv Interval) String() string {
+	if iv.Start == iv.End {
+		return fmt.Sprintf("[%v]", iv.Start)
+	}
+	return fmt.Sprintf("[%v - %v]", iv.Start, iv.End)
+}

@@ -1,0 +1,128 @@
+package temporal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseDate parses the paper's date notation: "dd/mm/yy" (two-digit years
+// pivot at 30: 30–99 → 19xx, 00–29 → 20xx), "dd/mm/yyyy", the special
+// string "NOW", and ISO "yyyy-mm-dd".
+func ParseDate(s string) (Chronon, error) {
+	s = strings.TrimSpace(s)
+	switch strings.ToUpper(s) {
+	case "NOW":
+		return Now, nil
+	case "BEGINNING":
+		return MinChronon, nil
+	case "FOREVER":
+		return MaxChronon, nil
+	}
+	if strings.Contains(s, "-") && !strings.Contains(s, "/") {
+		parts := strings.Split(s, "-")
+		if len(parts) != 3 {
+			return 0, fmt.Errorf("temporal: malformed ISO date %q", s)
+		}
+		y, err1 := strconv.Atoi(parts[0])
+		m, err2 := strconv.Atoi(parts[1])
+		d, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return 0, fmt.Errorf("temporal: malformed ISO date %q", s)
+		}
+		return fromYMD(y, m, d, s)
+	}
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("temporal: malformed date %q (want dd/mm/yy, dd/mm/yyyy, yyyy-mm-dd, or NOW)", s)
+	}
+	d, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	y, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, fmt.Errorf("temporal: malformed date %q", s)
+	}
+	if len(parts[2]) <= 2 {
+		if y >= 30 {
+			y += 1900
+		} else {
+			y += 2000
+		}
+	}
+	return fromYMD(y, m, d, s)
+}
+
+func fromYMD(y, m, d int, orig string) (Chronon, error) {
+	if m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, fmt.Errorf("temporal: date %q out of range", orig)
+	}
+	c := FromDate(y, time.Month(m), d)
+	// Round-trip to reject days that normalized (e.g. 31/02).
+	yy, mm, dd := c.Date()
+	if yy != y || int(mm) != m || dd != d {
+		return 0, fmt.Errorf("temporal: date %q does not exist", orig)
+	}
+	return c, nil
+}
+
+// MustDate is ParseDate that panics on error; intended for literals in
+// tests, examples, and embedded datasets.
+func MustDate(s string) Chronon {
+	c, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ParseInterval parses "[from - to]" or "[at]" using ParseDate for the
+// endpoints; the surrounding brackets are optional.
+func ParseInterval(s string) (Interval, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	var fromS, toS string
+	if i := strings.Index(s, " - "); i >= 0 {
+		fromS, toS = s[:i], s[i+3:]
+	} else {
+		fromS, toS = s, s
+	}
+	from, err := ParseDate(fromS)
+	if err != nil {
+		return Interval{}, err
+	}
+	to, err := ParseDate(toS)
+	if err != nil {
+		return Interval{}, err
+	}
+	if from > to {
+		return Interval{}, fmt.Errorf("temporal: interval %q is empty", s)
+	}
+	return NewInterval(from, to), nil
+}
+
+// MustInterval is ParseInterval that panics on error.
+func MustInterval(s string) Interval {
+	iv, err := ParseInterval(s)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// MustElement builds an element from interval literals, panicking on parse
+// errors: MustElement("[01/01/70 - 31/12/79]", "[01/01/85 - NOW]").
+func MustElement(ivs ...string) Element {
+	parsed := make([]Interval, len(ivs))
+	for i, s := range ivs {
+		parsed[i] = MustInterval(s)
+	}
+	return NewElement(parsed...)
+}
+
+// Span is a convenience constructor parsing two date literals into a
+// single-interval element.
+func Span(from, to string) Element {
+	return NewElement(NewInterval(MustDate(from), MustDate(to)))
+}

@@ -1,0 +1,83 @@
+package temporal
+
+import "testing"
+
+func TestParseDateFormats(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"25/05/69", "25/05/1969"},
+		{"20/03/50", "20/03/1950"},
+		{"01/01/29", "01/01/2029"},
+		{"01/01/30", "01/01/1930"},
+		{"01/01/1980", "01/01/1980"},
+		{"1999-12-31", "31/12/1999"},
+		{"NOW", "NOW"},
+		{"now", "NOW"},
+		{" 01/01/80 ", "01/01/1980"},
+	}
+	for _, c := range cases {
+		got, err := ParseDate(c.in)
+		if err != nil {
+			t.Errorf("ParseDate(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("ParseDate(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseDateErrors(t *testing.T) {
+	for _, in := range []string{"", "1/2", "a/b/c", "32/01/80", "29/02/1999", "00/01/80", "01/13/80", "1999-13-01", "1999-02-30", "99-1"} {
+		if _, err := ParseDate(in); err == nil {
+			t.Errorf("ParseDate(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseInterval(t *testing.T) {
+	iv, err := ParseInterval("[01/01/80 - NOW]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Start != MustDate("01/01/80") || iv.End != Now {
+		t.Errorf("got %v", iv)
+	}
+	single, err := ParseInterval("[23/03/75]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Start != single.End || single.Start != MustDate("23/03/75") {
+		t.Errorf("got %v", single)
+	}
+	if _, err := ParseInterval("[01/01/90 - 01/01/80]"); err == nil {
+		t.Error("empty interval must be rejected")
+	}
+	noBrackets, err := ParseInterval("01/01/70 - 31/12/79")
+	if err != nil || noBrackets.Duration(ref) != 3652 {
+		t.Errorf("bracket-less parse failed: %v %v", noBrackets, err)
+	}
+}
+
+func TestSpanAndMustElement(t *testing.T) {
+	e := Span("01/01/70", "31/12/79")
+	if e.NumIntervals() != 1 {
+		t.Fatalf("span must be one interval, got %d", e.NumIntervals())
+	}
+	m := MustElement("[01/01/70 - 31/12/79]", "[01/01/80 - NOW]")
+	// Adjacent intervals coalesce into one.
+	if m.NumIntervals() != 1 {
+		t.Errorf("adjacent spans must coalesce, got %v", m)
+	}
+}
+
+func TestMustDatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDate on garbage must panic")
+		}
+	}()
+	MustDate("bogus")
+}

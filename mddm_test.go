@@ -1,0 +1,115 @@
+package mddm_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mddm"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end the way the
+// package documentation advertises.
+func TestPublicAPIQuickstart(t *testing.T) {
+	ref := mddm.MustDate("01/01/1999")
+	ctx := mddm.CurrentContext(ref)
+
+	diag := mddm.MustDimensionType("Diagnosis", mddm.Constant, mddm.KindString,
+		"Low-level", "Family", "Group")
+	age := mddm.MustDimensionType("Age", mddm.Sum, mddm.KindInt, "Age")
+	schema := mddm.MustSchema("Patient", diag, age)
+	mo := mddm.NewMO(schema)
+
+	d := mo.Dimension("Diagnosis")
+	for _, v := range []struct{ cat, id string }{
+		{"Group", "E1"}, {"Family", "E10"}, {"Low-level", "E10.1"},
+	} {
+		if err := d.AddValue(v.cat, v.id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.AddEdge("E10", "E1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge("E10.1", "E10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mo.Dimension("Age").AddValue("Age", "42"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mo.Relate("Diagnosis", "p1", "E10.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mo.Relate("Age", "p1", "42"); err != nil {
+		t.Fatal(err)
+	}
+	mo.EnsureTotal()
+	if err := mo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := mddm.Aggregate(mo, mddm.AggSpec{
+		ResultDim: "Count",
+		Func:      mddm.MustAggFunc("SETCOUNT"),
+		GroupBy:   map[string]string{"Diagnosis": "Group"},
+		Ranges:    []mddm.Range{{Label: "any", Lo: 0, Hi: math.Inf(1)}},
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MO.Relation("Count").Has("{p1}", "1") {
+		t.Errorf("count result missing: %v", res.MO.Relation("Count").Pairs())
+	}
+}
+
+func TestPublicAPICaseStudyAndQuery(t *testing.T) {
+	ref := mddm.MustDate("01/01/1999")
+	mo := mddm.MustPatientMO()
+	cat := mddm.QueryCatalog{"patients": mo}
+	res, err := mddm.ExecQuery(
+		`SELECT SETCOUNT(*) AS Count FROM patients GROUP BY Diagnosis."Diagnosis Group"`, cat, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mddm.RenderQueryResult(res)
+	if !strings.Contains(out, "11") || !strings.Contains(out, "2") {
+		t.Errorf("query render:\n%s", out)
+	}
+
+	// Storage engine path agrees.
+	eng := mddm.NewEngine(mo, mddm.CurrentContext(ref))
+	counts := eng.CountDistinctBy("Diagnosis", "Diagnosis Group")
+	if counts["11"] != 2 || counts["12"] != 1 {
+		t.Errorf("engine counts = %v", counts)
+	}
+
+	// Timeslice through the facade.
+	s, err := mddm.ValidTimeslice(mo, mddm.MustDate("15/06/75"), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind() != mddm.Snapshot {
+		t.Errorf("kind = %v", s.Kind())
+	}
+
+	// Table 1 and Figure 1 renders are reachable.
+	if !strings.Contains(mddm.RenderTable1(), "Patient Table") {
+		t.Error("Table 1 render missing")
+	}
+	if !strings.Contains(mddm.RenderFigure1(), "Entities") {
+		t.Error("Figure 1 render missing")
+	}
+}
+
+func TestPublicAPIGenerator(t *testing.T) {
+	cfg := mddm.DefaultGen()
+	cfg.Patients = 20
+	mo := mddm.MustGenerate(cfg)
+	if mo.Facts().Len() != 20 {
+		t.Errorf("facts = %d", mo.Facts().Len())
+	}
+	cache := mddm.NewPreAggCache(mddm.NewEngine(mo, mddm.CurrentContext(mddm.MustDate("01/01/2026"))))
+	if _, err := cache.Materialize("Residence", "County", mddm.PreAggCount, ""); err != nil {
+		t.Fatal(err)
+	}
+}
