@@ -18,7 +18,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"mdrepro", "mdquery", "mdbench"} {
+	for _, tool := range []string{"mdrepro", "mdquery", "mdbench", "mdserve"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "mddm/cmd/"+tool)
 		cmd.Dir = ".."
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -132,5 +132,12 @@ func TestMdbenchSmoke(t *testing.T) {
 	out := run(t, "mdbench", "-exp", "B2")
 	if !strings.Contains(out, "bitmap/op") {
 		t.Errorf("bench output:\n%s", out)
+	}
+}
+
+func TestMdserveSelfcheck(t *testing.T) {
+	out := run(t, "mdserve", "-selfcheck")
+	if !strings.Contains(out, "selfcheck ok") {
+		t.Fatalf("selfcheck output wrong:\n%s", out)
 	}
 }

@@ -86,7 +86,7 @@ func ExampleYearlyCounts() {
 		log.Fatal(err)
 	}
 	for _, p := range pts {
-		y, _, _ := p.At.Date()
+		y, _, _, _ := p.At.Date()
 		if y%5 == 0 || y == 1979 {
 			fmt.Printf("%d: %d\n", y, p.Count)
 		}

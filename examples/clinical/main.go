@@ -79,7 +79,7 @@ func main() {
 	}
 	fmt.Println("Patients under the Diabetes group per year (across the 1980 change):")
 	for _, p := range pts {
-		y, _, _ := p.At.Date()
+		y, _, _, _ := p.At.Date()
 		fmt.Printf("  %d %s\n", y, strings.Repeat("█", p.Count))
 	}
 	fmt.Println()

@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"mddm/internal/core"
 	"mddm/internal/dimension"
 	"mddm/internal/fact"
+	"mddm/internal/qos"
 	"mddm/internal/temporal"
 )
 
@@ -75,6 +77,20 @@ type AggResult struct {
 // follow the paper's rule, so non-summarizable ("unsafe") results get type
 // c and cannot be aggregated further.
 func Aggregate(m *core.MO, spec AggSpec, ctx dimension.Context) (*AggResult, error) {
+	return AggregateContext(context.Background(), m, spec, ctx)
+}
+
+// AggregateContext is Aggregate with cooperative cancellation and
+// fact-budget accounting: the per-fact grouping loop and the per-group
+// output loop both consult the query context (via internal/qos), so a
+// canceled or deadline-expired context aborts a large aggregate formation
+// within a bounded number of iterations, and a serving-layer fact budget
+// stops runaway scans with a typed qos.ErrResourceExhausted.
+func AggregateContext(cctx context.Context, m *core.MO, spec AggSpec, ctx dimension.Context) (*AggResult, error) {
+	guard := qos.NewGuard(cctx)
+	if err := guard.CheckNow(); err != nil {
+		return nil, fmt.Errorf("algebra: aggregate: %w", err)
+	}
 	if spec.Func == nil {
 		return nil, fmt.Errorf("algebra: aggregate: nil function")
 	}
@@ -206,6 +222,9 @@ func Aggregate(m *core.MO, spec AggSpec, ctx dimension.Context) (*AggResult, err
 	groups := map[string]*fact.Set{} // combo key -> member facts
 	combos := map[string]combo{}
 	for _, f := range m.Facts().IDs() {
+		if err := guard.Facts(1); err != nil {
+			return nil, fmt.Errorf("algebra: aggregate: %w", err)
+		}
 		perDim := make([][]string, len(names))
 		ok := true
 		for i, n := range names {
@@ -239,6 +258,9 @@ func Aggregate(m *core.MO, spec AggSpec, ctx dimension.Context) (*AggResult, err
 	sort.Strings(keys)
 
 	for _, key := range keys {
+		if err := guard.Check(); err != nil {
+			return nil, fmt.Errorf("algebra: aggregate: %w", err)
+		}
 		members := groups[key]
 		cb := combos[key]
 		var groupFact fact.Fact
@@ -260,6 +282,12 @@ func Aggregate(m *core.MO, spec AggSpec, ctx dimension.Context) (*AggResult, err
 			t := temporal.AlwaysElement()
 			prob := 1.0
 			for _, mf := range members.IDs() {
+				// Immediate poll: one temporal intersection dwarfs the
+				// channel check, and accumulated elements make iterations
+				// arbitrarily slow — sampling would miss the deadline.
+				if err := guard.CheckNow(); err != nil {
+					return nil, fmt.Errorf("algebra: aggregate: %w", err)
+				}
 				mt, mp := m.CharacterizationTime(n, mf, ei, ctx)
 				t = t.Intersect(mt)
 				if mp < prob {
@@ -282,6 +310,9 @@ func Aggregate(m *core.MO, spec AggSpec, ctx dimension.Context) (*AggResult, err
 			// dimensions of P(f ⤳ e_i).
 			probs := make([]float64, 0, members.Len())
 			for _, mf := range members.IDs() {
+				if err := guard.Check(); err != nil {
+					return nil, fmt.Errorf("algebra: aggregate: %w", err)
+				}
 				p := 1.0
 				for i, n := range names {
 					if cb.vals[i] == dimension.TopValue {
@@ -294,7 +325,10 @@ func Aggregate(m *core.MO, spec AggSpec, ctx dimension.Context) (*AggResult, err
 			}
 			v, okv = spec.Func.ApplyProb(probs)
 		} else {
-			nVals := extractArgs(m, spec.ArgDims, members, ctx)
+			nVals, err := extractArgs(guard, m, spec.ArgDims, members, ctx)
+			if err != nil {
+				return nil, fmt.Errorf("algebra: aggregate: %w", err)
+			}
 			v, okv = spec.Func.Apply(members.Len(), nVals)
 		}
 		if !okv {
@@ -397,12 +431,15 @@ func expandCombos(perDim [][]string, fn func(vals []string)) {
 // extractArgs collects the numeric argument values of a group: for each
 // member fact and each argument dimension, the numeric interpretations of
 // the values directly characterizing the fact.
-func extractArgs(m *core.MO, argDims []string, members *fact.Set, ctx dimension.Context) []float64 {
+func extractArgs(guard *qos.Guard, m *core.MO, argDims []string, members *fact.Set, ctx dimension.Context) ([]float64, error) {
 	var vals []float64
 	for _, ad := range argDims {
 		d := m.Dimension(ad)
 		r := m.Relation(ad)
 		for _, f := range members.IDs() {
+			if err := guard.Check(); err != nil {
+				return nil, err
+			}
 			for _, e := range r.ValuesOf(f) {
 				a, _ := r.Annot(f, e)
 				if !ctx.Admits(a) {
@@ -414,7 +451,7 @@ func extractArgs(m *core.MO, argDims []string, members *fact.Set, ctx dimension.
 			}
 		}
 	}
-	return vals
+	return vals, nil
 }
 
 func indexOf(xs []string, x string) int {

@@ -67,7 +67,7 @@ func randMO(r *rand.Rand, tag string) *core.MO {
 
 func randSpan(r *rand.Rand) temporal.Element {
 	s := temporal.Chronon(r.Intn(10000))
-	return temporal.NewElement(temporal.NewInterval(s, s+temporal.Chronon(r.Intn(5000))))
+	return temporal.NewElement(temporal.MustNewInterval(s, s+temporal.Chronon(r.Intn(5000))))
 }
 
 func mustNoErr(err error) {

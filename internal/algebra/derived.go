@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"mddm/internal/core"
 	"mddm/internal/dimension"
 	"mddm/internal/fact"
+	"mddm/internal/qos"
 )
 
 // This file implements the derived operators the paper defines in terms of
@@ -57,7 +59,15 @@ type Row struct {
 // the "SQL-like aggregation" derived operator. Dimensions grouped at ⊤ are
 // omitted from the row.
 func SQLAggregate(m *core.MO, spec AggSpec, ctx dimension.Context) ([]Row, *AggResult, error) {
-	res, err := Aggregate(m, spec, ctx)
+	return SQLAggregateContext(context.Background(), m, spec, ctx)
+}
+
+// SQLAggregateContext is SQLAggregate with cooperative cancellation: both
+// the underlying aggregate formation and the row-flattening loop consult
+// the query context.
+func SQLAggregateContext(cctx context.Context, m *core.MO, spec AggSpec, ctx dimension.Context) ([]Row, *AggResult, error) {
+	guard := qos.NewGuard(cctx)
+	res, err := AggregateContext(cctx, m, spec, ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -70,6 +80,9 @@ func SQLAggregate(m *core.MO, spec AggSpec, ctx dimension.Context) ([]Row, *AggR
 	out := res.MO
 	var rows []Row
 	for _, g := range out.Facts().IDs() {
+		if err := guard.Check(); err != nil {
+			return nil, nil, fmt.Errorf("algebra: sql-aggregate: %w", err)
+		}
 		vals := out.Relation(spec.ResultDim).ValuesOf(g)
 		if len(vals) == 0 {
 			continue

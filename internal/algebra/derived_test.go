@@ -270,7 +270,7 @@ func TestCountOverTime(t *testing.T) {
 	}
 	byYear := map[int]int{}
 	for _, p := range pts {
-		y, _, _ := p.At.Date()
+		y, _, _, _ := p.At.Date()
 		byYear[y] = p.Count
 	}
 	if byYear[1975] != 0 {

@@ -1,11 +1,13 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 
 	"mddm/internal/core"
 	"mddm/internal/dimension"
 	"mddm/internal/fact"
+	"mddm/internal/qos"
 )
 
 // Select implements the selection operator σ[p](M): the facts are
@@ -14,9 +16,20 @@ import (
 // Selection does not change the time attached to the surviving data
 // (§4.2).
 func Select(m *core.MO, p Predicate, ctx dimension.Context) *core.MO {
+	out, _ := SelectContext(context.Background(), m, p, ctx) // nil guard: cannot fail
+	return out
+}
+
+// SelectContext is Select with cooperative cancellation and fact-budget
+// accounting over the fact scan.
+func SelectContext(cctx context.Context, m *core.MO, p Predicate, ctx dimension.Context) (*core.MO, error) {
+	guard := qos.NewGuard(cctx)
 	out := m.ShallowCloneSharing()
 	keep := map[string]bool{}
 	for _, f := range m.Facts().IDs() {
+		if err := guard.Facts(1); err != nil {
+			return nil, fmt.Errorf("algebra: select: %w", err)
+		}
 		if p(m, f, ctx) {
 			keep[f] = true
 		} else {
@@ -29,7 +42,7 @@ func Select(m *core.MO, p Predicate, ctx dimension.Context) *core.MO {
 			panic(err) // names come from the schema itself
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Project implements the projection operator π[D1,…,Dk](M): only the named

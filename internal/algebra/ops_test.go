@@ -440,8 +440,8 @@ func TestCmpOpStrings(t *testing.T) {
 
 func TestCharacterizedDuringThroughout(t *testing.T) {
 	m := patientMO(t)
-	seventies := temporal.NewInterval(temporal.MustDate("01/01/70"), temporal.MustDate("31/12/79"))
-	eighties := temporal.NewInterval(temporal.MustDate("01/01/80"), temporal.MustDate("31/12/89"))
+	seventies := temporal.MustNewInterval(temporal.MustDate("01/01/70"), temporal.MustDate("31/12/79"))
+	eighties := temporal.MustNewInterval(temporal.MustDate("01/01/80"), temporal.MustDate("31/12/89"))
 
 	// Only patient 2 had the old Diabetes family (8) during the 70s.
 	sel := Select(m, CharacterizedDuring(casestudy.DimDiagnosis, "8", seventies), ctx())

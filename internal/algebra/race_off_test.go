@@ -1,0 +1,7 @@
+//go:build !race
+
+package algebra
+
+// raceDetectorEnabled relaxes wall-clock bounds in cancellation-latency
+// tests when the race detector is on; see race_on_test.go.
+const raceDetectorEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package algebra
+
+// raceDetectorEnabled relaxes wall-clock bounds in cancellation-latency
+// tests: race instrumentation slows the guarded hot loops 10-20x, so a
+// bound calibrated for normal builds scales accordingly.
+const raceDetectorEnabled = true

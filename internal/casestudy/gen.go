@@ -156,7 +156,7 @@ func Generate(cfg GenConfig) (*core.MO, error) {
 			if cfg.Churn {
 				start := genEpoch + temporal.Chronon(r.Intn(7000))
 				end := start + temporal.Chronon(30+r.Intn(3000))
-				a = dimension.ValidDuring(temporal.NewElement(temporal.NewInterval(start, end)))
+				a = dimension.ValidDuring(temporal.NewElement(temporal.MustNewInterval(start, end)))
 			}
 			if cfg.UncertainFrac > 0 && r.Float64() < cfg.UncertainFrac {
 				a = a.WithProb(0.9)
@@ -171,11 +171,11 @@ func Generate(cfg GenConfig) (*core.MO, error) {
 			move := genEpoch + temporal.Chronon(2000+r.Intn(4000))
 			area2 := fmt.Sprintf("A%d", r.Intn(cfg.Areas))
 			if err := m.RelateAnnot(DimResidence, pid, area,
-				dimension.ValidDuring(temporal.NewElement(temporal.NewInterval(genEpoch, move)))); err != nil {
+				dimension.ValidDuring(temporal.NewElement(temporal.MustNewInterval(genEpoch, move)))); err != nil {
 				return nil, err
 			}
 			if err := m.RelateAnnot(DimResidence, pid, area2,
-				dimension.ValidDuring(temporal.NewElement(temporal.NewInterval(move+1, temporal.Now)))); err != nil {
+				dimension.ValidDuring(temporal.NewElement(temporal.MustNewInterval(move+1, temporal.Now)))); err != nil {
 				return nil, err
 			}
 		} else {

@@ -83,39 +83,58 @@ func must(err error) {
 // --- Date-of-Birth hierarchy helpers -------------------------------------
 
 // DayID returns the Day category value id for a chronon, e.g. "1969-05-25".
+// The NOW marker has no calendar date and maps to "NOW".
 func DayID(c temporal.Chronon) string {
-	y, m, d := c.Date()
+	y, m, d, err := c.Date()
+	if err != nil {
+		return "NOW"
+	}
 	return fmt.Sprintf("%04d-%02d-%02d", y, int(m), d)
 }
 
 // WeekID returns the ISO week value id, e.g. "1969-W21".
 func WeekID(c temporal.Chronon) string {
-	y, m, d := c.Date()
+	y, m, d, err := c.Date()
+	if err != nil {
+		return "NOW"
+	}
 	yy, ww := time.Date(y, m, d, 0, 0, 0, 0, time.UTC).ISOWeek()
 	return fmt.Sprintf("%04d-W%02d", yy, ww)
 }
 
 // MonthID returns the month value id, e.g. "1969-05".
 func MonthID(c temporal.Chronon) string {
-	y, m, _ := c.Date()
+	y, m, _, err := c.Date()
+	if err != nil {
+		return "NOW"
+	}
 	return fmt.Sprintf("%04d-%02d", y, int(m))
 }
 
 // QuarterID returns the quarter value id, e.g. "1969-Q2".
 func QuarterID(c temporal.Chronon) string {
-	y, m, _ := c.Date()
+	y, m, _, err := c.Date()
+	if err != nil {
+		return "NOW"
+	}
 	return fmt.Sprintf("%04d-Q%d", y, (int(m)+2)/3)
 }
 
 // YearID returns the year value id, e.g. "1969".
 func YearID(c temporal.Chronon) string {
-	y, _, _ := c.Date()
+	y, _, _, err := c.Date()
+	if err != nil {
+		return "NOW"
+	}
 	return fmt.Sprintf("%04d", y)
 }
 
 // DecadeID returns the decade value id, e.g. "1960s".
 func DecadeID(c temporal.Chronon) string {
-	y, _, _ := c.Date()
+	y, _, _, err := c.Date()
+	if err != nil {
+		return "NOW"
+	}
 	return fmt.Sprintf("%ds", y/10*10)
 }
 
@@ -197,10 +216,18 @@ func AddAge(d *dimension.Dimension, age int) (string, error) {
 }
 
 // AgeAt returns the age in completed years at the reference date for a
-// birth chronon.
+// birth chronon. NOW endpoints are resolved against the other argument
+// conservatively (a NOW birth or reference yields age 0 respectively the
+// age at the latest fixed chronon).
 func AgeAt(birth, ref temporal.Chronon) int {
-	by, bm, bd := birth.Date()
-	ry, rm, rd := ref.Date()
+	if birth.IsNow() {
+		return 0
+	}
+	if ref.IsNow() {
+		ref = temporal.MaxChronon
+	}
+	by, bm, bd, _ := birth.Date()
+	ry, rm, rd, _ := ref.Date()
 	age := ry - by
 	if rm < bm || (rm == bm && rd < bd) {
 		age--

@@ -32,7 +32,7 @@ func randDim(t *testing.T, r *rand.Rand, dt *DimensionType) *Dimension {
 
 func randAnnot(r *rand.Rand) Annot {
 	s := temporal.Chronon(r.Intn(1000))
-	return ValidDuring(temporal.NewElement(temporal.NewInterval(s, s+temporal.Chronon(1+r.Intn(1000)))))
+	return ValidDuring(temporal.NewElement(temporal.MustNewInterval(s, s+temporal.Chronon(1+r.Intn(1000)))))
 }
 
 func TestDimensionUnionLaws(t *testing.T) {

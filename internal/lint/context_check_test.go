@@ -1,0 +1,30 @@
+package lint
+
+import "testing"
+
+// TestContextPlumbing runs the source check against this repository: the
+// serving contract's context-accepting entry points must all exist.
+func TestContextPlumbing(t *testing.T) {
+	problems, err := CheckContextPlumbing("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestContextPlumbingDetectsMissing checks the negative direction with a
+// directory that certainly lacks the required functions.
+func TestContextPlumbingDetectsMissing(t *testing.T) {
+	old := requiredContextFuncs
+	requiredContextFuncs = map[string][]string{"internal/temporal": {"NoSuchContextFunc"}}
+	defer func() { requiredContextFuncs = old }()
+	problems, err := CheckContextPlumbing("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 {
+		t.Fatalf("want 1 problem, got %v", problems)
+	}
+}

@@ -228,7 +228,11 @@ func Facts(spec FactSpec) (*core.MO, error) {
 				if from > to {
 					return nil, fmt.Errorf("load: facts row %d: empty interval %s-%s", ln+2, fromS, toS)
 				}
-				a = dimension.ValidDuring(temporal.NewElement(temporal.NewInterval(from, to)))
+				iv, err := temporal.NewInterval(from, to)
+				if err != nil {
+					return nil, fmt.Errorf("load: facts row %d: %w", ln+2, err)
+				}
+				a = dimension.ValidDuring(temporal.NewElement(iv))
 			}
 			if ci.prob >= 0 && strings.TrimSpace(row[ci.prob]) != "" {
 				p, err := strconv.ParseFloat(strings.TrimSpace(row[ci.prob]), 64)

@@ -1,0 +1,147 @@
+// Package qos carries per-query quality-of-service state through the
+// query path: cooperative cancellation and resource budgets. It is a leaf
+// package so that the hot loops in algebra and storage can consult it
+// without import cycles; the serving layer (internal/serve) installs the
+// budgets and maps the typed errors to responses.
+//
+// The design keeps the per-iteration cost near zero: a Guard is created
+// once per operation (one context.Value lookup, one Done() call) and its
+// Check method polls the context only every checkEvery iterations.
+package qos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrCanceled reports that a query was abandoned before completing —
+// because its context was canceled or its deadline expired. It wraps the
+// underlying context error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) also hold.
+var ErrCanceled = errors.New("query canceled")
+
+// ErrResourceExhausted reports that a query exceeded one of its resource
+// limits (facts scanned, result rows, …) and was stopped.
+var ErrResourceExhausted = errors.New("resource limit exhausted")
+
+// Canceled wraps the context's error as an ErrCanceled.
+func Canceled(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}
+
+// Budget is a shared, concurrency-safe countdown of facts a query may
+// scan. A nil *Budget is unlimited.
+type Budget struct {
+	remaining atomic.Int64
+	spent     atomic.Int64
+}
+
+// NewBudget creates a budget of n facts; n <= 0 means unlimited (nil).
+func NewBudget(n int64) *Budget {
+	if n <= 0 {
+		return nil
+	}
+	b := &Budget{}
+	b.remaining.Store(n)
+	return b
+}
+
+// Spend consumes n units and reports whether the budget still holds.
+func (b *Budget) Spend(n int64) bool {
+	if b == nil {
+		return true
+	}
+	b.spent.Add(n)
+	return b.remaining.Add(-n) >= 0
+}
+
+// Spent returns the units consumed so far (0 for a nil budget).
+func (b *Budget) Spent() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.spent.Load()
+}
+
+type budgetKey struct{}
+
+// WithFactBudget installs a scan budget of n facts into the context;
+// n <= 0 installs no budget.
+func WithFactBudget(ctx context.Context, n int64) context.Context {
+	b := NewBudget(n)
+	if b == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// BudgetFrom returns the context's fact budget, or nil (unlimited).
+func BudgetFrom(ctx context.Context) *Budget {
+	b, _ := ctx.Value(budgetKey{}).(*Budget)
+	return b
+}
+
+// checkEvery is how many Check/Facts calls pass between context polls.
+// With day-scale work per iteration (bitmap ops, map lookups), 64
+// iterations keep cancellation latency far below a millisecond.
+const checkEvery = 64
+
+// Guard is the per-operation handle the hot loops use. The zero value and
+// the nil pointer are valid and never stop anything, so deep helpers can
+// take a *Guard without nil checks at every call site.
+type Guard struct {
+	ctx    context.Context
+	done   <-chan struct{}
+	budget *Budget
+	calls  uint32
+}
+
+// NewGuard captures the context's cancellation channel and fact budget.
+func NewGuard(ctx context.Context) *Guard {
+	return &Guard{ctx: ctx, done: ctx.Done(), budget: BudgetFrom(ctx)}
+}
+
+// Check polls for cancellation (every checkEvery-th call does the real
+// poll). It returns an ErrCanceled-wrapped error once the context is done.
+func (g *Guard) Check() error {
+	if g == nil || g.done == nil {
+		return nil
+	}
+	g.calls++
+	if g.calls%checkEvery != 0 {
+		return nil
+	}
+	return g.checkNow()
+}
+
+// CheckNow polls for cancellation immediately, bypassing the sampling.
+func (g *Guard) CheckNow() error {
+	if g == nil || g.done == nil {
+		return nil
+	}
+	return g.checkNow()
+}
+
+func (g *Guard) checkNow() error {
+	select {
+	case <-g.done:
+		return Canceled(g.ctx)
+	default:
+		return nil
+	}
+}
+
+// Facts accounts for n scanned facts against the budget and piggybacks a
+// sampled cancellation poll. It returns ErrResourceExhausted when the
+// budget runs out.
+func (g *Guard) Facts(n int64) error {
+	if g == nil {
+		return nil
+	}
+	if !g.budget.Spend(n) {
+		return fmt.Errorf("%w: scanned more than the allowed facts (limit reached after %d)", ErrResourceExhausted, g.budget.Spent())
+	}
+	return g.Check()
+}

@@ -1,0 +1,110 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestGuardNilIsUnlimited(t *testing.T) {
+	var g *Guard
+	for i := 0; i < 1000; i++ {
+		if err := g.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.CheckNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Facts(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardBackgroundNeverStops(t *testing.T) {
+	g := NewGuard(context.Background())
+	for i := 0; i < 10*checkEvery; i++ {
+		if err := g.Facts(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGuardCanceledStopsWithinSamplingWindow(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := NewGuard(ctx)
+	var err error
+	for i := 0; i < checkEvery; i++ {
+		if err = g.Check(); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatalf("canceled context not detected within %d calls", checkEvery)
+	}
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrCanceled wrapping context.Canceled, got %v", err)
+	}
+	if g.CheckNow() == nil {
+		t.Fatal("CheckNow missed a canceled context")
+	}
+}
+
+func TestDeadlineMatchesBothSentinels(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	err := NewGuard(ctx).CheckNow()
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want ErrCanceled wrapping DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	ctx := WithFactBudget(context.Background(), 100)
+	g := NewGuard(ctx)
+	var err error
+	n := 0
+	for i := 0; i < 1000; i++ {
+		if err = g.Facts(1); err != nil {
+			break
+		}
+		n++
+	}
+	if err == nil {
+		t.Fatal("budget never exhausted")
+	}
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("want ErrResourceExhausted, got %v", err)
+	}
+	if n != 100 {
+		t.Fatalf("want exactly 100 facts admitted, got %d", n)
+	}
+}
+
+func TestBudgetSharedAcrossGuards(t *testing.T) {
+	ctx := WithFactBudget(context.Background(), 10)
+	g1, g2 := NewGuard(ctx), NewGuard(ctx)
+	for i := 0; i < 5; i++ {
+		if err := g1.Facts(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.Facts(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g1.Facts(1); !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("shared budget not enforced: %v", err)
+	}
+	if got := BudgetFrom(ctx).Spent(); got != 11 {
+		t.Fatalf("want 11 spent, got %d", got)
+	}
+}
+
+func TestNoBudgetInstalledForNonPositive(t *testing.T) {
+	ctx := WithFactBudget(context.Background(), 0)
+	if BudgetFrom(ctx) != nil {
+		t.Fatal("n<=0 must not install a budget")
+	}
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 	"mddm/internal/algebra"
 	"mddm/internal/core"
 	"mddm/internal/dimension"
+	"mddm/internal/qos"
 	"mddm/internal/temporal"
 )
 
@@ -34,17 +36,35 @@ type Result struct {
 // Exec parses and executes a query against the catalog. NOW resolves to
 // ref.
 func Exec(src string, cat Catalog, ref temporal.Chronon) (*Result, error) {
+	return ExecContext(context.Background(), src, cat, ref)
+}
+
+// ExecContext is Exec with cooperative cancellation: the context is
+// threaded through selection, aggregate formation, and the row loops, so
+// canceling it (or letting its deadline expire) aborts the query promptly
+// with a qos.ErrCanceled-wrapped error. A fact budget installed with
+// qos.WithFactBudget bounds the number of facts the query may scan.
+func ExecContext(cctx context.Context, src string, cat Catalog, ref temporal.Chronon) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Run(q, cat, ref)
+	return RunContext(cctx, q, cat, ref)
 }
 
 // Run executes a parsed query: timeslices first (changing the MO's
 // temporal type), then selection, then aggregate formation, rendered as
 // rows.
 func Run(q *Query, cat Catalog, ref temporal.Chronon) (*Result, error) {
+	return RunContext(context.Background(), q, cat, ref)
+}
+
+// RunContext is Run with cooperative cancellation; see ExecContext.
+func RunContext(cctx context.Context, q *Query, cat Catalog, ref temporal.Chronon) (*Result, error) {
+	guard := qos.NewGuard(cctx)
+	if err := guard.CheckNow(); err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
 	if q.Describe != "" {
 		return describe(q, cat)
 	}
@@ -58,14 +78,14 @@ func Run(q *Query, cat Catalog, ref temporal.Chronon) (*Result, error) {
 		var err error
 		m, err = algebra.ValidTimeslice(m, *q.AsofValid, ref)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("query: valid timeslice: %w", err)
 		}
 	}
 	if q.AsofTrans != nil {
 		var err error
 		m, err = algebra.TransactionTimeslice(m, *q.AsofTrans, ref)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("query: transaction timeslice: %w", err)
 		}
 	}
 
@@ -74,12 +94,18 @@ func Run(q *Query, cat Catalog, ref temporal.Chronon) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		m = algebra.Select(m, pred, ctx)
+		m, err = algebra.SelectContext(cctx, m, pred, ctx)
+		if err != nil {
+			return nil, fmt.Errorf("query: %w", err)
+		}
 	}
 
 	if q.FactsOnly {
 		res := &Result{Columns: []string{m.Schema().FactType()}, Summarizable: true}
 		for _, f := range m.Facts().IDs() {
+			if err := guard.Facts(1); err != nil {
+				return nil, fmt.Errorf("query: %w", err)
+			}
 			res.Rows = append(res.Rows, []string{f})
 		}
 		return res, nil
@@ -87,7 +113,7 @@ func Run(q *Query, cat Catalog, ref temporal.Chronon) (*Result, error) {
 
 	fn, err := agg.Lookup(q.Agg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("query: %w", err)
 	}
 	spec := algebra.AggSpec{
 		ResultDim: q.Alias,
@@ -122,9 +148,9 @@ func Run(q *Query, cat Catalog, ref temporal.Chronon) (*Result, error) {
 		shownDims = append(shownDims, g.Dim)
 	}
 
-	rows, aggRes, err := algebra.SQLAggregate(m, spec, ctx)
+	rows, aggRes, err := algebra.SQLAggregateContext(cctx, m, spec, ctx)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("query: %w", err)
 	}
 	res := &Result{
 		Columns:      append(append([]string{}, shownDims...), spec.ResultDim),

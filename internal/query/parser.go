@@ -289,7 +289,7 @@ func (p *parser) query() (*Query, error) {
 		p.pos++
 		c, err := temporal.ParseDate(t.text)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("query: bad ASOF date: %w", err)
 		}
 		if which == "valid" {
 			q.AsofValid = &c
@@ -311,7 +311,7 @@ func (p *parser) query() (*Query, error) {
 		p.pos++
 		v, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("query: bad PROB threshold %q: %w", t.text, err)
 		}
 		q.MinProb = v
 	}
@@ -462,7 +462,7 @@ func (p *parser) cond() (PredNode, error) {
 	case tokNumber:
 		v, err := strconv.ParseFloat(lit.text, 64)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("query: bad numeric literal %q: %w", lit.text, err)
 		}
 		c.NumVal = v
 		c.IsNum = true

@@ -38,7 +38,7 @@ func (e SelectE) Eval(db Database) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Select(in, e.Pred.Holds), nil
+	return Select(in, e.Pred.Holds)
 }
 
 // ProjectE is π[Attrs](In).

@@ -6,16 +6,19 @@ import (
 )
 
 // Select returns the tuples satisfying the predicate.
-func Select(r *Relation, pred func(Schema, Tuple) bool) *Relation {
-	out := MustRelation(r.Name, r.Schema)
+func Select(r *Relation, pred func(Schema, Tuple) bool) (*Relation, error) {
+	out, err := NewRelation(r.Name, r.Schema)
+	if err != nil {
+		return nil, err
+	}
 	for _, t := range r.tuples {
 		if pred(r.Schema, t) {
 			if err := out.Insert(t); err != nil {
-				panic(err)
+				return nil, fmt.Errorf("relational: select: %w", err)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Project returns the relation restricted to the named attributes, with

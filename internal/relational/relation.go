@@ -162,13 +162,24 @@ func (r *Relation) Equal(o *Relation) bool {
 	return true
 }
 
-// Clone returns a deep copy under the same name.
+// Clone returns a deep copy under the same name. It copies the tuple
+// store and index directly rather than re-running Insert's validation:
+// the source relation's tuples are valid by construction, so no error
+// (and no panic) is possible here.
 func (r *Relation) Clone() *Relation {
-	n := MustRelation(r.Name, append(Schema(nil), r.Schema...))
-	for _, t := range r.tuples {
-		if err := n.Insert(t); err != nil {
-			panic(err)
-		}
+	n := &Relation{
+		Name:   r.Name,
+		Schema: append(Schema(nil), r.Schema...),
+		tuples: make([]Tuple, len(r.tuples)),
+		index:  make(map[string]bool, len(r.index)),
+	}
+	for i, t := range r.tuples {
+		cp := make(Tuple, len(t))
+		copy(cp, t)
+		n.tuples[i] = cp
+	}
+	for k := range r.index {
+		n.index[k] = true
 	}
 	return n
 }

@@ -85,7 +85,10 @@ func TestDatum(t *testing.T) {
 
 func TestSelectProject(t *testing.T) {
 	db := sampleDB()
-	sel := Select(db["P"], AttrConst{Attr: "age", Op: OpEQ, Val: Int(48)}.Holds)
+	sel, err := Select(db["P"], AttrConst{Attr: "age", Op: OpEQ, Val: Int(48)}.Holds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sel.Len() != 2 {
 		t.Errorf("selected %d, want 2", sel.Len())
 	}
@@ -103,8 +106,14 @@ func TestSelectProject(t *testing.T) {
 
 func TestUnionDifferenceProduct(t *testing.T) {
 	db := sampleDB()
-	young := Select(db["P"], AttrConst{Attr: "age", Op: OpLT, Val: Int(40)}.Holds)
-	old := Select(db["P"], AttrConst{Attr: "age", Op: OpGE, Val: Int(40)}.Holds)
+	young, err := Select(db["P"], AttrConst{Attr: "age", Op: OpLT, Val: Int(40)}.Holds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Select(db["P"], AttrConst{Attr: "age", Op: OpGE, Val: Int(40)}.Holds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	u, err := Union(young, old)
 	if err != nil {
 		t.Fatal(err)

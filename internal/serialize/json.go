@@ -350,7 +350,11 @@ func elementFromJSON(ivs []jsonInterval) (temporal.Element, error) {
 		if err != nil {
 			return temporal.Empty(), err
 		}
-		parsed = append(parsed, temporal.NewInterval(from, to))
+		span, err := temporal.NewInterval(from, to)
+		if err != nil {
+			return temporal.Empty(), fmt.Errorf("serialize: interval %q-%q: %w", iv.From, iv.To, err)
+		}
+		parsed = append(parsed, span)
 	}
 	return temporal.NewElement(parsed...), nil
 }

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mddm/internal/core"
+	"mddm/internal/query"
+)
+
+// Catalog is a concurrency-safe registry of the MOs the server exposes.
+// Registration is copy-on-write: writers build a fresh map under a
+// mutex and publish it atomically, so readers (every in-flight query)
+// take one atomic load and never block on or observe a half-applied
+// update. A snapshot is immutable once published.
+type Catalog struct {
+	mu   sync.Mutex // serializes writers
+	snap atomic.Pointer[map[string]*core.MO]
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	c := &Catalog{}
+	empty := map[string]*core.MO{}
+	c.snap.Store(&empty)
+	return c
+}
+
+// Register publishes an MO under a name, replacing any previous MO with
+// that name. The MO must not be mutated after registration — publish a
+// rebuilt MO instead (readers hold snapshots).
+func (c *Catalog) Register(name string, m *core.MO) error {
+	if name == "" {
+		return fmt.Errorf("serve: catalog: empty MO name")
+	}
+	if m == nil {
+		return fmt.Errorf("serve: catalog: nil MO for %q", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := c.copyLocked()
+	next[name] = m
+	c.snap.Store(&next)
+	return nil
+}
+
+// Deregister removes a name; removing an absent name is a no-op.
+func (c *Catalog) Deregister(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := *c.snap.Load()
+	if _, ok := cur[name]; !ok {
+		return
+	}
+	next := c.copyLocked()
+	delete(next, name)
+	c.snap.Store(&next)
+}
+
+// copyLocked clones the current snapshot map; callers hold c.mu.
+func (c *Catalog) copyLocked() map[string]*core.MO {
+	cur := *c.snap.Load()
+	next := make(map[string]*core.MO, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	return next
+}
+
+// Snapshot returns the current published catalog as a query.Catalog.
+// The returned map is shared and immutable: do not modify it.
+func (c *Catalog) Snapshot() query.Catalog {
+	return query.Catalog(*c.snap.Load())
+}
+
+// Get returns the MO currently published under name.
+func (c *Catalog) Get(name string) (*core.MO, bool) {
+	m, ok := (*c.snap.Load())[name]
+	return m, ok
+}
+
+// Names lists the registered MO names, sorted.
+func (c *Catalog) Names() []string {
+	cur := *c.snap.Load()
+	out := make([]string, 0, len(cur))
+	for k := range cur {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

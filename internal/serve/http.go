@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"mddm/internal/faultinject"
+)
+
+// queryResponse is the JSON shape of a /query answer.
+type queryResponse struct {
+	Columns      []string   `json:"columns"`
+	Rows         [][]string `json:"rows"`
+	Summarizable bool       `json:"summarizable"`
+	Reasons      []string   `json:"reasons,omitempty"`
+	Warnings     []string   `json:"warnings,omitempty"`
+}
+
+// errorResponse is the JSON shape of any failure.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	GET/POST /query?q=…   run a query (POST may carry the query as the body)
+//	GET      /healthz     liveness probe
+//
+// Failures map to status codes by kind: malformed requests and query
+// errors are 400, resource limits 429, cancellation/deadline 504, and
+// recovered panics 500 — the process never dies for a bad query.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/query", s.handleQuery)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("q")
+	if src == "" && r.Method == http.MethodPost {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading body: %w", err))
+			return
+		}
+		src = strings.TrimSpace(string(body))
+	}
+	if src == "" {
+		writeError(w, http.StatusBadRequest, errors.New("serve: no query: pass ?q=… or a POST body"))
+		return
+	}
+	res, err := s.Query(r.Context(), src)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Columns:      res.Columns,
+		Rows:         res.Rows,
+		Summarizable: res.Summarizable,
+		Reasons:      res.Reasons,
+		Warnings:     res.Warnings,
+	})
+}
+
+// statusFor maps the serving layer's typed errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrResourceExhausted):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrInternal):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// writeJSON serializes v; the faultinject.Serialize point fires first so
+// robustness tests can fail this path deterministically.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	if err := faultinject.Check(faultinject.Serialize); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("serve: serialize: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"mddm/internal/faultinject"
+)
+
+func httpServer(t *testing.T, limits Limits) *httptest.Server {
+	t.Helper()
+	s, _ := newTestServer(t, limits)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httpServer(t, Limits{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+}
+
+func queryStatus(t *testing.T, ts *httptest.Server, q string) (int, queryResponse, errorResponse) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ok queryResponse
+	var fail errorResponse
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := dec.Decode(&ok); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := dec.Decode(&fail); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, ok, fail
+}
+
+func TestQueryEndpointOK(t *testing.T) {
+	ts := httpServer(t, Limits{})
+	status, res, _ := queryStatus(t, ts, groupQuery)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(res.Rows) == 0 || len(res.Columns) == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+func TestQueryEndpointPOSTBody(t *testing.T) {
+	ts := httpServer(t, Limits{})
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(groupQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+}
+
+func TestQueryEndpointStatusMapping(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+
+	// Missing and malformed queries: 400.
+	ts := httpServer(t, Limits{})
+	if status, _, _ := queryStatus(t, ts, ""); status != http.StatusBadRequest {
+		t.Fatalf("empty query: %d", status)
+	}
+	if status, _, fail := queryStatus(t, ts, "NOT A QUERY"); status != http.StatusBadRequest || fail.Error == "" {
+		t.Fatalf("parse error: %d %+v", status, fail)
+	}
+
+	// Resource exhaustion: 429.
+	tsRows := httpServer(t, Limits{MaxResultRows: 1})
+	if status, _, _ := queryStatus(t, tsRows, groupQuery); status != http.StatusTooManyRequests {
+		t.Fatalf("row limit: %d", status)
+	}
+
+	// Deadline: 504.
+	tsSlow := httpServer(t, Limits{Timeout: time.Nanosecond})
+	if status, _, _ := queryStatus(t, tsSlow, groupQuery); status != http.StatusGatewayTimeout {
+		t.Fatalf("deadline: %d", status)
+	}
+
+	// Recovered panic: 500.
+	faultinject.EnablePanic(faultinject.QueryExec, "boom")
+	if status, _, fail := queryStatus(t, ts, groupQuery); status != http.StatusInternalServerError ||
+		!strings.Contains(fail.Error, "internal error") {
+		t.Fatalf("panic: %d %+v", status, fail)
+	}
+	faultinject.Reset()
+
+	// Serialization failure: 500 with the injected cause.
+	faultinject.Enable(faultinject.Serialize, errors.New("wire snapped"))
+	if status, _, fail := queryStatus(t, ts, groupQuery); status != http.StatusInternalServerError ||
+		!strings.Contains(fail.Error, "wire snapped") {
+		t.Fatalf("serialize: %d %+v", status, fail)
+	}
+}
+
+func TestStatusForUnknownErrorIs400(t *testing.T) {
+	if got := statusFor(errors.New("anything else")); got != http.StatusBadRequest {
+		t.Fatalf("got %d", got)
+	}
+}

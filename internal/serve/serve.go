@@ -1,0 +1,63 @@
+// Package serve is the concurrent serving layer over the query path: a
+// copy-on-write catalog of MOs, a single-flight engine/pre-aggregate
+// cache with stale-while-revalidate degradation, per-query resource
+// limits, and panic isolation. It is what turns the single-shot research
+// pipeline (parse → algebra → render) into something that can sit behind
+// an HTTP listener and survive bad inputs, slow queries, and rebuild
+// failures without taking the process down.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mddm/internal/qos"
+)
+
+// Typed error sentinels, re-exported from qos so handlers can classify
+// failures without importing the internal QoS package.
+var (
+	// ErrCanceled reports a query abandoned by cancellation or deadline.
+	ErrCanceled = qos.ErrCanceled
+	// ErrResourceExhausted reports a query stopped by a resource limit.
+	ErrResourceExhausted = qos.ErrResourceExhausted
+	// ErrInternal reports a panic converted into an error by the serving
+	// layer. Match with errors.Is; the concrete *InternalError carries the
+	// query text and stack.
+	ErrInternal = errors.New("serve: internal error")
+)
+
+// InternalError is a recovered panic from query execution: the process
+// survives, the offending query is reported, and the stack is preserved
+// for the operator.
+type InternalError struct {
+	Query string // the query text that triggered the panic
+	Panic any    // the recovered value
+	Stack []byte // the goroutine stack at recovery
+}
+
+// Error renders the panic without the stack (which is for logs, not for
+// error strings).
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("serve: internal error executing %q: %v", e.Query, e.Panic)
+}
+
+// Is makes errors.Is(err, ErrInternal) hold for recovered panics.
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }
+
+// Limits bounds one query's resource use. The zero value imposes no
+// limits.
+type Limits struct {
+	// Timeout bounds wall-clock execution; exceeding it yields an
+	// ErrCanceled-wrapped error (which also matches
+	// context.DeadlineExceeded).
+	Timeout time.Duration
+	// MaxResultRows bounds the rows a query may return; exceeding it
+	// yields ErrResourceExhausted.
+	MaxResultRows int
+	// MaxFactsScanned bounds the facts a query may visit across
+	// selection, aggregation, and output; exceeding it yields
+	// ErrResourceExhausted.
+	MaxFactsScanned int64
+}

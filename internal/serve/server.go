@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/faultinject"
+	"mddm/internal/qos"
+	"mddm/internal/query"
+	"mddm/internal/storage"
+	"mddm/internal/temporal"
+)
+
+// Server executes queries against a Catalog under resource limits, with
+// panic isolation and a per-MO engine/pre-aggregate cache. It is safe
+// for concurrent use.
+type Server struct {
+	cat    *Catalog
+	limits Limits
+	ref    temporal.Chronon // resolves NOW in queries and rollup contexts
+
+	mu      sync.Mutex
+	engines map[string]*engineEntry
+
+	queries     atomic.Int64
+	panics      atomic.Int64
+	rebuilds    atomic.Int64
+	staleServes atomic.Int64
+}
+
+// NewServer creates a server over the catalog. ref resolves NOW.
+func NewServer(cat *Catalog, limits Limits, ref temporal.Chronon) *Server {
+	return &Server{cat: cat, limits: limits, ref: ref, engines: map[string]*engineEntry{}}
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	// Queries counts calls to Query.
+	Queries int64
+	// Panics counts panics converted to ErrInternal.
+	Panics int64
+	// Rebuilds counts engine build attempts (successful or not).
+	Rebuilds int64
+	// StaleServes counts degraded answers served from a stale engine
+	// snapshot after a rebuild failure.
+	StaleServes int64
+}
+
+// Stats returns the current counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Queries:     s.queries.Load(),
+		Panics:      s.panics.Load(),
+		Rebuilds:    s.rebuilds.Load(),
+		StaleServes: s.staleServes.Load(),
+	}
+}
+
+// Query parses and executes src against the current catalog snapshot,
+// applying the server's limits: the deadline (Timeout) and fact budget
+// (MaxFactsScanned) are installed into the context before execution, and
+// MaxResultRows is enforced on the result. A panic anywhere in the query
+// path is recovered into an *InternalError rather than crashing the
+// process.
+func (s *Server) Query(ctx context.Context, src string) (res *query.Result, err error) {
+	s.queries.Add(1)
+	if s.limits.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.limits.Timeout)
+		defer cancel()
+	}
+	if s.limits.MaxFactsScanned > 0 {
+		ctx = qos.WithFactBudget(ctx, s.limits.MaxFactsScanned)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			res, err = nil, &InternalError{Query: src, Panic: r, Stack: debug.Stack()}
+		}
+	}()
+	if ferr := faultinject.Check(faultinject.QueryExec); ferr != nil {
+		return nil, fmt.Errorf("serve: query: %w", ferr)
+	}
+	res, err = query.ExecContext(ctx, src, s.cat.Snapshot(), s.ref)
+	if err != nil {
+		return nil, err
+	}
+	if s.limits.MaxResultRows > 0 && len(res.Rows) > s.limits.MaxResultRows {
+		return nil, fmt.Errorf("serve: result has %d rows, limit is %d: %w",
+			len(res.Rows), s.limits.MaxResultRows, qos.ErrResourceExhausted)
+	}
+	return res, nil
+}
+
+// AggRequest addresses one cached aggregate: the MO, the grouping
+// dimension and category, and the aggregate function.
+type AggRequest struct {
+	MO   string
+	Dim  string
+	Cat  string
+	Kind storage.AggKind
+	Arg  string // argument dimension for SUM
+}
+
+// AggResult is a served aggregate: value → aggregate per value of the
+// requested category, plus the degradation bookkeeping.
+type AggResult struct {
+	Rows map[string]float64
+	// Generation identifies the engine snapshot that answered; it
+	// increments on every successful rebuild.
+	Generation int64
+	// Stale reports that the answer came from a snapshot older than the
+	// registered MO because rebuilding failed; Warnings says why.
+	Stale    bool
+	Warnings []string
+}
+
+// Aggregate answers an aggregate request from the MO's bitmap engine and
+// pre-aggregate cache, building them on first use and rebuilding when
+// the registered MO changes. Rebuild failure degrades rather than
+// errors: if a previous good snapshot exists, it answers with Stale set
+// and a warning naming the failure (stale-while-revalidate); only a
+// failure with no prior snapshot is an error.
+func (s *Server) Aggregate(ctx context.Context, req AggRequest) (out *AggResult, err error) {
+	s.queries.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			out, err = nil, &InternalError{
+				Query: fmt.Sprintf("aggregate %s/%s.%s", req.MO, req.Dim, req.Cat),
+				Panic: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	if s.limits.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.limits.Timeout)
+		defer cancel()
+	}
+	snap, degraded, serr := s.snapshotFor(ctx, req.MO)
+	if serr != nil {
+		return nil, serr
+	}
+	rows, aerr := snap.cache.AggregateContext(ctx, req.Dim, req.Cat, req.Kind, req.Arg)
+	if aerr != nil {
+		return nil, fmt.Errorf("serve: aggregate %s/%s: %w", req.MO, req.Dim, aerr)
+	}
+	out = &AggResult{Rows: rows, Generation: snap.gen}
+	if degraded != nil {
+		s.staleServes.Add(1)
+		out.Stale = true
+		out.Warnings = append(out.Warnings,
+			fmt.Sprintf("serving stale aggregates (generation %d): engine rebuild failed: %v", snap.gen, degraded))
+	}
+	return out, nil
+}
+
+// engineEntry is the per-MO cache slot: the last good snapshot, the
+// in-flight build (single-flight), and the generation counter.
+type engineEntry struct {
+	mu       sync.Mutex
+	last     *snapshotState
+	inflight *buildState
+	gen      int64
+}
+
+// snapshotState is one immutable generation of the per-MO serving
+// state: the MO it was built from, the bitmap engine, and the
+// pre-aggregate cache layered over it.
+type snapshotState struct {
+	gen    int64
+	source *core.MO // identity comparison against the catalog entry
+	engine *storage.Engine
+	cache  *storage.Cache
+}
+
+type buildState struct {
+	done chan struct{}
+	snap *snapshotState
+	err  error
+}
+
+func (s *Server) entry(name string) *engineEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.engines[name]
+	if !ok {
+		e = &engineEntry{}
+		s.engines[name] = e
+	}
+	return e
+}
+
+// snapshotFor returns a serving snapshot for the named MO. It rebuilds
+// (single-flight: concurrent callers share one build) when the catalog's
+// MO pointer differs from the snapshot's source. On rebuild failure with
+// a prior good snapshot it returns that snapshot plus the failure as
+// degraded; cancellation is never degraded — it propagates.
+func (s *Server) snapshotFor(ctx context.Context, name string) (*snapshotState, error, error) {
+	m, ok := s.cat.Get(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("serve: unknown MO %q (catalog has %v)", name, s.cat.Names())
+	}
+	e := s.entry(name)
+	e.mu.Lock()
+	if e.last != nil && e.last.source == m {
+		snap := e.last
+		e.mu.Unlock()
+		return snap, nil, nil
+	}
+	if b := e.inflight; b != nil {
+		e.mu.Unlock()
+		select {
+		case <-b.done:
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("serve: %w", qos.Canceled(ctx))
+		}
+		return s.buildOutcome(e, b)
+	}
+	b := &buildState{done: make(chan struct{})}
+	e.inflight = b
+	e.mu.Unlock()
+
+	s.rebuilds.Add(1)
+	eng, err := storage.BuildEngine(ctx, m, dimension.CurrentContext(s.ref))
+
+	e.mu.Lock()
+	if err == nil {
+		e.gen++
+		b.snap = &snapshotState{gen: e.gen, source: m, engine: eng, cache: storage.NewCache(eng)}
+		e.last = b.snap
+	} else {
+		b.err = err
+	}
+	e.inflight = nil
+	e.mu.Unlock()
+	close(b.done)
+	return s.buildOutcome(e, b)
+}
+
+// buildOutcome classifies a finished build for one caller: success,
+// degraded (failure with a stale snapshot to fall back to), or error.
+func (s *Server) buildOutcome(e *engineEntry, b *buildState) (*snapshotState, error, error) {
+	if b.err == nil {
+		return b.snap, nil, nil
+	}
+	// Cancellation is the caller's own doing, not an engine failure;
+	// serving stale data for it would mask deadline bugs.
+	if errors.Is(b.err, qos.ErrCanceled) || errors.Is(b.err, context.Canceled) || errors.Is(b.err, context.DeadlineExceeded) {
+		return nil, nil, fmt.Errorf("serve: engine build: %w", b.err)
+	}
+	e.mu.Lock()
+	stale := e.last
+	e.mu.Unlock()
+	if stale != nil {
+		return stale, b.err, nil
+	}
+	return nil, nil, fmt.Errorf("serve: engine build: %w", b.err)
+}
+
+// Invalidate drops the cached engine snapshot for name, forcing a
+// rebuild on next use. It is for operators; normal operation rebuilds
+// automatically when the catalog entry is replaced.
+func (s *Server) Invalidate(name string) {
+	e := s.entry(name)
+	e.mu.Lock()
+	e.last = nil
+	e.mu.Unlock()
+}

@@ -109,10 +109,12 @@ func (c *Cache) BuildCube(plan *CubePlan) (map[string]map[string]float64, error)
 			}
 		}
 		out[e.Cat] = rows
+		c.mu.Lock()
 		c.mats[key(plan.Dim, e.Cat, plan.Kind, plan.Arg)] = &Materialization{
 			Dim: plan.Dim, Cat: e.Cat, Kind: plan.Kind, Arg: plan.Arg, Rows: rows,
 		}
 		c.Hits++
+		c.mu.Unlock()
 	}
 	return out, nil
 }

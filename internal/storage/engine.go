@@ -1,11 +1,16 @@
 package storage
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"mddm/internal/core"
 	"mddm/internal/dimension"
+	"mddm/internal/faultinject"
+	"mddm/internal/qos"
 )
 
 // Engine is a read-optimized snapshot of an MO evaluated under a fixed
@@ -14,9 +19,15 @@ import (
 // dimension value e, the bitmap of facts with f ⤳ e. Distinct-count
 // aggregation (requirement 4's "count the same patient once per group") is
 // a population count on the closure bitmap.
+//
+// An Engine is safe for concurrent use: the lazily memoized closures and
+// the incremental append path are guarded by one mutex, and bitmaps
+// returned by exported methods are defensive copies, so a reader holding
+// a bitmap never races with a concurrent AppendFact.
 type Engine struct {
 	mo    *core.MO
 	ctx   dimension.Context
+	mu    sync.Mutex // guards facts, idx, dims (direct + closure bitmaps)
 	facts []string
 	idx   map[string]int
 	dims  map[string]*dimIndex
@@ -27,12 +38,45 @@ type dimIndex struct {
 	closure map[string]*Bitmap
 }
 
-// NewEngine builds the indexes for an MO under the given evaluation
-// context (time instants and probability thresholds are baked in).
-func NewEngine(m *core.MO, ctx dimension.Context) *Engine {
+// ErrUnknownFact reports a fact–dimension pair whose fact identity is not
+// in the MO's fact set. Before this validation existed, such a pair was
+// silently attributed to dense index 0, corrupting the first fact's
+// bitmaps.
+var ErrUnknownFact = errors.New("storage: fact-dimension pair references unknown fact")
+
+// UnknownFactError carries the offending pair; errors.Is(err,
+// ErrUnknownFact) holds.
+type UnknownFactError struct {
+	Dim     string
+	FactID  string
+	ValueID string
+}
+
+// Error implements error.
+func (e *UnknownFactError) Error() string {
+	return fmt.Sprintf("storage: dimension %q relates unknown fact %q to value %q", e.Dim, e.FactID, e.ValueID)
+}
+
+// Is reports target == ErrUnknownFact.
+func (e *UnknownFactError) Is(target error) bool { return target == ErrUnknownFact }
+
+// BuildEngine builds the indexes for an MO under the given evaluation
+// context (time instants and probability thresholds are baked in). It is
+// the cancellation-aware, validating constructor: the pair scan checks
+// ctx cooperatively, every fact–dimension pair must reference a known
+// fact identity (returning an UnknownFactError otherwise), and the
+// faultinject.EngineBuild point is honored for robustness tests.
+func BuildEngine(ctx context.Context, m *core.MO, ectx dimension.Context) (*Engine, error) {
+	if err := faultinject.Check(faultinject.EngineBuild); err != nil {
+		return nil, fmt.Errorf("storage: engine build: %w", err)
+	}
+	g := qos.NewGuard(ctx)
+	if err := g.CheckNow(); err != nil {
+		return nil, fmt.Errorf("storage: engine build: %w", err)
+	}
 	e := &Engine{
 		mo:    m,
-		ctx:   ctx,
+		ctx:   ectx,
 		facts: m.Facts().IDs(),
 		idx:   map[string]int{},
 		dims:  map[string]*dimIndex{},
@@ -45,7 +89,14 @@ func NewEngine(m *core.MO, ctx dimension.Context) *Engine {
 		di := &dimIndex{direct: map[string]*Bitmap{}, closure: map[string]*Bitmap{}}
 		r := m.Relation(name)
 		for _, p := range r.Pairs() {
-			if !ctx.Admits(p.Annot) {
+			if err := g.Facts(1); err != nil {
+				return nil, fmt.Errorf("storage: engine build: %w", err)
+			}
+			i, known := e.idx[p.FactID]
+			if !known {
+				return nil, &UnknownFactError{Dim: name, FactID: p.FactID, ValueID: p.ValueID}
+			}
+			if !ectx.Admits(p.Annot) {
 				continue
 			}
 			bm, ok := di.direct[p.ValueID]
@@ -53,38 +104,87 @@ func NewEngine(m *core.MO, ctx dimension.Context) *Engine {
 				bm = NewBitmap(n)
 				di.direct[p.ValueID] = bm
 			}
-			bm.Set(e.idx[p.FactID])
+			bm.Set(i)
 		}
 		e.dims[name] = di
+	}
+	return e, nil
+}
+
+// NewEngine is BuildEngine without cancellation, for embedded datasets and
+// tests whose MOs are valid by construction; it panics on the validation
+// errors BuildEngine reports (a programmer-error invariant at this call
+// site — serving paths use BuildEngine and handle the error).
+func NewEngine(m *core.MO, ectx dimension.Context) *Engine {
+	e, err := BuildEngine(context.Background(), m, ectx)
+	if err != nil {
+		panic(err)
 	}
 	return e
 }
 
 // NumFacts returns the number of indexed facts.
-func (e *Engine) NumFacts() int { return len(e.facts) }
+func (e *Engine) NumFacts() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.facts)
+}
 
 // FactID returns the fact identity of a dense index.
-func (e *Engine) FactID(i int) string { return e.facts[i] }
+func (e *Engine) FactID(i int) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.facts[i]
+}
 
 // Characterizing returns the bitmap of facts with f ⤳ value in the named
 // dimension: the direct bitmap unioned with the closures of all direct
 // children (memoized; the dimension order is a DAG, so the recursion
-// terminates).
+// terminates). The returned bitmap is a copy owned by the caller.
 func (e *Engine) Characterizing(dim, value string) *Bitmap {
-	di, ok := e.dims[dim]
-	if !ok {
-		return NewBitmap(len(e.facts))
-	}
-	return e.closure(dim, di, value, map[string]bool{})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bm, _ := e.characterizing(nil, dim, value) // nil guard: cannot fail
+	return bm.Clone()
 }
 
-func (e *Engine) closure(dim string, di *dimIndex, value string, onPath map[string]bool) *Bitmap {
+// CharacterizingContext is Characterizing with cooperative cancellation
+// and the faultinject.ClosureExpand robustness hook.
+func (e *Engine) CharacterizingContext(ctx context.Context, dim, value string) (*Bitmap, error) {
+	if err := faultinject.Check(faultinject.ClosureExpand); err != nil {
+		return nil, fmt.Errorf("storage: closure expand: %w", err)
+	}
+	g := qos.NewGuard(ctx)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bm, err := e.characterizing(g, dim, value)
+	if err != nil {
+		return nil, err
+	}
+	return bm.Clone(), nil
+}
+
+// characterizing resolves the closure bitmap; the caller holds e.mu. The
+// returned bitmap is the shared memoized instance — exported wrappers
+// clone before releasing the lock.
+func (e *Engine) characterizing(g *qos.Guard, dim, value string) (*Bitmap, error) {
+	di, ok := e.dims[dim]
+	if !ok {
+		return NewBitmap(len(e.facts)), nil
+	}
+	return e.closure(g, dim, di, value, map[string]bool{})
+}
+
+func (e *Engine) closure(g *qos.Guard, dim string, di *dimIndex, value string, onPath map[string]bool) (*Bitmap, error) {
 	if bm, ok := di.closure[value]; ok {
-		return bm
+		return bm, nil
+	}
+	if err := g.Check(); err != nil {
+		return nil, fmt.Errorf("storage: closure expand: %w", err)
 	}
 	if onPath[value] {
 		// Defensive: the dimension order is acyclic by construction.
-		return NewBitmap(len(e.facts))
+		return NewBitmap(len(e.facts)), nil
 	}
 	onPath[value] = true
 	bm := NewBitmap(len(e.facts))
@@ -103,26 +203,54 @@ func (e *Engine) closure(dim string, di *dimIndex, value string, onPath map[stri
 			if !e.ctx.Admits(a) {
 				continue
 			}
-			bm.Or(e.closure(dim, di, child, onPath))
+			cbm, err := e.closure(g, dim, di, child, onPath)
+			if err != nil {
+				return nil, err
+			}
+			bm.Or(cbm)
 		}
 	}
 	delete(onPath, value)
 	di.closure[value] = bm
-	return bm
+	return bm, nil
 }
 
 // CountDistinctBy returns, for every value of the category, the number of
 // distinct facts characterized by it — the bitmap-index fast path of
 // Example 12's set-count.
 func (e *Engine) CountDistinctBy(dim, cat string) map[string]int {
+	out, _ := e.countDistinctBy(nil, dim, cat) // nil guard: cannot fail
+	return out
+}
+
+// CountDistinctByContext is CountDistinctBy with cooperative cancellation
+// and fact-budget accounting.
+func (e *Engine) CountDistinctByContext(ctx context.Context, dim, cat string) (map[string]int, error) {
+	return e.countDistinctBy(qos.NewGuard(ctx), dim, cat)
+}
+
+func (e *Engine) countDistinctBy(g *qos.Guard, dim, cat string) (map[string]int, error) {
 	d := e.mo.Dimension(dim)
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := map[string]int{}
 	for _, v := range d.CategoryAt(cat, e.ctx) {
-		if c := e.Characterizing(dim, v).Count(); c > 0 {
+		if err := g.Check(); err != nil {
+			return nil, err
+		}
+		bm, err := e.characterizing(g, dim, v)
+		if err != nil {
+			return nil, err
+		}
+		c := bm.Count()
+		if err := g.Facts(int64(c)); err != nil {
+			return nil, fmt.Errorf("storage: count-distinct %s/%s: %w", dim, cat, err)
+		}
+		if c > 0 {
 			out[v] = c
 		}
 	}
-	return out
+	return out, nil
 }
 
 // CountDistinctScan is the index-free comparator: it answers the same
@@ -130,10 +258,13 @@ func (e *Engine) CountDistinctBy(dim, cat string) map[string]int {
 // layer. Benchmarks contrast it with CountDistinctBy.
 func (e *Engine) CountDistinctScan(dim, cat string) map[string]int {
 	d := e.mo.Dimension(dim)
+	e.mu.Lock()
+	facts := append([]string(nil), e.facts...)
+	e.mu.Unlock()
 	out := map[string]int{}
 	for _, v := range d.CategoryAt(cat, e.ctx) {
 		c := 0
-		for _, f := range e.facts {
+		for _, f := range facts {
 			if ok, _ := e.mo.CharacterizedBy(dim, f, v, e.ctx); ok {
 				c++
 			}
@@ -149,13 +280,35 @@ func (e *Engine) CountDistinctScan(dim, cat string) map[string]int {
 // of the grouping dimension, using the closure bitmaps. Facts with several
 // argument values contribute all of them.
 func (e *Engine) SumBy(dim, cat, argDim string) map[string]float64 {
+	out, _ := e.sumBy(nil, dim, cat, argDim) // nil guard: cannot fail
+	return out
+}
+
+// SumByContext is SumBy with cooperative cancellation.
+func (e *Engine) SumByContext(ctx context.Context, dim, cat, argDim string) (map[string]float64, error) {
+	return e.sumBy(qos.NewGuard(ctx), dim, cat, argDim)
+}
+
+func (e *Engine) sumBy(g *qos.Guard, dim, cat, argDim string) (map[string]float64, error) {
 	d := e.mo.Dimension(dim)
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	vals := e.argValues(argDim)
 	out := map[string]float64{}
 	for _, v := range d.CategoryAt(cat, e.ctx) {
+		if err := g.Check(); err != nil {
+			return nil, err
+		}
+		bm, err := e.characterizing(g, dim, v)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Facts(int64(bm.Count())); err != nil {
+			return nil, fmt.Errorf("storage: sum %s/%s: %w", dim, cat, err)
+		}
 		sum := 0.0
 		any := false
-		e.Characterizing(dim, v).Iterate(func(i int) bool {
+		bm.Iterate(func(i int) bool {
 			for _, x := range vals[i] {
 				sum += x
 				any = true
@@ -166,11 +319,11 @@ func (e *Engine) SumBy(dim, cat, argDim string) map[string]float64 {
 			out[v] = sum
 		}
 	}
-	return out
+	return out, nil
 }
 
 // argValues precomputes, per dense fact index, the numeric values of the
-// fact in the argument dimension.
+// fact in the argument dimension. The caller holds e.mu.
 func (e *Engine) argValues(argDim string) [][]float64 {
 	d := e.mo.Dimension(argDim)
 	r := e.mo.Relation(argDim)
@@ -193,9 +346,12 @@ func (e *Engine) argValues(argDim string) [][]float64 {
 // least one fact.
 func (e *Engine) Values(dim, cat string) []string {
 	d := e.mo.Dimension(dim)
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var out []string
 	for _, v := range d.CategoryAt(cat, e.ctx) {
-		if !e.Characterizing(dim, v).IsEmpty() {
+		bm, _ := e.characterizing(nil, dim, v)
+		if !bm.IsEmpty() {
 			out = append(out, v)
 		}
 	}
@@ -211,5 +367,7 @@ func (e *Engine) Context() dimension.Context { return e.ctx }
 
 // String summarizes the engine.
 func (e *Engine) String() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return fmt.Sprintf("storage.Engine{%d facts, %d dimensions}", len(e.facts), len(e.dims))
 }

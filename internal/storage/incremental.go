@@ -35,6 +35,8 @@ func (b *Bitmap) grow(n int) {
 // already exist in the MO with its fact–dimension pairs recorded. Pairs
 // not admitted by the engine's context are skipped, mirroring NewEngine.
 func (e *Engine) AppendFact(factID string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if _, ok := e.idx[factID]; ok {
 		return fmt.Errorf("storage: fact %q already indexed", factID)
 	}

@@ -1,9 +1,13 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+
+	"mddm/internal/faultinject"
 )
 
 // This file implements the summarizability-guarded pre-aggregate cache:
@@ -33,12 +37,15 @@ type Materialization struct {
 	Rows map[string]float64
 }
 
-// Cache holds materializations keyed by (dim, cat, kind, arg).
+// Cache holds materializations keyed by (dim, cat, kind, arg). It is
+// safe for concurrent use; the underlying engine carries its own lock.
 type Cache struct {
 	engine *Engine
+	mu     sync.Mutex // guards mats, guards, Hits, Misses
 	mats   map[string]*Materialization
 	guards map[string]error // memoized ReuseGuard verdicts
 	// Hits and Misses count reuse outcomes, for observability and tests.
+	// Read them only after concurrent work has quiesced.
 	Hits, Misses int
 }
 
@@ -53,31 +60,52 @@ func key(dim, cat string, kind AggKind, arg string) string {
 
 // Materialize computes and caches the aggregate at (dim, cat).
 func (c *Cache) Materialize(dim, cat string, kind AggKind, arg string) (*Materialization, error) {
-	var rows map[string]float64
-	switch kind {
-	case KindCount:
-		counts := c.engine.CountDistinctBy(dim, cat)
-		rows = make(map[string]float64, len(counts))
-		for v, n := range counts {
-			rows[v] = float64(n)
-		}
-	case KindSum:
-		if arg == "" {
-			return nil, fmt.Errorf("storage: SUM materialization needs an argument dimension")
-		}
-		rows = c.engine.SumBy(dim, cat, arg)
-	default:
-		return nil, fmt.Errorf("storage: unsupported aggregate kind %q", kind)
+	return c.MaterializeContext(context.Background(), dim, cat, kind, arg)
+}
+
+// MaterializeContext is Materialize with cooperative cancellation.
+func (c *Cache) MaterializeContext(ctx context.Context, dim, cat string, kind AggKind, arg string) (*Materialization, error) {
+	rows, err := c.computeBaseContext(ctx, dim, cat, kind, arg)
+	if err != nil {
+		return nil, err
 	}
 	m := &Materialization{Dim: dim, Cat: cat, Kind: kind, Arg: arg, Rows: rows}
+	c.mu.Lock()
 	c.mats[key(dim, cat, kind, arg)] = m
+	c.mu.Unlock()
 	return m, nil
 }
 
 // Lookup returns the cached materialization, if any.
 func (c *Cache) Lookup(dim, cat string, kind AggKind, arg string) (*Materialization, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	m, ok := c.mats[key(dim, cat, kind, arg)]
 	return m, ok
+}
+
+// AggregateContext answers (dim, cat, kind, arg) from the cache,
+// materializing on a miss — the serving layer's entry point. The
+// faultinject.PreAggLookup point fires before the lookup, so robustness
+// tests can fail or panic this path deterministically.
+func (c *Cache) AggregateContext(ctx context.Context, dim, cat string, kind AggKind, arg string) (map[string]float64, error) {
+	if err := faultinject.Check(faultinject.PreAggLookup); err != nil {
+		return nil, fmt.Errorf("storage: pre-agg lookup: %w", err)
+	}
+	if m, ok := c.Lookup(dim, cat, kind, arg); ok {
+		c.mu.Lock()
+		c.Hits++
+		c.mu.Unlock()
+		return m.Rows, nil
+	}
+	c.mu.Lock()
+	c.Misses++
+	c.mu.Unlock()
+	m, err := c.MaterializeContext(ctx, dim, cat, kind, arg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Rows, nil
 }
 
 // ReuseGuard checks whether a materialization at fromCat may be combined
@@ -124,11 +152,19 @@ func (c *Cache) ReuseGuard(dim, fromCat, toCat string, kind AggKind) error {
 // and a production system validates it once, not per query.
 func (c *Cache) guardCached(dim, fromCat, toCat string, kind AggKind) error {
 	k := strings.Join([]string{dim, fromCat, toCat, string(kind)}, "\x00")
+	c.mu.Lock()
 	if err, ok := c.guards[k]; ok {
+		c.mu.Unlock()
 		return err
 	}
+	c.mu.Unlock()
+	// Compute outside the lock: ReuseGuard walks the engine, which takes
+	// its own lock. Two racers may both compute; the verdict is
+	// deterministic, so the duplicate write is harmless.
 	err := c.ReuseGuard(dim, fromCat, toCat, kind)
+	c.mu.Lock()
 	c.guards[k] = err
+	c.mu.Unlock()
 	return err
 }
 
@@ -137,23 +173,32 @@ func (c *Cache) guardCached(dim, fromCat, toCat string, kind AggKind) error {
 // failure it recomputes from base data (and reports the fallback through
 // Misses).
 func (c *Cache) RollupFrom(dim, fromCat, toCat string, kind AggKind, arg string) (map[string]float64, error) {
+	return c.RollupFromContext(context.Background(), dim, fromCat, toCat, kind, arg)
+}
+
+// RollupFromContext is RollupFrom with cooperative cancellation.
+func (c *Cache) RollupFromContext(ctx context.Context, dim, fromCat, toCat string, kind AggKind, arg string) (map[string]float64, error) {
 	m, ok := c.Lookup(dim, fromCat, kind, arg)
 	if !ok {
 		var err error
-		m, err = c.Materialize(dim, fromCat, kind, arg)
+		m, err = c.MaterializeContext(ctx, dim, fromCat, kind, arg)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if err := c.guardCached(dim, fromCat, toCat, kind); err != nil {
+		c.mu.Lock()
 		c.Misses++
-		return c.computeBase(dim, toCat, kind, arg)
+		c.mu.Unlock()
+		return c.computeBaseContext(ctx, dim, toCat, kind, arg)
 	}
+	c.mu.Lock()
 	c.Hits++
+	c.mu.Unlock()
 	d := c.engine.mo.Dimension(dim)
 	out := map[string]float64{}
 	for v1, x := range m.Rows {
-		for _, v2 := range d.AncestorsIn(toCat, v1, c.engine.ctx) {
+		for _, v2 := range d.AncestorsIn(toCat, v1, c.engine.Context()) {
 			out[v2] += x
 		}
 	}
@@ -162,16 +207,26 @@ func (c *Cache) RollupFrom(dim, fromCat, toCat string, kind AggKind, arg string)
 
 // computeBase answers at toCat directly from the bitmap indexes.
 func (c *Cache) computeBase(dim, toCat string, kind AggKind, arg string) (map[string]float64, error) {
+	return c.computeBaseContext(context.Background(), dim, toCat, kind, arg)
+}
+
+func (c *Cache) computeBaseContext(ctx context.Context, dim, toCat string, kind AggKind, arg string) (map[string]float64, error) {
 	switch kind {
 	case KindCount:
-		counts := c.engine.CountDistinctBy(dim, toCat)
+		counts, err := c.engine.CountDistinctByContext(ctx, dim, toCat)
+		if err != nil {
+			return nil, err
+		}
 		out := make(map[string]float64, len(counts))
 		for v, n := range counts {
 			out[v] = float64(n)
 		}
 		return out, nil
 	case KindSum:
-		return c.engine.SumBy(dim, toCat, arg), nil
+		if arg == "" {
+			return nil, fmt.Errorf("storage: SUM materialization needs an argument dimension")
+		}
+		return c.engine.SumByContext(ctx, dim, toCat, arg)
 	default:
 		return nil, fmt.Errorf("storage: unsupported aggregate kind %q", kind)
 	}
@@ -179,6 +234,8 @@ func (c *Cache) computeBase(dim, toCat string, kind AggKind, arg string) (map[st
 
 // Materialized lists the cached materialization keys, sorted.
 func (c *Cache) Materialized() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]string, 0, len(c.mats))
 	for k := range c.mats {
 		out = append(out, strings.ReplaceAll(k, "\x00", "/"))

@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-func iv(s, e Chronon) Interval { return NewInterval(s, e) }
+func iv(s, e Chronon) Interval { return MustNewInterval(s, e) }
 
 func TestAllenRelations(t *testing.T) {
 	cases := []struct {
@@ -35,15 +35,15 @@ func TestAllenRelations(t *testing.T) {
 
 func TestAllenWithNow(t *testing.T) {
 	refT := MustDate("04/07/2026")
-	open := NewInterval(MustDate("01/01/80"), Now)
-	past := NewInterval(MustDate("01/01/70"), MustDate("31/12/75"))
+	open := MustNewInterval(MustDate("01/01/80"), Now)
+	past := MustNewInterval(MustDate("01/01/70"), MustDate("31/12/75"))
 	if got := Relate(open, past, refT); got != After {
 		t.Errorf("open vs past = %v", got)
 	}
 	if got := Relate(past, open, refT); got != Before {
 		t.Errorf("past vs open = %v", got)
 	}
-	inside := NewInterval(MustDate("01/01/90"), MustDate("31/12/95"))
+	inside := MustNewInterval(MustDate("01/01/90"), MustDate("31/12/95"))
 	if got := Relate(inside, open, refT); got != During {
 		t.Errorf("inside vs open = %v", got)
 	}

@@ -11,6 +11,7 @@
 package temporal
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -75,14 +76,19 @@ func FromDate(year int, month time.Month, day int) Chronon {
 	return Chronon(t.Unix() / 86400)
 }
 
-// Date converts a fixed chronon back to a calendar date. Date panics when
-// called on the NOW marker; resolve it first.
-func (c Chronon) Date() (year int, month time.Month, day int) {
+// ErrNowDate reports a calendar conversion attempted on the NOW marker,
+// which has no fixed calendar date until resolved.
+var ErrNowDate = errors.New("temporal: Date called on NOW; call Resolve first")
+
+// Date converts a fixed chronon back to a calendar date. Calling Date on
+// the NOW marker returns ErrNowDate; resolve it first.
+func (c Chronon) Date() (year int, month time.Month, day int, err error) {
 	if c == Now {
-		panic("temporal: Date called on NOW; call Resolve first")
+		return 0, 0, 0, ErrNowDate
 	}
 	t := time.Unix(int64(c)*86400, 0).UTC()
-	return t.Date()
+	year, month, day = t.Date()
+	return year, month, day, nil
 }
 
 // String renders the chronon in the paper's dd/mm/yyyy style, or "NOW".
@@ -95,7 +101,7 @@ func (c Chronon) String() string {
 	case c == MaxChronon:
 		return "FOREVER"
 	}
-	y, m, d := c.Date()
+	y, m, d, _ := c.Date() // NOW was handled above; fixed chronons cannot fail
 	return fmt.Sprintf("%02d/%02d/%04d", d, int(m), y)
 }
 

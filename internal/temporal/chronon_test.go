@@ -1,6 +1,7 @@
 package temporal
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -22,7 +23,10 @@ func TestChrononDateRoundTrip(t *testing.T) {
 	}
 	for _, c := range cases {
 		ch := FromDate(c.y, c.m, c.d)
-		y, m, d := ch.Date()
+		y, m, d, err := ch.Date()
+		if err != nil {
+			t.Fatalf("Date(%v): %v", ch, err)
+		}
 		if y != c.y || m != c.m || d != c.d {
 			t.Errorf("round trip %04d-%02d-%02d: got %04d-%02d-%02d", c.y, c.m, c.d, y, m, d)
 		}
@@ -104,11 +108,8 @@ func TestMinMaxOf(t *testing.T) {
 	}
 }
 
-func TestDatePanicsOnNow(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Date() on NOW must panic")
-		}
-	}()
-	Now.Date()
+func TestDateErrorsOnNow(t *testing.T) {
+	if _, _, _, err := Now.Date(); !errors.Is(err, ErrNowDate) {
+		t.Errorf("Date() on NOW: err = %v, want ErrNowDate", err)
+	}
 }

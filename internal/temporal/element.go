@@ -54,8 +54,10 @@ func NewElement(ivs ...Interval) Element {
 	return Element{ivs: out}
 }
 
-// Single returns the element consisting of one interval [start, end].
-func Single(start, end Chronon) Element { return NewElement(NewInterval(start, end)) }
+// Single returns the element consisting of one interval [start, end]; it
+// panics on an invalid pair (a programmer-error invariant — use
+// NewInterval plus NewElement to validate data-driven endpoints).
+func Single(start, end Chronon) Element { return NewElement(MustNewInterval(start, end)) }
 
 // AtElement returns the element containing exactly chronon c.
 func AtElement(c Chronon) Element { return NewElement(At(c)) }

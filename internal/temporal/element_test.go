@@ -16,11 +16,11 @@ func TestNewElementCoalesces(t *testing.T) {
 		in   Element
 		want string
 	}{
-		{"overlap", NewElement(NewInterval(0, 10), NewInterval(5, 20)), "[01/01/1970 - 21/01/1970]"},
-		{"adjacent", NewElement(NewInterval(0, 4), NewInterval(5, 9)), "[01/01/1970 - 10/01/1970]"},
-		{"disjoint", NewElement(NewInterval(0, 1), NewInterval(5, 6)), "[01/01/1970 - 02/01/1970] ∪ [06/01/1970 - 07/01/1970]"},
-		{"contained", NewElement(NewInterval(0, 100), NewInterval(10, 20)), "[01/01/1970 - 11/04/1970]"},
-		{"unordered", NewElement(NewInterval(50, 60), NewInterval(0, 1)), "[01/01/1970 - 02/01/1970] ∪ [20/02/1970 - 02/03/1970]"},
+		{"overlap", NewElement(MustNewInterval(0, 10), MustNewInterval(5, 20)), "[01/01/1970 - 21/01/1970]"},
+		{"adjacent", NewElement(MustNewInterval(0, 4), MustNewInterval(5, 9)), "[01/01/1970 - 10/01/1970]"},
+		{"disjoint", NewElement(MustNewInterval(0, 1), MustNewInterval(5, 6)), "[01/01/1970 - 02/01/1970] ∪ [06/01/1970 - 07/01/1970]"},
+		{"contained", NewElement(MustNewInterval(0, 100), MustNewInterval(10, 20)), "[01/01/1970 - 11/04/1970]"},
+		{"unordered", NewElement(MustNewInterval(50, 60), MustNewInterval(0, 1)), "[01/01/1970 - 02/01/1970] ∪ [20/02/1970 - 02/03/1970]"},
 	}
 	for _, c := range cases {
 		if got := c.in.String(); got != c.want {
@@ -168,7 +168,7 @@ func randomElement(r *rand.Rand, n int) Element {
 	for i := 0; i < k; i++ {
 		s := Chronon(r.Intn(64))
 		e := s + Chronon(r.Intn(16))
-		ivs = append(ivs, NewInterval(s, e))
+		ivs = append(ivs, MustNewInterval(s, e))
 	}
 	return NewElement(ivs...)
 }

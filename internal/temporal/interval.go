@@ -10,21 +10,33 @@ type Interval struct {
 	End   Chronon
 }
 
-// NewInterval returns the closed interval [start, end]. It panics if
+// NewInterval returns the closed interval [start, end]. It rejects
 // start > end (after conceptually placing NOW after all fixed chronons),
-// because empty intervals are not representable.
-func NewInterval(start, end Chronon) Interval {
+// because empty intervals are not representable, and a start of NOW with
+// a fixed end, which would shrink as time advances.
+func NewInterval(start, end Chronon) (Interval, error) {
 	if start > end {
-		panic(fmt.Sprintf("temporal: empty interval [%v, %v]", start, end))
+		return Interval{}, fmt.Errorf("temporal: empty interval [%v, %v]", start, end)
 	}
 	if start == Now && end != Now {
-		panic("temporal: interval starting at NOW must end at NOW")
+		return Interval{}, fmt.Errorf("temporal: interval starting at NOW must end at NOW")
 	}
-	return Interval{Start: start, End: end}
+	return Interval{Start: start, End: end}, nil
+}
+
+// MustNewInterval is NewInterval that panics on error; intended for
+// literals in tests, examples, and embedded datasets whose validity is a
+// programmer-error invariant.
+func MustNewInterval(start, end Chronon) Interval {
+	iv, err := NewInterval(start, end)
+	if err != nil {
+		panic(err)
+	}
+	return iv
 }
 
 // At returns the degenerate interval [c, c].
-func At(c Chronon) Interval { return NewInterval(c, c) }
+func At(c Chronon) Interval { return Interval{Start: c, End: c} }
 
 // Always is the interval covering the whole time domain including NOW.
 func Always() Interval { return Interval{Start: MinChronon, End: Now} }

@@ -59,7 +59,7 @@ func fromYMD(y, m, d int, orig string) (Chronon, error) {
 	}
 	c := FromDate(y, time.Month(m), d)
 	// Round-trip to reject days that normalized (e.g. 31/02).
-	yy, mm, dd := c.Date()
+	yy, mm, dd, _ := c.Date() // FromDate never yields NOW
 	if yy != y || int(mm) != m || dd != d {
 		return 0, fmt.Errorf("temporal: date %q does not exist", orig)
 	}
@@ -99,7 +99,7 @@ func ParseInterval(s string) (Interval, error) {
 	if from > to {
 		return Interval{}, fmt.Errorf("temporal: interval %q is empty", s)
 	}
-	return NewInterval(from, to), nil
+	return NewInterval(from, to)
 }
 
 // MustInterval is ParseInterval that panics on error.
@@ -122,7 +122,8 @@ func MustElement(ivs ...string) Element {
 }
 
 // Span is a convenience constructor parsing two date literals into a
-// single-interval element.
+// single-interval element; like the other Must helpers it panics on bad
+// literals.
 func Span(from, to string) Element {
-	return NewElement(NewInterval(MustDate(from), MustDate(to)))
+	return NewElement(MustNewInterval(MustDate(from), MustDate(to)))
 }

@@ -40,6 +40,7 @@ import (
 	"mddm/internal/load"
 	"mddm/internal/query"
 	"mddm/internal/serialize"
+	"mddm/internal/serve"
 	"mddm/internal/storage"
 	"mddm/internal/temporal"
 )
@@ -281,8 +282,30 @@ type QueryResult = query.Result
 // Query helpers.
 var (
 	ExecQuery         = query.Exec
+	ExecQueryContext  = query.ExecContext
 	ParseQuery        = query.Parse
 	RenderQueryResult = query.RenderResult
+)
+
+// --- Serving (package serve) ---------------------------------------------------
+
+// ServeCatalog is a concurrency-safe copy-on-write MO registry.
+type ServeCatalog = serve.Catalog
+
+// ServeServer executes queries and pre-aggregate requests under resource
+// limits with panic isolation and stale-while-revalidate engine caching.
+type ServeServer = serve.Server
+
+// ServeLimits bounds a query's deadline, result size, and fact scans.
+type ServeLimits = serve.Limits
+
+// Serving helpers and typed error sentinels.
+var (
+	NewServeCatalog      = serve.NewCatalog
+	NewServeServer       = serve.NewServer
+	ErrQueryCanceled     = serve.ErrCanceled
+	ErrResourceExhausted = serve.ErrResourceExhausted
+	ErrServeInternal     = serve.ErrInternal
 )
 
 // --- The paper's case study (package casestudy) ---------------------------------
