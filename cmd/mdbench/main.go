@@ -12,13 +12,21 @@
 //	mdbench -exp B7   # cube materialization: derive vs recompute
 //	mdbench -exp B9   # cross tabulation: bitmap vs scan
 //	mdbench -exp B10  # incremental index maintenance vs rebuild
+//	mdbench -exp B11  # partition-parallel vs sequential execution
 //	mdbench -all
+//
+// With -json, every measurement is also written to BENCH_<exp>.json in the
+// working directory as rows of {exp, op, n, ns_per_op, allocs_per_op}, so
+// CI can archive machine-readable results next to the human tables.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"mddm/internal/agg"
@@ -26,6 +34,7 @@ import (
 	"mddm/internal/casestudy"
 	"mddm/internal/core"
 	"mddm/internal/dimension"
+	"mddm/internal/exec"
 	"mddm/internal/query"
 	"mddm/internal/storage"
 	"mddm/internal/temporal"
@@ -35,59 +44,97 @@ var ref = temporal.MustDate("01/01/2026")
 
 func ctx() dimension.Context { return dimension.CurrentContext(ref) }
 
+var (
+	jsonOut *bool // -json: write BENCH_<exp>.json per experiment
+
+	curExp    string // experiment currently running, stamped into rows
+	benchRows []benchRow
+)
+
+// benchRow is one machine-readable measurement for BENCH_<exp>.json.
+type benchRow struct {
+	Exp         string  `json:"exp"`
+	Op          string  `json:"op"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B10; B8 runs under go test -bench=WideMO)")
+	exp := flag.String("exp", "", "experiment id (B1..B11; B8 runs under go test -bench=WideMO)")
 	all := flag.Bool("all", false, "run every experiment")
+	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11")
+	jsonOut = flag.Bool("json", false, "also write BENCH_<exp>.json with one row per measurement")
 	flag.Parse()
 	if !*all && *exp == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	run := func(id string) bool { return *all || *exp == id }
-	if run("B1") {
-		b1()
+	run := func(id string, fn func()) {
+		if !*all && *exp != id {
+			return
+		}
+		curExp = id
+		benchRows = benchRows[:0]
+		fn()
+		flushJSON(id)
 	}
-	if run("B2") {
-		b2()
-	}
-	if run("B3") {
-		b3()
-	}
-	if run("B4") {
-		b4()
-	}
-	if run("B5") {
-		b5()
-	}
-	if run("B6") {
-		b6()
-	}
-	if run("B7") {
-		b7()
-	}
-	if run("B9") {
-		b9()
-	}
-	if run("B10") {
-		b10()
-	}
+	run("B1", b1)
+	run("B2", b2)
+	run("B3", b3)
+	run("B4", b4)
+	run("B5", b5)
+	run("B6", b6)
+	run("B7", b7)
+	run("B9", b9)
+	run("B10", b10)
+	run("B11", func() { b11(*nFacts) })
 }
 
-// timeIt reports the per-iteration wall time of fn, auto-scaling the
-// iteration count to ~50ms.
-func timeIt(fn func()) time.Duration {
+// flushJSON writes the experiment's recorded rows to BENCH_<id>.json when
+// -json is set.
+func flushJSON(id string) {
+	if !*jsonOut || len(benchRows) == 0 {
+		return
+	}
+	data, err := json.MarshalIndent(benchRows, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	name := "BENCH_" + id + ".json"
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d rows)\n\n", name, len(benchRows))
+}
+
+// measure reports the per-iteration wall time of fn, auto-scaling the
+// iteration count to ~50ms, and records an {op, n} row (with allocations
+// per op from the runtime's Mallocs counter) for BENCH_<exp>.json.
+func measure(op string, n int, fn func()) time.Duration {
 	fn() // warm up (builds memoized closures etc.)
-	n := 1
+	iters := 1
 	for {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
-		for i := 0; i < n; i++ {
+		for i := 0; i < iters; i++ {
 			fn()
 		}
 		el := time.Since(start)
-		if el > 50*time.Millisecond || n >= 1<<20 {
-			return el / time.Duration(n)
+		if el > 50*time.Millisecond || iters >= 1<<20 {
+			runtime.ReadMemStats(&m1)
+			per := el / time.Duration(iters)
+			benchRows = append(benchRows, benchRow{
+				Exp:         curExp,
+				Op:          op,
+				N:           n,
+				NsPerOp:     float64(per.Nanoseconds()),
+				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+			})
+			return per
 		}
-		n *= 2
+		iters *= 2
 	}
 }
 
@@ -110,15 +157,15 @@ func b1() {
 		if _, err := c.Materialize(casestudy.DimResidence, casestudy.CatCounty, storage.KindCount, ""); err != nil {
 			fatal(err)
 		}
-		reuse := timeIt(func() {
+		reuse := measure("reuse", n, func() {
 			if _, err := c.RollupFrom(casestudy.DimResidence, casestudy.CatCounty, casestudy.CatRegion, storage.KindCount, ""); err != nil {
 				fatal(err)
 			}
 		})
-		warm := timeIt(func() {
+		warm := measure("base-warm", n, func() {
 			e.CountDistinctBy(casestudy.DimResidence, casestudy.CatRegion)
 		})
-		cold := timeIt(func() {
+		cold := measure("base-cold", n, func() {
 			storage.NewEngine(m, ctx()).CountDistinctBy(casestudy.DimResidence, casestudy.CatRegion)
 		})
 		fmt.Printf("%10d %14v %14v %14v %9.1fx\n", n, reuse, warm, cold, float64(cold)/float64(reuse))
@@ -136,8 +183,8 @@ func b2() {
 	for _, n := range []int{500, 2000, 8000} {
 		m := gen(n, true, false)
 		e := storage.NewEngine(m, ctx())
-		fast := timeIt(func() { e.CountDistinctBy(casestudy.DimDiagnosis, casestudy.CatGroup) })
-		slow := timeIt(func() { e.CountDistinctScan(casestudy.DimDiagnosis, casestudy.CatGroup) })
+		fast := measure("bitmap", n, func() { e.CountDistinctBy(casestudy.DimDiagnosis, casestudy.CatGroup) })
+		slow := measure("scan", n, func() { e.CountDistinctScan(casestudy.DimDiagnosis, casestudy.CatGroup) })
 		fmt.Printf("%10d %14v %14v %7.1fx\n", n, fast, slow, float64(slow)/float64(fast))
 	}
 	fmt.Println()
@@ -154,12 +201,12 @@ func b3() {
 			Func:      agg.MustLookup("SETCOUNT"),
 			GroupBy:   map[string]string{casestudy.DimDiagnosis: casestudy.CatGroup},
 		}
-		ts := timeIt(func() {
+		ts := measure("strict", n, func() {
 			if _, err := algebra.Aggregate(strict, spec, ctx()); err != nil {
 				fatal(err)
 			}
 		})
-		tn := timeIt(func() {
+		tn := measure("nonstrict", n, func() {
 			if _, err := algebra.Aggregate(loose, spec, ctx()); err != nil {
 				fatal(err)
 			}
@@ -176,7 +223,7 @@ func b4() {
 		for _, churn := range []bool{false, true} {
 			m := gen(n, false, churn)
 			at := temporal.MustDate("01/01/1995")
-			d := timeIt(func() {
+			d := measure(fmt.Sprintf("slice-churn=%v", churn), n, func() {
 				if _, err := algebra.ValidTimeslice(m, at, ref); err != nil {
 					fatal(err)
 				}
@@ -193,24 +240,24 @@ func b5() {
 	for _, n := range []int{500, 2000, 8000} {
 		m := gen(n, true, false)
 		m.SetKind(core.Snapshot)
-		sel := timeIt(func() { algebra.Select(m, algebra.NumericCmp(casestudy.DimAge, algebra.GE, 50), ctx()) })
-		prj := timeIt(func() {
+		sel := measure("select", n, func() { algebra.Select(m, algebra.NumericCmp(casestudy.DimAge, algebra.GE, 50), ctx()) })
+		prj := measure("project", n, func() {
 			if _, err := algebra.Project(m, casestudy.DimDiagnosis); err != nil {
 				fatal(err)
 			}
 		})
 		half := algebra.Select(m, algebra.NumericCmp(casestudy.DimAge, algebra.LT, 50), ctx())
-		uni := timeIt(func() {
+		uni := measure("union", n, func() {
 			if _, err := algebra.Union(m, half); err != nil {
 				fatal(err)
 			}
 		})
-		dif := timeIt(func() {
+		dif := measure("difference", n, func() {
 			if _, err := algebra.Difference(m, half); err != nil {
 				fatal(err)
 			}
 		})
-		aggT := timeIt(func() {
+		aggT := measure("aggregate", n, func() {
 			if _, err := algebra.Aggregate(m, algebra.AggSpec{
 				ResultDim: "Count",
 				Func:      agg.MustLookup("SETCOUNT"),
@@ -230,7 +277,7 @@ func b6() {
 	fmt.Printf("%10s %14s\n", "patients", "query/op")
 	for _, n := range []int{500, 2000, 8000} {
 		cat := query.Catalog{"patients": gen(n, true, false)}
-		d := timeIt(func() {
+		d := measure("query", n, func() {
 			if _, err := query.Exec(qsrc, cat, ref); err != nil {
 				fatal(err)
 			}
@@ -255,13 +302,13 @@ func b7() {
 		fatal(err)
 	}
 	fmt.Print(plan)
-	derive := timeIt(func() {
+	derive := measure("build-derived", 5000, func() {
 		c := storage.NewCache(e)
 		if _, err := c.BuildCube(plan); err != nil {
 			fatal(err)
 		}
 	})
-	base := timeIt(func() {
+	base := measure("build-all-from-base", 5000, func() {
 		c := storage.NewCache(e)
 		for _, cat := range []string{casestudy.CatArea, casestudy.CatCounty, casestudy.CatRegion} {
 			if _, err := c.Materialize(casestudy.DimResidence, cat, storage.KindCount, ""); err != nil {
@@ -279,10 +326,10 @@ func b9() {
 		m := gen(n, true, false)
 		e := storage.NewEngine(m, ctx())
 		e.CrossCount(casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatRegion)
-		fast := timeIt(func() {
+		fast := measure("bitmap", n, func() {
 			e.CrossCount(casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatRegion)
 		})
-		slow := timeIt(func() {
+		slow := measure("scan", n, func() {
 			e.CrossCountScan(casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatRegion)
 		})
 		fmt.Printf("%10d %14v %14v %7.1fx\n", n, fast, slow, float64(slow)/float64(fast))
@@ -297,7 +344,7 @@ func b10() {
 	e := storage.NewEngine(m, ctx())
 	e.CountDistinctBy(casestudy.DimDiagnosis, casestudy.CatGroup)
 	i := 0
-	appendOne := timeIt(func() {
+	appendOne := measure("append-one", 10000, func() {
 		id := fmt.Sprintf("bench%d", i)
 		i++
 		if err := m.Relate(casestudy.DimDiagnosis, id, "L0"); err != nil {
@@ -311,8 +358,86 @@ func b10() {
 			fatal(err)
 		}
 	})
-	rebuild := timeIt(func() {
+	rebuild := measure("rebuild", 10000, func() {
 		storage.NewEngine(base, ctx())
 	})
 	fmt.Printf("  append-one %v, rebuild %v (%.0fx)\n\n", appendOne, rebuild, float64(rebuild)/float64(appendOne))
+}
+
+// b11 sweeps the partition-parallel storage paths against their sequential
+// baselines on one n-fact synthetic MO, and differentially verifies that
+// the parallel results are identical before timing anything.
+func b11(nFacts int) {
+	procs := runtime.GOMAXPROCS(0)
+	fmt.Printf("B11: partition-parallel vs sequential execution (%d facts, GOMAXPROCS=%d)\n", nFacts, procs)
+	if procs == 1 {
+		fmt.Println("  note: GOMAXPROCS=1 — parallel degrees cannot beat sequential on this")
+		fmt.Println("  machine; the sweep still verifies result identity and shows the")
+		fmt.Println("  scheduling overhead. Run on a multi-core host to see the speedup.")
+	}
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = nFacts
+	cfg.NonStrict = false
+	cfg.Churn = false
+	cfg.LowLevel = 140
+	m := casestudy.MustGenerate(cfg)
+	e := storage.NewEngine(m, ctx())
+
+	seq := context.Background()
+	degCtx := func(d int) context.Context { return exec.WithParallelism(context.Background(), d) }
+
+	ops := []struct {
+		name string
+		run  func(c context.Context) (any, error)
+	}{
+		{"countdistinct", func(c context.Context) (any, error) {
+			return e.CountDistinctByContext(c, casestudy.DimDiagnosis, casestudy.CatGroup)
+		}},
+		{"sumby", func(c context.Context) (any, error) {
+			return e.SumByContext(c, casestudy.DimResidence, casestudy.CatCounty, casestudy.DimAge)
+		}},
+		{"crosscount", func(c context.Context) (any, error) {
+			return e.CrossCountContext(c, casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatRegion)
+		}},
+	}
+	degrees := []int{2, 4, 8}
+
+	// Differential verification first: parallel answers must be identical
+	// to sequential at every degree before their timings mean anything.
+	for _, op := range ops {
+		want, err := op.run(seq)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range degrees {
+			got, err := op.run(degCtx(d))
+			if err != nil {
+				fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				fatal(fmt.Errorf("B11: %s at parallelism %d diverged from sequential", op.name, d))
+			}
+		}
+	}
+	fmt.Println("  verify: parallel results identical to sequential at degrees 2, 4, 8 ✓")
+
+	fmt.Printf("%14s %14s %14s %14s %14s %10s\n", "op", "seq/op", "par2/op", "par4/op", "par8/op", "seq/par4")
+	for _, op := range ops {
+		tseq := measure(op.name+"-seq", nFacts, func() {
+			if _, err := op.run(seq); err != nil {
+				fatal(err)
+			}
+		})
+		var td []time.Duration
+		for _, d := range degrees {
+			c := degCtx(d)
+			td = append(td, measure(fmt.Sprintf("%s-par%d", op.name, d), nFacts, func() {
+				if _, err := op.run(c); err != nil {
+					fatal(err)
+				}
+			}))
+		}
+		fmt.Printf("%14s %14v %14v %14v %14v %9.2fx\n", op.name, tseq, td[0], td[1], td[2], float64(tseq)/float64(td[1]))
+	}
+	fmt.Println()
 }

@@ -38,6 +38,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-query deadline (0 disables)")
 	maxRows := flag.Int("max-rows", 10000, "per-query result-row limit (0 disables)")
 	maxFacts := flag.Int64("max-facts", 10_000_000, "per-query scanned-facts limit (0 disables)")
+	parallelism := flag.Int("parallelism", 1, "default partition-parallel degree per query (1 = sequential; ?parallelism= overrides per query)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "drain window on SIGINT/SIGTERM")
 	selfcheck := flag.Bool("selfcheck", false, "start on a loopback port, run one query through HTTP, and exit")
 	flag.Parse()
@@ -58,6 +59,7 @@ func main() {
 		Timeout:         *timeout,
 		MaxResultRows:   *maxRows,
 		MaxFactsScanned: *maxFacts,
+		Parallelism:     *parallelism,
 	}, ref)
 
 	hs := &http.Server{

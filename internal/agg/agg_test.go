@@ -24,7 +24,7 @@ func TestRegistry(t *testing.T) {
 			t.Errorf("name mismatch: %q", g.Name)
 		}
 	}
-	if _, err := Lookup("MEDIAN"); err == nil || !strings.Contains(err.Error(), "known") {
+	if _, err := Lookup("MODE"); err == nil || !strings.Contains(err.Error(), "known") {
 		t.Errorf("unknown lookup must fail helpfully, got %v", err)
 	}
 	names := Names()

@@ -48,6 +48,11 @@ type Func struct {
 	NeedsProb bool
 	// ProbEval folds the membership probabilities; used when NeedsProb.
 	ProbEval func(probs []float64) (res float64, ok bool)
+	// NewState builds a constant-size mergeable partial-aggregate state
+	// for partition-parallel execution (see state.go). Nil marks the
+	// function holistic: partials cannot merge in constant space and
+	// State() falls back to collecting values and recomputing.
+	NewState func() State
 }
 
 // Apply evaluates the function over a group: n is the group size (|set|),
@@ -124,6 +129,7 @@ func init() {
 	Register(&Func{
 		Name: "SUM", Distributive: true,
 		MinClass: dimension.Sum, ResultClass: dimension.Sum, NeedsArg: true,
+		NewState: func() State { return &sumState{} },
 		Eval: func(vals []float64) (float64, bool) {
 			if len(vals) == 0 {
 				return 0, false
@@ -138,6 +144,7 @@ func init() {
 	Register(&Func{
 		Name: "COUNT", Distributive: true,
 		MinClass: dimension.Constant, ResultClass: dimension.Sum, NeedsArg: true,
+		NewState: func() State { return &countState{} },
 		Eval: func(vals []float64) (float64, bool) {
 			return float64(len(vals)), true
 		},
@@ -145,6 +152,7 @@ func init() {
 	Register(&Func{
 		Name: "AVG", Distributive: false,
 		MinClass: dimension.Average, ResultClass: dimension.Average, NeedsArg: true,
+		NewState: func() State { return &avgState{} },
 		Eval: func(vals []float64) (float64, bool) {
 			if len(vals) == 0 {
 				return 0, false
@@ -159,6 +167,7 @@ func init() {
 	Register(&Func{
 		Name: "MIN", Distributive: true,
 		MinClass: dimension.Average, ResultClass: dimension.Average, NeedsArg: true,
+		NewState: func() State { return &extremeState{less: func(a, b float64) bool { return a < b }} },
 		Eval: func(vals []float64) (float64, bool) {
 			if len(vals) == 0 {
 				return 0, false
@@ -175,6 +184,7 @@ func init() {
 	Register(&Func{
 		Name: "MAX", Distributive: true,
 		MinClass: dimension.Average, ResultClass: dimension.Average, NeedsArg: true,
+		NewState: func() State { return &extremeState{less: func(a, b float64) bool { return a > b }} },
 		Eval: func(vals []float64) (float64, bool) {
 			if len(vals) == 0 {
 				return 0, false
@@ -194,6 +204,7 @@ func init() {
 	Register(&Func{
 		Name: "SETCOUNT", Distributive: true,
 		MinClass: dimension.Constant, ResultClass: dimension.Sum, NeedsArg: false,
+		NewState: func() State { return &countState{} },
 	})
 }
 
@@ -214,6 +225,7 @@ func init() {
 		Name: "EXPECTED", Distributive: true,
 		MinClass: dimension.Constant, ResultClass: dimension.Sum,
 		NeedsProb: true,
+		NewState:  func() State { return &sumState{okEmpty: true} },
 		ProbEval: func(probs []float64) (float64, bool) {
 			var s float64
 			for _, p := range probs {
@@ -226,6 +238,7 @@ func init() {
 		Name: "MINCOUNT", Distributive: true,
 		MinClass: dimension.Constant, ResultClass: dimension.Sum,
 		NeedsProb: true,
+		NewState:  func() State { return &countState{pred: func(p float64) bool { return p >= 1 }} },
 		ProbEval: func(probs []float64) (float64, bool) {
 			n := 0
 			for _, p := range probs {
@@ -240,6 +253,7 @@ func init() {
 		Name: "MAXCOUNT", Distributive: true,
 		MinClass: dimension.Constant, ResultClass: dimension.Sum,
 		NeedsProb: true,
+		NewState:  func() State { return &countState{pred: func(p float64) bool { return p > 0 }} },
 		ProbEval: func(probs []float64) (float64, bool) {
 			n := 0
 			for _, p := range probs {

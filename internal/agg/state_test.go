@@ -1,0 +1,149 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// foldSequential replays the sequential evaluation of g over vals (for
+// SETCOUNT, vals are member markers and only their count matters).
+func foldSequential(g *Func, vals []float64) (float64, bool) {
+	switch {
+	case g.NeedsProb:
+		return g.ProbEval(vals)
+	case g.NeedsArg:
+		return g.Eval(vals)
+	default:
+		return g.Apply(len(vals), nil)
+	}
+}
+
+// foldPartitioned splits vals into contiguous partitions, folds each into
+// its own State, and merges in ascending partition order.
+func foldPartitioned(g *Func, vals []float64, parts int) (float64, bool) {
+	states := make([]State, parts)
+	for p := range states {
+		states[p] = g.State()
+	}
+	for i, v := range vals {
+		states[i*parts/max(len(vals), 1)].Add(v)
+	}
+	acc := states[0]
+	for _, s := range states[1:] {
+		acc.Merge(s)
+	}
+	return acc.Finalize()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestStateMergeMatchesSequentialFold checks, for every registered
+// function, that partition-partials merged in order equal the sequential
+// fold. Inputs are integers (and the probability values the generator
+// emits), so even re-associated float sums are exact and the comparison
+// can demand exact equality.
+func TestStateMergeMatchesSequentialFold(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, name := range Names() {
+		g := MustLookup(name)
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			vals := make([]float64, n)
+			for i := range vals {
+				if g.NeedsProb {
+					vals[i] = []float64{0, 0.5, 0.9, 1}[r.Intn(4)]
+				} else {
+					vals[i] = float64(r.Intn(200) - 100)
+				}
+			}
+			want, wantOK := foldSequential(g, vals)
+			for _, parts := range []int{1, 2, 3, 4, 8} {
+				got, gotOK := foldPartitioned(g, vals, parts)
+				if gotOK != wantOK {
+					t.Errorf("%s n=%d parts=%d: ok=%v, want %v", name, n, parts, gotOK, wantOK)
+					continue
+				}
+				if wantOK && got != want {
+					// 0.9 is not a dyadic rational; EXPECTED sums of it may
+					// re-associate. Bound that case by an ulp-scale epsilon;
+					// everything else must be exact.
+					if name == "EXPECTED" && math.Abs(got-want) < 1e-9*math.Max(1, math.Abs(want)) {
+						continue
+					}
+					t.Errorf("%s n=%d parts=%d: %v, want %v", name, n, parts, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeableMirrorsTheSummarizabilityGuard pins the physical guard:
+// every distributive function merges in constant space; AVG merges via the
+// algebraic sum+count reformulation; holistic MEDIAN does not merge and
+// falls back to collection.
+func TestMergeableMirrorsTheSummarizabilityGuard(t *testing.T) {
+	for _, name := range Names() {
+		g := MustLookup(name)
+		if g.Distributive && !g.Mergeable() {
+			t.Errorf("%s is distributive but not mergeable", name)
+		}
+	}
+	if !MustLookup("AVG").Mergeable() {
+		t.Error("AVG must merge as sum+count")
+	}
+	med := MustLookup("MEDIAN")
+	if med.Mergeable() {
+		t.Error("MEDIAN must be holistic (no constant-size state)")
+	}
+	if _, ok := med.State().(*collectState); !ok {
+		t.Errorf("MEDIAN state is %T, want the collect fallback", med.State())
+	}
+}
+
+func TestMedianEval(t *testing.T) {
+	med := MustLookup("MEDIAN")
+	if v, ok := med.Eval([]float64{5, 1, 3}); !ok || v != 3 {
+		t.Errorf("median(5,1,3) = %v,%v", v, ok)
+	}
+	if v, ok := med.Eval([]float64{4, 1, 3, 2}); !ok || v != 2.5 {
+		t.Errorf("median(4,1,3,2) = %v,%v", v, ok)
+	}
+	if _, ok := med.Eval(nil); ok {
+		t.Error("median of empty input must not be ok")
+	}
+	// Eval must not mutate its input.
+	in := []float64{9, 1, 5}
+	med.Eval(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Errorf("Eval mutated its input: %v", in)
+	}
+}
+
+func TestCollectStateMergePreservesOrder(t *testing.T) {
+	g := MustLookup("MEDIAN")
+	a, b := g.State(), g.State()
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	a.Merge(b)
+	if got := a.(*collectState).vals; len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("merged collect order = %v", got)
+	}
+}
+
+func TestEmptyStateFinalize(t *testing.T) {
+	wantOK := map[string]bool{
+		"SUM": false, "AVG": false, "MIN": false, "MAX": false, "MEDIAN": false,
+		"COUNT": true, "SETCOUNT": true, "EXPECTED": true, "MINCOUNT": true, "MAXCOUNT": true,
+	}
+	for name, want := range wantOK {
+		if _, ok := MustLookup(name).State().Finalize(); ok != want {
+			t.Errorf("%s empty Finalize ok = %v, want %v", name, ok, want)
+		}
+	}
+}

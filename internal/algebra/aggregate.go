@@ -9,6 +9,7 @@ import (
 	"mddm/internal/agg"
 	"mddm/internal/core"
 	"mddm/internal/dimension"
+	"mddm/internal/exec"
 	"mddm/internal/fact"
 	"mddm/internal/qos"
 	"mddm/internal/temporal"
@@ -211,44 +212,72 @@ func AggregateContext(cctx context.Context, m *core.MO, spec AggSpec, ctx dimens
 		return nil, err
 	}
 
-	// Group the facts: for each fact, its ancestor set in every grouping
-	// category; the fact belongs to every combination of its per-dimension
-	// ancestors. (Iterating C_1 × … × C_n directly would be exponential in
-	// n; per-fact expansion visits exactly the non-empty groups.)
-	type combo struct {
-		key  string
-		vals []string
-	}
+	// Phase A — group the facts: for each fact, its ancestor set in every
+	// grouping category; the fact belongs to every combination of its
+	// per-dimension ancestors. (Iterating C_1 × … × C_n directly would be
+	// exponential in n; per-fact expansion visits exactly the non-empty
+	// groups.) With a context-carried parallelism degree above 1 the fact
+	// universe is partitioned and worker-local groupings merge in ascending
+	// partition order; the member sets are order-free (fact.Set sorts), so
+	// the merged grouping is identical to the sequential one.
+	degree := exec.DegreeFrom(cctx)
+	factIDs := m.Facts().IDs()
 	groups := map[string]*fact.Set{} // combo key -> member facts
 	combos := map[string]combo{}
-	for _, f := range m.Facts().IDs() {
-		if err := guard.Facts(1); err != nil {
-			return nil, fmt.Errorf("algebra: aggregate: %w", err)
+	addToGroup := func(groups map[string]*fact.Set, combos map[string]combo, key string, vals []string, ff fact.Fact) {
+		if _, seen := groups[key]; !seen {
+			groups[key] = fact.NewSet()
+			cp := make([]string, len(vals))
+			copy(cp, vals)
+			combos[key] = combo{key: key, vals: cp}
 		}
-		perDim := make([][]string, len(names))
-		ok := true
-		for i, n := range names {
-			anc := factAncestors(m, n, f, groupCats[n], ctx)
-			if len(anc) == 0 {
-				ok = false
-				break
+		groups[key].Add(ff)
+	}
+	if degree > 1 {
+		type partial struct {
+			groups map[string]*fact.Set
+			combos map[string]combo
+		}
+		parts := exec.Partitions(len(factIDs), degree)
+		partials := make([]partial, len(parts))
+		if err := exec.Run(cctx, nil, degree, len(parts), func(p int) error {
+			g := qos.NewGuard(cctx)
+			loc := partial{groups: map[string]*fact.Set{}, combos: map[string]combo{}}
+			for _, f := range factIDs[parts[p].Lo:parts[p].Hi] {
+				if err := g.Facts(1); err != nil {
+					return fmt.Errorf("algebra: aggregate: %w", err)
+				}
+				groupOneFact(m, names, groupCats, f, ctx, func(key string, vals []string, ff fact.Fact) {
+					addToGroup(loc.groups, loc.combos, key, vals, ff)
+				})
 			}
-			perDim[i] = anc
+			partials[p] = loc
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		if !ok {
-			continue // the fact reaches no value of some grouping category
-		}
-		ff, _ := m.Facts().Get(f)
-		expandCombos(perDim, func(vals []string) {
-			key := strings.Join(vals, "\x00")
-			if _, seen := groups[key]; !seen {
-				groups[key] = fact.NewSet()
-				cp := make([]string, len(vals))
-				copy(cp, vals)
-				combos[key] = combo{key: key, vals: cp}
+		for _, loc := range partials {
+			for key, set := range loc.groups {
+				if _, seen := groups[key]; !seen {
+					groups[key] = set
+					combos[key] = loc.combos[key]
+					continue
+				}
+				for _, id := range set.IDs() {
+					ff, _ := set.Get(id)
+					groups[key].Add(ff)
+				}
 			}
-			groups[key].Add(ff)
-		})
+		}
+	} else {
+		for _, f := range factIDs {
+			if err := guard.Facts(1); err != nil {
+				return nil, fmt.Errorf("algebra: aggregate: %w", err)
+			}
+			groupOneFact(m, names, groupCats, f, ctx, func(key string, vals []string, ff fact.Fact) {
+				addToGroup(groups, combos, key, vals, ff)
+			})
+		}
 	}
 
 	keys := make([]string, 0, len(groups))
@@ -257,116 +286,194 @@ func AggregateContext(cctx context.Context, m *core.MO, spec AggSpec, ctx dimens
 	}
 	sort.Strings(keys)
 
-	for _, key := range keys {
-		if err := guard.Check(); err != nil {
-			return nil, fmt.Errorf("algebra: aggregate: %w", err)
-		}
-		members := groups[key]
-		cb := combos[key]
-		var groupFact fact.Fact
-		if spec.Func.NeedsProb {
-			// Probabilistic results depend on the grouping combination, not
-			// only on the member set: keep equal sets under different
-			// combinations apart by tagging the identity.
-			groupFact = fact.NewGroupTagged(members.IDs(), comboTag(cb.vals))
-		} else {
-			groupFact = fact.NewGroup(members.IDs())
-		}
-		out.AddFact(groupFact)
-
-		// R'_i: the group is related to e_i with the intersection of the
-		// members' characterization times and the minimum member
-		// probability.
-		for i, n := range names {
-			ei := cb.vals[i]
-			t := temporal.AlwaysElement()
-			prob := 1.0
-			for _, mf := range members.IDs() {
-				// Immediate poll: one temporal intersection dwarfs the
-				// channel check, and accumulated elements make iterations
-				// arbitrarily slow — sampling would miss the deadline.
-				if err := guard.CheckNow(); err != nil {
-					return nil, fmt.Errorf("algebra: aggregate: %w", err)
-				}
-				mt, mp := m.CharacterizationTime(n, mf, ei, ctx)
-				t = t.Intersect(mt)
-				if mp < prob {
-					prob = mp
-				}
-			}
-			a := dimension.Annot{Time: temporal.ValidOnly(t), Prob: prob}
-			if ei == dimension.TopValue {
-				a = dimension.Always()
-			}
-			out.Relation(n).AddAnnot(groupFact.ID, ei, a)
-		}
-
-		// R'_{n+1}: the group is related to g(group).
-		var v float64
-		var okv bool
-		if spec.Func.NeedsProb {
-			// Probabilistic functions fold the members' membership
-			// probabilities: for each member, the product over grouping
-			// dimensions of P(f ⤳ e_i).
-			probs := make([]float64, 0, members.Len())
-			for _, mf := range members.IDs() {
-				if err := guard.Check(); err != nil {
-					return nil, fmt.Errorf("algebra: aggregate: %w", err)
-				}
-				p := 1.0
-				for i, n := range names {
-					if cb.vals[i] == dimension.TopValue {
-						continue
-					}
-					_, cp := m.CharacterizedBy(n, mf, cb.vals[i], ctx)
-					p *= cp
-				}
-				probs = append(probs, p)
-			}
-			v, okv = spec.Func.ApplyProb(probs)
-		} else {
-			nVals, err := extractArgs(guard, m, spec.ArgDims, members, ctx)
+	// Phase B — evaluate each group: the group fact, the R'_i annotations,
+	// and g(group). Each group is evaluated wholly by one worker with a
+	// sequential fold over its sorted member ids, so the result value is
+	// bit-identical at any degree (no partial-sum re-association within a
+	// group); parallelism comes from evaluating distinct groups
+	// concurrently.
+	outs := make([]*groupOut, len(keys))
+	if degree > 1 {
+		if err := exec.Run(cctx, nil, degree, len(keys), func(t int) error {
+			g := qos.NewGuard(cctx)
+			o, err := evalGroup(g, m, &spec, names, combos[keys[t]], groups[keys[t]], ctx)
 			if err != nil {
+				return err
+			}
+			outs[t] = o
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		for t, key := range keys {
+			if err := guard.Check(); err != nil {
 				return nil, fmt.Errorf("algebra: aggregate: %w", err)
 			}
-			v, okv = spec.Func.Apply(members.Len(), nVals)
+			o, err := evalGroup(guard, m, &spec, names, combos[key], groups[key], ctx)
+			if err != nil {
+				return nil, err
+			}
+			outs[t] = o
 		}
-		if !okv {
+	}
+
+	// Serial apply, in sorted key order: the result MO is assembled by one
+	// goroutine in the same mutation order as a fully sequential run, so
+	// the output is identical structure-for-structure at any degree.
+	for t, key := range keys {
+		o := outs[t]
+		cb := combos[key]
+		out.AddFact(o.groupFact)
+		for i, n := range names {
+			out.Relation(n).AddAnnot(o.groupFact.ID, cb.vals[i], o.annots[i])
+		}
+		if !o.okv {
 			continue // no result for this group (e.g. AVG over no values)
 		}
-		rv := agg.FormatResult(v)
+		rv := agg.FormatResult(o.v)
 		if !resultDim.Has(rv) {
 			if err := resultDim.AddValue(ResultValueCat, rv); err != nil {
 				return nil, err
 			}
 			for _, r := range spec.Ranges {
-				if r.Contains(v) {
+				if r.Contains(o.v) {
 					if err := resultDim.AddEdge(rv, r.Label); err != nil {
 						return nil, err
 					}
 				}
 			}
 		}
-		// Time: intersection over members and argument dimensions of the
-		// characterization times (the paper's rule; Always when Args(g) is
-		// empty).
-		t := temporal.AlwaysElement()
-		prob := 1.0
-		for _, ad := range spec.ArgDims {
-			i := indexOf(names, ad)
-			for _, mf := range members.IDs() {
-				mt, mp := m.CharacterizationTime(ad, mf, cb.vals[i], ctx)
-				t = t.Intersect(mt)
-				if mp < prob {
-					prob = mp
-				}
-			}
-		}
-		out.Relation(spec.ResultDim).AddAnnot(groupFact.ID, rv, dimension.Annot{Time: temporal.ValidOnly(t), Prob: prob})
+		out.Relation(spec.ResultDim).AddAnnot(o.groupFact.ID, rv, o.resAnnot)
 	}
 
 	res.MO = out
 	return res, nil
+}
+
+// combo is one grouping combination (e_1, …, e_n) and its map key.
+type combo struct {
+	key  string
+	vals []string
+}
+
+// groupOut is the evaluation of one group, ready for the serial apply
+// step: the set-valued fact, its annotation toward e_i in each cut-down
+// dimension, and the function result with its annotation.
+type groupOut struct {
+	groupFact fact.Fact
+	annots    []dimension.Annot
+	v         float64
+	okv       bool
+	resAnnot  dimension.Annot
+}
+
+// groupOneFact resolves one fact's grouping combinations and hands each
+// (key, combination, fact) to sink; facts reaching no value of some
+// grouping category yield nothing.
+func groupOneFact(m *core.MO, names []string, groupCats map[string]string, f string, ctx dimension.Context, sink func(key string, vals []string, ff fact.Fact)) {
+	perDim := make([][]string, len(names))
+	for i, n := range names {
+		anc := factAncestors(m, n, f, groupCats[n], ctx)
+		if len(anc) == 0 {
+			return
+		}
+		perDim[i] = anc
+	}
+	ff, _ := m.Facts().Get(f)
+	expandCombos(perDim, func(vals []string) {
+		sink(strings.Join(vals, "\x00"), vals, ff)
+	})
+}
+
+// evalGroup computes one group's output without touching the result MO —
+// the parallelizable core of the per-group loop. The fold over members is
+// sequential in sorted member-id order regardless of the caller's degree.
+func evalGroup(guard *qos.Guard, m *core.MO, spec *AggSpec, names []string, cb combo, members *fact.Set, ctx dimension.Context) (*groupOut, error) {
+	o := &groupOut{annots: make([]dimension.Annot, len(names))}
+	if spec.Func.NeedsProb {
+		// Probabilistic results depend on the grouping combination, not
+		// only on the member set: keep equal sets under different
+		// combinations apart by tagging the identity.
+		o.groupFact = fact.NewGroupTagged(members.IDs(), comboTag(cb.vals))
+	} else {
+		o.groupFact = fact.NewGroup(members.IDs())
+	}
+
+	// R'_i: the group is related to e_i with the intersection of the
+	// members' characterization times and the minimum member probability.
+	for i, n := range names {
+		ei := cb.vals[i]
+		t := temporal.AlwaysElement()
+		prob := 1.0
+		for _, mf := range members.IDs() {
+			// Immediate poll: one temporal intersection dwarfs the
+			// channel check, and accumulated elements make iterations
+			// arbitrarily slow — sampling would miss the deadline.
+			if err := guard.CheckNow(); err != nil {
+				return nil, fmt.Errorf("algebra: aggregate: %w", err)
+			}
+			mt, mp := m.CharacterizationTime(n, mf, ei, ctx)
+			t = t.Intersect(mt)
+			if mp < prob {
+				prob = mp
+			}
+		}
+		a := dimension.Annot{Time: temporal.ValidOnly(t), Prob: prob}
+		if ei == dimension.TopValue {
+			a = dimension.Always()
+		}
+		o.annots[i] = a
+	}
+
+	// R'_{n+1}: the group is related to g(group).
+	if spec.Func.NeedsProb {
+		// Probabilistic functions fold the members' membership
+		// probabilities: for each member, the product over grouping
+		// dimensions of P(f ⤳ e_i).
+		probs := make([]float64, 0, members.Len())
+		for _, mf := range members.IDs() {
+			if err := guard.Check(); err != nil {
+				return nil, fmt.Errorf("algebra: aggregate: %w", err)
+			}
+			p := 1.0
+			for i, n := range names {
+				if cb.vals[i] == dimension.TopValue {
+					continue
+				}
+				_, cp := m.CharacterizedBy(n, mf, cb.vals[i], ctx)
+				p *= cp
+			}
+			probs = append(probs, p)
+		}
+		o.v, o.okv = spec.Func.ApplyProb(probs)
+	} else {
+		nVals, err := extractArgs(guard, m, spec.ArgDims, members, ctx)
+		if err != nil {
+			return nil, fmt.Errorf("algebra: aggregate: %w", err)
+		}
+		o.v, o.okv = spec.Func.Apply(members.Len(), nVals)
+	}
+	if !o.okv {
+		return o, nil
+	}
+	// Time: intersection over members and argument dimensions of the
+	// characterization times (the paper's rule; Always when Args(g) is
+	// empty).
+	t := temporal.AlwaysElement()
+	prob := 1.0
+	for _, ad := range spec.ArgDims {
+		i := indexOf(names, ad)
+		for _, mf := range members.IDs() {
+			mt, mp := m.CharacterizationTime(ad, mf, cb.vals[i], ctx)
+			t = t.Intersect(mt)
+			if mp < prob {
+				prob = mp
+			}
+		}
+	}
+	o.resAnnot = dimension.Annot{Time: temporal.ValidOnly(t), Prob: prob}
+	return o, nil
 }
 
 // topProxyCat is the placeholder bottom category of a dimension collapsed

@@ -1,0 +1,170 @@
+package algebra
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mddm/internal/agg"
+	"mddm/internal/casestudy"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/exec"
+	"mddm/internal/qos"
+)
+
+var parDegrees = []int{2, 3, 4, 8}
+
+// specFor builds an aggregate spec exercising the given function over the
+// case-study MO: numeric functions take Age as argument, probabilistic and
+// set functions run bare; everything groups by the non-strict diagnosis
+// hierarchy (the hard case for grouping) plus residence.
+func specFor(g *agg.Func) AggSpec {
+	spec := AggSpec{
+		ResultDim: "Result",
+		Func:      g,
+		GroupBy: map[string]string{
+			casestudy.DimDiagnosis: casestudy.CatGroup,
+			casestudy.DimResidence: casestudy.CatCounty,
+		},
+		Warn: true, // keep illegal applications as warnings so every function runs
+	}
+	if g.NeedsArg {
+		spec.ArgDims = []string{casestudy.DimAge}
+	}
+	return spec
+}
+
+// renderMO is a canonical full rendering of an MO — facts with members,
+// every dimension's values, edges and characterization pairs with their
+// annotations — so two runs compare byte-for-byte.
+func renderMO(m *core.MO) string {
+	var b strings.Builder
+	for _, f := range m.Facts().All() {
+		fmt.Fprintf(&b, "fact %s members=%v\n", f.ID, f.Members)
+	}
+	for _, n := range m.Schema().DimensionNames() {
+		d := m.Dimension(n)
+		fmt.Fprintf(&b, "dim %s\n", n)
+		for _, v := range d.Values() {
+			cat, _ := d.CategoryOf(v)
+			a, _ := d.Membership(v)
+			fmt.Fprintf(&b, "  val %s cat=%s annot=%v/%v\n", v, cat, a.Time, a.Prob)
+		}
+		for _, e := range d.Edges() {
+			fmt.Fprintf(&b, "  edge %s<%s annot=%v/%v\n", e.Child, e.Parent, e.Annot.Time, e.Annot.Prob)
+		}
+		for _, p := range m.Relation(n).Pairs() {
+			fmt.Fprintf(&b, "  rel %s~%s annot=%v/%v\n", p.FactID, p.ValueID, p.Annot.Time, p.Annot.Prob)
+		}
+	}
+	return b.String()
+}
+
+// TestParallelAggregateMatchesSequential is the tentpole differential
+// test: for EVERY registered aggregate function, aggregate formation at
+// degrees 2, 3 (prime), 4 and 8 must produce a result MO byte-identical
+// (via the canonical serialization) to the sequential run — over a
+// generated MO with a non-strict hierarchy, churn and probabilistic
+// characterizations.
+func TestParallelAggregateMatchesSequential(t *testing.T) {
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = 90
+	m := casestudy.MustGenerate(cfg)
+	ectx := dimension.CurrentContext(ref)
+	for _, name := range agg.Names() {
+		spec := specFor(agg.MustLookup(name))
+		want, err := AggregateContext(context.Background(), m, spec, ectx)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		wantRender := renderMO(want.MO)
+		for _, deg := range parDegrees {
+			cctx := exec.WithParallelism(context.Background(), deg)
+			got, err := AggregateContext(cctx, m, spec, ectx)
+			if err != nil {
+				t.Fatalf("%s deg=%d: %v", name, deg, err)
+			}
+			if renderMO(got.MO) != wantRender {
+				t.Errorf("%s deg=%d: result MO diverged from sequential", name, deg)
+			}
+			if got.Report.Summarizable != want.Report.Summarizable ||
+				got.ResultAggType != want.ResultAggType ||
+				fmt.Sprint(got.Warnings) != fmt.Sprint(want.Warnings) {
+				t.Errorf("%s deg=%d: report/type/warnings diverged", name, deg)
+			}
+		}
+	}
+}
+
+// TestParallelSQLAggregateRows checks the flattened SQL-style rows too —
+// the representation most downstream consumers (query layer, HTTP
+// serving) actually compare.
+func TestParallelSQLAggregateRows(t *testing.T) {
+	m := casestudy.MustPatientMO()
+	ectx := dimension.CurrentContext(ref)
+	for _, name := range []string{"SETCOUNT", "AVG", "MEDIAN", "EXPECTED"} {
+		spec := specFor(agg.MustLookup(name))
+		wantRows, _, err := SQLAggregateContext(context.Background(), m, spec, ectx)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		for _, deg := range parDegrees {
+			cctx := exec.WithParallelism(context.Background(), deg)
+			gotRows, _, err := SQLAggregateContext(cctx, m, spec, ectx)
+			if err != nil {
+				t.Fatalf("%s deg=%d: %v", name, deg, err)
+			}
+			if fmt.Sprint(gotRows) != fmt.Sprint(wantRows) {
+				t.Errorf("%s deg=%d rows:\n%v\nwant:\n%v", name, deg, gotRows, wantRows)
+			}
+		}
+	}
+}
+
+// TestParallelAggregateBudgetParity pins that aggregate formation charges
+// the same fact budget at every degree, and that exhaustion surfaces as
+// qos.ErrResourceExhausted on the parallel path too.
+func TestParallelAggregateBudgetParity(t *testing.T) {
+	m := casestudy.MustPatientMO()
+	ectx := dimension.CurrentContext(ref)
+	spec := specFor(agg.MustLookup("SETCOUNT"))
+	spend := func(deg int) int64 {
+		cctx := qos.WithFactBudget(context.Background(), 1<<40)
+		if deg > 1 {
+			cctx = exec.WithParallelism(cctx, deg)
+		}
+		if _, err := AggregateContext(cctx, m, spec, ectx); err != nil {
+			t.Fatal(err)
+		}
+		return qos.BudgetFrom(cctx).Spent()
+	}
+	want := spend(1)
+	if want == 0 {
+		t.Fatal("sequential aggregate spent no budget")
+	}
+	for _, deg := range parDegrees {
+		if got := spend(deg); got != want {
+			t.Errorf("deg=%d spent %d facts, want %d", deg, got, want)
+		}
+	}
+	for _, deg := range []int{1, 4} {
+		cctx := exec.WithParallelism(qos.WithFactBudget(context.Background(), 1), deg)
+		if _, err := AggregateContext(cctx, m, spec, ectx); err == nil {
+			t.Errorf("deg=%d: budget of 1 fact must exhaust", deg)
+		}
+	}
+}
+
+// TestParallelAggregateCancellation pins prompt cancellation of a
+// parallel aggregate formation.
+func TestParallelAggregateCancellation(t *testing.T) {
+	m := casestudy.MustPatientMO()
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cctx = exec.WithParallelism(cctx, 4)
+	if _, err := AggregateContext(cctx, m, specFor(agg.MustLookup("SETCOUNT")), dimension.CurrentContext(ref)); err == nil {
+		t.Error("canceled parallel aggregate must fail")
+	}
+}

@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mddm/internal/faultinject"
+	"mddm/internal/qos"
+)
+
+func TestPartitionsCoverDisjointAligned(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4096, 100000} {
+		for _, deg := range []int{1, 2, 3, 4, 8, 17} {
+			parts := Partitions(n, deg)
+			if n == 0 {
+				if parts != nil {
+					t.Errorf("Partitions(0,%d) = %v, want nil", deg, parts)
+				}
+				continue
+			}
+			covered := 0
+			for i, r := range parts {
+				if r.Lo >= r.Hi {
+					t.Fatalf("Partitions(%d,%d)[%d] empty: %v", n, deg, i, r)
+				}
+				if i > 0 && parts[i-1].Hi != r.Lo {
+					t.Fatalf("Partitions(%d,%d) gap/overlap at %d: %v", n, deg, i, parts)
+				}
+				if r.Lo%wordBits != 0 {
+					t.Fatalf("Partitions(%d,%d)[%d].Lo=%d not word-aligned", n, deg, i, r.Lo)
+				}
+				covered += r.Len()
+			}
+			if covered != n || parts[0].Lo != 0 || parts[len(parts)-1].Hi != n {
+				t.Fatalf("Partitions(%d,%d) does not cover [0,n): %v", n, deg, parts)
+			}
+			// Fixed-size: all but the last range are equal.
+			for i := 1; i < len(parts)-1; i++ {
+				if parts[i].Len() != parts[0].Len() {
+					t.Fatalf("Partitions(%d,%d) not fixed-size: %v", n, deg, parts)
+				}
+			}
+		}
+	}
+}
+
+func TestRunComputesAllTasks(t *testing.T) {
+	for _, deg := range []int{1, 2, 3, 4, 8} {
+		const tasks = 57
+		var sum atomic.Int64
+		err := Run(context.Background(), NewPool(8), deg, tasks, func(i int) error {
+			sum.Add(int64(i))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("degree %d: %v", deg, err)
+		}
+		if want := int64(tasks * (tasks - 1) / 2); sum.Load() != want {
+			t.Errorf("degree %d: sum = %d, want %d", deg, sum.Load(), want)
+		}
+	}
+}
+
+func TestRunFirstErrorStopsRemainingTasks(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := Run(context.Background(), NewPool(4), 4, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("error did not stop the remaining tasks (%d ran)", n)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Run(ctx, NewPool(4), 4, 10000, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, qos.ErrCanceled) {
+		t.Fatalf("err = %v, want qos.ErrCanceled", err)
+	}
+}
+
+func TestRunWorkerPanicReRaisesOnCaller(t *testing.T) {
+	for _, deg := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("degree %d: panic did not propagate", deg)
+				}
+				if deg > 1 {
+					wp, ok := r.(*WorkerPanic)
+					if !ok {
+						t.Fatalf("degree %d: recovered %T, want *WorkerPanic", deg, r)
+					}
+					if fmt.Sprint(wp.Value) != "kaboom" || len(wp.Stack) == 0 {
+						t.Errorf("degree %d: WorkerPanic = %v", deg, wp)
+					}
+				}
+			}()
+			_ = Run(context.Background(), NewPool(8), deg, 100, func(i int) error {
+				if i == 7 {
+					panic("kaboom")
+				}
+				return nil
+			})
+			t.Fatalf("degree %d: Run returned instead of panicking", deg)
+		}()
+	}
+}
+
+// TestRunPanicDoesNotDeadlockBarrier pins the containment property: with a
+// worker armed to panic via faultinject, Run must return (by re-panicking)
+// within the test timeout rather than stranding the merge barrier.
+func TestRunPanicDoesNotDeadlockBarrier(t *testing.T) {
+	faultinject.EnablePanic(faultinject.PartitionWorker, "injected")
+	t.Cleanup(faultinject.Reset)
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		_ = Run(context.Background(), NewPool(8), 8, 64, func(i int) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("expected a recovered panic")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("merge barrier deadlocked after worker panic")
+	}
+}
+
+func TestPoolDegradesUnderSaturation(t *testing.T) {
+	p := NewPool(2)
+	if got := p.TryAcquire(5); got != 2 {
+		t.Fatalf("TryAcquire(5) = %d, want 2", got)
+	}
+	if got := p.TryAcquire(1); got != 0 {
+		t.Fatalf("saturated TryAcquire(1) = %d, want 0", got)
+	}
+	// A saturated pool still lets Run complete — inline on the caller.
+	var ran atomic.Int64
+	if err := Run(context.Background(), p, 4, 10, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil || ran.Load() != 10 {
+		t.Fatalf("saturated Run: err=%v ran=%d", err, ran.Load())
+	}
+	p.Release(2)
+	if got := p.TryAcquire(1); got != 1 {
+		t.Fatalf("after Release, TryAcquire(1) = %d, want 1", got)
+	}
+	p.Release(1)
+}
+
+func TestRunConcurrentQueriesShareThePool(t *testing.T) {
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	for q := 0; q < 8; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			if err := Run(context.Background(), p, 4, 100, func(i int) error {
+				sum.Add(int64(i))
+				return nil
+			}); err != nil {
+				t.Error(err)
+			}
+			if sum.Load() != 100*99/2 {
+				t.Errorf("sum = %d", sum.Load())
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.TryAcquire(p.Capacity()); got != p.Capacity() {
+		t.Errorf("pool leaked slots: acquired %d of %d after quiesce", got, p.Capacity())
+	}
+}
+
+func TestDegreeFromContext(t *testing.T) {
+	ctx := context.Background()
+	if DegreeFrom(ctx) != 0 {
+		t.Error("unset degree must be 0")
+	}
+	if DegreeFrom(WithParallelism(ctx, 4)) != 4 {
+		t.Error("degree 4 not carried")
+	}
+	if DegreeFrom(WithParallelism(ctx, 0)) != 0 {
+		t.Error("k<=0 must install nothing")
+	}
+}

@@ -34,6 +34,11 @@ const (
 	// QueryExec fires at the start of serve.(*Server).Query, inside the
 	// panic-isolation scope.
 	QueryExec Point = "query-exec"
+	// PartitionWorker fires inside every partition worker of the parallel
+	// execution engine (internal/exec), once per claimed task — arming it
+	// with EnablePanic makes exactly the worker-panic containment path
+	// reproducible.
+	PartitionWorker Point = "partition-worker"
 )
 
 type rule struct {

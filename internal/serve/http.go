@@ -6,10 +6,17 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
+	"mddm/internal/exec"
 	"mddm/internal/faultinject"
 )
+
+// maxHTTPParallelism caps the per-query ?parallelism= override: the pool
+// degrades gracefully anyway, but a cap keeps one request from asking for
+// an absurd goroutine fan-out.
+const maxHTTPParallelism = 64
 
 // queryResponse is the JSON shape of a /query answer.
 type queryResponse struct {
@@ -27,7 +34,9 @@ type errorResponse struct {
 
 // Handler returns the server's HTTP API:
 //
-//	GET/POST /query?q=…   run a query (POST may carry the query as the body)
+//	GET/POST /query?q=…   run a query (POST may carry the query as the body);
+//	                      &parallelism=k overrides the server's default
+//	                      partition-parallel degree for this query (1 = sequential)
 //	GET      /healthz     liveness probe
 //
 // Failures map to status codes by kind: malformed requests and query
@@ -57,7 +66,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("serve: no query: pass ?q=… or a POST body"))
 		return
 	}
-	res, err := s.Query(r.Context(), src)
+	ctx := r.Context()
+	if p := r.URL.Query().Get("parallelism"); p != "" {
+		deg, err := strconv.Atoi(p)
+		if err != nil || deg < 1 || deg > maxHTTPParallelism {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("serve: invalid parallelism %q: want an integer in [1, %d]", p, maxHTTPParallelism))
+			return
+		}
+		// Degree 1 is an explicit request for the sequential path; it still
+		// overrides the server default because WithParallelism stores it.
+		ctx = exec.WithParallelism(ctx, deg)
+	}
+	res, err := s.Query(ctx, src)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+
+	"mddm/internal/exec"
+	"mddm/internal/faultinject"
+	"mddm/internal/query"
+)
+
+// TestQueryParallelMatchesSequential runs the same query through servers
+// with different default degrees and through per-context overrides; every
+// combination must return identical rows.
+func TestQueryParallelMatchesSequential(t *testing.T) {
+	seq, _ := newTestServer(t, Limits{})
+	want, err := seq.Query(context.Background(), groupQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(r *query.Result) string { return fmt.Sprint(r.Columns, r.Rows, r.Summarizable) }
+	for _, deg := range []int{2, 3, 4, 8} {
+		par, _ := newTestServer(t, Limits{Parallelism: deg})
+		got, err := par.Query(context.Background(), groupQuery)
+		if err != nil {
+			t.Fatalf("deg=%d: %v", deg, err)
+		}
+		if render(got) != render(want) {
+			t.Errorf("deg=%d (limit): rows diverged", deg)
+		}
+		// Context override on a sequential-default server.
+		got, err = seq.Query(exec.WithParallelism(context.Background(), deg), groupQuery)
+		if err != nil {
+			t.Fatalf("deg=%d: %v", deg, err)
+		}
+		if render(got) != render(want) {
+			t.Errorf("deg=%d (override): rows diverged", deg)
+		}
+	}
+}
+
+// TestPartitionWorkerPanicBecomesInternalError is the containment test:
+// a panic deterministically injected into a partition worker must surface
+// as serve.ErrInternal — the merge barrier drains instead of deadlocking,
+// and the process survives.
+func TestPartitionWorkerPanicBecomesInternalError(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	s, _ := newTestServer(t, Limits{Parallelism: 4})
+	faultinject.EnablePanic(faultinject.PartitionWorker, "worker boom")
+
+	type outcome struct {
+		res *query.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := s.Query(context.Background(), groupQuery)
+		done <- outcome{res, err}
+	}()
+	var o outcome
+	select {
+	case o = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker panic deadlocked the merge barrier")
+	}
+	if !errors.Is(o.err, ErrInternal) {
+		t.Fatalf("want ErrInternal, got %v", o.err)
+	}
+	var ie *InternalError
+	if !errors.As(o.err, &ie) {
+		t.Fatalf("want *InternalError, got %T", o.err)
+	}
+	if s.Stats().Panics != 1 {
+		t.Fatalf("stats: %+v", s.Stats())
+	}
+	faultinject.Reset()
+
+	// The same server keeps answering afterwards.
+	if _, err := s.Query(context.Background(), groupQuery); err != nil {
+		t.Fatalf("server did not recover: %v", err)
+	}
+}
+
+// TestHTTPParallelismOverride drives the ?parallelism= knob end to end:
+// valid degrees answer identically to the sequential default, invalid
+// ones are 400.
+func TestHTTPParallelismOverride(t *testing.T) {
+	ts := httpServer(t, Limits{Parallelism: 2})
+	wantStatus, want, _ := queryStatus(t, ts, groupQuery)
+	if wantStatus != http.StatusOK {
+		t.Fatalf("baseline status %d", wantStatus)
+	}
+	for _, p := range []string{"1", "2", "4", "8", "64"} {
+		resp, err := http.Get(ts.URL + "/query?parallelism=" + p + "&q=" + url.QueryEscape(groupQuery))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got queryResponse
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("parallelism=%s: status %d", p, resp.StatusCode)
+		}
+		if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+			t.Errorf("parallelism=%s: rows diverged", p)
+		}
+	}
+	for _, p := range []string{"0", "-2", "abc", "65", "1.5"} {
+		resp, err := http.Get(ts.URL + "/query?parallelism=" + p + "&q=" + url.QueryEscape(groupQuery))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("parallelism=%s: status %d, want 400", p, resp.StatusCode)
+		}
+	}
+}

@@ -60,4 +60,10 @@ type Limits struct {
 	// selection, aggregation, and output; exceeding it yields
 	// ErrResourceExhausted.
 	MaxFactsScanned int64
+	// Parallelism is the default per-query parallelism degree installed
+	// into the query context (0 or 1 = sequential). A degree already
+	// carried by the caller's context — e.g. the HTTP layer's per-query
+	// ?parallelism= override — takes precedence. Budgets and results are
+	// identical at any degree; only wall-clock changes.
+	Parallelism int
 }

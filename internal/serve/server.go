@@ -10,6 +10,7 @@ import (
 
 	"mddm/internal/core"
 	"mddm/internal/dimension"
+	"mddm/internal/exec"
 	"mddm/internal/faultinject"
 	"mddm/internal/qos"
 	"mddm/internal/query"
@@ -78,6 +79,7 @@ func (s *Server) Query(ctx context.Context, src string) (res *query.Result, err 
 	if s.limits.MaxFactsScanned > 0 {
 		ctx = qos.WithFactBudget(ctx, s.limits.MaxFactsScanned)
 	}
+	ctx = s.withParallelism(ctx)
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
@@ -96,6 +98,15 @@ func (s *Server) Query(ctx context.Context, src string) (res *query.Result, err 
 			len(res.Rows), s.limits.MaxResultRows, qos.ErrResourceExhausted)
 	}
 	return res, nil
+}
+
+// withParallelism installs the server's default parallelism degree into
+// the context unless the caller already carries a per-query override.
+func (s *Server) withParallelism(ctx context.Context) context.Context {
+	if s.limits.Parallelism > 1 && exec.DegreeFrom(ctx) == 0 {
+		ctx = exec.WithParallelism(ctx, s.limits.Parallelism)
+	}
+	return ctx
 }
 
 // AggRequest addresses one cached aggregate: the MO, the grouping
@@ -143,6 +154,7 @@ func (s *Server) Aggregate(ctx context.Context, req AggRequest) (out *AggResult,
 		ctx, cancel = context.WithTimeout(ctx, s.limits.Timeout)
 		defer cancel()
 	}
+	ctx = s.withParallelism(ctx)
 	snap, degraded, serr := s.snapshotFor(ctx, req.MO)
 	if serr != nil {
 		return nil, serr

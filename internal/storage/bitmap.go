@@ -51,6 +51,66 @@ func (b *Bitmap) Count() int {
 	return c
 }
 
+// CountRange returns the population count within the half-open index
+// range [lo, hi) — the per-partition evaluation primitive of the parallel
+// execution engine. Out-of-universe bounds are clamped.
+func (b *Bitmap) CountRange(lo, hi int) int {
+	lo, hi = b.clamp(lo, hi)
+	if lo >= hi {
+		return 0
+	}
+	c := 0
+	lw, hw := lo>>6, (hi-1)>>6
+	for wi := lw; wi <= hw; wi++ {
+		w := b.words[wi]
+		if wi == lw {
+			w &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if wi == hw && hi&63 != 0 {
+			w &= ^uint64(0) >> (64 - uint(hi)&63)
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCountRange returns |b ∧ o| within [lo, hi) without materializing the
+// intersection — the zero-allocation cross-tab cell primitive.
+func (b *Bitmap) AndCountRange(o *Bitmap, lo, hi int) int {
+	lo, hi = b.clamp(lo, hi)
+	if lo >= hi {
+		return 0
+	}
+	c := 0
+	lw, hw := lo>>6, (hi-1)>>6
+	for wi := lw; wi <= hw; wi++ {
+		var ow uint64
+		if wi < len(o.words) {
+			ow = o.words[wi]
+		}
+		w := b.words[wi] & ow
+		if wi == lw {
+			w &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if wi == hw && hi&63 != 0 {
+			w &= ^uint64(0) >> (64 - uint(hi)&63)
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// clamp bounds [lo, hi) to the universe.
+func (b *Bitmap) clamp(lo, hi int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	return lo, hi
+}
+
 // Or folds the other bitmap into this one (in place) and returns the
 // receiver.
 func (b *Bitmap) Or(o *Bitmap) *Bitmap {
@@ -70,6 +130,27 @@ func (b *Bitmap) And(o *Bitmap) *Bitmap {
 		} else {
 			b.words[i] = 0
 		}
+	}
+	return b
+}
+
+// AndInto sets the receiver to x ∧ y, reusing the receiver's storage — the
+// scratch-bitmap operation the cross-tab hot path uses instead of
+// allocating a clone per cell pair. The receiver's universe is resized to
+// x's; x and y are not modified (the receiver must not alias either).
+func (b *Bitmap) AndInto(x, y *Bitmap) *Bitmap {
+	nw := len(x.words)
+	if cap(b.words) < nw {
+		b.words = make([]uint64, nw)
+	}
+	b.words = b.words[:nw]
+	b.n = x.n
+	for i := range b.words {
+		var yw uint64
+		if i < len(y.words) {
+			yw = y.words[i]
+		}
+		b.words[i] = x.words[i] & yw
 	}
 	return b
 }
@@ -105,6 +186,32 @@ func (b *Bitmap) IsEmpty() bool {
 // returning false stops the iteration.
 func (b *Bitmap) Iterate(fn func(i int) bool) {
 	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// IterateRange calls fn for every marked index in [lo, hi) in ascending
+// order; fn returning false stops the iteration.
+func (b *Bitmap) IterateRange(lo, hi int, fn func(i int) bool) {
+	lo, hi = b.clamp(lo, hi)
+	if lo >= hi {
+		return
+	}
+	lw, hw := lo>>6, (hi-1)>>6
+	for wi := lw; wi <= hw; wi++ {
+		w := b.words[wi]
+		if wi == lw {
+			w &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if wi == hw && hi&63 != 0 {
+			w &= ^uint64(0) >> (64 - uint(hi)&63)
+		}
 		for w != 0 {
 			bit := bits.TrailingZeros64(w)
 			if !fn(wi<<6 + bit) {

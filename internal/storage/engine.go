@@ -9,6 +9,7 @@ import (
 
 	"mddm/internal/core"
 	"mddm/internal/dimension"
+	"mddm/internal/exec"
 	"mddm/internal/faultinject"
 	"mddm/internal/qos"
 )
@@ -224,8 +225,14 @@ func (e *Engine) CountDistinctBy(dim, cat string) map[string]int {
 }
 
 // CountDistinctByContext is CountDistinctBy with cooperative cancellation
-// and fact-budget accounting.
+// and fact-budget accounting. When the context carries a parallelism
+// degree above 1 (exec.WithParallelism), the evaluation is
+// partition-parallel; the result and the budget charged are identical
+// either way.
 func (e *Engine) CountDistinctByContext(ctx context.Context, dim, cat string) (map[string]int, error) {
+	if deg := exec.DegreeFrom(ctx); deg > 1 {
+		return e.countDistinctByParallel(ctx, dim, cat, deg)
+	}
 	return e.countDistinctBy(qos.NewGuard(ctx), dim, cat)
 }
 
@@ -284,8 +291,14 @@ func (e *Engine) SumBy(dim, cat, argDim string) map[string]float64 {
 	return out
 }
 
-// SumByContext is SumBy with cooperative cancellation.
+// SumByContext is SumBy with cooperative cancellation. A context-carried
+// parallelism degree above 1 routes to the partition-parallel path, which
+// merges per-partition SUM states in ascending partition order — exact
+// for integer-valued measures.
 func (e *Engine) SumByContext(ctx context.Context, dim, cat, argDim string) (map[string]float64, error) {
+	if deg := exec.DegreeFrom(ctx); deg > 1 {
+		return e.sumByParallel(ctx, dim, cat, argDim, deg)
+	}
 	return e.sumBy(qos.NewGuard(ctx), dim, cat, argDim)
 }
 

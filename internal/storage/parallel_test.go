@@ -1,0 +1,357 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/dimension"
+	"mddm/internal/exec"
+	"mddm/internal/qos"
+)
+
+// degrees exercises even splits, a prime degree, and oversubscription
+// beyond the universe's partition count.
+var degrees = []int{2, 3, 4, 8}
+
+func randomBitmap(r *rand.Rand, n int, density float64) *Bitmap {
+	bm := NewBitmap(n)
+	for i := 0; i < n; i++ {
+		if r.Float64() < density {
+			bm.Set(i)
+		}
+	}
+	return bm
+}
+
+func TestBitmapRangeOps(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 63, 64, 65, 200, 1000} {
+		a := randomBitmap(r, n, 0.3)
+		b := randomBitmap(r, n, 0.6)
+		// Ranges deliberately cross word boundaries and the universe edge.
+		ranges := [][2]int{{0, n}, {-5, n + 7}, {1, 63}, {63, 65}, {7, 130}, {n / 2, n}, {n, n}, {5, 5}}
+		for _, lh := range ranges {
+			lo, hi := lh[0], lh[1]
+			wantCount, wantAnd := 0, 0
+			var wantIdx []int
+			for i := 0; i < n; i++ {
+				if i < lo || i >= hi || !a.Has(i) {
+					continue
+				}
+				wantCount++
+				wantIdx = append(wantIdx, i)
+				if b.Has(i) {
+					wantAnd++
+				}
+			}
+			if got := a.CountRange(lo, hi); got != wantCount {
+				t.Errorf("n=%d CountRange(%d,%d) = %d, want %d", n, lo, hi, got, wantCount)
+			}
+			if got := a.AndCountRange(b, lo, hi); got != wantAnd {
+				t.Errorf("n=%d AndCountRange(%d,%d) = %d, want %d", n, lo, hi, got, wantAnd)
+			}
+			var gotIdx []int
+			a.IterateRange(lo, hi, func(i int) bool {
+				gotIdx = append(gotIdx, i)
+				return true
+			})
+			if fmt.Sprint(gotIdx) != fmt.Sprint(wantIdx) {
+				t.Errorf("n=%d IterateRange(%d,%d) = %v, want %v", n, lo, hi, gotIdx, wantIdx)
+			}
+		}
+		// Partition counts must tile the full popcount.
+		total := 0
+		for lo := 0; lo < n; lo += 64 {
+			hi := lo + 64
+			if hi > n {
+				hi = n
+			}
+			total += a.CountRange(lo, hi)
+		}
+		if total != a.Count() {
+			t.Errorf("n=%d tiled CountRange = %d, want %d", n, total, a.Count())
+		}
+	}
+}
+
+func TestBitmapAndInto(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	scratch := NewBitmap(0)
+	for _, n := range []int{0, 64, 130, 500} {
+		a := randomBitmap(r, n, 0.4)
+		b := randomBitmap(r, n, 0.4)
+		aw, bw := a.Count(), b.Count()
+		want := a.Clone().And(b)
+		got := scratch.AndInto(a, b)
+		if got != scratch {
+			t.Fatal("AndInto must return its receiver")
+		}
+		if got.Len() != want.Len() || got.Count() != want.Count() {
+			t.Fatalf("n=%d AndInto count = %d, want %d", n, got.Count(), want.Count())
+		}
+		for i := 0; i < n; i++ {
+			if got.Has(i) != want.Has(i) {
+				t.Fatalf("n=%d AndInto bit %d = %v, want %v", n, i, got.Has(i), want.Has(i))
+			}
+		}
+		if a.Count() != aw || b.Count() != bw {
+			t.Fatal("AndInto mutated an operand")
+		}
+	}
+	// A wide result after a narrow one must not keep stale high words.
+	wide := NewBitmap(256)
+	wide.Set(200)
+	scratch.AndInto(wide, wide)
+	scratch.AndInto(NewBitmap(64), NewBitmap(64))
+	if scratch.Count() != 0 || scratch.Len() != 64 {
+		t.Errorf("scratch reuse leaked: count=%d len=%d", scratch.Count(), scratch.Len())
+	}
+}
+
+// genVariants returns the differential-test corpus: the fully featured
+// generator output (non-strict hierarchy, churn, probabilistic pairs), a
+// strict/certain variant, and a larger universe that forces many
+// partitions.
+func genVariants(t *testing.T) map[string]*Engine {
+	t.Helper()
+	out := map[string]*Engine{}
+	full := casestudy.DefaultGen()
+	full.Patients = 150
+	strict := casestudy.DefaultGen()
+	strict.Patients = 150
+	strict.NonStrict = false
+	strict.Churn = false
+	strict.UncertainFrac = 0
+	big := casestudy.DefaultGen()
+	big.Patients = 700
+	for name, cfg := range map[string]casestudy.GenConfig{"full": full, "strict": strict, "big": big} {
+		m, err := casestudy.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = NewEngine(m, dimension.CurrentContext(ref))
+	}
+	return out
+}
+
+func TestParallelCountDistinctMatchesSequential(t *testing.T) {
+	for name, e := range genVariants(t) {
+		for _, dimCat := range [][2]string{
+			{casestudy.DimDiagnosis, casestudy.CatGroup},
+			{casestudy.DimDiagnosis, casestudy.CatFamily},
+			{casestudy.DimResidence, casestudy.CatCounty},
+			{casestudy.DimAge, casestudy.CatTenYear},
+		} {
+			want, err := e.CountDistinctByContext(context.Background(), dimCat[0], dimCat[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, deg := range degrees {
+				ctx := exec.WithParallelism(context.Background(), deg)
+				got, err := e.CountDistinctByContext(ctx, dimCat[0], dimCat[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Errorf("%s %s/%s deg=%d: %v, want %v", name, dimCat[0], dimCat[1], deg, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSumByMatchesSequential(t *testing.T) {
+	for name, e := range genVariants(t) {
+		for _, dimCat := range [][2]string{
+			{casestudy.DimDiagnosis, casestudy.CatGroup},
+			{casestudy.DimResidence, casestudy.CatRegion},
+			{casestudy.DimAge, casestudy.CatTenYear},
+		} {
+			want, err := e.SumByContext(context.Background(), dimCat[0], dimCat[1], casestudy.DimAge)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, deg := range degrees {
+				ctx := exec.WithParallelism(context.Background(), deg)
+				got, err := e.SumByContext(ctx, dimCat[0], dimCat[1], casestudy.DimAge)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s %s/%s deg=%d: %d sums, want %d", name, dimCat[0], dimCat[1], deg, len(got), len(want))
+				}
+				for v, w := range want {
+					// Ages are integers, so the re-associated partition sums
+					// must be bit-identical to the sequential fold.
+					if got[v] != w {
+						t.Errorf("%s %s/%s deg=%d %s: %v, want %v", name, dimCat[0], dimCat[1], deg, v, got[v], w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelCrossCountMatchesSequential(t *testing.T) {
+	for name, e := range genVariants(t) {
+		want := e.CrossCount(casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatCounty)
+		seq, err := e.CrossCountContext(context.Background(), casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatCounty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(seq) != fmt.Sprint(want) {
+			t.Errorf("%s: sequential context path diverged: %v, want %v", name, seq, want)
+		}
+		for _, deg := range degrees {
+			ctx := exec.WithParallelism(context.Background(), deg)
+			got, err := e.CrossCountContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatCounty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("%s deg=%d: %v, want %v", name, deg, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelBudgetParity pins that a query charges the same fact budget
+// at every degree: the same total spend, and the same exhaustion verdict
+// under a tight budget.
+func TestParallelBudgetParity(t *testing.T) {
+	m := casestudy.MustGenerate(casestudy.DefaultGen())
+	e := NewEngine(m, dimension.CurrentContext(ref))
+	spend := func(deg int) int64 {
+		ctx := qos.WithFactBudget(context.Background(), 1<<40)
+		if deg > 1 {
+			ctx = exec.WithParallelism(ctx, deg)
+		}
+		if _, err := e.CountDistinctByContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.SumByContext(ctx, casestudy.DimAge, casestudy.CatTenYear, casestudy.DimAge); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.CrossCountContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatCounty); err != nil {
+			t.Fatal(err)
+		}
+		return qos.BudgetFrom(ctx).Spent()
+	}
+	want := spend(1)
+	if want == 0 {
+		t.Fatal("sequential run spent no budget")
+	}
+	for _, deg := range degrees {
+		if got := spend(deg); got != want {
+			t.Errorf("deg=%d spent %d facts, want %d", deg, got, want)
+		}
+	}
+	// Exhaustion must surface at any degree.
+	for _, deg := range []int{1, 4} {
+		ctx := qos.WithFactBudget(context.Background(), 3)
+		ctx = exec.WithParallelism(ctx, deg)
+		if _, err := e.CountDistinctByContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup); err == nil {
+			t.Errorf("deg=%d: tight budget must exhaust", deg)
+		}
+	}
+}
+
+// TestParallelQueryCancellation pins prompt cooperative cancellation: a
+// canceled context stops all partitions and returns qos.ErrCanceled.
+func TestParallelQueryCancellation(t *testing.T) {
+	m := casestudy.MustGenerate(casestudy.DefaultGen())
+	e := NewEngine(m, dimension.CurrentContext(ref))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx = exec.WithParallelism(ctx, 4)
+	if _, err := e.CountDistinctByContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup); err == nil {
+		t.Error("canceled parallel count must fail")
+	}
+	if _, err := e.CrossCountContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatCounty); err == nil {
+		t.Error("canceled parallel cross-count must fail")
+	}
+}
+
+// TestParallelQueriesRaceWithAppends is the stress mix the race detector
+// watches: parallel readers at several degrees interleaved with
+// incremental appends. The MO is fully prepared single-threaded (the MO
+// itself is read-only once goroutines start); the engine is the only
+// shared mutable state. Counts are checked to never go below the base
+// population — the frozen views must be consistent snapshots.
+func TestParallelQueriesRaceWithAppends(t *testing.T) {
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = 80
+	m := casestudy.MustGenerate(cfg)
+	e := NewEngine(m, dimension.CurrentContext(ref))
+	e.CountDistinctBy(casestudy.DimDiagnosis, casestudy.CatGroup) // warm closures
+
+	diag := m.Dimension(casestudy.DimDiagnosis)
+	lows := diag.Category(casestudy.CatLowLevel)
+	const extra = 40
+	ids := make([]string, extra)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("pnew%d", i)
+		if err := m.Relate(casestudy.DimDiagnosis, ids[i], lows[i%len(lows)]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Relate(casestudy.DimResidence, ids[i], "A0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, id := range ids {
+			if err := e.AppendFact(id); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		deg := []int{2, 4, 8}[r]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := exec.WithParallelism(context.Background(), deg)
+			for i := 0; i < 30; i++ {
+				counts, err := e.CountDistinctByContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				total := 0
+				for _, n := range counts {
+					total += n
+				}
+				if total < cfg.Patients {
+					t.Errorf("lost facts: %d < %d", total, cfg.Patients)
+					return
+				}
+				if _, err := e.CrossCountContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimResidence, casestudy.CatCounty); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// After the dust settles every degree agrees with sequential again.
+	want, _ := e.CountDistinctByContext(context.Background(), casestudy.DimDiagnosis, casestudy.CatGroup)
+	for _, deg := range degrees {
+		got, err := e.CountDistinctByContext(exec.WithParallelism(context.Background(), deg), casestudy.DimDiagnosis, casestudy.CatGroup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("post-append deg=%d: %v, want %v", deg, got, want)
+		}
+	}
+}
