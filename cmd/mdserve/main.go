@@ -21,6 +21,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +41,7 @@ func main() {
 	maxFacts := flag.Int64("max-facts", 10_000_000, "per-query scanned-facts limit (0 disables)")
 	parallelism := flag.Int("parallelism", 1, "default partition-parallel degree per query (1 = sequential; ?parallelism= overrides per query)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "drain window on SIGINT/SIGTERM")
+	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus text format) and GET /debug/queries")
 	selfcheck := flag.Bool("selfcheck", false, "start on a loopback port, run one query through HTTP, and exit")
 	flag.Parse()
 
@@ -62,9 +64,19 @@ func main() {
 		Parallelism:     *parallelism,
 	}, ref)
 
+	handler := srv.Handler()
+	if *metrics {
+		// The observability surface is opt-in: the default handler set is
+		// byte-for-byte what it was before the flag existed.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/metrics", srv.MetricsHandler())
+		mux.Handle("/debug/queries", srv.ActiveQueriesHandler())
+		handler = mux
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -72,7 +84,7 @@ func main() {
 	}
 
 	if *selfcheck {
-		if err := runSelfcheck(hs); err != nil {
+		if err := runSelfcheck(hs, *metrics); err != nil {
 			fatal(err)
 		}
 		return
@@ -112,8 +124,9 @@ func buildMO(n int, seed int64) (*core.MO, error) {
 
 // runSelfcheck binds a loopback listener, serves on it, and round-trips
 // one query plus the health probe through real HTTP — the smoke test the
-// command-line integration tests call.
-func runSelfcheck(hs *http.Server) error {
+// command-line integration tests call. With -metrics it also scrapes
+// /metrics and checks the exposition contains the serving-layer series.
+func runSelfcheck(hs *http.Server, metrics bool) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -149,6 +162,38 @@ func runSelfcheck(hs *http.Server) error {
 	}
 	if len(out.Rows) == 0 {
 		return fmt.Errorf("selfcheck: query returned no rows")
+	}
+	if metrics {
+		mresp, err := http.Get(base + "/metrics")
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(io.LimitReader(mresp.Body, 1<<20))
+		mresp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if mresp.StatusCode != http.StatusOK {
+			return fmt.Errorf("selfcheck: /metrics returned %s", mresp.Status)
+		}
+		for _, want := range []string{
+			"mddm_serve_queries_total",
+			"mddm_serve_engine_cache_total",
+			"mddm_operator_seconds",
+		} {
+			if !strings.Contains(string(body), want) {
+				return fmt.Errorf("selfcheck: /metrics missing %s", want)
+			}
+		}
+		dresp, err := http.Get(base + "/debug/queries")
+		if err != nil {
+			return err
+		}
+		dresp.Body.Close()
+		if dresp.StatusCode != http.StatusOK {
+			return fmt.Errorf("selfcheck: /debug/queries returned %s", dresp.Status)
+		}
+		fmt.Println("selfcheck ok: metrics surface up")
 	}
 	fmt.Printf("selfcheck ok: %d rows, columns %v\n", len(out.Rows), out.Columns)
 	return nil

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"mddm/internal/agg"
 	"mddm/internal/core"
 	"mddm/internal/dimension"
 	"mddm/internal/exec"
 	"mddm/internal/fact"
+	"mddm/internal/obs"
 	"mddm/internal/qos"
 	"mddm/internal/temporal"
 )
@@ -88,6 +90,12 @@ func Aggregate(m *core.MO, spec AggSpec, ctx dimension.Context) (*AggResult, err
 // within a bounded number of iterations, and a serving-layer fact budget
 // stops runaway scans with a typed qos.ErrResourceExhausted.
 func AggregateContext(cctx context.Context, m *core.MO, spec AggSpec, ctx dimension.Context) (*AggResult, error) {
+	start := time.Now()
+	sp := obs.StartSpan(cctx, "algebra.aggregate")
+	defer func() {
+		mOpAggregate.Observe(time.Since(start))
+		sp.End()
+	}()
 	guard := qos.NewGuard(cctx)
 	if err := guard.CheckNow(); err != nil {
 		return nil, fmt.Errorf("algebra: aggregate: %w", err)
@@ -285,6 +293,11 @@ func AggregateContext(cctx context.Context, m *core.MO, spec AggSpec, ctx dimens
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	sp.SetAttr("facts", int64(len(factIDs)))
+	sp.SetAttr("groups", int64(len(keys)))
+	if degree > 1 {
+		sp.SetAttr("degree", int64(degree))
+	}
 
 	// Phase B — evaluate each group: the group fact, the R'_i annotations,
 	// and g(group). Each group is evaluated wholly by one worker with a

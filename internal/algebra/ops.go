@@ -3,11 +3,26 @@ package algebra
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"mddm/internal/core"
 	"mddm/internal/dimension"
 	"mddm/internal/fact"
+	"mddm/internal/obs"
 	"mddm/internal/qos"
+)
+
+// Per-operator latency histograms, one family shared with the query
+// layer's parse timing (mddm_operator_seconds{op=…}). Each operator
+// records once per invocation — the per-fact loops inside stay untouched.
+var (
+	opSecondsHelp = "Latency of one operator invocation, by operator."
+	mOpSelect     = obs.NewHistogram("mddm_operator_seconds", opSecondsHelp,
+		obs.DurationBuckets, obs.Label{Key: "op", Value: "select"})
+	mOpProject = obs.NewHistogram("mddm_operator_seconds", opSecondsHelp,
+		obs.DurationBuckets, obs.Label{Key: "op", Value: "project"})
+	mOpAggregate = obs.NewHistogram("mddm_operator_seconds", opSecondsHelp,
+		obs.DurationBuckets, obs.Label{Key: "op", Value: "aggregate"})
 )
 
 // Select implements the selection operator σ[p](M): the facts are
@@ -23,6 +38,13 @@ func Select(m *core.MO, p Predicate, ctx dimension.Context) *core.MO {
 // SelectContext is Select with cooperative cancellation and fact-budget
 // accounting over the fact scan.
 func SelectContext(cctx context.Context, m *core.MO, p Predicate, ctx dimension.Context) (*core.MO, error) {
+	start := time.Now()
+	sp := obs.StartSpan(cctx, "algebra.select")
+	sp.SetAttr("facts_in", int64(m.Facts().Len()))
+	defer func() {
+		mOpSelect.Observe(time.Since(start))
+		sp.End()
+	}()
 	guard := qos.NewGuard(cctx)
 	out := m.ShallowCloneSharing()
 	keep := map[string]bool{}
@@ -50,6 +72,7 @@ func SelectContext(cctx context.Context, m *core.MO, p Predicate, ctx dimension.
 // values" are not removed — several facts may be characterized by the same
 // combination of dimension values.
 func Project(m *core.MO, dims ...string) (*core.MO, error) {
+	defer func(start time.Time) { mOpProject.Observe(time.Since(start)) }(time.Now())
 	s, err := m.Schema().Project(dims...)
 	if err != nil {
 		return nil, err

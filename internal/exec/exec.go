@@ -29,9 +29,33 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mddm/internal/faultinject"
+	"mddm/internal/obs"
 	"mddm/internal/qos"
+)
+
+// Execution metrics, all at Run granularity (one Run per operator phase,
+// never per fact). The mode label separates genuinely-parallel runs from
+// the two sequential paths: "sequential" (degree <= 1 requested) and
+// "degraded" (parallelism requested but the shared pool was saturated) —
+// the degrade-don't-queue policy made visible.
+var (
+	mRunsSeq = obs.NewCounter("mddm_exec_runs_total",
+		"Partition runs by execution mode.", obs.Label{Key: "mode", Value: "sequential"})
+	mRunsDegraded = obs.NewCounter("mddm_exec_runs_total",
+		"Partition runs by execution mode.", obs.Label{Key: "mode", Value: "degraded"})
+	mRunsPar = obs.NewCounter("mddm_exec_runs_total",
+		"Partition runs by execution mode.", obs.Label{Key: "mode", Value: "parallel"})
+	mRunTasks = obs.NewValueHistogram("mddm_exec_run_tasks",
+		"Partition count per Run call.", obs.CountBuckets)
+	mExtraWorkers = obs.NewValueHistogram("mddm_exec_extra_workers",
+		"Pool-granted extra workers per parallel Run.", obs.CountBuckets)
+	mWorkerBusy = obs.NewTimeCounter("mddm_exec_worker_busy_seconds_total",
+		"Cumulative time partition workers (including the coordinator) spent running tasks.")
+	mMergeWait = obs.NewTimeCounter("mddm_exec_merge_wait_seconds_total",
+		"Cumulative time coordinators waited at the merge barrier after finishing their own share.")
 )
 
 // Range is one partition of the dense fact universe: the half-open index
@@ -193,6 +217,8 @@ func Run(ctx context.Context, pool *Pool, degree, tasks int, fn func(task int) e
 		degree = tasks
 	}
 	if degree <= 1 {
+		mRunsSeq.Inc()
+		mRunTasks.ObserveValue(float64(tasks))
 		return runSeq(ctx, tasks, fn)
 	}
 	if pool == nil {
@@ -200,9 +226,17 @@ func Run(ctx context.Context, pool *Pool, degree, tasks int, fn func(task int) e
 	}
 	extra := pool.TryAcquire(degree - 1)
 	if extra == 0 {
+		mRunsDegraded.Inc()
+		mRunTasks.ObserveValue(float64(tasks))
 		return runSeq(ctx, tasks, fn)
 	}
 	defer pool.Release(extra)
+	mRunsPar.Inc()
+	mRunTasks.ObserveValue(float64(tasks))
+	mExtraWorkers.ObserveValue(float64(extra))
+	sp := obs.StartSpan(ctx, "exec.run")
+	sp.SetAttr("tasks", int64(tasks))
+	sp.SetAttr("extra_workers", int64(extra))
 
 	var (
 		next     atomic.Int64
@@ -221,7 +255,11 @@ func Run(ctx context.Context, pool *Pool, degree, tasks int, fn func(task int) e
 		stop.Store(true)
 	}
 	work := func() {
+		busyStart := time.Now()
 		defer wg.Done()
+		// Registered after wg.Done so it runs before it (LIFO): the busy
+		// time is fully recorded before the merge barrier releases.
+		defer func() { mWorkerBusy.Add(time.Since(busyStart)) }()
 		defer func() {
 			if r := recover(); r != nil {
 				mu.Lock()
@@ -256,7 +294,12 @@ func Run(ctx context.Context, pool *Pool, degree, tasks int, fn func(task int) e
 		go work()
 	}
 	work() // the coordinator is a worker too
+	waitStart := time.Now()
 	wg.Wait()
+	mergeWait := time.Since(waitStart)
+	mMergeWait.Add(mergeWait)
+	sp.SetAttr("merge_wait_ns", mergeWait.Nanoseconds())
+	sp.End()
 	if wp != nil {
 		panic(wp)
 	}

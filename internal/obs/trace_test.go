@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUntracedContextIsNoop(t *testing.T) {
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil {
+		t.Fatal("phantom trace")
+	}
+	sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("span without trace")
+	}
+	// Every method must be nil-safe.
+	sp.SetAttr("k", 1)
+	sp.End()
+	var tr *Trace
+	tr.SetAttr("k", 1)
+	tr.Finish()
+	if tr.Summary() != nil {
+		t.Fatal("nil trace summarized")
+	}
+}
+
+func TestTraceRecordsSpans(t *testing.T) {
+	ctx, tr := WithTrace(context.Background(), "SELECT 1")
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace not in context")
+	}
+	sp := StartSpan(ctx, "algebra.select")
+	sp.SetAttr("facts", 42)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.SetAttr("rows", 7)
+	tr.Finish()
+
+	s := tr.Summary()
+	if s.Query != "SELECT 1" || s.ID == 0 {
+		t.Fatalf("summary header: %+v", s)
+	}
+	if s.TotalNs <= 0 {
+		t.Fatalf("total: %d", s.TotalNs)
+	}
+	if len(s.Spans) != 1 || s.Spans[0].Name != "algebra.select" {
+		t.Fatalf("spans: %+v", s.Spans)
+	}
+	if s.Spans[0].DurNs < int64(time.Millisecond) {
+		t.Fatalf("span duration: %d", s.Spans[0].DurNs)
+	}
+	if s.Spans[0].Attrs["facts"] != 42 || s.Attrs["rows"] != 7 {
+		t.Fatalf("attrs lost: %+v", s)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	ctx, tr := WithTrace(context.Background(), "q")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := StartSpan(ctx, "worker")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Finish().Summary().Spans); got != 400 {
+		t.Fatalf("spans: %d", got)
+	}
+}
+
+func TestInFlightSummaryShowsElapsed(t *testing.T) {
+	_, tr := WithTrace(context.Background(), "q")
+	time.Sleep(2 * time.Millisecond)
+	s := tr.Summary() // no Finish: the active-query inspector path
+	if s.TotalNs < int64(time.Millisecond) {
+		t.Fatalf("in-flight total: %d", s.TotalNs)
+	}
+}
+
+func TestTraceIDsAreUnique(t *testing.T) {
+	_, a := WithTrace(context.Background(), "a")
+	_, b := WithTrace(context.Background(), "b")
+	if a.ID == b.ID {
+		t.Fatal("duplicate trace ids")
+	}
+}

@@ -14,7 +14,16 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"mddm/internal/obs"
 )
+
+// Budget-level metrics: exhaustions are counted here at the moment the
+// limit trips (a cold path); the cumulative facts spent per query are
+// recorded by the serving layer when the query finishes, so the hot
+// Facts loop carries no extra atomics.
+var mBudgetExhausted = obs.NewCounter("mddm_qos_budget_exhausted_total",
+	"Queries stopped because their fact-scan budget ran out.")
 
 // ErrCanceled reports that a query was abandoned before completing —
 // because its context was canceled or its deadline expired. It wraps the
@@ -141,6 +150,7 @@ func (g *Guard) Facts(n int64) error {
 		return nil
 	}
 	if !g.budget.Spend(n) {
+		mBudgetExhausted.Inc()
 		return fmt.Errorf("%w: scanned more than the allowed facts (limit reached after %d)", ErrResourceExhausted, g.budget.Spent())
 	}
 	return g.Check()

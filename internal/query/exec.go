@@ -6,14 +6,22 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"mddm/internal/agg"
 	"mddm/internal/algebra"
 	"mddm/internal/core"
 	"mddm/internal/dimension"
+	"mddm/internal/obs"
 	"mddm/internal/qos"
 	"mddm/internal/temporal"
 )
+
+// Parse timing joins the operator family the algebra layer populates, so
+// one histogram answers "where does query time go" across the whole path.
+var mOpParse = obs.NewHistogram("mddm_operator_seconds",
+	"Latency of one operator invocation, by operator.",
+	obs.DurationBuckets, obs.Label{Key: "op", Value: "parse"})
 
 // Catalog names the MOs a query may address.
 type Catalog map[string]*core.MO
@@ -49,7 +57,11 @@ func Exec(src string, cat Catalog, ref temporal.Chronon) (*Result, error) {
 // partition-parallel when the degree exceeds 1, with results and budget
 // accounting identical to the sequential path (see docs/EXECUTION.md).
 func ExecContext(cctx context.Context, src string, cat Catalog, ref temporal.Chronon) (*Result, error) {
+	start := time.Now()
+	sp := obs.StartSpan(cctx, "query.parse")
 	q, err := Parse(src)
+	mOpParse.Observe(time.Since(start))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

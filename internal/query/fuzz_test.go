@@ -11,14 +11,19 @@ import (
 // re-execute deterministically. Under plain `go test` the seed corpus
 // runs; `go test -fuzz=FuzzParse` explores further.
 func FuzzParse(f *testing.F) {
+	// The first block mirrors the Examples section of docs/QUERY.md
+	// verbatim, so every documented query shape is in the corpus.
 	seeds := []string{
-		`SELECT SETCOUNT(*) FROM patients`,
 		`SELECT SETCOUNT(*) AS Count FROM patients GROUP BY Diagnosis."Diagnosis Group"`,
+		`SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Family" ASOF VALID '15/06/1975'`,
+		`SELECT EXPECTED(*) AS N FROM patients WHERE Diagnosis IN ('E10', 'E11') AND Age >= 40 GROUP BY Residence."Region" ORDER BY N DESC LIMIT 10`,
+		`SELECT AVG(Age) FROM patients WHERE Residence = 'R1'`,
+		`DESCRIBE patients Diagnosis`,
+		`SELECT SETCOUNT(*) FROM patients`,
 		`SELECT SUM(Age) FROM patients WHERE Residence = 'R1' AND Age > 40`,
 		`SELECT FACTS FROM patients WHERE (A = 'x' OR B.Code = 'y') AND NOT C >= 3`,
 		`SELECT AVG(Age) FROM patients ASOF VALID '15/06/1975' WITH PROB >= 0.9`,
 		`SELECT EXPECTED(*) FROM patients ORDER BY N DESC LIMIT 3`,
-		`DESCRIBE patients Diagnosis`,
 		`SELECT MIN(DOB) FROM patients GROUP BY Age."Ten-year Group", Residence`,
 		`'unclosed`,
 		`SELECT ((((`,

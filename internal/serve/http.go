@@ -11,6 +11,7 @@ import (
 
 	"mddm/internal/exec"
 	"mddm/internal/faultinject"
+	"mddm/internal/obs"
 )
 
 // maxHTTPParallelism caps the per-query ?parallelism= override: the pool
@@ -18,13 +19,15 @@ import (
 // an absurd goroutine fan-out.
 const maxHTTPParallelism = 64
 
-// queryResponse is the JSON shape of a /query answer.
+// queryResponse is the JSON shape of a /query answer. Trace is present
+// only when the request opted in with ?trace=1.
 type queryResponse struct {
-	Columns      []string   `json:"columns"`
-	Rows         [][]string `json:"rows"`
-	Summarizable bool       `json:"summarizable"`
-	Reasons      []string   `json:"reasons,omitempty"`
-	Warnings     []string   `json:"warnings,omitempty"`
+	Columns      []string          `json:"columns"`
+	Rows         [][]string        `json:"rows"`
+	Summarizable bool              `json:"summarizable"`
+	Reasons      []string          `json:"reasons,omitempty"`
+	Warnings     []string          `json:"warnings,omitempty"`
+	Trace        *obs.TraceSummary `json:"trace,omitempty"`
 }
 
 // errorResponse is the JSON shape of any failure.
@@ -36,8 +39,13 @@ type errorResponse struct {
 //
 //	GET/POST /query?q=…   run a query (POST may carry the query as the body);
 //	                      &parallelism=k overrides the server's default
-//	                      partition-parallel degree for this query (1 = sequential)
+//	                      partition-parallel degree for this query (1 = sequential);
+//	                      &trace=1 attaches a per-query trace summary to the response
 //	GET      /healthz     liveness probe
+//
+// The observability surface (/metrics, /debug/queries) is not mounted
+// here; cmd/mdserve mounts MetricsHandler and ActiveQueriesHandler behind
+// its -metrics flag.
 //
 // Failures map to status codes by kind: malformed requests and query
 // errors are 400, resource limits 429, cancellation/deadline 504, and
@@ -53,6 +61,12 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("serve: method %s not allowed on /query (use GET or POST)", r.Method))
+		return
+	}
 	src := r.URL.Query().Get("q")
 	if src == "" && r.Method == http.MethodPost {
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
@@ -78,6 +92,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// overrides the server default because WithParallelism stores it.
 		ctx = exec.WithParallelism(ctx, deg)
 	}
+	var tr *obs.Trace
+	if t := r.URL.Query().Get("trace"); t != "" {
+		on, err := strconv.ParseBool(t)
+		if err != nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("serve: invalid trace %q: want a boolean (1/0, true/false)", t))
+			return
+		}
+		if on {
+			ctx, tr = obs.WithTrace(ctx, src)
+		}
+	}
 	res, err := s.Query(ctx, src)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -89,6 +115,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Summarizable: res.Summarizable,
 		Reasons:      res.Reasons,
 		Warnings:     res.Warnings,
+		Trace:        tr.Finish().Summary(),
 	})
 }
 

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/dimension"
+	"mddm/internal/exec"
+	"mddm/internal/storage"
+)
+
+// TestMetricsScrapeUnderLoad is the race test for the observability
+// surface: /metrics and /debug/queries are scraped continuously while
+// parallel queries (traced and untraced) run through the HTTP API, the
+// catalog entry is re-registered to force engine-cache rebuilds, and a
+// bitmap engine is maintained by incremental appends. Every one of these
+// writes the shared metric registry; `go test -race` must stay silent.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	s, cat := newTestServer(t, Limits{Parallelism: 2, MaxFactsScanned: 1 << 20})
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.Handle("/metrics", s.MetricsHandler())
+	mux.Handle("/debug/queries", s.ActiveQueriesHandler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	// The incrementally maintained engine. All new facts are related to
+	// the MO up front — the MO is read-only once goroutines start; only
+	// AppendFact and the aggregation calls race on the engine itself.
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = 30
+	m := casestudy.MustGenerate(cfg)
+	eng := storage.NewEngine(m, dimension.CurrentContext(testRef))
+	const appends = 25
+	lows := m.Dimension(casestudy.DimDiagnosis).Category(casestudy.CatLowLevel)
+	for i := 0; i < appends; i++ {
+		id := fmt.Sprintf("new%d", i)
+		if err := m.Relate(casestudy.DimDiagnosis, id, lows[i%len(lows)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const iters = 25
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+
+	// Two scrapers: the full Prometheus exposition plus the in-flight
+	// query inspector, decoded on every pass.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					fail("scrape: %v", err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fail("scrape: status %d err %v", resp.StatusCode, err)
+					return
+				}
+				if !strings.Contains(string(body), "mddm_serve_queries_total") {
+					fail("scrape: exposition missing serve counters")
+					return
+				}
+				dresp, err := http.Get(ts.URL + "/debug/queries")
+				if err != nil {
+					fail("debug: %v", err)
+					return
+				}
+				var dq struct {
+					Queries []ActiveQuery `json:"queries"`
+				}
+				err = json.NewDecoder(dresp.Body).Decode(&dq)
+				dresp.Body.Close()
+				if err != nil {
+					fail("debug: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Two queriers, alternating traced and untraced parallel queries.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				u := ts.URL + "/query?parallelism=2&q=" + url.QueryEscape(groupQuery)
+				if (i+g)%2 == 0 {
+					u += "&trace=1"
+				}
+				resp, err := http.Get(u)
+				if err != nil {
+					fail("query: %v", err)
+					return
+				}
+				var qr queryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fail("query: status %d err %v", resp.StatusCode, err)
+					return
+				}
+				if (i+g)%2 == 0 && qr.Trace == nil {
+					fail("query: traced request returned no trace")
+					return
+				}
+			}
+		}(g)
+	}
+
+	// The registrar forces engine-cache rebuilds mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base := patientMO(t)
+		for i := 0; i < iters/5; i++ {
+			if err := cat.Register("patients", base.Clone()); err != nil {
+				fail("register: %v", err)
+				return
+			}
+		}
+	}()
+
+	// The appender grows the engine while a reader aggregates from it in
+	// parallel mode — incremental maintenance under observation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx := exec.WithParallelism(context.Background(), 2)
+		for i := 0; i < appends; i++ {
+			if err := eng.AppendFact(fmt.Sprintf("new%d", i)); err != nil {
+				fail("append: %v", err)
+				return
+			}
+			if _, err := eng.CountDistinctByContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup); err != nil {
+				fail("aggregate during append: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// After the dust settles the registry still renders a consistent
+	// exposition and the in-flight registry is empty.
+	if got := len(s.ActiveQueries()); got != 0 {
+		t.Errorf("%d queries still tracked after completion", got)
+	}
+}

@@ -7,11 +7,13 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mddm/internal/core"
 	"mddm/internal/dimension"
 	"mddm/internal/exec"
 	"mddm/internal/faultinject"
+	"mddm/internal/obs"
 	"mddm/internal/qos"
 	"mddm/internal/query"
 	"mddm/internal/storage"
@@ -29,6 +31,9 @@ type Server struct {
 	mu      sync.Mutex
 	engines map[string]*engineEntry
 
+	activeMu sync.Mutex
+	active   map[uint64]*activeQuery
+
 	queries     atomic.Int64
 	panics      atomic.Int64
 	rebuilds    atomic.Int64
@@ -37,7 +42,8 @@ type Server struct {
 
 // NewServer creates a server over the catalog. ref resolves NOW.
 func NewServer(cat *Catalog, limits Limits, ref temporal.Chronon) *Server {
-	return &Server{cat: cat, limits: limits, ref: ref, engines: map[string]*engineEntry{}}
+	return &Server{cat: cat, limits: limits, ref: ref,
+		engines: map[string]*engineEntry{}, active: map[uint64]*activeQuery{}}
 }
 
 // Stats is a snapshot of the server's counters.
@@ -71,6 +77,7 @@ func (s *Server) Stats() Stats {
 // process.
 func (s *Server) Query(ctx context.Context, src string) (res *query.Result, err error) {
 	s.queries.Add(1)
+	mQueries.Inc()
 	if s.limits.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.limits.Timeout)
@@ -80,9 +87,22 @@ func (s *Server) Query(ctx context.Context, src string) (res *query.Result, err 
 		ctx = qos.WithFactBudget(ctx, s.limits.MaxFactsScanned)
 	}
 	ctx = s.withParallelism(ctx)
+	mActive.Add(1)
+	aq := s.track(src, obs.TraceFrom(ctx))
+	start := time.Now()
+	// Registered before the recover defer so it runs after it (LIFO): the
+	// err it classifies is the panic-converted one, not a lost panic.
+	defer func() {
+		rows := 0
+		if res != nil {
+			rows = len(res.Rows)
+		}
+		s.finishQueryMetrics(ctx, aq, start, rows, res != nil, err)
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
+			mPanics.Inc()
 			res, err = nil, &InternalError{Query: src, Panic: r, Stack: debug.Stack()}
 		}
 	}()
@@ -94,6 +114,7 @@ func (s *Server) Query(ctx context.Context, src string) (res *query.Result, err 
 		return nil, err
 	}
 	if s.limits.MaxResultRows > 0 && len(res.Rows) > s.limits.MaxResultRows {
+		mRowLimitRejections.Inc()
 		return nil, fmt.Errorf("serve: result has %d rows, limit is %d: %w",
 			len(res.Rows), s.limits.MaxResultRows, qos.ErrResourceExhausted)
 	}
@@ -140,9 +161,11 @@ type AggResult struct {
 // failure with no prior snapshot is an error.
 func (s *Server) Aggregate(ctx context.Context, req AggRequest) (out *AggResult, err error) {
 	s.queries.Add(1)
+	mQueries.Inc()
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
+			mPanics.Inc()
 			out, err = nil, &InternalError{
 				Query: fmt.Sprintf("aggregate %s/%s.%s", req.MO, req.Dim, req.Cat),
 				Panic: r, Stack: debug.Stack(),
@@ -166,6 +189,7 @@ func (s *Server) Aggregate(ctx context.Context, req AggRequest) (out *AggResult,
 	out = &AggResult{Rows: rows, Generation: snap.gen}
 	if degraded != nil {
 		s.staleServes.Add(1)
+		mCacheStale.Inc()
 		out.Stale = true
 		out.Warnings = append(out.Warnings,
 			fmt.Sprintf("serving stale aggregates (generation %d): engine rebuild failed: %v", snap.gen, degraded))
@@ -224,6 +248,7 @@ func (s *Server) snapshotFor(ctx context.Context, name string) (*snapshotState, 
 	if e.last != nil && e.last.source == m {
 		snap := e.last
 		e.mu.Unlock()
+		mCacheHit.Inc()
 		return snap, nil, nil
 	}
 	if b := e.inflight; b != nil {
@@ -240,6 +265,7 @@ func (s *Server) snapshotFor(ctx context.Context, name string) (*snapshotState, 
 	e.mu.Unlock()
 
 	s.rebuilds.Add(1)
+	mCacheRebuild.Inc()
 	eng, err := storage.BuildEngine(ctx, m, dimension.CurrentContext(s.ref))
 
 	e.mu.Lock()

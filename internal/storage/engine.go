@@ -11,7 +11,21 @@ import (
 	"mddm/internal/dimension"
 	"mddm/internal/exec"
 	"mddm/internal/faultinject"
+	"mddm/internal/obs"
 	"mddm/internal/qos"
+)
+
+// Storage metrics. Bitmap scans are counted once per aggregation call
+// (folding a local tally), not per fact, so the hot popcount loops stay
+// atomic-free; closure expansions count only the memoization cold path —
+// after warmup the counter goes quiet, which is itself the signal.
+var (
+	mEngineBuilds = obs.NewCounter("mddm_storage_engine_builds_total",
+		"Engine snapshots built (index construction runs).")
+	mClosureExpansions = obs.NewCounter("mddm_storage_closure_expansions_total",
+		"Rollup closure bitmaps computed and memoized (cold-path work).")
+	mBitmapScans = obs.NewCounter("mddm_storage_bitmap_scans_total",
+		"Closure bitmaps scanned (popcounted or iterated) by aggregation paths.")
 )
 
 // Engine is a read-optimized snapshot of an MO evaluated under a fixed
@@ -109,6 +123,7 @@ func BuildEngine(ctx context.Context, m *core.MO, ectx dimension.Context) (*Engi
 		}
 		e.dims[name] = di
 	}
+	mEngineBuilds.Inc()
 	return e, nil
 }
 
@@ -213,6 +228,7 @@ func (e *Engine) closure(g *qos.Guard, dim string, di *dimIndex, value string, o
 	}
 	delete(onPath, value)
 	di.closure[value] = bm
+	mClosureExpansions.Inc()
 	return bm, nil
 }
 
@@ -241,6 +257,7 @@ func (e *Engine) countDistinctBy(g *qos.Guard, dim, cat string) (map[string]int,
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := map[string]int{}
+	scanned := int64(0)
 	for _, v := range d.CategoryAt(cat, e.ctx) {
 		if err := g.Check(); err != nil {
 			return nil, err
@@ -249,6 +266,7 @@ func (e *Engine) countDistinctBy(g *qos.Guard, dim, cat string) (map[string]int,
 		if err != nil {
 			return nil, err
 		}
+		scanned++
 		c := bm.Count()
 		if err := g.Facts(int64(c)); err != nil {
 			return nil, fmt.Errorf("storage: count-distinct %s/%s: %w", dim, cat, err)
@@ -257,6 +275,7 @@ func (e *Engine) countDistinctBy(g *qos.Guard, dim, cat string) (map[string]int,
 			out[v] = c
 		}
 	}
+	mBitmapScans.Add(scanned)
 	return out, nil
 }
 
@@ -308,6 +327,7 @@ func (e *Engine) sumBy(g *qos.Guard, dim, cat, argDim string) (map[string]float6
 	defer e.mu.Unlock()
 	vals := e.argValues(argDim)
 	out := map[string]float64{}
+	scanned := int64(0)
 	for _, v := range d.CategoryAt(cat, e.ctx) {
 		if err := g.Check(); err != nil {
 			return nil, err
@@ -319,6 +339,7 @@ func (e *Engine) sumBy(g *qos.Guard, dim, cat, argDim string) (map[string]float6
 		if err := g.Facts(int64(bm.Count())); err != nil {
 			return nil, fmt.Errorf("storage: sum %s/%s: %w", dim, cat, err)
 		}
+		scanned++
 		sum := 0.0
 		any := false
 		bm.Iterate(func(i int) bool {
@@ -332,6 +353,7 @@ func (e *Engine) sumBy(g *qos.Guard, dim, cat, argDim string) (map[string]float6
 			out[v] = sum
 		}
 	}
+	mBitmapScans.Add(scanned)
 	return out, nil
 }
 

@@ -54,6 +54,7 @@ func (e *Engine) countDistinctByParallel(ctx context.Context, dim, cat string, d
 	if err != nil {
 		return nil, err
 	}
+	mBitmapScans.Add(int64(len(bms)))
 	parts := exec.Partitions(n, degree)
 	partial := make([][]int, len(parts))
 	if err := exec.Run(ctx, nil, degree, len(parts), func(p int) error {
@@ -110,6 +111,7 @@ func (e *Engine) sumByParallel(ctx context.Context, dim, cat, argDim string, deg
 	}
 	e.mu.Unlock()
 
+	mBitmapScans.Add(int64(len(bms)))
 	sum := agg.MustLookup("SUM")
 	parts := exec.Partitions(n, degree)
 	partial := make([][]agg.State, len(parts))

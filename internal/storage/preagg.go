@@ -8,6 +8,21 @@ import (
 	"sync"
 
 	"mddm/internal/faultinject"
+	"mddm/internal/obs"
+)
+
+// Pre-aggregate reuse outcomes, the process-wide view of the per-cache
+// Hits/Misses fields: "hit" is a cache answer or a guard-approved rollup,
+// "miss" is a materialize-on-demand, and "fallback" is the
+// summarizability guard rejecting reuse and forcing a base-cube recompute
+// — the paper's §3.4 safety rule firing in production.
+var (
+	mPreaggHits = obs.NewCounter("mddm_storage_preagg_total",
+		"Pre-aggregate reuse decisions by outcome.", obs.Label{Key: "outcome", Value: "hit"})
+	mPreaggMisses = obs.NewCounter("mddm_storage_preagg_total",
+		"Pre-aggregate reuse decisions by outcome.", obs.Label{Key: "outcome", Value: "miss"})
+	mPreaggFallbacks = obs.NewCounter("mddm_storage_preagg_total",
+		"Pre-aggregate reuse decisions by outcome.", obs.Label{Key: "outcome", Value: "fallback"})
 )
 
 // This file implements the summarizability-guarded pre-aggregate cache:
@@ -96,11 +111,13 @@ func (c *Cache) AggregateContext(ctx context.Context, dim, cat string, kind AggK
 		c.mu.Lock()
 		c.Hits++
 		c.mu.Unlock()
+		mPreaggHits.Inc()
 		return m.Rows, nil
 	}
 	c.mu.Lock()
 	c.Misses++
 	c.mu.Unlock()
+	mPreaggMisses.Inc()
 	m, err := c.MaterializeContext(ctx, dim, cat, kind, arg)
 	if err != nil {
 		return nil, err
@@ -113,9 +130,10 @@ func (c *Cache) AggregateContext(ctx context.Context, dim, cat string, kind AggK
 // dimension's category order, the value mapping fromCat → toCat must be
 // strict (no value of fromCat under two values of toCat — combining would
 // double-count), and every contributing value must roll up (covering — a
-// gap would silently drop facts). COUNT additionally requires the paths
-// from the facts to fromCat to be strict, because distinct counts only add
-// up when the fact sets being combined are disjoint.
+// gap would silently drop facts). Beyond the value-level checks, the fact
+// sets behind fromCat must be pairwise disjoint and must cover every fact
+// visible at toCat — see the inline comments for the Table 1 scenarios
+// that make both fact-level checks necessary.
 func (c *Cache) ReuseGuard(dim, fromCat, toCat string, kind AggKind) error {
 	d := c.engine.mo.Dimension(dim)
 	dt := d.Type()
@@ -129,19 +147,36 @@ func (c *Cache) ReuseGuard(dim, fromCat, toCat string, kind AggKind) error {
 	if !d.Covering(fromCat, toCat, ctx) {
 		return fmt.Errorf("storage: mapping %s→%s has gaps; combining would drop facts", fromCat, toCat)
 	}
-	if kind == KindCount {
-		// Distinct counts combine only when the underlying fact sets are
-		// disjoint: a fact must not be characterized by two values of
-		// fromCat.
-		for _, v1 := range d.CategoryAt(fromCat, ctx) {
-			for _, v2 := range d.CategoryAt(fromCat, ctx) {
-				if v1 >= v2 {
-					continue
-				}
-				if c.engine.Characterizing(dim, v1).Clone().And(c.engine.Characterizing(dim, v2)).Count() > 0 {
-					return fmt.Errorf("storage: values %s and %s of %s share facts; distinct counts cannot be added", v1, v2, fromCat)
-				}
-			}
+	// Value-level strictness and covering do not see how facts attach to
+	// the hierarchy. Two fact-level holes matter, and both occur in the
+	// paper's Table 1:
+	//
+	//   - many-to-many relations: a fact under two values of fromCat
+	//     (patient 2 lived in two counties) appears once per value in the
+	//     materialization but once in a direct computation at toCat —
+	//     combining would double-count it, for SUM as well as for COUNT.
+	//     Disjointness is checked as Σ|B_v| = |∪B_v| over fromCat's
+	//     closure bitmaps.
+	//
+	//   - mixed granularity: a fact related directly to a value above
+	//     fromCat (diagnosis 9, a Family, attaches straight to both
+	//     patients) never enters a materialization at fromCat — combining
+	//     would silently drop it. Coverage is checked as
+	//     ∪B_v(toCat) ⊆ ∪B_v(fromCat).
+	fromUnion := NewBitmap(c.engine.NumFacts())
+	total := 0
+	for _, v := range d.CategoryAt(fromCat, ctx) {
+		bm := c.engine.Characterizing(dim, v)
+		total += bm.Count()
+		fromUnion.Or(bm)
+	}
+	if shared := total - fromUnion.Count(); shared > 0 {
+		return fmt.Errorf("storage: %d fact characterization(s) shared between values of %s (many-to-many relation); combining would double-count", shared, fromCat)
+	}
+	for _, v := range d.CategoryAt(toCat, ctx) {
+		if missing := c.engine.Characterizing(dim, v).AndNot(fromUnion); !missing.IsEmpty() {
+			return fmt.Errorf("storage: %d fact(s) characterized by %s of %s do not roll up from %s (mixed-granularity attachment); combining would drop them",
+				missing.Count(), v, toCat, fromCat)
 		}
 	}
 	return nil
@@ -190,11 +225,13 @@ func (c *Cache) RollupFromContext(ctx context.Context, dim, fromCat, toCat strin
 		c.mu.Lock()
 		c.Misses++
 		c.mu.Unlock()
+		mPreaggFallbacks.Inc()
 		return c.computeBaseContext(ctx, dim, toCat, kind, arg)
 	}
 	c.mu.Lock()
 	c.Hits++
 	c.mu.Unlock()
+	mPreaggHits.Inc()
 	d := c.engine.mo.Dimension(dim)
 	out := map[string]float64{}
 	for v1, x := range m.Rows {
