@@ -6,6 +6,7 @@
 package mddm_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -395,4 +396,78 @@ func BenchmarkIncrementalAppend(b *testing.B) {
 			mddm.NewEngine(base, benchCtx())
 		}
 	})
+}
+
+// --- B13 companions: bitmap iteration and column-kernel allocation profiles ---
+
+func BenchmarkIterate(b *testing.B) {
+	m := genMO(b, 8000, true, false)
+	e := mddm.NewEngine(m, benchCtx())
+	bm := e.Characterizing("Diagnosis", "⊤")
+	if bm.IsEmpty() {
+		b.Fatal("empty universe bitmap")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := 0
+		bm.Iterate(func(j int) bool { s += j; return true })
+		if s == 0 {
+			b.Fatal("no bits visited")
+		}
+	}
+}
+
+func BenchmarkColumnKernels(b *testing.B) {
+	for _, n := range []int{2000, 8000} {
+		m := genMO(b, n, true, false)
+		bitmapEng := mddm.NewEngine(m, benchCtx())
+		bitmapEng.CountDistinctBy("Diagnosis", "Low-level Diagnosis") // warm closures
+		colEng := mddm.NewEngine(m, benchCtx())
+		if err := colEng.WarmColumns(context.Background(), 1); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("count-bitmap/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bitmapEng.CountDistinctBy("Diagnosis", "Low-level Diagnosis")
+			}
+		})
+		b.Run(fmt.Sprintf("count-column/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := colEng.CountByColumn(context.Background(), "Diagnosis", "Low-level Diagnosis"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sum-bitmap/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bitmapEng.SumBy("Diagnosis", "Low-level Diagnosis", "Age")
+			}
+		})
+		b.Run(fmt.Sprintf("sum-column/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := colEng.SumByColumn(context.Background(), "Diagnosis", "Low-level Diagnosis", "Age"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cross-bitmap/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bitmapEng.CrossCount("Diagnosis", "Diagnosis Family", "Residence", "Area")
+			}
+		})
+		b.Run(fmt.Sprintf("cross-column/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := colEng.CrossCountByColumn(context.Background(), "Diagnosis", "Diagnosis Family", "Residence", "Area"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -14,6 +14,7 @@
 //	mdbench -exp B10  # incremental index maintenance vs rebuild
 //	mdbench -exp B11  # partition-parallel vs sequential execution
 //	mdbench -exp B12  # observability overhead: obs enabled vs disabled
+//	mdbench -exp B13  # column kernel vs bitmap over category cardinality
 //	mdbench -all
 //
 // With -json, every measurement is also written to BENCH_<exp>.json in the
@@ -66,9 +67,9 @@ type benchRow struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B12; B8 runs under go test -bench=WideMO)")
+	exp := flag.String("exp", "", "experiment id (B1..B13; B8 runs under go test -bench=WideMO)")
 	all := flag.Bool("all", false, "run every experiment")
-	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11")
+	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B13")
 	jsonOut = flag.Bool("json", false, "also write BENCH_<exp>.json with one row per measurement")
 	flag.Parse()
 	if !*all && *exp == "" {
@@ -95,6 +96,7 @@ func main() {
 	run("B10", b10)
 	run("B11", func() { b11(*nFacts) })
 	run("B12", func() { b12(*nFacts) })
+	run("B13", func() { b13(*nFacts) })
 }
 
 // flushJSON writes the experiment's recorded rows to BENCH_<id>.json when
@@ -119,6 +121,10 @@ func flushJSON(id string) {
 // per op from the runtime's Mallocs counter) for BENCH_<exp>.json.
 func measure(op string, n int, fn func()) time.Duration {
 	fn() // warm up (builds memoized closures etc.)
+	// Collect the garbage of setup and warm-up now: with engines holding
+	// hundreds of MB of live bitmaps, a GC mark pass inherited from setup
+	// would otherwise land inside the timed window and dominate small ops.
+	runtime.GC()
 	iters := 1
 	for {
 		var m0, m1 runtime.MemStats
@@ -551,6 +557,89 @@ func b12(nFacts int) {
 		fmt.Printf("%20s %14v %14v %9.2f%%\n", op.name, minOn, minOff, pct)
 	}
 	fmt.Printf("  worst-case overhead %.2f%% (budget < 2%%)\n\n", worst)
+}
+
+// b13 sweeps the column kernels against the bitmap paths over category
+// cardinality: the bitmap paths cost one closure scan per category value,
+// the column kernels one pass over the facts regardless of cardinality, so
+// the crossover (and the kernel-selection threshold's rationale) shows as
+// the value count grows. Before timing, every column result is
+// differentially verified against the bitmap path at degrees 1, 2, 4 and 8
+// — the timings of diverging kernels would be meaningless.
+func b13(nFacts int) {
+	fmt.Printf("B13: column kernel vs bitmap path over category cardinality (%d facts)\n", nFacts)
+	bg := context.Background()
+	fmt.Printf("%10s %14s %14s %10s %14s %14s %10s\n",
+		"values", "count-bm/op", "count-col/op", "speedup", "sum-bm/op", "sum-col/op", "speedup")
+	for _, nv := range []int{10, 100, 1000, 10000} {
+		cfg := casestudy.DefaultGen()
+		cfg.Patients = nFacts
+		cfg.NonStrict = false
+		cfg.Churn = false
+		cfg.LowLevel = nv
+		m := casestudy.MustGenerate(cfg)
+		// Two engines: the bitmap side never builds a column, so the
+		// automatic kernel selection cannot flip its path mid-sweep.
+		bitmapEng := storage.NewEngine(m, ctx())
+		colEng := storage.NewEngine(m, ctx())
+		if err := colEng.BuildColumn(bg, casestudy.DimDiagnosis, casestudy.CatLowLevel); err != nil {
+			fatal(err)
+		}
+
+		wantCount, err := bitmapEng.CountDistinctByContext(bg, casestudy.DimDiagnosis, casestudy.CatLowLevel)
+		if err != nil {
+			fatal(err)
+		}
+		wantSum, err := bitmapEng.SumByContext(bg, casestudy.DimDiagnosis, casestudy.CatLowLevel, casestudy.DimAge)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range []int{1, 2, 4, 8} {
+			c := bg
+			if d > 1 {
+				c = exec.WithParallelism(bg, d)
+			}
+			gotCount, err := colEng.CountByColumn(c, casestudy.DimDiagnosis, casestudy.CatLowLevel)
+			if err != nil {
+				fatal(err)
+			}
+			if fmt.Sprint(gotCount) != fmt.Sprint(wantCount) {
+				fatal(fmt.Errorf("B13: column count at %d values, degree %d diverged from bitmap", nv, d))
+			}
+			gotSum, err := colEng.SumByColumn(c, casestudy.DimDiagnosis, casestudy.CatLowLevel, casestudy.DimAge)
+			if err != nil {
+				fatal(err)
+			}
+			if fmt.Sprint(gotSum) != fmt.Sprint(wantSum) {
+				fatal(fmt.Errorf("B13: column sum at %d values, degree %d diverged from bitmap", nv, d))
+			}
+		}
+
+		tcb := measure("count-bitmap", nv, func() {
+			if _, err := bitmapEng.CountDistinctByContext(bg, casestudy.DimDiagnosis, casestudy.CatLowLevel); err != nil {
+				fatal(err)
+			}
+		})
+		tcc := measure("count-column", nv, func() {
+			if _, err := colEng.CountByColumn(bg, casestudy.DimDiagnosis, casestudy.CatLowLevel); err != nil {
+				fatal(err)
+			}
+		})
+		tsb := measure("sum-bitmap", nv, func() {
+			if _, err := bitmapEng.SumByContext(bg, casestudy.DimDiagnosis, casestudy.CatLowLevel, casestudy.DimAge); err != nil {
+				fatal(err)
+			}
+		})
+		tsc := measure("sum-column", nv, func() {
+			if _, err := colEng.SumByColumn(bg, casestudy.DimDiagnosis, casestudy.CatLowLevel, casestudy.DimAge); err != nil {
+				fatal(err)
+			}
+		})
+		fmt.Printf("%10d %14v %14v %9.1fx %14v %14v %9.1fx\n",
+			nv, tcb, tcc, float64(tcb)/float64(tcc), tsb, tsc, float64(tsb)/float64(tsc))
+	}
+	fmt.Println("  verify: column results identical to bitmap at degrees 1, 2, 4, 8 and every cardinality ✓")
+	fmt.Println()
 }
 
 // timed reports fn's per-iteration wall time, auto-scaling the iteration

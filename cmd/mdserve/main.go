@@ -40,6 +40,7 @@ func main() {
 	maxRows := flag.Int("max-rows", 10000, "per-query result-row limit (0 disables)")
 	maxFacts := flag.Int64("max-facts", 10_000_000, "per-query scanned-facts limit (0 disables)")
 	parallelism := flag.Int("parallelism", 1, "default partition-parallel degree per query (1 = sequential; ?parallelism= overrides per query)")
+	columns := flag.Int("columns", 0, "warm characterization columns for categories with at least N values (0 = bitmap kernels only)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "drain window on SIGINT/SIGTERM")
 	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus text format) and GET /debug/queries")
 	selfcheck := flag.Bool("selfcheck", false, "start on a loopback port, run one query through HTTP, and exit")
@@ -62,6 +63,7 @@ func main() {
 		MaxResultRows:   *maxRows,
 		MaxFactsScanned: *maxFacts,
 		Parallelism:     *parallelism,
+		ColumnMinValues: *columns,
 	}, ref)
 
 	handler := srv.Handler()

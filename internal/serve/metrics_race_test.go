@@ -25,7 +25,7 @@ import (
 // bitmap engine is maintained by incremental appends. Every one of these
 // writes the shared metric registry; `go test -race` must stay silent.
 func TestMetricsScrapeUnderLoad(t *testing.T) {
-	s, cat := newTestServer(t, Limits{Parallelism: 2, MaxFactsScanned: 1 << 20})
+	s, cat := newTestServer(t, Limits{Parallelism: 2, MaxFactsScanned: 1 << 20, ColumnMinValues: 8})
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())
 	mux.Handle("/metrics", s.MetricsHandler())
@@ -139,7 +139,11 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 	}()
 
 	// The appender grows the engine while a reader aggregates from it in
-	// parallel mode — incremental maintenance under observation.
+	// parallel mode — incremental maintenance under observation. Columns
+	// are warmed first, so the appends also maintain the columnar layer.
+	if err := eng.WarmColumns(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -155,6 +159,37 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 			}
 		}
 	}()
+
+	// Concurrent read-path goroutines pin the RWMutex refactor: several
+	// readers share the engine lock (bitmap kernels, column kernels, and
+	// closure clones) while the appender takes the write lock. Under the
+	// old exclusive mutex this mix serialized; under -race it now proves
+	// reader-reader sharing is safe.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if g%2 == 1 {
+				ctx = exec.WithParallelism(ctx, 4)
+			}
+			for i := 0; i < iters; i++ {
+				if _, err := eng.CountByColumn(ctx, casestudy.DimDiagnosis, casestudy.CatLowLevel); err != nil {
+					fail("column count: %v", err)
+					return
+				}
+				if _, err := eng.SumByColumn(ctx, casestudy.DimDiagnosis, casestudy.CatFamily, casestudy.DimAge); err != nil {
+					fail("column sum: %v", err)
+					return
+				}
+				if _, err := eng.CrossCountContext(ctx, casestudy.DimDiagnosis, casestudy.CatFamily, casestudy.DimResidence, casestudy.CatArea); err != nil {
+					fail("cross count: %v", err)
+					return
+				}
+				eng.Characterizing(casestudy.DimDiagnosis, lows[i%len(lows)])
+			}
+		}(g)
+	}
 
 	wg.Wait()
 

@@ -66,4 +66,11 @@ type Limits struct {
 	// ?parallelism= override — takes precedence. Budgets and results are
 	// identical at any degree; only wall-clock changes.
 	Parallelism int
+	// ColumnMinValues, when positive, warms the characterization columns
+	// of every category with at least this many values right after an
+	// engine build (storage.Engine.WarmColumns), so the first query
+	// already runs the single-pass column kernels. Zero leaves columns
+	// cold; queries then use the bitmap kernels (results are identical —
+	// only wall-clock changes).
+	ColumnMinValues int
 }

@@ -267,6 +267,11 @@ func (s *Server) snapshotFor(ctx context.Context, name string) (*snapshotState, 
 	s.rebuilds.Add(1)
 	mCacheRebuild.Inc()
 	eng, err := storage.BuildEngine(ctx, m, dimension.CurrentContext(s.ref))
+	if err == nil && s.limits.ColumnMinValues > 0 {
+		// Warm the characterization columns as part of the build, so the
+		// snapshot is born with its kernel choice already materialized.
+		err = eng.WarmColumns(ctx, s.limits.ColumnMinValues)
+	}
 
 	e.mu.Lock()
 	if err == nil {

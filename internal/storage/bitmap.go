@@ -186,9 +186,9 @@ func (b *Bitmap) IsEmpty() bool {
 // returning false stops the iteration.
 func (b *Bitmap) Iterate(fn func(i int) bool) {
 	for wi, w := range b.words {
+		base := wi << 6
 		for w != 0 {
-			bit := bits.TrailingZeros64(w)
-			if !fn(wi<<6 + bit) {
+			if !fn(base + bits.TrailingZeros64(w)) {
 				return
 			}
 			w &= w - 1
@@ -212,9 +212,9 @@ func (b *Bitmap) IterateRange(lo, hi int, fn func(i int) bool) {
 		if wi == hw && hi&63 != 0 {
 			w &= ^uint64(0) >> (64 - uint(hi)&63)
 		}
+		base := wi << 6
 		for w != 0 {
-			bit := bits.TrailingZeros64(w)
-			if !fn(wi<<6 + bit) {
+			if !fn(base + bits.TrailingZeros64(w)) {
 				return
 			}
 			w &= w - 1

@@ -26,11 +26,19 @@ func (e *Engine) CrossCount(dim1, cat1, dim2, cat2 string) []CrossCell {
 }
 
 // CrossCountContext is CrossCount with cooperative cancellation and
-// fact-budget accounting (every non-empty row charges its fact count). A
-// context-carried parallelism degree above 1 intersects per partition with
-// AndCountRange and merges the integer counts — identical cells either
-// way.
+// fact-budget accounting (every non-empty row charges its fact count).
+// When both axes have built characterization columns and the cell matrix
+// is small enough for flat accumulators, the single-pass column kernel
+// answers; otherwise closure bitmaps are intersected. A context-carried
+// parallelism degree above 1 evaluates per partition and merges the
+// integer counts — identical cells either way.
 func (e *Engine) CrossCountContext(ctx context.Context, dim1, cat1, dim2, cat2 string) ([]CrossCell, error) {
+	if c1, c2 := e.columnFor(dim1, cat1), e.columnFor(dim2, cat2); c1 != nil && c2 != nil &&
+		len(c1.vals)*len(c2.vals) <= maxCrossColumnCells {
+		mKernelColumn.Inc()
+		return e.crossCountByColumn(ctx, qos.NewGuard(ctx), c1, c2)
+	}
+	mKernelBitmap.Inc()
 	if deg := exec.DegreeFrom(ctx); deg > 1 {
 		return e.crossCountParallel(ctx, dim1, cat1, dim2, cat2, deg)
 	}
@@ -39,31 +47,44 @@ func (e *Engine) CrossCountContext(ctx context.Context, dim1, cat1, dim2, cat2 s
 
 // crossCountSeq is the sequential cross-tab: one scratch bitmap reused via
 // AndInto across every cell pair instead of a Clone allocation per cell.
+// The whole pass runs under the read lock over the shared memoized
+// closures, so concurrent cross-tabs proceed in parallel.
 func (e *Engine) crossCountSeq(g *qos.Guard, dim1, cat1, dim2, cat2 string) ([]CrossCell, error) {
 	d1 := e.mo.Dimension(dim1)
 	d2 := e.mo.Dimension(dim2)
 	if d1 == nil || d2 == nil {
 		return nil, nil
 	}
+	vals1 := d1.CategoryAt(cat1, e.ctx)
 	vals2 := d2.CategoryAt(cat2, e.ctx)
+	if err := e.ensureClosures(g, dim1, vals1); err != nil {
+		return nil, err
+	}
+	if err := e.ensureClosures(g, dim2, vals2); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	empty := NewBitmap(0)
+	closureOf := func(dim, v string) *Bitmap {
+		if di := e.dims[dim]; di != nil {
+			if bm := di.closure[v]; bm != nil {
+				return bm
+			}
+		}
+		return empty
+	}
 	bms2 := make([]*Bitmap, len(vals2))
 	for j, v2 := range vals2 {
-		bm, err := e.characterizingClone(g, dim2, v2)
-		if err != nil {
-			return nil, err
-		}
-		bms2[j] = bm
+		bms2[j] = closureOf(dim2, v2)
 	}
 	var out []CrossCell
 	scratch := NewBitmap(0)
-	for _, v1 := range d1.CategoryAt(cat1, e.ctx) {
+	for _, v1 := range vals1 {
 		if err := g.Check(); err != nil {
 			return nil, err
 		}
-		bm1, err := e.characterizingClone(g, dim1, v1)
-		if err != nil {
-			return nil, err
-		}
+		bm1 := closureOf(dim1, v1)
 		if bm1.IsEmpty() {
 			continue
 		}
@@ -141,18 +162,6 @@ func (e *Engine) crossCountParallel(ctx context.Context, dim1, cat1, dim2, cat2 
 	}
 	sortCells(out)
 	return out, nil
-}
-
-// characterizingClone resolves one closure bitmap under the lock, with
-// guard accounting, and returns a caller-owned clone.
-func (e *Engine) characterizingClone(g *qos.Guard, dim, value string) (*Bitmap, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	bm, err := e.characterizing(g, dim, value)
-	if err != nil {
-		return nil, err
-	}
-	return bm.Clone(), nil
 }
 
 func sortCells(out []CrossCell) {

@@ -35,17 +35,32 @@ var (
 // aggregation (requirement 4's "count the same patient once per group") is
 // a population count on the closure bitmap.
 //
-// An Engine is safe for concurrent use: the lazily memoized closures and
-// the incremental append path are guarded by one mutex, and bitmaps
-// returned by exported methods are defensive copies, so a reader holding
+// An Engine is safe for concurrent use: an RWMutex separates the writers
+// (index construction, closure memoization, AppendFact, column builds)
+// from the readers (every aggregation path), so concurrent queries share
+// the lock instead of serializing. Query paths first materialize any
+// missing closure bitmaps under the write lock (ensureClosures), then
+// aggregate under the read lock over the shared memoized bitmaps; bitmaps
+// returned by exported methods are defensive copies, so a caller holding
 // a bitmap never races with a concurrent AppendFact.
 type Engine struct {
 	mo    *core.MO
 	ctx   dimension.Context
-	mu    sync.Mutex // guards facts, idx, dims (direct + closure bitmaps)
+	mu    sync.RWMutex // guards facts, idx, dims (direct + closure bitmaps), cols, argCols
 	facts []string
 	idx   map[string]int
 	dims  map[string]*dimIndex
+	// cols holds the built characterization columns, keyed by
+	// (dimension, category); see column.go.
+	cols map[string]*column
+	// argCols memoizes, per argument dimension, the measure column: dense
+	// fact index → the fact's admitted numeric values. Computed once,
+	// maintained by AppendFact, shared by every SUM path.
+	argCols map[string][][]float64
+	// colMin overrides DefaultColumnMinValues when positive: the minimum
+	// category cardinality at which a built column is preferred over the
+	// per-value bitmap scans.
+	colMin int
 }
 
 type dimIndex struct {
@@ -141,15 +156,15 @@ func NewEngine(m *core.MO, ectx dimension.Context) *Engine {
 
 // NumFacts returns the number of indexed facts.
 func (e *Engine) NumFacts() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return len(e.facts)
 }
 
 // FactID returns the fact identity of a dense index.
 func (e *Engine) FactID(i int) string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.facts[i]
 }
 
@@ -158,10 +173,8 @@ func (e *Engine) FactID(i int) string {
 // children (memoized; the dimension order is a DAG, so the recursion
 // terminates). The returned bitmap is a copy owned by the caller.
 func (e *Engine) Characterizing(dim, value string) *Bitmap {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	bm, _ := e.characterizing(nil, dim, value) // nil guard: cannot fail
-	return bm.Clone()
+	bm, _ := e.characterizingClone(nil, dim, value) // nil guard: cannot fail
+	return bm
 }
 
 // CharacterizingContext is Characterizing with cooperative cancellation
@@ -170,27 +183,64 @@ func (e *Engine) CharacterizingContext(ctx context.Context, dim, value string) (
 	if err := faultinject.Check(faultinject.ClosureExpand); err != nil {
 		return nil, fmt.Errorf("storage: closure expand: %w", err)
 	}
-	g := qos.NewGuard(ctx)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	bm, err := e.characterizing(g, dim, value)
-	if err != nil {
+	return e.characterizingClone(qos.NewGuard(ctx), dim, value)
+}
+
+// characterizingClone materializes one closure bitmap (write-locking only
+// on a cold miss) and returns a caller-owned clone taken under the read
+// lock.
+func (e *Engine) characterizingClone(g *qos.Guard, dim, value string) (*Bitmap, error) {
+	if err := e.ensureClosures(g, dim, []string{value}); err != nil {
 		return nil, err
 	}
-	return bm.Clone(), nil
-}
-
-// characterizing resolves the closure bitmap; the caller holds e.mu. The
-// returned bitmap is the shared memoized instance — exported wrappers
-// clone before releasing the lock.
-func (e *Engine) characterizing(g *qos.Guard, dim, value string) (*Bitmap, error) {
-	di, ok := e.dims[dim]
-	if !ok {
-		return NewBitmap(len(e.facts)), nil
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if di := e.dims[dim]; di != nil {
+		if bm := di.closure[value]; bm != nil {
+			return bm.Clone(), nil
+		}
 	}
-	return e.closure(g, dim, di, value, map[string]bool{})
+	return NewBitmap(len(e.facts)), nil
 }
 
+// ensureClosures materializes the closure bitmaps of the given values so
+// the aggregation paths can run entirely under the read lock. The common
+// case — every closure already memoized — takes only an RLock; a cold
+// miss upgrades to the write lock and computes every missing closure.
+// Nothing evicts memoized closures, so after this returns nil the read
+// paths can rely on di.closure[v] being present for every v.
+func (e *Engine) ensureClosures(g *qos.Guard, dim string, vals []string) error {
+	e.mu.RLock()
+	di := e.dims[dim]
+	missing := false
+	if di != nil {
+		for _, v := range vals {
+			if _, ok := di.closure[v]; !ok {
+				missing = true
+				break
+			}
+		}
+	}
+	e.mu.RUnlock()
+	if di == nil || !missing {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, v := range vals {
+		if _, ok := di.closure[v]; ok {
+			continue
+		}
+		if _, err := e.closure(g, dim, di, v, map[string]bool{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closure resolves and memoizes one closure bitmap; the caller holds the
+// write lock (memoization mutates di.closure). The returned bitmap is the
+// shared memoized instance.
 func (e *Engine) closure(g *qos.Guard, dim string, di *dimIndex, value string, onPath map[string]bool) (*Bitmap, error) {
 	if bm, ok := di.closure[value]; ok {
 		return bm, nil
@@ -236,16 +286,24 @@ func (e *Engine) closure(g *qos.Guard, dim string, di *dimIndex, value string, o
 // distinct facts characterized by it — the bitmap-index fast path of
 // Example 12's set-count.
 func (e *Engine) CountDistinctBy(dim, cat string) map[string]int {
-	out, _ := e.countDistinctBy(nil, dim, cat) // nil guard: cannot fail
+	out, _ := e.CountDistinctByContext(context.Background(), dim, cat) // background ctx: cannot fail
 	return out
 }
 
 // CountDistinctByContext is CountDistinctBy with cooperative cancellation
-// and fact-budget accounting. When the context carries a parallelism
-// degree above 1 (exec.WithParallelism), the evaluation is
-// partition-parallel; the result and the budget charged are identical
-// either way.
+// and fact-budget accounting. The kernel is selected by the cost
+// heuristic: a built characterization column with at least
+// ColumnMinValues values answers in one O(facts) pass (CountByColumn);
+// otherwise the per-value closure bitmaps are scanned. When the context
+// carries a parallelism degree above 1 (exec.WithParallelism), either
+// kernel evaluates partition-parallel; the result and the budget charged
+// are identical across kernels and degrees.
 func (e *Engine) CountDistinctByContext(ctx context.Context, dim, cat string) (map[string]int, error) {
+	if col := e.columnFor(dim, cat); col != nil {
+		mKernelColumn.Inc()
+		return e.countByColumn(ctx, qos.NewGuard(ctx), col)
+	}
+	mKernelBitmap.Inc()
 	if deg := exec.DegreeFrom(ctx); deg > 1 {
 		return e.countDistinctByParallel(ctx, dim, cat, deg)
 	}
@@ -254,20 +312,26 @@ func (e *Engine) CountDistinctByContext(ctx context.Context, dim, cat string) (m
 
 func (e *Engine) countDistinctBy(g *qos.Guard, dim, cat string) (map[string]int, error) {
 	d := e.mo.Dimension(dim)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := map[string]int{}
+	vals := d.CategoryAt(cat, e.ctx)
+	if err := e.ensureClosures(g, dim, vals); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	di := e.dims[dim]
+	out := make(map[string]int, len(vals))
 	scanned := int64(0)
-	for _, v := range d.CategoryAt(cat, e.ctx) {
+	for _, v := range vals {
 		if err := g.Check(); err != nil {
 			return nil, err
 		}
-		bm, err := e.characterizing(g, dim, v)
-		if err != nil {
-			return nil, err
+		c := 0
+		if di != nil {
+			if bm := di.closure[v]; bm != nil {
+				scanned++
+				c = bm.Count()
+			}
 		}
-		scanned++
-		c := bm.Count()
 		if err := g.Facts(int64(c)); err != nil {
 			return nil, fmt.Errorf("storage: count-distinct %s/%s: %w", dim, cat, err)
 		}
@@ -284,9 +348,9 @@ func (e *Engine) countDistinctBy(g *qos.Guard, dim, cat string) (map[string]int,
 // layer. Benchmarks contrast it with CountDistinctBy.
 func (e *Engine) CountDistinctScan(dim, cat string) map[string]int {
 	d := e.mo.Dimension(dim)
-	e.mu.Lock()
+	e.mu.RLock()
 	facts := append([]string(nil), e.facts...)
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	out := map[string]int{}
 	for _, v := range d.CategoryAt(cat, e.ctx) {
 		c := 0
@@ -306,15 +370,22 @@ func (e *Engine) CountDistinctScan(dim, cat string) map[string]int {
 // of the grouping dimension, using the closure bitmaps. Facts with several
 // argument values contribute all of them.
 func (e *Engine) SumBy(dim, cat, argDim string) map[string]float64 {
-	out, _ := e.sumBy(nil, dim, cat, argDim) // nil guard: cannot fail
+	out, _ := e.SumByContext(context.Background(), dim, cat, argDim) // background ctx: cannot fail
 	return out
 }
 
-// SumByContext is SumBy with cooperative cancellation. A context-carried
-// parallelism degree above 1 routes to the partition-parallel path, which
-// merges per-partition SUM states in ascending partition order — exact
-// for integer-valued measures.
+// SumByContext is SumBy with cooperative cancellation. The kernel is
+// selected like CountDistinctByContext's (column single-pass when a
+// large-enough column is built, per-value bitmap scans otherwise). A
+// context-carried parallelism degree above 1 evaluates
+// partition-parallel, merging per-partition sums in ascending partition
+// order — exact for integer-valued measures, identical across kernels.
 func (e *Engine) SumByContext(ctx context.Context, dim, cat, argDim string) (map[string]float64, error) {
+	if col := e.columnFor(dim, cat); col != nil {
+		mKernelColumn.Inc()
+		return e.sumByColumn(ctx, qos.NewGuard(ctx), col, argDim)
+	}
+	mKernelBitmap.Inc()
 	if deg := exec.DegreeFrom(ctx); deg > 1 {
 		return e.sumByParallel(ctx, dim, cat, argDim, deg)
 	}
@@ -323,18 +394,27 @@ func (e *Engine) SumByContext(ctx context.Context, dim, cat, argDim string) (map
 
 func (e *Engine) sumBy(g *qos.Guard, dim, cat, argDim string) (map[string]float64, error) {
 	d := e.mo.Dimension(dim)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	vals := e.argValues(argDim)
-	out := map[string]float64{}
+	catVals := d.CategoryAt(cat, e.ctx)
+	if err := e.ensureClosures(g, dim, catVals); err != nil {
+		return nil, err
+	}
+	e.ensureArgValues(argDim)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	di := e.dims[dim]
+	vals := e.argCols[argDim]
+	out := make(map[string]float64, len(catVals))
 	scanned := int64(0)
-	for _, v := range d.CategoryAt(cat, e.ctx) {
+	empty := NewBitmap(0)
+	for _, v := range catVals {
 		if err := g.Check(); err != nil {
 			return nil, err
 		}
-		bm, err := e.characterizing(g, dim, v)
-		if err != nil {
-			return nil, err
+		bm := empty
+		if di != nil {
+			if c := di.closure[v]; c != nil {
+				bm = c
+			}
 		}
 		if err := g.Facts(int64(bm.Count())); err != nil {
 			return nil, fmt.Errorf("storage: sum %s/%s: %w", dim, cat, err)
@@ -357,8 +437,35 @@ func (e *Engine) sumBy(g *qos.Guard, dim, cat, argDim string) (map[string]float6
 	return out, nil
 }
 
-// argValues precomputes, per dense fact index, the numeric values of the
-// fact in the argument dimension. The caller holds e.mu.
+// ensureArgValues memoizes the measure column of argDim so the SUM paths
+// read a prebuilt dense array instead of re-walking the fact–dimension
+// relation per query. Like closure memoization this is infrastructure
+// work: computed once under the write lock, extended by AppendFact, and
+// charged to no query's fact budget. The caller must not hold e.mu; the
+// column is then read from e.argCols under the read lock, so it stays
+// consistent with the closure bitmaps and characterization columns
+// captured in the same critical section.
+func (e *Engine) ensureArgValues(argDim string) {
+	e.mu.RLock()
+	_, ok := e.argCols[argDim]
+	e.mu.RUnlock()
+	if ok {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.argCols[argDim]; ok {
+		return
+	}
+	if e.argCols == nil {
+		e.argCols = map[string][][]float64{}
+	}
+	e.argCols[argDim] = e.argValues(argDim)
+}
+
+// argValues computes, per dense fact index, the numeric values of the
+// fact in the argument dimension — the memoization cold path of
+// ensureArgValues. The caller holds e.mu (read or write).
 func (e *Engine) argValues(argDim string) [][]float64 {
 	d := e.mo.Dimension(argDim)
 	r := e.mo.Relation(argDim)
@@ -381,12 +488,17 @@ func (e *Engine) argValues(argDim string) [][]float64 {
 // least one fact.
 func (e *Engine) Values(dim, cat string) []string {
 	d := e.mo.Dimension(dim)
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	vals := d.CategoryAt(cat, e.ctx)
+	_ = e.ensureClosures(nil, dim, vals) // nil guard: cannot fail
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	di := e.dims[dim]
 	var out []string
-	for _, v := range d.CategoryAt(cat, e.ctx) {
-		bm, _ := e.characterizing(nil, dim, v)
-		if !bm.IsEmpty() {
+	for _, v := range vals {
+		if di == nil {
+			break
+		}
+		if bm := di.closure[v]; bm != nil && !bm.IsEmpty() {
 			out = append(out, v)
 		}
 	}
@@ -402,7 +514,7 @@ func (e *Engine) Context() dimension.Context { return e.ctx }
 
 // String summarizes the engine.
 func (e *Engine) String() string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return fmt.Sprintf("storage.Engine{%d facts, %d dimensions}", len(e.facts), len(e.dims))
 }

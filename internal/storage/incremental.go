@@ -87,5 +87,31 @@ func (e *Engine) AppendFact(factID string) error {
 			}
 		}
 	}
+	// Maintain the built characterization columns: append the new fact's
+	// code (and overflow entries, for many-to-many facts). Appends never
+	// mutate existing elements, so kernels running against a snapshot of
+	// the first i facts are unaffected.
+	for _, col := range e.cols {
+		e.appendToColumn(col, factID, i)
+	}
+	// Maintain the memoized measure columns: append the new fact's admitted
+	// numeric values in each cached argument dimension, in the same
+	// relation order argValues uses, so an incrementally maintained column
+	// is element-for-element identical to a fresh one.
+	for argDim, vals := range e.argCols {
+		d := e.mo.Dimension(argDim)
+		r := e.mo.Relation(argDim)
+		var xs []float64
+		for _, v := range r.ValuesOf(factID) {
+			a, _ := r.Annot(factID, v)
+			if !e.ctx.Admits(a) {
+				continue
+			}
+			if x, ok := d.Numeric(v, e.ctx); ok {
+				xs = append(xs, x)
+			}
+		}
+		e.argCols[argDim] = append(vals, xs)
+	}
 	return nil
 }

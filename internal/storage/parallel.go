@@ -22,24 +22,31 @@ import (
 // as the sequential paths, so a query costs the same no matter its degree.
 
 // frozenValueBitmaps resolves and clones the closure bitmap of every value
-// of (dim, cat) under one lock acquisition — the frozen view partition
-// workers evaluate without further locking. It returns the values, their
-// bitmaps, and the universe size at freeze time.
+// of (dim, cat) — the frozen view partition workers evaluate without
+// further locking (so a concurrent AppendFact cannot race with them). It
+// returns the values, their bitmaps, and the universe size at freeze time.
 func (e *Engine) frozenValueBitmaps(g *qos.Guard, dim, cat string) (vals []string, bms []*Bitmap, n int, err error) {
 	d := e.mo.Dimension(dim)
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	catVals := d.CategoryAt(cat, e.ctx)
+	if err := e.ensureClosures(g, dim, catVals); err != nil {
+		return nil, nil, 0, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	di := e.dims[dim]
 	n = len(e.facts)
-	for _, v := range d.CategoryAt(cat, e.ctx) {
+	for _, v := range catVals {
 		if err := g.Check(); err != nil {
 			return nil, nil, 0, err
 		}
-		bm, err := e.characterizing(g, dim, v)
-		if err != nil {
-			return nil, nil, 0, err
+		bm := NewBitmap(n)
+		if di != nil {
+			if c := di.closure[v]; c != nil {
+				bm = c.Clone()
+			}
 		}
 		vals = append(vals, v)
-		bms = append(bms, bm.Clone())
+		bms = append(bms, bm)
 	}
 	return vals, bms, n, nil
 }
@@ -91,25 +98,32 @@ func (e *Engine) countDistinctByParallel(ctx context.Context, dim, cat string, d
 func (e *Engine) sumByParallel(ctx context.Context, dim, cat, argDim string, degree int) (map[string]float64, error) {
 	g := qos.NewGuard(ctx)
 	d := e.mo.Dimension(dim)
-	e.mu.Lock()
+	catVals := d.CategoryAt(cat, e.ctx)
+	if err := e.ensureClosures(g, dim, catVals); err != nil {
+		return nil, err
+	}
+	e.ensureArgValues(argDim)
+	e.mu.RLock()
+	di := e.dims[dim]
 	n := len(e.facts)
-	argVals := e.argValues(argDim)
+	argVals := e.argCols[argDim]
 	var vals []string
 	var bms []*Bitmap
-	for _, v := range d.CategoryAt(cat, e.ctx) {
+	for _, v := range catVals {
 		if err := g.Check(); err != nil {
-			e.mu.Unlock()
+			e.mu.RUnlock()
 			return nil, err
 		}
-		bm, err := e.characterizing(g, dim, v)
-		if err != nil {
-			e.mu.Unlock()
-			return nil, err
+		bm := NewBitmap(n)
+		if di != nil {
+			if c := di.closure[v]; c != nil {
+				bm = c.Clone()
+			}
 		}
 		vals = append(vals, v)
-		bms = append(bms, bm.Clone())
+		bms = append(bms, bm)
 	}
-	e.mu.Unlock()
+	e.mu.RUnlock()
 
 	mBitmapScans.Add(int64(len(bms)))
 	sum := agg.MustLookup("SUM")

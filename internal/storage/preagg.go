@@ -248,6 +248,13 @@ func (c *Cache) computeBase(dim, toCat string, kind AggKind, arg string) (map[st
 }
 
 func (c *Cache) computeBaseContext(ctx context.Context, dim, toCat string, kind AggKind, arg string) (map[string]float64, error) {
+	// Route through the kernel path: build the characterization column when
+	// the cost heuristic would select it, so repeated base recomputes (the
+	// guard-fallback case) run the single-pass kernel instead of per-value
+	// bitmap scans. EnsureColumn is a no-op below the threshold.
+	if err := c.engine.EnsureColumn(ctx, dim, toCat); err != nil {
+		return nil, err
+	}
 	switch kind {
 	case KindCount:
 		counts, err := c.engine.CountDistinctByContext(ctx, dim, toCat)
