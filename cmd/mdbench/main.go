@@ -15,6 +15,7 @@
 //	mdbench -exp B11  # partition-parallel vs sequential execution
 //	mdbench -exp B12  # observability overhead: obs enabled vs disabled
 //	mdbench -exp B13  # column kernel vs bitmap over category cardinality
+//	mdbench -exp B14  # result cache hit vs recompute
 //	mdbench -all
 //
 // With -json, every measurement is also written to BENCH_<exp>.json in the
@@ -67,9 +68,9 @@ type benchRow struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B13; B8 runs under go test -bench=WideMO)")
+	exp := flag.String("exp", "", "experiment id (B1..B14; B8 runs under go test -bench=WideMO)")
 	all := flag.Bool("all", false, "run every experiment")
-	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B13")
+	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B14")
 	jsonOut = flag.Bool("json", false, "also write BENCH_<exp>.json with one row per measurement")
 	flag.Parse()
 	if !*all && *exp == "" {
@@ -97,6 +98,7 @@ func main() {
 	run("B11", func() { b11(*nFacts) })
 	run("B12", func() { b12(*nFacts) })
 	run("B13", func() { b13(*nFacts) })
+	run("B14", func() { b14(*nFacts) })
 }
 
 // flushJSON writes the experiment's recorded rows to BENCH_<id>.json when
@@ -639,6 +641,167 @@ func b13(nFacts int) {
 			nv, tcb, tcc, float64(tcb)/float64(tcc), tsb, tsc, float64(tsb)/float64(tsc))
 	}
 	fmt.Println("  verify: column results identical to bitmap at degrees 1, 2, 4, 8 and every cardinality ✓")
+	fmt.Println()
+}
+
+func b14(nFacts int) {
+	fmt.Printf("B14: result cache hit vs recompute (%d facts, 1000 low-level values)\n", nFacts)
+	bg := context.Background()
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = nFacts
+	cfg.NonStrict = false
+	cfg.Churn = false
+	cfg.LowLevel = 1000 // the B13 1k-value workload
+	m := casestudy.MustGenerate(cfg)
+
+	scat := serve.NewCatalog()
+	if err := scat.Register("patients", m); err != nil {
+		fatal(err)
+	}
+	srv := serve.NewServer(scat, serve.Limits{ResultCacheBytes: 64 << 20}, ref)
+	// The column-kernel comparator: the fastest uncached aggregation path
+	// the engine offers on this workload (B13's winner).
+	colEng := storage.NewEngine(m, ctx())
+	if err := colEng.BuildColumn(bg, casestudy.DimDiagnosis, casestudy.CatLowLevel); err != nil {
+		fatal(err)
+	}
+
+	// The headline query is the Table 1 characterization; the hot-set and
+	// eviction sweeps rotate variants of a cheap single-row count so their
+	// many cache fills don't dominate the benchmark's wall clock.
+	const q = `SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group"`
+	const cheap = `SELECT SETCOUNT(*) FROM patients`
+
+	// Verification before any timing: index-free baseline ≡ uncached serve
+	// at degrees 1–8 ≡ a degree-4-filled cache entry served to a degree-1
+	// request. A wrong fast path is worthless.
+	base, err := query.Exec(q, scat.Snapshot(), ref)
+	if err != nil {
+		fatal(err)
+	}
+	fill, hit, err := srv.QueryCached(exec.WithParallelism(bg, 4), q)
+	if err != nil {
+		fatal(err)
+	}
+	if hit {
+		fatal(fmt.Errorf("B14: first lookup hit an empty cache"))
+	}
+	if fmt.Sprint(fill.Rows) != fmt.Sprint(base.Rows) {
+		fatal(fmt.Errorf("B14: degree-4 fill diverged from the index-free baseline"))
+	}
+	for _, d := range []int{1, 2, 4, 8} {
+		c := bg
+		if d > 1 {
+			c = exec.WithParallelism(bg, d)
+		}
+		unc, err := srv.Query(c, q)
+		if err != nil {
+			fatal(err)
+		}
+		if fmt.Sprint(unc.Rows) != fmt.Sprint(base.Rows) {
+			fatal(fmt.Errorf("B14: uncached serve at degree %d diverged", d))
+		}
+		res, hit, err := srv.QueryCached(c, q)
+		if err != nil {
+			fatal(err)
+		}
+		if !hit {
+			fatal(fmt.Errorf("B14: repeat lookup at degree %d missed", d))
+		}
+		if fmt.Sprint(res.Rows) != fmt.Sprint(base.Rows) {
+			fatal(fmt.Errorf("B14: cache hit at degree %d diverged", d))
+		}
+	}
+
+	tUncached := measure("query-uncached", nFacts, func() {
+		if _, err := srv.Query(bg, q); err != nil {
+			fatal(err)
+		}
+	})
+	tColumn := measure("count-column", nFacts, func() {
+		if _, err := colEng.CountByColumn(bg, casestudy.DimDiagnosis, casestudy.CatLowLevel); err != nil {
+			fatal(err)
+		}
+	})
+	tHit := measure("query-hit", nFacts, func() {
+		_, hit, err := srv.QueryCached(bg, q)
+		if err != nil {
+			fatal(err)
+		}
+		if !hit {
+			fatal(fmt.Errorf("B14: hit op missed"))
+		}
+	})
+	// Every miss op iteration presents a never-seen key: the LIMIT varies
+	// above the row count, so the computation is identical but the entry
+	// is always cold — this is fill cost, parse to Put.
+	missSeq := 0
+	tMiss := measure("query-miss", nFacts, func() {
+		missSeq++
+		_, hit, err := srv.QueryCached(bg, fmt.Sprintf("%s LIMIT %d", q, 1_000_000+missSeq))
+		if err != nil {
+			fatal(err)
+		}
+		if hit {
+			fatal(fmt.Errorf("B14: miss op hit"))
+		}
+	})
+	fmt.Printf("%16s %14s %10s\n", "op", "ns/op", "vs hit")
+	for _, r := range []struct {
+		op string
+		t  time.Duration
+	}{{"query-uncached", tUncached}, {"count-column", tColumn}, {"query-miss", tMiss}, {"query-hit", tHit}} {
+		fmt.Printf("%16s %14v %9.1fx\n", r.op, r.t, float64(r.t)/float64(tHit))
+	}
+
+	// Hot-set sweep: K distinct resident queries served round-robin. The
+	// cache holds all of them, so this is pure lookup scaling.
+	fmt.Printf("\n%10s %14s\n", "hot-set K", "hit ns/op")
+	for _, k := range []int{1, 16, 256} {
+		hot := make([]string, k)
+		for i := range hot {
+			hot[i] = fmt.Sprintf("%s LIMIT %d", cheap, 2_000_000+i)
+			if _, _, err := srv.QueryCached(bg, hot[i]); err != nil {
+				fatal(err)
+			}
+		}
+		i := 0
+		th := measure(fmt.Sprintf("hot-set-%d", k), k, func() {
+			_, hit, err := srv.QueryCached(bg, hot[i%k])
+			if err != nil {
+				fatal(err)
+			}
+			if !hit {
+				fatal(fmt.Errorf("B14: hot-set %d evicted mid-sweep", k))
+			}
+			i++
+		})
+		fmt.Printf("%10d %14v\n", k, th)
+	}
+
+	// Eviction pressure: a cache two orders of magnitude too small for the
+	// working set keeps evicting, so the round-robin never converges to
+	// hits — the op price is recompute plus cache churn.
+	small := serve.NewServer(scat, serve.Limits{ResultCacheBytes: 16 << 10}, ref)
+	const churnSet = 64 // ~3 entries fit per shard: the set is ~4x the capacity
+	for i := 0; i < churnSet; i++ {
+		if _, _, err := small.QueryCached(bg, fmt.Sprintf("%s LIMIT %d", cheap, 3_000_000+i)); err != nil {
+			fatal(err)
+		}
+	}
+	evSeq := 0
+	tEv := measure("evict-churn", nFacts, func() {
+		evSeq++
+		if _, _, err := small.QueryCached(bg, fmt.Sprintf("%s LIMIT %d", cheap, 3_000_000+evSeq%churnSet)); err != nil {
+			fatal(err)
+		}
+	})
+	st := small.ResultCacheStats()
+	if st.Evictions == 0 {
+		fatal(fmt.Errorf("B14: eviction case produced no evictions"))
+	}
+	fmt.Printf("\n%16s %14v  (evictions %d over %d lookups)\n", "evict-churn", tEv, st.Evictions, st.Hits+st.Misses)
+	fmt.Println("  verify: cached ≡ uncached ≡ index-free baseline at degrees 1, 2, 4, 8; degree-4 fill served degree-1 ✓")
 	fmt.Println()
 }
 

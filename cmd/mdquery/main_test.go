@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/query"
+	"mddm/internal/temporal"
+)
+
+// TestMainOneQuery drives the command end to end on synthetic data. main
+// registers its flags on the global flag set, so it can run exactly once
+// per test process; the remaining paths are covered through run and
+// dimFlags directly.
+func TestMainOneQuery(t *testing.T) {
+	os.Args = []string{"mdquery", "-gen", "40", "-seed", "3",
+		"-q", `SELECT SETCOUNT(*) FROM patients GROUP BY Diagnosis."Diagnosis Group"`}
+	main()
+}
+
+func testCatalog(t *testing.T) (query.Catalog, temporal.Chronon) {
+	t.Helper()
+	m, err := casestudy.BuildPatientMO(casestudy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return query.Catalog{"patients": m}, temporal.MustDate("01/01/1999")
+}
+
+func TestRunRendersTable(t *testing.T) {
+	cat, ref := testCatalog(t)
+	run(`SELECT SETCOUNT(*) FROM patients`, cat, ref)
+}
+
+func TestRunCSV(t *testing.T) {
+	cat, ref := testCatalog(t)
+	*csvOut = true
+	defer func() { *csvOut = false }()
+	run(`SELECT SETCOUNT(*) FROM patients`, cat, ref)
+}
+
+func TestRunReportsError(t *testing.T) {
+	cat, ref := testCatalog(t)
+	run(`SELECT ((((`, cat, ref) // must print the error, not exit
+}
+
+func TestDimFlags(t *testing.T) {
+	d := dimFlags{}
+	if err := d.Set("Diagnosis=diag.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if d["Diagnosis"] != "diag.csv" {
+		t.Fatalf("parsed %v", d)
+	}
+	if err := d.Set("nonsense"); err == nil {
+		t.Fatal("no error for a flag without '='")
+	}
+	if !strings.Contains(d.String(), "Diagnosis") {
+		t.Fatalf("String() = %q", d.String())
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"mddm/internal/temporal"
+)
+
+// TestMainAll regenerates every paper artifact in one run. main registers
+// its flags on the global flag set, so it can run exactly once per test
+// process; -all is the invocation that exercises the most of it.
+func TestMainAll(t *testing.T) {
+	os.Args = []string{"mdrepro", "-all"}
+	main()
+}
+
+// TestRunCheck runs the requirement probes and Table 2 claims directly.
+// On success it returns; a reproduction regression calls os.Exit(1),
+// which fails the test run loudly.
+func TestRunCheck(t *testing.T) {
+	runCheck()
+}
+
+func TestRef(t *testing.T) {
+	if ref() != temporal.MustDate("01/01/1999") {
+		t.Fatal("reference date drifted from the paper era")
+	}
+	ctx() // the current-context helper must build from ref()
+}

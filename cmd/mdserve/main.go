@@ -41,6 +41,7 @@ func main() {
 	maxFacts := flag.Int64("max-facts", 10_000_000, "per-query scanned-facts limit (0 disables)")
 	parallelism := flag.Int("parallelism", 1, "default partition-parallel degree per query (1 = sequential; ?parallelism= overrides per query)")
 	columns := flag.Int("columns", 0, "warm characterization columns for categories with at least N values (0 = bitmap kernels only)")
+	resultCache := flag.Int64("result-cache", 0, "result-cache size in bytes (0 disables; ?nocache=1 bypasses per query)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "drain window on SIGINT/SIGTERM")
 	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus text format) and GET /debug/queries")
 	selfcheck := flag.Bool("selfcheck", false, "start on a loopback port, run one query through HTTP, and exit")
@@ -59,11 +60,12 @@ func main() {
 		fatal(err)
 	}
 	srv := serve.NewServer(cat, serve.Limits{
-		Timeout:         *timeout,
-		MaxResultRows:   *maxRows,
-		MaxFactsScanned: *maxFacts,
-		Parallelism:     *parallelism,
-		ColumnMinValues: *columns,
+		Timeout:          *timeout,
+		MaxResultRows:    *maxRows,
+		MaxFactsScanned:  *maxFacts,
+		Parallelism:      *parallelism,
+		ColumnMinValues:  *columns,
+		ResultCacheBytes: *resultCache,
 	}, ref)
 
 	handler := srv.Handler()
@@ -86,7 +88,7 @@ func main() {
 	}
 
 	if *selfcheck {
-		if err := runSelfcheck(hs, *metrics); err != nil {
+		if err := runSelfcheck(hs, *metrics, *resultCache > 0); err != nil {
 			fatal(err)
 		}
 		return
@@ -127,8 +129,10 @@ func buildMO(n int, seed int64) (*core.MO, error) {
 // runSelfcheck binds a loopback listener, serves on it, and round-trips
 // one query plus the health probe through real HTTP — the smoke test the
 // command-line integration tests call. With -metrics it also scrapes
-// /metrics and checks the exposition contains the serving-layer series.
-func runSelfcheck(hs *http.Server, metrics bool) error {
+// /metrics and checks the exposition contains the serving-layer series;
+// with -result-cache it repeats the query and checks the X-Mddm-Cache
+// header walks miss → hit → bypass.
+func runSelfcheck(hs *http.Server, metrics, resultCache bool) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -164,6 +168,28 @@ func runSelfcheck(hs *http.Server, metrics bool) error {
 	}
 	if len(out.Rows) == 0 {
 		return fmt.Errorf("selfcheck: query returned no rows")
+	}
+	if resultCache {
+		if got := resp.Header.Get("X-Mddm-Cache"); got != "miss" {
+			return fmt.Errorf("selfcheck: first query X-Mddm-Cache = %q, want \"miss\"", got)
+		}
+		for _, step := range []struct{ extra, want string }{
+			{"", "hit"},
+			{"&nocache=1", "bypass"},
+		} {
+			cresp, err := http.Get(base + "/query?q=" + url.QueryEscape(q) + step.extra)
+			if err != nil {
+				return err
+			}
+			cresp.Body.Close()
+			if cresp.StatusCode != http.StatusOK {
+				return fmt.Errorf("selfcheck: repeat query returned %s", cresp.Status)
+			}
+			if got := cresp.Header.Get("X-Mddm-Cache"); got != step.want {
+				return fmt.Errorf("selfcheck: repeat query X-Mddm-Cache = %q, want %q", got, step.want)
+			}
+		}
+		fmt.Println("selfcheck ok: result cache miss/hit/bypass")
 	}
 	if metrics {
 		mresp, err := http.Get(base + "/metrics")

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMainSelfcheck drives the whole command once, end to end, in its
+// richest configuration: synthetic data, warmed columns, the metrics
+// surface, and the result cache, verified through the -selfcheck HTTP
+// round trip. main parses flags and registers them on the global flag
+// set, so it can run exactly once per test process — this invocation is
+// chosen to cover the most.
+func TestMainSelfcheck(t *testing.T) {
+	os.Args = []string{"mdserve",
+		"-selfcheck", "-metrics",
+		"-gen", "200",
+		"-columns", "4",
+		"-parallelism", "2",
+		"-result-cache", "1048576",
+	}
+	main()
+}
+
+func TestBuildMOTable1(t *testing.T) {
+	m, err := buildMO(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Facts().Len() == 0 {
+		t.Fatal("Table 1 MO has no facts")
+	}
+}
+
+func TestBuildMOSynthetic(t *testing.T) {
+	m, err := buildMO(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Facts().Len() == 0 {
+		t.Fatal("synthetic MO has no facts")
+	}
+}

@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+// TestExampleRuns executes the example end to end: examples are part of
+// the published API surface, so they must keep building AND running.
+func TestExampleRuns(t *testing.T) {
+	main()
+}

@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Flight deduplicates concurrent computations of the same key: the first
+// caller (the leader) runs fn, everyone else arriving before it finishes
+// blocks and shares the leader's outcome. Unlike a cache there is no
+// retention — the key is forgotten the moment the leader returns, so a
+// caller arriving after that recomputes (or, in the serving layer, hits
+// the result cache the leader just filled).
+//
+// The serving layer keys flights by (cache key, version), so a write
+// landing mid-flight starts a fresh flight for the new version instead
+// of handing the old leader's about-to-be-stale result to callers who
+// already observed the newer version.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// PanicError is the error delivered to the leader and every waiter when
+// the flight's fn panics. Isolating the panic here (rather than letting
+// it unwind through whichever goroutine happened to lead) keeps the
+// blast radius identical for all sharers.
+type PanicError struct {
+	// Val is the recovered panic value.
+	Val any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cache: fill panicked: %v", e.Val)
+}
+
+// Do runs fn once per key among concurrent callers, returning fn's value
+// and error to all of them. A panic in fn is recovered into a
+// *PanicError returned to every caller — it does not propagate as a
+// panic and cannot deadlock waiters.
+func (f *Flight) Do(key string, fn func() (any, error)) (any, error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = map[string]*call{}
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = &PanicError{Val: r}
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}

@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightDeduplicates(t *testing.T) {
+	var f Flight
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	// The leader goes first and blocks inside fn; waiters are launched
+	// only once it is verifiably in flight, then given ample time to park
+	// on the flight before the leader is released.
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]any, callers)
+	errs := make([]error, callers)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = f.Do("k", func() (any, error) {
+			close(started)
+			calls.Add(1)
+			<-release
+			return "shared", nil
+		})
+	}()
+	<-started
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = f.Do("k", func() (any, error) {
+				calls.Add(1)
+				return "recomputed", nil
+			})
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	for i := range results {
+		if errs[i] != nil || results[i] != "shared" {
+			t.Fatalf("caller %d got %v, %v; want shared, nil", i, results[i], errs[i])
+		}
+	}
+}
+
+func TestFlightSequentialCallsRecompute(t *testing.T) {
+	var f Flight
+	n := 0
+	for i := 0; i < 3; i++ {
+		v, err := f.Do("k", func() (any, error) { n++; return n, nil })
+		if err != nil || v != i+1 {
+			t.Fatalf("call %d = %v, %v; want %d, nil", i, v, err, i+1)
+		}
+	}
+}
+
+func TestFlightKeysAreIndependent(t *testing.T) {
+	var f Flight
+	va, _ := f.Do("a", func() (any, error) { return "a", nil })
+	vb, _ := f.Do("b", func() (any, error) { return "b", nil })
+	if va != "a" || vb != "b" {
+		t.Fatalf("got %v, %v", va, vb)
+	}
+}
+
+func TestFlightErrorShared(t *testing.T) {
+	var f Flight
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = f.Do("k", func() (any, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Joins the in-flight call; if scheduling is so delayed it starts
+		// its own flight instead, it still returns boom.
+		_, errs[1] = f.Do("k", func() (any, error) { return nil, boom })
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("caller %d got %v, want boom", i, err)
+		}
+	}
+}
+
+func TestFlightPanicIsolatedAndShared(t *testing.T) {
+	var f Flight
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = f.Do("k", func() (any, error) {
+			close(started)
+			<-release
+			panic("fill exploded")
+		})
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[1] = f.Do("k", func() (any, error) { panic("fill exploded") })
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	// The leader's panic is recovered into a *PanicError delivered to it
+	// AND to everyone sharing the flight — no goroutine dies, no waiter
+	// hangs.
+	for i, err := range errs {
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("caller %d got %v, want *PanicError", i, err)
+		}
+		if pe.Val != "fill exploded" {
+			t.Fatalf("caller %d PanicError.Val = %v", i, pe.Val)
+		}
+		if pe.Error() == "" {
+			t.Fatal("empty error string")
+		}
+	}
+}
+
+func TestFlightPanicDoesNotWedgeKey(t *testing.T) {
+	var f Flight
+	_, err := f.Do("k", func() (any, error) { panic("once") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	v, err := f.Do("k", func() (any, error) { return "recovered", nil })
+	if err != nil || v != "recovered" {
+		t.Fatalf("key wedged after panic: %v, %v", v, err)
+	}
+}

@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQueryKeyCollisions pins the normalization: each pair is two
+// spellings of the same query and must produce one key (and the same
+// MO attribution).
+func TestQueryKeyCollisions(t *testing.T) {
+	pairs := [][2]string{
+		{ // whitespace and keyword case
+			`SELECT SETCOUNT(*) FROM patients`,
+			`select   setcount( * )   from   patients`,
+		},
+		{ // quoted vs bare identifiers
+			`SELECT SETCOUNT(*) FROM "patients" GROUP BY "Diagnosis"."Diagnosis Group"`,
+			`SELECT SETCOUNT(*) FROM patients GROUP BY Diagnosis."Diagnosis Group"`,
+		},
+		{ // explicit default alias vs none
+			`SELECT SETCOUNT(*) AS SETCOUNT FROM patients`,
+			`SELECT SETCOUNT(*) FROM patients`,
+		},
+		{ // != vs <>
+			`SELECT SETCOUNT(*) FROM patients WHERE Age != 40`,
+			`SELECT SETCOUNT(*) FROM patients WHERE Age <> 40`,
+		},
+		{ // number spellings
+			`SELECT SETCOUNT(*) FROM patients WHERE Age >= 040.50`,
+			`SELECT SETCOUNT(*) FROM patients WHERE Age >= 40.5`,
+		},
+		{ // redundant predicate parentheses
+			`SELECT FACTS FROM patients WHERE ((A = 'x'))`,
+			`SELECT FACTS FROM patients WHERE A = 'x'`,
+		},
+		{ // LIMIT 0 is no limit; PROB >= 0 admits everything
+			`SELECT SETCOUNT(*) FROM patients WITH PROB >= 0 LIMIT 0`,
+			`SELECT SETCOUNT(*) FROM patients`,
+		},
+		{ // ORDER BY ... ASC is the default order
+			`SELECT SETCOUNT(*) AS N FROM patients ORDER BY N ASC`,
+			`SELECT SETCOUNT(*) AS N FROM patients ORDER BY N`,
+		},
+		{ // lower-case function name (the parser upper-cases)
+			`SELECT setcount(*) FROM patients`,
+			`SELECT SETCOUNT(*) FROM patients`,
+		},
+	}
+	for i, p := range pairs {
+		k1, mo1, err1 := QueryKey(p[0])
+		k2, mo2, err2 := QueryKey(p[1])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("pair %d: unexpected errors %v / %v", i, err1, err2)
+		}
+		if k1 != k2 {
+			t.Errorf("pair %d: keys differ:\n  %q\n  %q", i, k1, k2)
+		}
+		if mo1 != mo2 || mo1 != "patients" {
+			t.Errorf("pair %d: mo = %q / %q, want patients", i, mo1, mo2)
+		}
+	}
+}
+
+// TestQueryKeyDistinctions pins the inverse: queries that differ in any
+// parameter must not collide.
+func TestQueryKeyDistinctions(t *testing.T) {
+	distinct := []string{
+		`SELECT SETCOUNT(*) FROM patients`,
+		`SELECT COUNT(*) FROM patients`,
+		`SELECT SETCOUNT(*) FROM visits`,
+		`SELECT SETCOUNT(*) AS N FROM patients`,
+		`SELECT SETCOUNT(*) FROM patients WHERE Age >= 40`,
+		`SELECT SETCOUNT(*) FROM patients WHERE Age >= 41`,
+		`SELECT SETCOUNT(*) FROM patients WHERE Age > 40`,
+		`SELECT SETCOUNT(*) FROM patients WHERE Diagnosis = 'E10'`,
+		`SELECT SETCOUNT(*) FROM patients WHERE Diagnosis = 'E11'`,
+		`SELECT SETCOUNT(*) FROM patients WHERE Diagnosis IN ('E10')`,
+		`SELECT SETCOUNT(*) FROM patients WHERE Diagnosis NOT IN ('E10')`,
+		`SELECT SETCOUNT(*) FROM patients GROUP BY Diagnosis`,
+		`SELECT SETCOUNT(*) FROM patients GROUP BY Diagnosis."Diagnosis Group"`,
+		`SELECT SETCOUNT(*) FROM patients GROUP BY Diagnosis HAVING >= 2`,
+		`SELECT SETCOUNT(*) FROM patients GROUP BY Diagnosis HAVING >= 3`,
+		`SELECT SETCOUNT(*) FROM patients ASOF VALID '15/06/1975'`,
+		`SELECT SETCOUNT(*) FROM patients ASOF TRANS '15/06/1975'`,
+		`SELECT SETCOUNT(*) FROM patients ASOF VALID '16/06/1975'`,
+		`SELECT SETCOUNT(*) FROM patients WITH PROB >= 0.9`,
+		`SELECT SETCOUNT(*) FROM patients WITH PROB >= 0.8`,
+		`SELECT SETCOUNT(*) AS N FROM patients ORDER BY N`,
+		`SELECT SETCOUNT(*) AS N FROM patients ORDER BY N DESC`,
+		`SELECT SETCOUNT(*) FROM patients LIMIT 1`,
+		`SELECT SETCOUNT(*) FROM patients LIMIT 2`,
+		`SELECT FACTS FROM patients`,
+		`DESCRIBE patients`,
+		`DESCRIBE patients Diagnosis`,
+	}
+	seen := map[string]string{}
+	for _, src := range distinct {
+		k, _, err := QueryKey(src)
+		if err != nil {
+			t.Fatalf("QueryKey(%q): %v", src, err)
+		}
+		if prev, ok := seen[k]; ok {
+			t.Errorf("collision between %q and %q (key %q)", prev, src, k)
+		}
+		seen[k] = src
+	}
+}
+
+// TestQueryKeyQuotingHostileNames checks names and literals containing
+// quote characters cannot smuggle one query's parameters into another's
+// key (the classic delimiter-injection collision).
+func TestQueryKeyQuotingHostileNames(t *testing.T) {
+	a := `SELECT SETCOUNT(*) FROM patients WHERE "Di""m" = 'x'`
+	b := `SELECT SETCOUNT(*) FROM patients WHERE "Di" = '"m" = ''x'''`
+	ka, _, erra := QueryKey(a)
+	kb, _, errb := QueryKey(b)
+	if erra != nil || errb != nil {
+		t.Fatalf("errors: %v / %v", erra, errb)
+	}
+	if ka == kb {
+		t.Fatalf("hostile quoting collided: %q", ka)
+	}
+}
+
+func TestQueryKeyDescribeTargetsDescribedMO(t *testing.T) {
+	_, mo, err := QueryKey(`DESCRIBE visits Diagnosis`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mo != "visits" {
+		t.Fatalf("mo = %q, want visits", mo)
+	}
+}
+
+func TestQueryKeyParseError(t *testing.T) {
+	if _, _, err := QueryKey(`SELECT ((((`); err == nil {
+		t.Fatal("no error for garbage input")
+	}
+	if _, _, err := QueryKey(``); err == nil {
+		t.Fatal("no error for empty input")
+	}
+}
+
+func TestQueryKeyIsCanonicalFixpoint(t *testing.T) {
+	src := `select EXPECTED( * ) from patients where Diagnosis in ('E10','E11') and Age>=40 group by Residence."Region" order by EXPECTED desc limit 10`
+	k1, mo, err := QueryKey(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, mo2, err := QueryKey(k1)
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v\n%s", err, k1)
+	}
+	if k1 != k2 || mo != mo2 {
+		t.Fatalf("not a fixpoint:\n  %q\n  %q", k1, k2)
+	}
+	if !strings.Contains(k1, `"EXPECTED"`) {
+		t.Fatalf("canonical form lost the aggregate: %q", k1)
+	}
+}

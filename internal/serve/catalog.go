@@ -18,6 +18,13 @@ import (
 type Catalog struct {
 	mu   sync.Mutex // serializes writers
 	snap atomic.Pointer[map[string]*core.MO]
+	// gens tracks a per-name registration generation, published
+	// copy-on-write like snap. Every Register draws a fresh value from
+	// nextGen, so a name's generation changes on re-registration and is
+	// never reused across a Deregister/Register cycle — the result cache
+	// versions entries by it (cache.Version.Gen).
+	gens    atomic.Pointer[map[string]uint64]
+	nextGen uint64 // guarded by mu
 }
 
 // NewCatalog creates an empty catalog.
@@ -25,6 +32,8 @@ func NewCatalog() *Catalog {
 	c := &Catalog{}
 	empty := map[string]*core.MO{}
 	c.snap.Store(&empty)
+	emptyGens := map[string]uint64{}
+	c.gens.Store(&emptyGens)
 	return c
 }
 
@@ -43,6 +52,15 @@ func (c *Catalog) Register(name string, m *core.MO) error {
 	next := c.copyLocked()
 	next[name] = m
 	c.snap.Store(&next)
+	// The generation is published after the map: a reader that sees the
+	// new generation (and versions a cache fill by it) is guaranteed to
+	// also see the new MO, so nothing computed from the old MO can be
+	// stored under the new generation. The reverse order could serve
+	// pre-registration data under the post-registration version.
+	c.nextGen++
+	ng := c.copyGensLocked()
+	ng[name] = c.nextGen
+	c.gens.Store(&ng)
 	return nil
 }
 
@@ -57,6 +75,9 @@ func (c *Catalog) Deregister(name string) {
 	next := c.copyLocked()
 	delete(next, name)
 	c.snap.Store(&next)
+	ng := c.copyGensLocked()
+	delete(ng, name)
+	c.gens.Store(&ng)
 }
 
 // copyLocked clones the current snapshot map; callers hold c.mu.
@@ -67,6 +88,23 @@ func (c *Catalog) copyLocked() map[string]*core.MO {
 		next[k] = v
 	}
 	return next
+}
+
+// copyGensLocked clones the generation map; callers hold c.mu.
+func (c *Catalog) copyGensLocked() map[string]uint64 {
+	cur := *c.gens.Load()
+	next := make(map[string]uint64, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	return next
+}
+
+// Gen returns name's registration generation: 0 when unregistered,
+// otherwise a value unique to this registration of the name (it changes
+// on every Register, including re-registrations after a Deregister).
+func (c *Catalog) Gen(name string) uint64 {
+	return (*c.gens.Load())[name]
 }
 
 // Snapshot returns the current published catalog as a query.Catalog.

@@ -12,6 +12,7 @@ import (
 	"mddm/internal/exec"
 	"mddm/internal/faultinject"
 	"mddm/internal/obs"
+	"mddm/internal/query"
 )
 
 // maxHTTPParallelism caps the per-query ?parallelism= override: the pool
@@ -40,7 +41,10 @@ type errorResponse struct {
 //	GET/POST /query?q=…   run a query (POST may carry the query as the body);
 //	                      &parallelism=k overrides the server's default
 //	                      partition-parallel degree for this query (1 = sequential);
-//	                      &trace=1 attaches a per-query trace summary to the response
+//	                      &trace=1 attaches a per-query trace summary to the response;
+//	                      &nocache=1 bypasses the result cache for this query.
+//	                      When the result cache is enabled the response carries
+//	                      X-Mddm-Cache: hit|miss (or bypass for &nocache=1)
 //	GET      /healthz     liveness probe
 //
 // The observability surface (/metrics, /debug/queries) is not mounted
@@ -104,7 +108,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			ctx, tr = obs.WithTrace(ctx, src)
 		}
 	}
-	res, err := s.Query(ctx, src)
+	nocache := false
+	if nc := r.URL.Query().Get("nocache"); nc != "" {
+		on, err := strconv.ParseBool(nc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("serve: invalid nocache %q: want a boolean (1/0, true/false)", nc))
+			return
+		}
+		nocache = on
+	}
+	var res *query.Result
+	var err error
+	switch {
+	case !s.ResultCacheEnabled():
+		// No cache, no header: the response shape is unchanged from
+		// servers built without Limits.ResultCacheBytes.
+		res, err = s.Query(ctx, src)
+	case nocache:
+		// ?nocache=1 is the escape hatch: compute uncached and leave the
+		// cache contents alone (it neither reads nor fills).
+		w.Header().Set("X-Mddm-Cache", "bypass")
+		res, err = s.Query(ctx, src)
+	default:
+		var hit bool
+		res, hit, err = s.QueryCached(ctx, src)
+		if hit {
+			w.Header().Set("X-Mddm-Cache", "hit")
+		} else {
+			w.Header().Set("X-Mddm-Cache", "miss")
+		}
+	}
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mddm/internal/cache"
+	"mddm/internal/obs"
+	"mddm/internal/query"
+	"mddm/internal/storage"
+)
+
+// This file wires the versioned query-result cache (internal/cache) into
+// the server. The freshness identity of a cached result is a
+// cache.Version: the catalog registration generation of the MO the query
+// addresses (Catalog.Gen) paired with the serving engine's mutation
+// epoch (storage.Engine.Epoch). Re-registering an MO moves the
+// generation; appending a fact through the sanctioned flow — mutate the
+// registered MO (core.MO.Relate et al.), then AppendFact on the engine
+// from EngineFor — moves the epoch. Either way every entry filled before
+// the write fails its next lookup: invalidation is version comparison at
+// lookup, never an eager purge.
+//
+// The no-stale-serve argument is an ordering discipline, not a lock: the
+// version is captured BEFORE the result is computed, so a write landing
+// mid-computation leaves the (possibly already-fresh) result stored
+// under the pre-write version, which no post-write lookup accepts.
+// Entries can be over-fresh and die young; they are never stale.
+
+// ResultCacheEnabled reports whether the server was built with a result
+// cache (Limits.ResultCacheBytes > 0).
+func (s *Server) ResultCacheEnabled() bool { return s.results != nil }
+
+// ResultCacheStats snapshots the result cache's counters (zero value
+// when the cache is disabled). For tests and debugging; the aggregate
+// mddm_cache_* metrics are on /metrics.
+func (s *Server) ResultCacheStats() cache.Stats {
+	if s.results == nil {
+		return cache.Stats{}
+	}
+	return s.results.Stats()
+}
+
+// resultVersion snapshots the named MO's freshness identity. Epoch is 0
+// until an engine exists (pure SQL traffic never builds one); the first
+// EngineFor/Aggregate then moves the version, costing one spurious
+// refill — engine construction changes no data — but never a stale hit.
+func (s *Server) resultVersion(name string) cache.Version {
+	v := cache.Version{Gen: s.cat.Gen(name)}
+	s.mu.Lock()
+	e := s.engines[name]
+	s.mu.Unlock()
+	if e != nil {
+		e.mu.Lock()
+		if e.last != nil {
+			v.Epoch = e.last.engine.Epoch()
+		}
+		e.mu.Unlock()
+	}
+	return v
+}
+
+// QueryCached is Query behind the result cache: a lookup keyed by the
+// canonical form of src and validated against the MO's current version,
+// falling through to Query on a miss with the fill single-flighted per
+// (key, version) so a thundering herd of identical misses computes once.
+// The second return reports whether the result came from the cache. The
+// returned Result is shared with other cache readers — treat it as
+// immutable.
+//
+// A hit charges no fact budget and no timeout: the pinned policy
+// (docs/SERVING.md, TestCacheHitBudgetPolicy) is that the computation
+// the hit replaces already paid for itself once. When the cache is
+// disabled this is exactly Query.
+func (s *Server) QueryCached(ctx context.Context, src string) (*query.Result, bool, error) {
+	if s.results == nil {
+		res, err := s.Query(ctx, src)
+		return res, false, err
+	}
+	key, mo, kerr := cache.QueryKey(src)
+	if kerr != nil {
+		// Unkeyable means unparseable; let the uncached path produce its
+		// canonical parse error (and its error metrics).
+		res, err := s.Query(ctx, src)
+		return res, false, err
+	}
+	ver := s.resultVersion(mo)
+	if v, ok := s.results.Get(key, ver); ok {
+		s.queries.Add(1)
+		mQueries.Inc()
+		obs.TraceFrom(ctx).SetAttr("cache_hit", 1)
+		return v.(*query.Result), true, nil
+	}
+	obs.TraceFrom(ctx).SetAttr("cache_hit", 0)
+	v, err := s.flights.Do(flightKey(key, ver), func() (any, error) {
+		res, err := s.Query(ctx, src)
+		if err != nil {
+			// Errors are not cached: transient failures (timeouts,
+			// budgets) must not shadow a later healthy computation.
+			return nil, err
+		}
+		s.results.Put(key, ver, res, resultBytes(res))
+		return res, nil
+	})
+	if err != nil {
+		// Query already converts execution panics to *InternalError, so a
+		// *cache.PanicError here means the fill panicked outside that
+		// recovery; fold it into the same class.
+		var pe *cache.PanicError
+		if errors.As(err, &pe) {
+			s.panics.Add(1)
+			mPanics.Inc()
+			return nil, false, &InternalError{Query: src, Panic: pe.Val}
+		}
+		return nil, false, err
+	}
+	return v.(*query.Result), false, nil
+}
+
+// EngineFor returns the serving engine for the named MO, building it on
+// first use (single-flight, like Aggregate). This is the sanctioned
+// append flow: mutate the registered MO (e.g. core.MO.Relate), then call
+// AppendFact on this engine — the epoch bump invalidates every cached
+// result computed before the append. Unlike Aggregate it never degrades
+// to a stale snapshot: appending to an engine whose source is not the
+// registered MO would bump an epoch no current version uses.
+func (s *Server) EngineFor(ctx context.Context, name string) (*storage.Engine, error) {
+	snap, degraded, err := s.snapshotFor(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	if degraded != nil {
+		return nil, fmt.Errorf("serve: engine for %q is stale: %w", name, degraded)
+	}
+	return snap.engine, nil
+}
+
+// flightKey scopes a fill to its version, so a write landing while a
+// fill is in flight starts a fresh flight for post-write callers instead
+// of handing them the pre-write leader's result.
+func flightKey(key string, v cache.Version) string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], v.Gen)
+	binary.BigEndian.PutUint64(b[8:], v.Epoch)
+	return key + string(b[:])
+}
+
+// resultBytes estimates a Result's retained size for the cache's byte
+// bound: string payloads plus per-header/per-row overhead. An estimate
+// is enough — the bound exists to cap memory, not to account it exactly.
+func resultBytes(res *query.Result) int64 {
+	n := int64(96)
+	for _, c := range res.Columns {
+		n += int64(len(c)) + 16
+	}
+	for _, r := range res.Rows {
+		n += 24
+		for _, v := range r {
+			n += int64(len(v)) + 16
+		}
+	}
+	for _, w := range res.Reasons {
+		n += int64(len(w)) + 16
+	}
+	for _, w := range res.Warnings {
+		n += int64(len(w)) + 16
+	}
+	return n
+}

@@ -73,4 +73,13 @@ type Limits struct {
 	// cold; queries then use the bitmap kernels (results are identical —
 	// only wall-clock changes).
 	ColumnMinValues int
+	// ResultCacheBytes, when positive, enables the versioned query-result
+	// cache (internal/cache) bounded to roughly this many bytes. Cached
+	// results are validated at lookup against the MO's registration
+	// generation and its engine's mutation epoch, so re-registrations and
+	// appended facts invalidate by version comparison — a stale result is
+	// never served. Zero disables caching; QueryCached then degrades to
+	// Query. A cache hit charges no fact budget (the computation it
+	// replaces already charged it once); see docs/SERVING.md.
+	ResultCacheBytes int64
 }

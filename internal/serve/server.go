@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mddm/internal/cache"
 	"mddm/internal/core"
 	"mddm/internal/dimension"
 	"mddm/internal/exec"
@@ -34,6 +35,12 @@ type Server struct {
 	activeMu sync.Mutex
 	active   map[uint64]*activeQuery
 
+	// results is the versioned query-result cache (nil when
+	// Limits.ResultCacheBytes is zero); flights single-flights its misses
+	// per (key, version). See results.go.
+	results *cache.Cache
+	flights cache.Flight
+
 	queries     atomic.Int64
 	panics      atomic.Int64
 	rebuilds    atomic.Int64
@@ -42,8 +49,12 @@ type Server struct {
 
 // NewServer creates a server over the catalog. ref resolves NOW.
 func NewServer(cat *Catalog, limits Limits, ref temporal.Chronon) *Server {
-	return &Server{cat: cat, limits: limits, ref: ref,
+	s := &Server{cat: cat, limits: limits, ref: ref,
 		engines: map[string]*engineEntry{}, active: map[uint64]*activeQuery{}}
+	if limits.ResultCacheBytes > 0 {
+		s.results = cache.New(limits.ResultCacheBytes)
+	}
+	return s
 }
 
 // Stats is a snapshot of the server's counters.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mddm/internal/core"
 	"mddm/internal/dimension"
@@ -61,6 +62,10 @@ type Engine struct {
 	// category cardinality at which a built column is preferred over the
 	// per-value bitmap scans.
 	colMin int
+	// epoch is the engine's mutation epoch (see epoch.go): a fresh
+	// process-unique value at build time and after every AppendFact.
+	// Atomic so Epoch() never takes the engine lock.
+	epoch atomic.Uint64
 }
 
 type dimIndex struct {
@@ -138,6 +143,7 @@ func BuildEngine(ctx context.Context, m *core.MO, ectx dimension.Context) (*Engi
 		}
 		e.dims[name] = di
 	}
+	e.bumpEpoch()
 	mEngineBuilds.Inc()
 	return e, nil
 }

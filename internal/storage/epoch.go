@@ -1,0 +1,27 @@
+package storage
+
+import "sync/atomic"
+
+// epochSource issues mutation epochs process-wide. Drawing every
+// engine's epochs from one monotone source — rather than a per-engine
+// counter — means a rebuilt engine can never reuse an epoch its
+// predecessor handed out: a cache entry versioned against the old
+// engine stays invalid against the new one even if both have seen the
+// same number of mutations.
+var epochSource atomic.Uint64
+
+// nextEpoch returns a fresh, never-before-issued epoch (always > 0, so
+// callers can use 0 as the "no engine" sentinel).
+func nextEpoch() uint64 { return epochSource.Add(1) }
+
+// Epoch returns the engine's current mutation epoch. The epoch moves to
+// a fresh process-unique value when the engine is built and after every
+// successful AppendFact; readers comparing epochs across those events
+// (the result cache's append-driven invalidation) therefore observe a
+// change for every mutation, with no ordering assumptions beyond
+// equality.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// bumpEpoch moves the engine to a fresh epoch; called with the write
+// lock held at the end of each successful mutation.
+func (e *Engine) bumpEpoch() { e.epoch.Store(nextEpoch()) }

@@ -113,5 +113,10 @@ func (e *Engine) AppendFact(factID string) error {
 		}
 		e.argCols[argDim] = append(vals, xs)
 	}
+	// The append succeeded: move to a fresh mutation epoch so versioned
+	// readers (the result cache) see every entry filled before this write
+	// as stale. Failed appends above return without bumping — they did
+	// not change what a query would observe.
+	e.bumpEpoch()
 	return nil
 }
