@@ -141,3 +141,12 @@ func TestMdserveSelfcheck(t *testing.T) {
 		t.Fatalf("selfcheck output wrong:\n%s", out)
 	}
 }
+
+func TestMdserveSelfcheckAdmission(t *testing.T) {
+	out := run(t, "mdserve", "-selfcheck", "-metrics",
+		"-admission", "4", "-tenant-rps", "1000",
+		"-result-cache", "1048576", "-stale-on-shed", "30s")
+	if !strings.Contains(out, "selfcheck ok: metrics surface up") {
+		t.Fatalf("selfcheck output wrong:\n%s", out)
+	}
+}

@@ -16,6 +16,7 @@
 //	mdbench -exp B12  # observability overhead: obs enabled vs disabled
 //	mdbench -exp B13  # column kernel vs bitmap over category cardinality
 //	mdbench -exp B14  # result cache hit vs recompute
+//	mdbench -exp B15  # overload resilience: admitted p99 + shed latency at 1×/2×/4× load
 //	mdbench -all
 //
 // With -json, every measurement is also written to BENCH_<exp>.json in the
@@ -26,12 +27,17 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"mddm/internal/admission"
 	"mddm/internal/agg"
 	"mddm/internal/algebra"
 	"mddm/internal/casestudy"
@@ -65,10 +71,13 @@ type benchRow struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// OverheadPct is B12's enabled-vs-disabled delta for the op, percent.
 	OverheadPct float64 `json:"overhead_pct,omitempty"`
+	// Value carries a non-timing measurement (a count, a ratio) for rows
+	// whose point is not ns/op — B15's shed counts and p99 ratios.
+	Value float64 `json:"value,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B14; B8 runs under go test -bench=WideMO)")
+	exp := flag.String("exp", "", "experiment id (B1..B15; B8 runs under go test -bench=WideMO)")
 	all := flag.Bool("all", false, "run every experiment")
 	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B14")
 	jsonOut = flag.Bool("json", false, "also write BENCH_<exp>.json with one row per measurement")
@@ -99,6 +108,7 @@ func main() {
 	run("B12", func() { b12(*nFacts) })
 	run("B13", func() { b13(*nFacts) })
 	run("B14", func() { b14(*nFacts) })
+	run("B15", b15)
 }
 
 // flushJSON writes the experiment's recorded rows to BENCH_<id>.json when
@@ -803,6 +813,234 @@ func b14(nFacts int) {
 	fmt.Printf("\n%16s %14v  (evictions %d over %d lookups)\n", "evict-churn", tEv, st.Evictions, st.Hits+st.Misses)
 	fmt.Println("  verify: cached ≡ uncached ≡ index-free baseline at degrees 1, 2, 4, 8; degree-4 fill served degree-1 ✓")
 	fmt.Println()
+}
+
+// b15 measures overload resilience. The admission controller gets a
+// fixed concurrency ceiling and a two-slot wait queue, and closed-loop
+// worker pools offer 1×, 2×, and 4× the server's capacity. Claims under
+// test, all hard-asserted: admitted p99 at 4× stays within 3× of the 1×
+// baseline (the queue is short, so waiting is short), shed requests are
+// answered in under a millisecond (rejection is held-mutex arithmetic,
+// not work), every admitted result is bit-identical to the unthrottled
+// query.Exec baseline, and zero deadline-expired requests are ever
+// granted a slot — even under a final barrage of doomed tight-deadline
+// probes against a saturated server.
+func b15() {
+	const (
+		serveN   = 2000
+		ceiling  = 4
+		maxQueue = 2
+	)
+	fmt.Printf("B15: overload resilience (%d facts, concurrency limit %d, queue %d)\n",
+		serveN, ceiling, maxQueue)
+	bg := context.Background()
+	scat := serve.NewCatalog()
+	if err := scat.Register("patients", gen(serveN, false, false)); err != nil {
+		fatal(err)
+	}
+	// TargetLatency is deliberately generous: B15 isolates queueing and
+	// shedding with the adaptive limit parked at its ceiling; the AIMD
+	// control law itself is unit-tested in internal/admission.
+	srv := serve.NewServer(scat, serve.Limits{
+		Admission: admission.Config{
+			MaxConcurrency: ceiling,
+			MinConcurrency: 1,
+			TargetLatency:  time.Second,
+			MaxQueue:       maxQueue,
+		},
+	}, ref)
+	const q = `SELECT SETCOUNT(*) AS N FROM patients WHERE Age >= 40 GROUP BY Residence."Region"`
+
+	// The differential reference every admitted result must match.
+	base, err := query.Exec(q, scat.Snapshot(), ref)
+	if err != nil {
+		fatal(err)
+	}
+	baseRows := fmt.Sprint(base.Rows)
+
+	// Single-threaded service time calibrates the load phases: a shed
+	// worker backs off ~one service time so mult×ceiling workers keep
+	// offering ~mult× capacity instead of spinning through their quota.
+	svc := timed(func() {
+		if _, err := srv.Query(bg, q); err != nil {
+			fatal(err)
+		}
+	})
+	loadDur := 200 * svc
+	if loadDur < 250*time.Millisecond {
+		loadDur = 250 * time.Millisecond
+	}
+	if loadDur > 1500*time.Millisecond {
+		loadDur = 1500 * time.Millisecond
+	}
+
+	runLoad := func(mult int) (admitted, shed []time.Duration, other int) {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var mismatch atomic.Int64
+		start := time.Now()
+		for w := 0; w < ceiling*mult; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var adm, sh []time.Duration
+				var oth int
+				for time.Since(start) < loadDur {
+					cctx, cancel := context.WithTimeout(bg, 5*time.Second)
+					t0 := time.Now()
+					res, qerr := srv.Query(cctx, q)
+					el := time.Since(t0)
+					cancel()
+					switch {
+					case qerr == nil:
+						if fmt.Sprint(res.Rows) != baseRows {
+							mismatch.Add(1)
+						}
+						adm = append(adm, el)
+					case errors.Is(qerr, serve.ErrOverloaded):
+						sh = append(sh, el)
+						time.Sleep(svc)
+					default:
+						oth++
+					}
+				}
+				mu.Lock()
+				admitted = append(admitted, adm...)
+				shed = append(shed, sh...)
+				other += oth
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		if n := mismatch.Load(); n > 0 {
+			fatal(fmt.Errorf("B15: %d admitted results diverged from the unthrottled baseline", n))
+		}
+		return admitted, shed, other
+	}
+
+	fmt.Printf("%6s %10s %12s %12s %12s %8s\n",
+		"load", "admitted", "adm p50", "adm p99", "shed p99", "shed")
+	p99ByMult := map[int]time.Duration{}
+	shedAt4x := 0
+	for _, mult := range []int{1, 2, 4} {
+		admitted, shed, other := runLoad(mult)
+		if other > 0 {
+			fatal(fmt.Errorf("B15: %d requests failed with neither success nor overload at %dx", other, mult))
+		}
+		if len(admitted) == 0 {
+			fatal(fmt.Errorf("B15: no requests admitted at %dx load", mult))
+		}
+		p50 := pctlDur(admitted, 0.50)
+		p99 := pctlDur(admitted, 0.99)
+		p99ByMult[mult] = p99
+		shedP99 := pctlDur(shed, 0.99)
+		fmt.Printf("%5dx %10d %12v %12v %12v %8d\n",
+			mult, len(admitted), p50, p99, shedP99, len(shed))
+		benchRows = append(benchRows,
+			benchRow{Exp: curExp, Op: fmt.Sprintf("admitted-p50-%dx", mult), N: serveN,
+				NsPerOp: float64(p50.Nanoseconds()), Value: float64(len(admitted))},
+			benchRow{Exp: curExp, Op: fmt.Sprintf("admitted-p99-%dx", mult), N: serveN,
+				NsPerOp: float64(p99.Nanoseconds()), Value: float64(len(admitted))},
+		)
+		if len(shed) > 0 {
+			benchRows = append(benchRows, benchRow{Exp: curExp,
+				Op: fmt.Sprintf("shed-p99-%dx", mult), N: serveN,
+				NsPerOp: float64(shedP99.Nanoseconds()), Value: float64(len(shed))})
+			if shedP99 >= time.Millisecond {
+				fatal(fmt.Errorf("B15: shed p99 %v at %dx — rejection must answer in <1ms", shedP99, mult))
+			}
+		}
+		if mult == 4 {
+			shedAt4x = len(shed)
+		}
+	}
+	if shedAt4x == 0 {
+		fatal(fmt.Errorf("B15: 4x load produced no sheds — the overload never overloaded"))
+	}
+	ratio := float64(p99ByMult[4]) / float64(p99ByMult[1])
+	if ratio > 3 {
+		fatal(fmt.Errorf("B15: admitted p99 grew %.2fx from 1x to 4x load, want <= 3x", ratio))
+	}
+	benchRows = append(benchRows, benchRow{Exp: curExp, Op: "p99-ratio-4x-vs-1x", N: serveN, Value: ratio})
+
+	// Doomed-probe phase: saturate the server, then fire requests whose
+	// deadline is an eighth of a service time. Each one must resolve as an
+	// immediate admit (it raced into a free slot), an immediate shed
+	// (queue full, or the predicted wait exceeds its remaining deadline),
+	// or a deadline expiry — and the controller must never grant a slot to
+	// a request whose deadline already passed while it queued.
+	stop := make(chan struct{})
+	var satWG sync.WaitGroup
+	for w := 0; w < 2*ceiling; w++ {
+		satWG.Add(1)
+		go func() {
+			defer satWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cctx, cancel := context.WithTimeout(bg, 5*time.Second)
+				_, _ = srv.Query(cctx, q)
+				cancel()
+			}
+		}()
+	}
+	tight := svc / 8
+	if tight < 50*time.Microsecond {
+		tight = 50 * time.Microsecond
+	}
+	var doomedAdmitted, doomedShed, doomedExpired int
+	for i := 0; i < 200; i++ {
+		cctx, cancel := context.WithTimeout(bg, tight)
+		_, qerr := srv.Query(cctx, q)
+		cancel()
+		switch {
+		case qerr == nil:
+			doomedAdmitted++
+		case errors.Is(qerr, serve.ErrOverloaded):
+			doomedShed++
+		default:
+			doomedExpired++
+		}
+	}
+	close(stop)
+	satWG.Wait()
+
+	st := srv.AdmissionStats()
+	if st.GrantedExpired != 0 {
+		fatal(fmt.Errorf("B15: %d deadline-expired requests were granted slots, want 0", st.GrantedExpired))
+	}
+	fmt.Printf("\ndoomed probes (deadline %v): %d admitted, %d shed, %d expired\n",
+		tight, doomedAdmitted, doomedShed, doomedExpired)
+	fmt.Printf("controller: admitted %d, shed queue-full %d, shed deadline %d, queue-expired %d, granted-expired %d\n",
+		st.Admitted, st.ShedQueueFull, st.ShedDeadline, st.QueueExpired, st.GrantedExpired)
+	for _, r := range []struct {
+		op string
+		v  int64
+	}{
+		{"doomed-admitted", int64(doomedAdmitted)},
+		{"doomed-shed", int64(doomedShed)},
+		{"doomed-expired", int64(doomedExpired)},
+		{"shed-queue-full", st.ShedQueueFull},
+		{"shed-deadline", st.ShedDeadline},
+		{"queue-expired", st.QueueExpired},
+		{"granted-expired", st.GrantedExpired},
+	} {
+		benchRows = append(benchRows, benchRow{Exp: curExp, Op: r.op, N: serveN, Value: float64(r.v)})
+	}
+	fmt.Printf("  verify: admitted ≡ unthrottled baseline; shed p99 < 1ms; p99(4x)/p99(1x) = %.2f ≤ 3; granted-expired = 0 ✓\n\n", ratio)
+}
+
+// pctlDur reports the p-th percentile of ds (sorting it in place).
+func pctlDur(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(p*float64(len(ds)-1) + 0.5)
+	return ds[idx]
 }
 
 // timed reports fn's per-iteration wall time, auto-scaling the iteration

@@ -1,9 +1,13 @@
 // Command mdserve serves OLAP queries over HTTP with the robustness the
 // research pipeline lacks: per-query deadlines and resource limits,
-// panic isolation, request timeouts, and graceful shutdown.
+// panic isolation, request timeouts, adaptive admission control with
+// graceful load shedding, and graceful shutdown (SIGINT/SIGTERM stops
+// admitting, drains in-flight queries, exits 0).
 //
 //	mdserve -addr :8344                 # serve the paper's case study
 //	mdserve -gen 10000 -timeout 2s      # synthetic data, 2s per query
+//	mdserve -admission 8 -admit-target 50ms -tenant-rps 100
+//	                                    # shed past the knee: 429 + Retry-After
 //	curl 'localhost:8344/query?q=SELECT+SETCOUNT(*)+FROM+patients'
 //
 // The catalog contains the patient MO under the name "patients"; NOW
@@ -25,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"mddm/internal/admission"
 	"mddm/internal/casestudy"
 	"mddm/internal/core"
 	"mddm/internal/serve"
@@ -42,6 +47,13 @@ func main() {
 	parallelism := flag.Int("parallelism", 1, "default partition-parallel degree per query (1 = sequential; ?parallelism= overrides per query)")
 	columns := flag.Int("columns", 0, "warm characterization columns for categories with at least N values (0 = bitmap kernels only)")
 	resultCache := flag.Int64("result-cache", 0, "result-cache size in bytes (0 disables; ?nocache=1 bypasses per query)")
+	admit := flag.Int("admission", 0, "admission-control concurrency ceiling (0 disables admission control)")
+	admitFloor := flag.Int("admit-floor", 1, "admission-control concurrency floor the adaptive limit never drops below")
+	admitTarget := flag.Duration("admit-target", 100*time.Millisecond, "per-query latency target steering the adaptive concurrency limit")
+	admitQueue := flag.Int("admit-queue", 0, "admission wait-queue capacity (0 = 2× the ceiling)")
+	tenantRPS := flag.Float64("tenant-rps", 0, "per-tenant admissions per second (0 disables tenant quotas; tenant from X-Mddm-Tenant or ?tenant=)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant quota burst (0 = 2× -tenant-rps)")
+	staleOnShed := flag.Duration("stale-on-shed", 0, "serve a result-cache entry this stale (with a warning) instead of shedding a query under overload (0 disables; needs -result-cache)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "drain window on SIGINT/SIGTERM")
 	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus text format) and GET /debug/queries")
 	selfcheck := flag.Bool("selfcheck", false, "start on a loopback port, run one query through HTTP, and exit")
@@ -66,6 +78,15 @@ func main() {
 		Parallelism:      *parallelism,
 		ColumnMinValues:  *columns,
 		ResultCacheBytes: *resultCache,
+		StaleOnShed:      *staleOnShed,
+		Admission: admission.Config{
+			MaxConcurrency: *admit,
+			MinConcurrency: *admitFloor,
+			TargetLatency:  *admitTarget,
+			MaxQueue:       *admitQueue,
+			TenantRate:     *tenantRPS,
+			TenantBurst:    *tenantBurst,
+		},
 	}, ref)
 
 	handler := srv.Handler()
@@ -88,7 +109,7 @@ func main() {
 	}
 
 	if *selfcheck {
-		if err := runSelfcheck(hs, *metrics, *resultCache > 0); err != nil {
+		if err := runSelfcheck(hs, *metrics, *resultCache > 0, *admit > 0); err != nil {
 			fatal(err)
 		}
 		return
@@ -97,21 +118,44 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mdserve: listening on %s\n", ln.Addr())
+	if err := serveUntilShutdown(ctx, hs, ln, srv, *shutdownGrace); err != nil {
+		fatal(err)
+	}
+}
+
+// serveUntilShutdown serves on ln until ctx is done (main arrives here
+// with a SIGINT/SIGTERM-bound context), then shuts down gracefully:
+// admission stops first (new queries shed with 503 while the server is
+// still answerable), in-flight requests drain through http.Server's
+// Shutdown within grace, and a clean drain returns nil so the process
+// exits 0. A serve error before any shutdown was requested is returned
+// as the failure it is.
+func serveUntilShutdown(ctx context.Context, hs *http.Server, ln net.Listener, srv *serve.Server, grace time.Duration) error {
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "mdserve: listening on %s\n", *addr)
+	go func() { errc <- hs.Serve(ln) }()
 
 	select {
 	case err := <-errc:
-		fatal(err)
+		return err
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "mdserve: shutting down")
-	shctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	srv.Drain()
+	shctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := hs.Shutdown(shctx); err != nil {
-		fatal(err)
+		return fmt.Errorf("shutdown: %w", err)
 	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "mdserve: drained")
+	return nil
 }
 
 // buildMO constructs the served MO: the paper's Table 1 case study, or
@@ -131,8 +175,10 @@ func buildMO(n int, seed int64) (*core.MO, error) {
 // command-line integration tests call. With -metrics it also scrapes
 // /metrics and checks the exposition contains the serving-layer series;
 // with -result-cache it repeats the query and checks the X-Mddm-Cache
-// header walks miss → hit → bypass.
-func runSelfcheck(hs *http.Server, metrics, resultCache bool) error {
+// header walks miss → hit → bypass; with -admission it checks the
+// admission gauges are exposed and that every response carries
+// X-Mddm-Request-Id.
+func runSelfcheck(hs *http.Server, metrics, resultCache, admissionOn bool) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -158,6 +204,9 @@ func runSelfcheck(hs *http.Server, metrics, resultCache bool) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("selfcheck: /query returned %s", resp.Status)
+	}
+	if resp.Header.Get("X-Mddm-Request-Id") == "" {
+		return fmt.Errorf("selfcheck: /query response has no X-Mddm-Request-Id")
 	}
 	var out struct {
 		Columns []string   `json:"columns"`
@@ -204,11 +253,19 @@ func runSelfcheck(hs *http.Server, metrics, resultCache bool) error {
 		if mresp.StatusCode != http.StatusOK {
 			return fmt.Errorf("selfcheck: /metrics returned %s", mresp.Status)
 		}
-		for _, want := range []string{
+		wants := []string{
 			"mddm_serve_queries_total",
 			"mddm_serve_engine_cache_total",
 			"mddm_operator_seconds",
-		} {
+		}
+		if admissionOn {
+			wants = append(wants,
+				"mddm_admission_concurrency_limit",
+				"mddm_admission_admitted_total",
+				"mddm_admission_queue_depth",
+			)
+		}
+		for _, want := range wants {
 			if !strings.Contains(string(body), want) {
 				return fmt.Errorf("selfcheck: /metrics missing %s", want)
 			}

@@ -1,0 +1,423 @@
+// Package admission is the serving stack's front door under overload:
+// it decides, before any query work happens, whether a request runs now,
+// waits briefly, or is shed immediately with a retry hint. Three
+// mechanisms compose:
+//
+//   - An adaptive concurrency limiter (limiter.go) tracks how many
+//     queries the hardware actually sustains: AIMD on observed latency
+//     against a target, bounded by a configured floor and ceiling, so a
+//     traffic spike cannot pile up goroutines past the point where every
+//     request misses its deadline.
+//   - A bounded, deadline-aware wait queue: requests over the limit wait
+//     FIFO, but a request whose remaining deadline is shorter than the
+//     predicted queue wait is rejected immediately (it would be doomed
+//     work), and a queued request is abandoned the moment its context
+//     expires — an expired entry is never granted a slot.
+//   - Per-tenant token buckets (tenant.go) so one hot tenant cannot
+//     starve the rest; requests without a tenant share a default bucket.
+//
+// Rejections are typed: *OverloadError matches ErrOverloaded and carries
+// the shed reason plus a Retry-After hint derived from the limiter and
+// queue state, so the HTTP layer can answer 429/503 with an honest
+// backoff. Shedding is a mutex-scoped decision — microseconds — which is
+// the point: under overload the server stays answerable even when it
+// cannot do the work.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mddm/internal/faultinject"
+)
+
+// ErrOverloaded reports a request shed by admission control. Match with
+// errors.Is; the concrete *OverloadError carries the reason and a
+// Retry-After hint.
+var ErrOverloaded = errors.New("admission: overloaded")
+
+// Reason classifies why a request was shed.
+type Reason string
+
+const (
+	// ReasonQueueFull: the wait queue was at capacity.
+	ReasonQueueFull Reason = "queue-full"
+	// ReasonDeadline: the request's remaining deadline was shorter than
+	// the predicted queue wait — running it would be doomed work.
+	ReasonDeadline Reason = "deadline"
+	// ReasonQuota: the tenant's token bucket was empty.
+	ReasonQuota Reason = "tenant-quota"
+	// ReasonDraining: the controller is draining for shutdown.
+	ReasonDraining Reason = "draining"
+)
+
+// OverloadError is a typed shed: why, for whom, and when to retry.
+type OverloadError struct {
+	Reason Reason
+	// Tenant is the quota bucket the request charged ("" = default).
+	Tenant string
+	// RetryAfter is the controller's estimate of when capacity (or a
+	// quota token) will be available; zero means "immediately, if load
+	// subsides".
+	RetryAfter time.Duration
+}
+
+// Error renders the shed for logs and error envelopes.
+func (e *OverloadError) Error() string {
+	msg := fmt.Sprintf("admission: overloaded (%s)", e.Reason)
+	if e.Tenant != "" {
+		msg += fmt.Sprintf(" tenant %q", e.Tenant)
+	}
+	if e.RetryAfter > 0 {
+		msg += fmt.Sprintf(", retry after %s", e.RetryAfter.Round(time.Millisecond))
+	}
+	return msg
+}
+
+// Is makes errors.Is(err, ErrOverloaded) hold for every shed.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// Config bounds the controller; New fills defaults for zero fields.
+type Config struct {
+	// MaxConcurrency is the concurrency ceiling the adaptive limit can
+	// never exceed; 0 means admission control is disabled (the serving
+	// layer's gate — New itself requires a positive value).
+	MaxConcurrency int
+	// MinConcurrency is the floor the adaptive limit can never drop
+	// below (default 1): even a melting server keeps making progress.
+	MinConcurrency int
+	// TargetLatency is the per-query latency the limiter steers admitted
+	// work toward: sustained completions above it shrink the limit
+	// multiplicatively, completions at or below it grow it additively.
+	// Default 100ms.
+	TargetLatency time.Duration
+	// MaxQueue bounds how many requests may wait for a slot; a request
+	// arriving with the queue full is shed immediately. Default
+	// 2×MaxConcurrency. Keep it small: a long queue converts overload
+	// into latency, which is exactly what deadline-aware serving is
+	// trying not to do.
+	MaxQueue int
+	// TenantRate enables per-tenant token-bucket quotas at this many
+	// admissions per second per tenant; 0 disables quotas. Requests
+	// without a tenant share the default ("") bucket. A shed does not
+	// refund the token: quotas meter demand, not successful work.
+	TenantRate float64
+	// TenantBurst is each bucket's capacity (default max(1, 2×TenantRate)).
+	TenantBurst float64
+}
+
+// withDefaults fills the zero fields; MaxConcurrency stays as given (its
+// zero means "disabled" and is the caller's gate).
+func (c Config) withDefaults() Config {
+	if c.MinConcurrency <= 0 {
+		c.MinConcurrency = 1
+	}
+	if c.MinConcurrency > c.MaxConcurrency {
+		c.MinConcurrency = c.MaxConcurrency
+	}
+	if c.TargetLatency <= 0 {
+		c.TargetLatency = 100 * time.Millisecond
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrency
+	}
+	if c.TenantRate > 0 && c.TenantBurst <= 0 {
+		c.TenantBurst = 2 * c.TenantRate
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	return c
+}
+
+// Stats is a snapshot of the controller's counters and gauges.
+type Stats struct {
+	// Admitted counts tickets granted (immediately or after queueing).
+	Admitted int64
+	// Queued counts requests that waited for a slot before admission.
+	Queued int64
+	// Sheds by reason.
+	ShedQueueFull int64
+	ShedDeadline  int64
+	ShedQuota     int64
+	ShedDraining  int64
+	// QueueExpired counts queue entries abandoned because their context
+	// expired while waiting. They never executed.
+	QueueExpired int64
+	// GrantedExpired counts slots granted to a waiter whose context had
+	// already expired by the time it woke; the slot is returned untouched
+	// and the query never executes. The grant scan checks expiry first,
+	// so this stays 0 outside of races between grant and expiry.
+	GrantedExpired int64
+	// Limit, Inflight, QueueDepth are the current gauges.
+	Limit      int
+	Inflight   int
+	QueueDepth int
+}
+
+// waiter states: a queued request is granted by the wake scan or
+// abandoned (by its own requester on expiry, or by Drain). All
+// transitions happen under the controller mutex; close(ready) publishes
+// ticket/err to the requester.
+const (
+	waiting = iota
+	grantedState
+	abandonedState
+)
+
+// waiter is one queued request.
+type waiter struct {
+	ready  chan struct{}
+	ctx    context.Context
+	tenant string
+	state  int32   // guarded by Controller.mu
+	ticket *Ticket // set before close(ready) when granted
+	err    error   // set before close(ready) when shed by Drain
+}
+
+// Controller is the admission front door. Construct with New; safe for
+// concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	lim      limiter
+	inflight int
+	queue    []*waiter // FIFO; abandoned entries are skipped at wake
+	queued   int       // live (non-abandoned) queue entries
+	draining bool
+	buckets  map[string]*bucket
+	stats    Stats
+}
+
+// New creates a controller; cfg.MaxConcurrency must be positive (a zero
+// config means "no admission control" and should not construct one).
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	if cfg.MaxConcurrency <= 0 {
+		panic("admission: non-positive MaxConcurrency")
+	}
+	c := &Controller{cfg: cfg, buckets: map[string]*bucket{}}
+	c.lim = newLimiter(cfg.MinConcurrency, cfg.MaxConcurrency, cfg.TargetLatency)
+	gLimit.Set(int64(c.lim.Limit()))
+	return c
+}
+
+// Ticket is one admitted request's slot. Release returns the slot and
+// feeds the observed latency to the adaptive limiter; calling it more
+// than once is a no-op.
+type Ticket struct {
+	c     *Controller
+	start time.Time
+	once  sync.Once
+}
+
+// Release returns the ticket's slot, records the admit-to-release
+// latency into the limiter, and grants freed capacity to queued waiters.
+func (t *Ticket) Release() {
+	t.once.Do(func() { t.c.release(time.Since(t.start)) })
+}
+
+// Admit decides the fate of one request: run now (a Ticket), or an
+// error — *OverloadError for sheds, a context-derived error for a
+// request whose deadline expired while queued (it never executed). The
+// tenant is read from the context (WithTenant); requests without one
+// share the default quota bucket.
+func (c *Controller) Admit(ctx context.Context) (*Ticket, error) {
+	tenant := TenantFrom(ctx)
+	c.mu.Lock()
+	if c.draining {
+		c.stats.ShedDraining++
+		c.mu.Unlock()
+		return nil, c.shed(ReasonDraining, tenant, time.Second)
+	}
+	if ok, wait := c.takeTokenLocked(tenant); !ok {
+		c.stats.ShedQuota++
+		c.mu.Unlock()
+		return nil, c.shed(ReasonQuota, tenant, wait)
+	}
+	if c.inflight < c.lim.Limit() {
+		t := c.admitLocked()
+		c.mu.Unlock()
+		return t, nil
+	}
+	// Over the limit: queue, unless the queue is full or the request is
+	// already doomed — a remaining deadline shorter than the predicted
+	// wait means the work would expire in line, so shed it now while the
+	// answer still costs microseconds.
+	if c.queued >= c.cfg.MaxQueue {
+		c.stats.ShedQueueFull++
+		retry := c.predictWaitLocked()
+		c.mu.Unlock()
+		return nil, c.shed(ReasonQueueFull, tenant, retry)
+	}
+	predicted := c.predictWaitLocked()
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < predicted {
+		c.stats.ShedDeadline++
+		c.mu.Unlock()
+		return nil, c.shed(ReasonDeadline, tenant, predicted)
+	}
+	w := &waiter{ready: make(chan struct{}), ctx: ctx, tenant: tenant}
+	c.queue = append(c.queue, w)
+	c.queued++
+	c.stats.Queued++
+	mQueued.Inc()
+	gQueueDepth.Set(int64(c.queued))
+	c.mu.Unlock()
+
+	enq := time.Now()
+	select {
+	case <-w.ready:
+		hQueueWait.Observe(time.Since(enq))
+		return c.takeGrant(w)
+	case <-ctx.Done():
+		c.mu.Lock()
+		if w.state == waiting {
+			// Abandon the entry the moment the context expires: it leaves
+			// the live queue now and can never be granted.
+			w.state = abandonedState
+			c.queued--
+			c.stats.QueueExpired++
+			gQueueDepth.Set(int64(c.queued))
+			c.mu.Unlock()
+			hQueueWait.Observe(time.Since(enq))
+			mQueueExpired.Inc()
+			return nil, fmt.Errorf("admission: deadline expired while queued: %w", context.Cause(ctx))
+		}
+		// Granted or drained concurrently: consume that outcome instead.
+		c.mu.Unlock()
+		<-w.ready
+		hQueueWait.Observe(time.Since(enq))
+		return c.takeGrant(w)
+	}
+}
+
+// takeGrant resolves a woken waiter: a Drain shed, a slot granted to an
+// already-expired request (returned untouched — it never executes), or a
+// live ticket.
+func (c *Controller) takeGrant(w *waiter) (*Ticket, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	if w.ctx.Err() != nil {
+		c.mu.Lock()
+		c.stats.GrantedExpired++
+		c.mu.Unlock()
+		w.ticket.Release()
+		mQueueExpired.Inc()
+		return nil, fmt.Errorf("admission: deadline expired while queued: %w", context.Cause(w.ctx))
+	}
+	return w.ticket, nil
+}
+
+// admitLocked accounts one admitted request and returns its ticket; the
+// caller holds c.mu and has verified capacity.
+func (c *Controller) admitLocked() *Ticket {
+	c.inflight++
+	c.stats.Admitted++
+	gInflight.Set(int64(c.inflight))
+	mAdmitted.Inc()
+	return &Ticket{c: c, start: time.Now()}
+}
+
+// shed records the per-reason/per-tenant metrics and builds the error.
+func (c *Controller) shed(r Reason, tenant string, retry time.Duration) error {
+	shedTotal(r, tenant)
+	return &OverloadError{Reason: r, Tenant: tenant, RetryAfter: retry}
+}
+
+// release returns a slot, feeds the limiter, and hands freed capacity to
+// queued waiters in FIFO order.
+func (c *Controller) release(latency time.Duration) {
+	c.mu.Lock()
+	c.inflight--
+	c.lim.observe(latency)
+	gLimit.Set(int64(c.lim.Limit()))
+	gInflight.Set(int64(c.inflight))
+	c.wakeLocked()
+	c.mu.Unlock()
+}
+
+// wakeLocked grants slots to queued waiters while capacity lasts,
+// skipping entries that were abandoned or whose context has expired (an
+// expired entry is never granted — its requester does the abandon
+// accounting when it wakes). The faultinject queue-stall point freezes
+// granting so tests can deterministically expire queued work.
+func (c *Controller) wakeLocked() {
+	if faultinject.Check(faultinject.QueueStall) != nil {
+		return
+	}
+	for c.inflight < c.lim.Limit() && len(c.queue) > 0 {
+		w := c.queue[0]
+		c.queue = c.queue[1:]
+		if w.state != waiting {
+			continue // abandoned: its requester already left
+		}
+		if w.ctx.Err() != nil {
+			// Expired but its goroutine has not woken yet: leave the state
+			// to the requester's Done branch; just never grant it.
+			continue
+		}
+		w.state = grantedState
+		w.ticket = c.admitLocked()
+		c.queued--
+		gQueueDepth.Set(int64(c.queued))
+		close(w.ready)
+	}
+}
+
+// predictWaitLocked estimates how long a request joining the queue now
+// would wait: the work ahead of it (live queue entries plus one, each
+// costing the smoothed service time) spread over the current limit.
+// With no latency samples yet it predicts zero — optimism costs one
+// queued request its wait; pessimism would shed traffic a cold server
+// could have served.
+func (c *Controller) predictWaitLocked() time.Duration {
+	service := c.lim.ewmaSeconds()
+	if service <= 0 {
+		return 0
+	}
+	lim := c.lim.Limit()
+	if lim < 1 {
+		lim = 1
+	}
+	sec := float64(c.queued+1) * service / float64(lim)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Drain stops admitting: every later Admit sheds with ReasonDraining,
+// and already-queued waiters are woken to fail fast rather than wait
+// out a shutdown. In-flight tickets are unaffected — callers drain them
+// via http.Server.Shutdown or equivalent.
+func (c *Controller) Drain() {
+	c.mu.Lock()
+	c.draining = true
+	for _, w := range c.queue {
+		if w.state != waiting {
+			continue
+		}
+		w.state = abandonedState
+		w.err = &OverloadError{Reason: ReasonDraining, Tenant: w.tenant, RetryAfter: time.Second}
+		c.queued--
+		c.stats.ShedDraining++
+		shedTotal(ReasonDraining, w.tenant)
+		close(w.ready)
+	}
+	c.queue = nil
+	gQueueDepth.Set(int64(c.queued))
+	c.mu.Unlock()
+}
+
+// Stats snapshots the controller.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	st := c.stats
+	st.Limit = c.lim.Limit()
+	st.Inflight = c.inflight
+	st.QueueDepth = c.queued
+	c.mu.Unlock()
+	return st
+}

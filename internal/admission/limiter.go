@@ -1,0 +1,92 @@
+package admission
+
+import "time"
+
+// limiter is the adaptive concurrency limit: AIMD steered by observed
+// completion latency against a target. The state is guarded by the
+// owning Controller's mutex — the limiter itself has none, which keeps
+// it trivially unit-testable by feeding synthetic latencies.
+//
+// The control loop is completion-driven, not timer-driven: every
+// adjustment window (half the current limit's worth of completions, so
+// the loop reacts roughly once per in-flight "generation") the smoothed
+// latency is compared to the target. Above target → multiplicative
+// decrease (×decreaseFactor, floored): the server is past the knee and
+// more concurrency only adds queueing delay. At or below → additive
+// increase (+1, ceilinged): probe for headroom slowly. Completion-driven
+// adjustment means an idle server's limit never drifts, and tests are
+// deterministic — no wall clock in the control law.
+type limiter struct {
+	floor, ceiling int
+	limit          float64
+	target         float64 // seconds
+	ewma           float64 // seconds; 0 until the first observation
+	sinceAdjust    int
+}
+
+// ewmaAlpha weights new latency samples; 0.3 reacts within a few
+// completions without chasing single outliers.
+const ewmaAlpha = 0.3
+
+// decreaseFactor is the multiplicative cut on a breached target. 0.8
+// sheds 20% of concurrency per window — fast enough to exit the
+// queueing-collapse regime in a few windows, gentle enough that one
+// slow query does not halve capacity.
+const decreaseFactor = 0.8
+
+// newLimiter starts at the ceiling: optimism costs a few over-target
+// windows at startup, pessimism (slow start) would shed real traffic a
+// healthy server could have carried.
+func newLimiter(floor, ceiling int, target time.Duration) limiter {
+	return limiter{
+		floor:   floor,
+		ceiling: ceiling,
+		limit:   float64(ceiling),
+		target:  target.Seconds(),
+	}
+}
+
+// Limit is the current integral concurrency limit.
+func (l *limiter) Limit() int { return int(l.limit) }
+
+// ewmaSeconds is the smoothed completion latency, the queue-wait
+// predictor's service-time estimate.
+func (l *limiter) ewmaSeconds() float64 { return l.ewma }
+
+// observe records one completion latency and runs the AIMD step when
+// the adjustment window closes.
+func (l *limiter) observe(latency time.Duration) {
+	s := latency.Seconds()
+	if l.ewma == 0 {
+		l.ewma = s
+	} else {
+		l.ewma = ewmaAlpha*s + (1-ewmaAlpha)*l.ewma
+	}
+	l.sinceAdjust++
+	if l.sinceAdjust < l.window() {
+		return
+	}
+	l.sinceAdjust = 0
+	if l.ewma > l.target {
+		l.limit *= decreaseFactor
+		if l.limit < float64(l.floor) {
+			l.limit = float64(l.floor)
+		}
+	} else {
+		l.limit++
+		if l.limit > float64(l.ceiling) {
+			l.limit = float64(l.ceiling)
+		}
+	}
+}
+
+// window is how many completions close one adjustment: half the current
+// limit (at least one), i.e. the loop adjusts about twice per in-flight
+// generation of work.
+func (l *limiter) window() int {
+	w := int(l.limit) / 2
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

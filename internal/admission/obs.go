@@ -1,0 +1,72 @@
+package admission
+
+import (
+	"sync"
+
+	"mddm/internal/obs"
+)
+
+// Admission metrics: the scrapeable view of the front door. Outcome
+// counters, the adaptive limit and queue gauges, and the queue-wait
+// histogram; docs/OBSERVABILITY.md holds the inventory.
+var (
+	mAdmitted = obs.NewCounter("mddm_admission_admitted_total",
+		"Requests granted an execution slot (immediately or after queueing).")
+	mQueued = obs.NewCounter("mddm_admission_queued_total",
+		"Requests that waited in the admission queue.")
+	mQueueExpired = obs.NewCounter("mddm_admission_queue_expired_total",
+		"Queue entries abandoned because their deadline expired while waiting; none of them executed.")
+	gLimit = obs.NewGauge("mddm_admission_concurrency_limit",
+		"Current adaptive concurrency limit (AIMD between the configured floor and ceiling).")
+	gInflight = obs.NewGauge("mddm_admission_inflight",
+		"Admitted requests currently holding a slot.")
+	gQueueDepth = obs.NewGauge("mddm_admission_queue_depth",
+		"Live requests waiting in the admission queue.")
+	hQueueWait = obs.NewHistogram("mddm_admission_queue_wait_seconds",
+		"Time requests spent in the admission queue (granted, expired, or drained).", obs.DurationBuckets)
+
+	shedHelp = "Requests shed by admission control, by reason."
+	mShed    = map[Reason]*obs.Counter{
+		ReasonQueueFull: obs.NewCounter("mddm_admission_shed_total", shedHelp, obs.Label{Key: "reason", Value: string(ReasonQueueFull)}),
+		ReasonDeadline:  obs.NewCounter("mddm_admission_shed_total", shedHelp, obs.Label{Key: "reason", Value: string(ReasonDeadline)}),
+		ReasonQuota:     obs.NewCounter("mddm_admission_shed_total", shedHelp, obs.Label{Key: "reason", Value: string(ReasonQuota)}),
+		ReasonDraining:  obs.NewCounter("mddm_admission_shed_total", shedHelp, obs.Label{Key: "reason", Value: string(ReasonDraining)}),
+	}
+)
+
+// Per-tenant shed counters are registered on demand (tenants are not a
+// compile-time set like every other label in the repo), capped so a
+// client cycling tenant names cannot grow the registry without bound;
+// the overflow folds into tenant="other".
+const maxTenantSeries = 32
+
+var tenantShed = struct {
+	sync.Mutex
+	counters map[string]*obs.Counter
+}{counters: map[string]*obs.Counter{}}
+
+// shedTotal records one shed into the per-reason and per-tenant series.
+func shedTotal(r Reason, tenant string) {
+	if m := mShed[r]; m != nil {
+		m.Inc()
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	tenantShed.Lock()
+	ctr, ok := tenantShed.counters[tenant]
+	if !ok {
+		if len(tenantShed.counters) >= maxTenantSeries {
+			tenant = "other"
+			ctr, ok = tenantShed.counters[tenant]
+		}
+		if !ok {
+			ctr = obs.NewCounter("mddm_admission_tenant_shed_total",
+				"Requests shed by admission control, by tenant (beyond a cardinality cap, tenant=\"other\").",
+				obs.Label{Key: "tenant", Value: tenant})
+			tenantShed.counters[tenant] = ctr
+		}
+	}
+	tenantShed.Unlock()
+	ctr.Inc()
+}

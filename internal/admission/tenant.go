@@ -1,0 +1,74 @@
+package admission
+
+import (
+	"context"
+	"time"
+
+	"mddm/internal/faultinject"
+)
+
+// tenantKey carries the request's tenant through the context; the HTTP
+// layer extracts it from the X-Mddm-Tenant header or ?tenant= param.
+type tenantKey struct{}
+
+// WithTenant tags the context with the request's tenant for quota
+// accounting. An empty tenant is the default bucket.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom returns the context's tenant ("" = default bucket).
+func TenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}
+
+// maxTenantBuckets bounds the quota map: a scraper cycling random
+// tenant names must not grow server memory without bound. Tenants past
+// the cap share the default bucket — they still get *a* quota, just not
+// a private one.
+const maxTenantBuckets = 1024
+
+// bucket is one tenant's token bucket. Guarded by Controller.mu.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// takeTokenLocked charges one token from the tenant's bucket, creating
+// it full on first sight. It reports whether a token was available and,
+// when not, how long until one refills. Quotas disabled (TenantRate 0)
+// always admit. The caller holds c.mu.
+func (c *Controller) takeTokenLocked(tenant string) (bool, time.Duration) {
+	if c.cfg.TenantRate <= 0 {
+		return true, 0
+	}
+	if err := faultinject.Check(faultinject.QuotaExhausted); err != nil {
+		return false, time.Second
+	}
+	if _, ok := c.buckets[tenant]; !ok && len(c.buckets) >= maxTenantBuckets {
+		tenant = ""
+	}
+	b, ok := c.buckets[tenant]
+	now := time.Now()
+	if !ok {
+		b = &bucket{tokens: c.cfg.TenantBurst, last: now}
+		c.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * c.cfg.TenantRate
+		if b.tokens > c.cfg.TenantBurst {
+			b.tokens = c.cfg.TenantBurst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	// Time until the fractional balance reaches one whole token.
+	wait := time.Duration((1 - b.tokens) / c.cfg.TenantRate * float64(time.Second))
+	return false, wait
+}

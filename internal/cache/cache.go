@@ -17,6 +17,7 @@ package cache
 import (
 	"hash/maphash"
 	"sync"
+	"time"
 
 	"mddm/internal/obs"
 )
@@ -69,9 +70,23 @@ type Cache struct {
 	seed   maphash.Seed
 	shards [numShards]shard
 
+	// keepStale, when positive, makes Get retain (not drop) a
+	// version-mismatched entry younger than this bound, so GetStale can
+	// still serve it to a degraded reader. Set via KeepStale before
+	// concurrent use.
+	keepStale time.Duration
+
 	mu    sync.Mutex // guards the Stats fields below
 	stats Stats
 }
+
+// KeepStale enables stale retention: Get normally drops an entry whose
+// version mismatches (lazy invalidation), which would leave nothing for
+// GetStale's degraded readers. With a positive bound, mismatched entries
+// younger than d stay resident (the lookup is still a miss); older ones
+// are dropped as usual, and the LRU byte bound caps residency either
+// way. Call before the cache sees concurrent use.
+func (c *Cache) KeepStale(d time.Duration) { c.keepStale = d }
 
 // Stats is one cache's own counters (the obs metrics aggregate across
 // caches).
@@ -105,6 +120,7 @@ type entry struct {
 	ver        Version
 	val        any
 	bytes      int64
+	at         time.Time // when the entry was stored; GetStale's age basis
 	prev, next *entry
 }
 
@@ -157,6 +173,14 @@ func (c *Cache) Get(key string, ver Version) (any, bool) {
 	invalidated := false
 	var freed int64
 	if ok {
+		if c.keepStale > 0 && time.Since(e.at) <= c.keepStale {
+			// Retained for degraded readers (KeepStale): the lookup is a
+			// miss, but the entry stays for GetStale until it ages out.
+			s.mu.Unlock()
+			mMisses.Inc()
+			c.count(func(st *Stats) { st.Misses++ })
+			return nil, false
+		}
 		freed = e.bytes
 		s.remove(e)
 		invalidated = true
@@ -174,6 +198,28 @@ func (c *Cache) Get(key string, ver Version) (any, bool) {
 		}
 	})
 	return nil, false
+}
+
+// GetStale returns whatever is cached under key regardless of version,
+// with its age and whether its version equals ver. It is the degraded
+// read for load shedding: a shed request may prefer a bounded-staleness
+// answer over a 429, so a version mismatch here must NOT drop the entry
+// the way Get does — the entry stays for the next degraded reader, and
+// nothing is counted as a hit, miss, or invalidation (degraded serves
+// have their own metric in the serving layer). The LRU position is not
+// promoted either: a stale entry earns residency by fresh use, not by
+// being a last resort.
+func (c *Cache) GetStale(key string, ver Version) (val any, age time.Duration, fresh bool, ok bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, present := s.entries[key]
+	if !present {
+		s.mu.Unlock()
+		return nil, 0, false, false
+	}
+	val, age, fresh = e.val, time.Since(e.at), e.ver == ver
+	s.mu.Unlock()
+	return val, age, fresh, true
 }
 
 // Put stores val under key at version ver, evicting least-recently-used
@@ -208,7 +254,7 @@ func (c *Cache) Put(key string, ver Version, val any, bytes int64) {
 		s.remove(lru)
 		evicted++
 	}
-	e := &entry{key: key, ver: ver, val: val, bytes: size}
+	e := &entry{key: key, ver: ver, val: val, bytes: size, at: time.Now()}
 	s.entries[key] = e
 	e.linkFront(&s.front)
 	s.bytes += size

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestGetPutRoundTrip(t *testing.T) {
@@ -196,5 +197,79 @@ func TestConcurrentUse(t *testing.T) {
 	st := c.Stats()
 	if st.Hits+st.Misses != 8*500 {
 		t.Fatalf("lookups = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+}
+
+func TestKeepStaleRetainsForDegradedReads(t *testing.T) {
+	c := New(1 << 20)
+	c.KeepStale(time.Hour)
+	old := Version{Gen: 1, Epoch: 7}
+	cur := Version{Gen: 2, Epoch: 7}
+	c.Put("k", old, "stale", 10)
+
+	// A version-mismatched Get is still a miss, but with stale retention
+	// on it must NOT drop the entry.
+	if _, ok := c.Get("k", cur); ok {
+		t.Fatal("stale entry served as fresh")
+	}
+	st := c.Stats()
+	if st.Invalidations != 0 || st.Entries != 1 {
+		t.Fatalf("stats after retained miss = %+v; want 0 invalidations, 1 entry", st)
+	}
+
+	// GetStale serves the retained entry, reporting it non-fresh, and
+	// counts nothing — degraded serves are the serving layer's metric.
+	val, age, fresh, ok := c.GetStale("k", cur)
+	if !ok || fresh || val != "stale" {
+		t.Fatalf("GetStale = %v, %v, %v, %v; want stale, !fresh, ok", val, age, fresh, ok)
+	}
+	if age < 0 || age > time.Minute {
+		t.Fatalf("GetStale age = %v, want recent", age)
+	}
+	if got := c.Stats(); got != st {
+		t.Fatalf("GetStale changed stats: %+v -> %+v", st, got)
+	}
+
+	// At the entry's own version GetStale reports fresh; a missing key
+	// reports !ok.
+	if _, _, fresh, ok := c.GetStale("k", old); !ok || !fresh {
+		t.Fatalf("GetStale at own version = fresh %v, ok %v; want true, true", fresh, ok)
+	}
+	if _, _, _, ok := c.GetStale("absent", cur); ok {
+		t.Fatal("GetStale served a key never stored")
+	}
+}
+
+func TestKeepStaleBoundAgesOut(t *testing.T) {
+	c := New(1 << 20)
+	c.KeepStale(time.Nanosecond)
+	old := Version{Gen: 1, Epoch: 7}
+	cur := Version{Gen: 2, Epoch: 7}
+	c.Put("k", old, "stale", 10)
+	time.Sleep(time.Millisecond) // let the entry age past the bound
+
+	// Past the bound, Get's usual lazy invalidation applies: the entry
+	// is dropped and GetStale finds nothing.
+	if _, ok := c.Get("k", cur); ok {
+		t.Fatal("aged-out stale entry served as fresh")
+	}
+	if st := c.Stats(); st.Invalidations != 1 || st.Entries != 0 {
+		t.Fatalf("stats after aged-out miss = %+v; want 1 invalidation, 0 entries", st)
+	}
+	if _, _, _, ok := c.GetStale("k", cur); ok {
+		t.Fatal("GetStale served an entry Get already dropped")
+	}
+}
+
+func TestWithoutKeepStaleGetStaleFindsNothingAfterGet(t *testing.T) {
+	c := New(1 << 20)
+	old := Version{Gen: 1, Epoch: 7}
+	cur := Version{Gen: 2, Epoch: 7}
+	c.Put("k", old, "stale", 10)
+	if _, ok := c.Get("k", cur); ok {
+		t.Fatal("stale entry served as fresh")
+	}
+	if _, _, _, ok := c.GetStale("k", cur); ok {
+		t.Fatal("default Get must drop mismatched entries; GetStale found one")
 	}
 }

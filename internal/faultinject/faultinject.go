@@ -39,6 +39,13 @@ const (
 	// with EnablePanic makes exactly the worker-panic containment path
 	// reproducible.
 	PartitionWorker Point = "partition-worker"
+	// QueueStall fires in the admission controller's wake scan; while
+	// armed the queue stops granting slots, so tests can deterministically
+	// expire queued requests and prove expired entries never execute.
+	QueueStall Point = "queue-stall"
+	// QuotaExhausted fires in the admission controller's tenant-quota
+	// check; while armed every request is treated as out of quota.
+	QuotaExhausted Point = "quota-exhausted"
 )
 
 type rule struct {

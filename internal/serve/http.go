@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,7 +11,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
+	"mddm/internal/admission"
 	"mddm/internal/exec"
 	"mddm/internal/faultinject"
 	"mddm/internal/obs"
@@ -42,18 +48,25 @@ type errorResponse struct {
 //	                      &parallelism=k overrides the server's default
 //	                      partition-parallel degree for this query (1 = sequential);
 //	                      &trace=1 attaches a per-query trace summary to the response;
-//	                      &nocache=1 bypasses the result cache for this query.
+//	                      &nocache=1 bypasses the result cache for this query;
+//	                      &tenant=… (or the X-Mddm-Tenant header) names the
+//	                      quota bucket when per-tenant admission quotas are on.
 //	                      When the result cache is enabled the response carries
-//	                      X-Mddm-Cache: hit|miss (or bypass for &nocache=1)
+//	                      X-Mddm-Cache: hit|miss (bypass for &nocache=1, stale
+//	                      plus X-Mddm-Degraded: stale-on-shed for a degraded
+//	                      answer served under overload)
 //	GET      /healthz     liveness probe
 //
-// The observability surface (/metrics, /debug/queries) is not mounted
-// here; cmd/mdserve mounts MetricsHandler and ActiveQueriesHandler behind
-// its -metrics flag.
+// Every response carries X-Mddm-Request-Id (the client's own id is
+// echoed back if it sent one). The observability surface (/metrics,
+// /debug/queries) is not mounted here; cmd/mdserve mounts MetricsHandler
+// and ActiveQueriesHandler behind its -metrics flag.
 //
 // Failures map to status codes by kind: malformed requests and query
-// errors are 400, resource limits 429, cancellation/deadline 504, and
-// recovered panics 500 — the process never dies for a bad query.
+// errors are 400, resource limits and admission sheds 429 (sheds carry
+// Retry-After; 503 while draining for shutdown), cancellation/deadline
+// 504, and recovered panics 500 — the process never dies for a bad
+// query.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -61,7 +74,43 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/query", s.handleQuery)
-	return mux
+	return withRequestID(mux)
+}
+
+// reqSeq numbers requests within the process; reqNonce distinguishes
+// processes so ids from a restarted server do not collide in logs.
+var (
+	reqSeq   atomic.Uint64
+	reqNonce = func() uint32 {
+		var b [4]byte
+		_, _ = crand.Read(b[:])
+		return binary.BigEndian.Uint32(b[:])
+	}()
+)
+
+type requestIDKey struct{}
+
+// withRequestID stamps every response — success or error — with an
+// X-Mddm-Request-Id header, honoring an id the client already carries so
+// retries correlate across hops. The id's sequence number is also stored
+// in the context for the per-query trace (requestSeq).
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Mddm-Request-Id")
+		seq := reqSeq.Add(1)
+		if id == "" {
+			id = fmt.Sprintf("%08x-%08x", reqNonce, seq)
+		}
+		w.Header().Set("X-Mddm-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, seq)))
+	})
+}
+
+// requestSeq returns the in-process sequence number withRequestID stored
+// (0 when the request did not pass through the middleware).
+func requestSeq(ctx context.Context) uint64 {
+	seq, _ := ctx.Value(requestIDKey{}).(uint64)
+	return seq
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -85,6 +134,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	// Tenant for quota accounting: header first, ?tenant= as the
+	// curl-friendly fallback. No tenant = the default quota bucket.
+	tenant := r.Header.Get("X-Mddm-Tenant")
+	if tenant == "" {
+		tenant = r.URL.Query().Get("tenant")
+	}
+	ctx = admission.WithTenant(ctx, tenant)
 	if p := r.URL.Query().Get("parallelism"); p != "" {
 		deg, err := strconv.Atoi(p)
 		if err != nil || deg < 1 || deg > maxHTTPParallelism {
@@ -106,6 +162,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		if on {
 			ctx, tr = obs.WithTrace(ctx, src)
+			if seq := requestSeq(ctx); seq != 0 {
+				tr.SetAttr("request_seq", int64(seq))
+			}
 		}
 	}
 	nocache := false
@@ -131,11 +190,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Mddm-Cache", "bypass")
 		res, err = s.Query(ctx, src)
 	default:
-		var hit bool
-		res, hit, err = s.QueryCached(ctx, src)
-		if hit {
+		var out QueryOutcome
+		res, out, err = s.ServeQuery(ctx, src)
+		switch {
+		case out.CacheHit:
 			w.Header().Set("X-Mddm-Cache", "hit")
-		} else {
+		case out.DegradedStale:
+			// Shed under overload but answered from a bounded-staleness
+			// cache entry; the body carries the warning, the headers let
+			// clients and proxies see the degradation without parsing it.
+			w.Header().Set("X-Mddm-Cache", "stale")
+			w.Header().Set("X-Mddm-Degraded", "stale-on-shed")
+		default:
 			w.Header().Set("X-Mddm-Cache", "miss")
 		}
 	}
@@ -156,6 +222,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // statusFor maps the serving layer's typed errors to HTTP statuses.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		// Draining is the one shed that is not the client's fault and not
+		// transient from this process: the server is going away.
+		var oe *admission.OverloadError
+		if errors.As(err, &oe) && oe.Reason == admission.ReasonDraining {
+			return http.StatusServiceUnavailable
+		}
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrResourceExhausted):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrCanceled):
@@ -182,6 +256,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	// Sheds carry the controller's capacity estimate as Retry-After
+	// (whole seconds, rounded up — "0" would mean "hammer me again").
+	var oe *admission.OverloadError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		secs := int64((oe.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})

@@ -29,11 +29,18 @@ var (
 	mRowLimitRejections = obs.NewCounter("mddm_serve_row_limit_rejections_total",
 		"Results rejected because they exceeded MaxResultRows.")
 
-	errKindHelp   = "Query failures by kind."
-	mErrCanceled  = obs.NewCounter("mddm_serve_query_errors_total", errKindHelp, obs.Label{Key: "kind", Value: "canceled"})
-	mErrExhausted = obs.NewCounter("mddm_serve_query_errors_total", errKindHelp, obs.Label{Key: "kind", Value: "exhausted"})
-	mErrInternal  = obs.NewCounter("mddm_serve_query_errors_total", errKindHelp, obs.Label{Key: "kind", Value: "internal"})
-	mErrBad       = obs.NewCounter("mddm_serve_query_errors_total", errKindHelp, obs.Label{Key: "kind", Value: "bad_request"})
+	errKindHelp    = "Query failures by kind."
+	mErrCanceled   = obs.NewCounter("mddm_serve_query_errors_total", errKindHelp, obs.Label{Key: "kind", Value: "canceled"})
+	mErrExhausted  = obs.NewCounter("mddm_serve_query_errors_total", errKindHelp, obs.Label{Key: "kind", Value: "exhausted"})
+	mErrInternal   = obs.NewCounter("mddm_serve_query_errors_total", errKindHelp, obs.Label{Key: "kind", Value: "internal"})
+	mErrBad        = obs.NewCounter("mddm_serve_query_errors_total", errKindHelp, obs.Label{Key: "kind", Value: "bad_request"})
+	mErrOverloaded = obs.NewCounter("mddm_serve_query_errors_total", errKindHelp, obs.Label{Key: "kind", Value: "overloaded"})
+
+	// mDegraded counts shed queries answered from a version-stale
+	// result-cache entry instead of a 429 (Limits.StaleOnShed).
+	mDegraded = obs.NewCounter("mddm_serve_degraded_total",
+		"Queries answered degraded under overload, by mode.",
+		obs.Label{Key: "mode", Value: "stale-on-shed"})
 
 	cacheHelp    = "Engine-cache outcomes: snapshot reused, rebuild started, or stale snapshot served after a rebuild failure."
 	mCacheHit    = obs.NewCounter("mddm_serve_engine_cache_total", cacheHelp, obs.Label{Key: "outcome", Value: "hit"})
@@ -52,6 +59,8 @@ var (
 func classifyError(err error) {
 	switch {
 	case err == nil:
+	case errors.Is(err, ErrOverloaded):
+		mErrOverloaded.Inc()
 	case errors.Is(err, ErrResourceExhausted):
 		mErrExhausted.Inc()
 	case errors.Is(err, ErrCanceled):

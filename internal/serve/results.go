@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"mddm/internal/cache"
 	"mddm/internal/obs"
@@ -62,43 +63,70 @@ func (s *Server) resultVersion(name string) cache.Version {
 	return v
 }
 
-// QueryCached is Query behind the result cache: a lookup keyed by the
+// QueryOutcome reports how a ServeQuery answer was produced.
+type QueryOutcome struct {
+	// CacheHit: answered from a current-version result-cache entry.
+	CacheHit bool
+	// DegradedStale: the query was shed by admission control and
+	// answered from a version-stale cache entry within the
+	// Limits.StaleOnShed bound instead of failing with ErrOverloaded.
+	DegradedStale bool
+	// StaleAge is the served entry's age when DegradedStale is set.
+	StaleAge time.Duration
+}
+
+// QueryCached is ServeQuery with the legacy shape; the second return
+// reports a cache hit. Kept for callers that predate QueryOutcome.
+func (s *Server) QueryCached(ctx context.Context, src string) (*query.Result, bool, error) {
+	res, out, err := s.ServeQuery(ctx, src)
+	return res, out.CacheHit, err
+}
+
+// ServeQuery is Query behind the result cache: a lookup keyed by the
 // canonical form of src and validated against the MO's current version,
 // falling through to Query on a miss with the fill single-flighted per
 // (key, version) so a thundering herd of identical misses computes once.
-// The second return reports whether the result came from the cache. The
-// returned Result is shared with other cache readers — treat it as
+// The returned Result is shared with other cache readers — treat it as
 // immutable.
 //
-// A hit charges no fact budget and no timeout: the pinned policy
-// (docs/SERVING.md, TestCacheHitBudgetPolicy) is that the computation
-// the hit replaces already paid for itself once. When the cache is
-// disabled this is exactly Query.
-func (s *Server) QueryCached(ctx context.Context, src string) (*query.Result, bool, error) {
+// A hit charges no fact budget, no timeout, and no admission ticket: the
+// pinned policy (docs/SERVING.md, TestCacheHitBudgetPolicy) is that the
+// computation the hit replaces already paid for itself once, and
+// answering from memory is cheaper than queueing for permission to — so
+// cache hits stay fast even when the server is shedding. When the cache
+// is disabled this is exactly Query.
+//
+// When Limits.StaleOnShed is positive, a miss shed by admission control
+// degrades instead of failing: if a version-stale entry for the same key
+// exists and is no older than the bound, it is served with a warning
+// appended (and QueryOutcome.DegradedStale set) — a bounded-staleness
+// answer beats a 429 for dashboards that would rather be a little behind
+// than blank. The stale entry is never promoted to fresh.
+func (s *Server) ServeQuery(ctx context.Context, src string) (*query.Result, QueryOutcome, error) {
 	if s.results == nil {
 		res, err := s.Query(ctx, src)
-		return res, false, err
+		return res, QueryOutcome{}, err
 	}
 	key, mo, kerr := cache.QueryKey(src)
 	if kerr != nil {
 		// Unkeyable means unparseable; let the uncached path produce its
 		// canonical parse error (and its error metrics).
 		res, err := s.Query(ctx, src)
-		return res, false, err
+		return res, QueryOutcome{}, err
 	}
 	ver := s.resultVersion(mo)
 	if v, ok := s.results.Get(key, ver); ok {
 		s.queries.Add(1)
 		mQueries.Inc()
 		obs.TraceFrom(ctx).SetAttr("cache_hit", 1)
-		return v.(*query.Result), true, nil
+		return v.(*query.Result), QueryOutcome{CacheHit: true}, nil
 	}
 	obs.TraceFrom(ctx).SetAttr("cache_hit", 0)
 	v, err := s.flights.Do(flightKey(key, ver), func() (any, error) {
 		res, err := s.Query(ctx, src)
 		if err != nil {
 			// Errors are not cached: transient failures (timeouts,
-			// budgets) must not shadow a later healthy computation.
+			// budgets, sheds) must not shadow a later healthy computation.
 			return nil, err
 		}
 		s.results.Put(key, ver, res, resultBytes(res))
@@ -112,11 +140,35 @@ func (s *Server) QueryCached(ctx context.Context, src string) (*query.Result, bo
 		if errors.As(err, &pe) {
 			s.panics.Add(1)
 			mPanics.Inc()
-			return nil, false, &InternalError{Query: src, Panic: pe.Val}
+			return nil, QueryOutcome{}, &InternalError{Query: src, Panic: pe.Val}
 		}
-		return nil, false, err
+		if errors.Is(err, ErrOverloaded) && s.limits.StaleOnShed > 0 {
+			if res, out, ok := s.staleOnShed(ctx, key, ver); ok {
+				return res, out, nil
+			}
+		}
+		return nil, QueryOutcome{}, err
 	}
-	return v.(*query.Result), false, nil
+	return v.(*query.Result), QueryOutcome{}, nil
+}
+
+// staleOnShed is the degraded read for a shed query: a version-stale
+// cache entry within the staleness bound, served with a warning.
+func (s *Server) staleOnShed(ctx context.Context, key string, ver cache.Version) (*query.Result, QueryOutcome, bool) {
+	v, age, _, ok := s.results.GetStale(key, ver)
+	if !ok || age > s.limits.StaleOnShed {
+		return nil, QueryOutcome{}, false
+	}
+	s.degradedServes.Add(1)
+	mDegraded.Inc()
+	obs.TraceFrom(ctx).SetAttr("degraded_stale", 1)
+	// Shallow copy: the cached entry is shared and must not grow the
+	// warning; rows and columns are immutable by the cache contract.
+	cp := *v.(*query.Result)
+	cp.Warnings = append(append([]string(nil), cp.Warnings...),
+		fmt.Sprintf("degraded: served stale cached result (age %s) because the server shed this query under overload",
+			age.Round(time.Millisecond)))
+	return &cp, QueryOutcome{DegradedStale: true, StaleAge: age}, true
 }
 
 // EngineFor returns the serving engine for the named MO, building it on

@@ -12,16 +12,22 @@ import (
 	"fmt"
 	"time"
 
+	"mddm/internal/admission"
 	"mddm/internal/qos"
 )
 
-// Typed error sentinels, re-exported from qos so handlers can classify
-// failures without importing the internal QoS package.
+// Typed error sentinels, re-exported from qos and admission so handlers
+// can classify failures without importing the internal packages.
 var (
 	// ErrCanceled reports a query abandoned by cancellation or deadline.
 	ErrCanceled = qos.ErrCanceled
 	// ErrResourceExhausted reports a query stopped by a resource limit.
 	ErrResourceExhausted = qos.ErrResourceExhausted
+	// ErrOverloaded reports a query shed by admission control before any
+	// work happened; the concrete *admission.OverloadError carries the
+	// reason and a Retry-After hint. Maps to HTTP 429 (503 while
+	// draining).
+	ErrOverloaded = admission.ErrOverloaded
 	// ErrInternal reports a panic converted into an error by the serving
 	// layer. Match with errors.Is; the concrete *InternalError carries the
 	// query text and stack.
@@ -82,4 +88,18 @@ type Limits struct {
 	// Query. A cache hit charges no fact budget (the computation it
 	// replaces already charged it once); see docs/SERVING.md.
 	ResultCacheBytes int64
+	// Admission, when its MaxConcurrency is positive, installs the
+	// adaptive admission controller (internal/admission) in front of
+	// Query and Aggregate: an AIMD concurrency limit, a bounded
+	// deadline-aware wait queue, and optional per-tenant token-bucket
+	// quotas. Shed requests fail fast with ErrOverloaded. Result-cache
+	// hits bypass admission entirely — answering from memory is cheaper
+	// than queueing for permission to. Zero disables admission control.
+	Admission admission.Config
+	// StaleOnShed, when positive, enables degraded serving: a request
+	// shed by admission control is answered from a version-stale
+	// result-cache entry — if one exists and is no older than this bound
+	// — with a warning attached, instead of a 429. Zero means shed
+	// requests always get the overload error. Requires ResultCacheBytes.
+	StaleOnShed time.Duration
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mddm/internal/admission"
 	"mddm/internal/cache"
 	"mddm/internal/core"
 	"mddm/internal/dimension"
@@ -41,10 +42,16 @@ type Server struct {
 	results *cache.Cache
 	flights cache.Flight
 
-	queries     atomic.Int64
-	panics      atomic.Int64
-	rebuilds    atomic.Int64
-	staleServes atomic.Int64
+	// adm is the admission controller (nil when Limits.Admission is
+	// zero): every Query/Aggregate holds one of its tickets for the
+	// duration of execution. Result-cache hits bypass it.
+	adm *admission.Controller
+
+	queries        atomic.Int64
+	panics         atomic.Int64
+	rebuilds       atomic.Int64
+	staleServes    atomic.Int64
+	degradedServes atomic.Int64
 }
 
 // NewServer creates a server over the catalog. ref resolves NOW.
@@ -53,6 +60,16 @@ func NewServer(cat *Catalog, limits Limits, ref temporal.Chronon) *Server {
 		engines: map[string]*engineEntry{}, active: map[uint64]*activeQuery{}}
 	if limits.ResultCacheBytes > 0 {
 		s.results = cache.New(limits.ResultCacheBytes)
+		if limits.StaleOnShed > 0 {
+			// Keep version-stale entries resident within the staleness
+			// bound so the degraded read (staleOnShed) has something to
+			// serve after a shed; without this, Get's lazy invalidation
+			// would drop them at the very lookup that precedes the shed.
+			s.results.KeepStale(limits.StaleOnShed)
+		}
+	}
+	if limits.Admission.MaxConcurrency > 0 {
+		s.adm = admission.New(limits.Admission)
 	}
 	return s
 }
@@ -68,16 +85,62 @@ type Stats struct {
 	// StaleServes counts degraded answers served from a stale engine
 	// snapshot after a rebuild failure.
 	StaleServes int64
+	// DegradedServes counts shed queries answered from a version-stale
+	// result-cache entry under Limits.StaleOnShed.
+	DegradedServes int64
 }
 
 // Stats returns the current counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Queries:     s.queries.Load(),
-		Panics:      s.panics.Load(),
-		Rebuilds:    s.rebuilds.Load(),
-		StaleServes: s.staleServes.Load(),
+		Queries:        s.queries.Load(),
+		Panics:         s.panics.Load(),
+		Rebuilds:       s.rebuilds.Load(),
+		StaleServes:    s.staleServes.Load(),
+		DegradedServes: s.degradedServes.Load(),
 	}
+}
+
+// admit passes one request through the admission controller (a no-op
+// ticket when admission is disabled). Sheds come back as *OverloadError;
+// a deadline that expired while queued comes back wrapped as ErrCanceled
+// — the query never executed either way.
+func (s *Server) admit(ctx context.Context) (*admission.Ticket, error) {
+	if s.adm == nil {
+		return nil, nil
+	}
+	tk, err := s.adm.Admit(ctx)
+	if err != nil {
+		if !errors.Is(err, ErrOverloaded) {
+			err = fmt.Errorf("%w: %w", qos.ErrCanceled, err)
+		}
+		classifyError(err)
+		return nil, err
+	}
+	return tk, nil
+}
+
+// Drain stops admitting queries: every later Query/Aggregate sheds with
+// ReasonDraining (HTTP 503) and queued waiters fail fast. In-flight
+// queries are unaffected; pair with http.Server.Shutdown to drain them.
+// A server without admission control ignores Drain.
+func (s *Server) Drain() {
+	if s.adm != nil {
+		s.adm.Drain()
+	}
+}
+
+// AdmissionEnabled reports whether the server was built with admission
+// control (Limits.Admission.MaxConcurrency > 0).
+func (s *Server) AdmissionEnabled() bool { return s.adm != nil }
+
+// AdmissionStats snapshots the admission controller (zero value when
+// admission is disabled).
+func (s *Server) AdmissionStats() admission.Stats {
+	if s.adm == nil {
+		return admission.Stats{}
+	}
+	return s.adm.Stats()
 }
 
 // Query parses and executes src against the current catalog snapshot,
@@ -98,6 +161,16 @@ func (s *Server) Query(ctx context.Context, src string) (res *query.Result, err 
 		ctx = qos.WithFactBudget(ctx, s.limits.MaxFactsScanned)
 	}
 	ctx = s.withParallelism(ctx)
+	// Admission happens after the timeout is installed so the queue sees
+	// the request's real deadline, and before any tracking — a shed never
+	// counts as an executing query.
+	tk, aerr := s.admit(ctx)
+	if aerr != nil {
+		return nil, aerr
+	}
+	if tk != nil {
+		defer tk.Release()
+	}
 	mActive.Add(1)
 	aq := s.track(src, obs.TraceFrom(ctx))
 	start := time.Now()
@@ -189,6 +262,13 @@ func (s *Server) Aggregate(ctx context.Context, req AggRequest) (out *AggResult,
 		defer cancel()
 	}
 	ctx = s.withParallelism(ctx)
+	tk, aerr := s.admit(ctx)
+	if aerr != nil {
+		return nil, aerr
+	}
+	if tk != nil {
+		defer tk.Release()
+	}
 	snap, degraded, serr := s.snapshotFor(ctx, req.MO)
 	if serr != nil {
 		return nil, serr
