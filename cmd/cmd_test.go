@@ -142,6 +142,29 @@ func TestMdserveSelfcheck(t *testing.T) {
 	}
 }
 
+// TestMdservePersistenceAcrossRestart runs mdserve -selfcheck twice on
+// the same -data directory in separate processes: the first run's
+// durable append must be recovered — from folded segments, not a
+// warm process — by the second.
+func TestMdservePersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	first := run(t, "mdserve", "-selfcheck", "-data", dir)
+	if !strings.Contains(first, "selfcheck ok: durable append") {
+		t.Fatalf("first run did not append:\n%s", first)
+	}
+	second := run(t, "mdserve", "-selfcheck", "-data", dir)
+	if !strings.Contains(second, "recovered 1 appended facts") {
+		t.Fatalf("second run did not recover the first run's append:\n%s", second)
+	}
+	if !strings.Contains(second, "selfcheck ok: durable append") {
+		t.Fatalf("second run did not append:\n%s", second)
+	}
+	third := run(t, "mdserve", "-selfcheck", "-data", dir, "-data-mmap", "-columns", "4")
+	if !strings.Contains(third, "recovered 2 appended facts") {
+		t.Fatalf("third run did not recover both appends:\n%s", third)
+	}
+}
+
 func TestMdserveSelfcheckAdmission(t *testing.T) {
 	out := run(t, "mdserve", "-selfcheck", "-metrics",
 		"-admission", "4", "-tenant-rps", "1000",

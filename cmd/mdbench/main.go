@@ -46,6 +46,7 @@ import (
 	"mddm/internal/exec"
 	"mddm/internal/obs"
 	"mddm/internal/query"
+	"mddm/internal/segment"
 	"mddm/internal/serve"
 	"mddm/internal/storage"
 	"mddm/internal/temporal"
@@ -77,9 +78,9 @@ type benchRow struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B15; B8 runs under go test -bench=WideMO)")
+	exp := flag.String("exp", "", "experiment id (B1..B16; B8 runs under go test -bench=WideMO)")
 	all := flag.Bool("all", false, "run every experiment")
-	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B14")
+	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B14 and B16")
 	jsonOut = flag.Bool("json", false, "also write BENCH_<exp>.json with one row per measurement")
 	flag.Parse()
 	if !*all && *exp == "" {
@@ -109,6 +110,7 @@ func main() {
 	run("B13", func() { b13(*nFacts) })
 	run("B14", func() { b14(*nFacts) })
 	run("B15", b15)
+	run("B16", func() { b16(*nFacts) })
 }
 
 // flushJSON writes the experiment's recorded rows to BENCH_<id>.json when
@@ -1031,6 +1033,214 @@ func b15() {
 		benchRows = append(benchRows, benchRow{Exp: curExp, Op: r.op, N: serveN, Value: float64(r.v)})
 	}
 	fmt.Printf("  verify: admitted ≡ unthrottled baseline; shed p99 < 1ms; p99(4x)/p99(1x) = %.2f ≤ 3; granted-expired = 0 ✓\n\n", ratio)
+}
+
+// b16Cfg is B16's generator configuration: a skeleton MO carrying the
+// dimension hierarchies (1000 low-level diagnoses, the B13 column
+// workload) but none of the facts — every fact arrives as a durable
+// append, so the segment store is the system of record for the bulk of
+// the data.
+func b16Cfg() casestudy.GenConfig {
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = 0
+	cfg.NonStrict = false
+	cfg.Churn = false
+	cfg.LowLevel = 1000
+	return cfg
+}
+
+// b16Base builds the B16 skeleton: the generated hierarchies plus the
+// hundred age values the generator would have minted per patient —
+// deterministic, so every cold start re-derives a fingerprint-identical
+// base for the store to verify against.
+func b16Base() *core.MO {
+	m := casestudy.MustGenerate(b16Cfg())
+	age := m.Dimension(casestudy.DimAge)
+	for a := 0; a < 100; a++ {
+		if _, err := casestudy.AddAge(age, a); err != nil {
+			fatal(err)
+		}
+	}
+	return m
+}
+
+// b16Records derives n deterministic append records from the skeleton's
+// dimension values — the "operational source" both sides of the
+// comparison ingest: the store once at setup, the rebuild baseline on
+// every cold start.
+func b16Records(m *core.MO, n int) []segment.FactAppend {
+	ectx := ctx()
+	lows := m.Dimension(casestudy.DimDiagnosis).CategoryAt(casestudy.CatLowLevel, ectx)
+	areas := m.Dimension(casestudy.DimResidence).CategoryAt(casestudy.CatArea, ectx)
+	ages := m.Dimension(casestudy.DimAge).CategoryAt(casestudy.CatAge, ectx)
+	if len(lows) == 0 || len(areas) == 0 || len(ages) == 0 {
+		fatal(errors.New("B16: skeleton dimensions empty"))
+	}
+	recs := make([]segment.FactAppend, n)
+	for i := range recs {
+		pairs := []segment.Pair{
+			{Dim: casestudy.DimDiagnosis, Value: lows[i%len(lows)], Annot: dimension.Always()},
+			{Dim: casestudy.DimResidence, Value: areas[i%len(areas)], Annot: dimension.Always()},
+			{Dim: casestudy.DimAge, Value: ages[i%len(ages)], Annot: dimension.Always()},
+		}
+		if i%3 == 2 {
+			pairs = append(pairs, segment.Pair{
+				Dim: casestudy.DimDiagnosis, Value: lows[(i+7)%len(lows)], Annot: dimension.Always(),
+			})
+		}
+		recs[i] = segment.FactAppend{FactID: fmt.Sprintf("p%07d", i), Pairs: pairs}
+	}
+	return recs
+}
+
+// b16 measures persistent-storage cold start: opening a folded segment
+// store (segments + column checkpoint) against rebuilding the same
+// state from the operational source (re-ingest every record, build the
+// engine, warm the columns). Before timing, the mmap-backed load is
+// differentially verified against the rebuilt engine — the column
+// kernels must read identical answers through a mapped checkpoint and
+// through RAM.
+func b16(nFacts int) {
+	fmt.Printf("B16: cold-start segment load vs full rebuild (1000 low-level values)\n")
+	bg := context.Background()
+	sizes := []int{nFacts / 100, nFacts / 10, nFacts}
+	for i := range sizes {
+		if sizes[i] < 1000 {
+			sizes[i] = 1000
+		}
+	}
+
+	fmt.Printf("%10s %14s %14s %14s %10s\n", "facts", "rebuild/op", "load/op", "load-mmap/op", "speedup")
+	for i, n := range sizes {
+		if i > 0 && n == sizes[i-1] {
+			continue
+		}
+		recs := b16Records(b16Base(), n)
+
+		// Setup: ingest once through the durable path, warm the columns so
+		// the close-time fold writes a complete checkpoint, and fold.
+		dir, err := os.MkdirTemp("", "mddm-b16")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		st, err := segment.Open(dir, b16Base(), segment.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		eng, err := st.Recover(bg, ctx())
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.WarmColumns(bg, 2); err != nil {
+			fatal(err)
+		}
+		for _, rec := range recs {
+			if err := st.Append(rec); err != nil {
+				fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			fatal(err)
+		}
+
+		coldStart := func(opts segment.Options) *segment.Store {
+			s, err := segment.Open(dir, b16Base(), opts)
+			if err != nil {
+				fatal(err)
+			}
+			e, err := s.Recover(bg, ctx())
+			if err != nil {
+				fatal(err)
+			}
+			if err := e.WarmColumns(bg, 2); err != nil {
+				fatal(err)
+			}
+			return s
+		}
+		rebuild := func() *storage.Engine {
+			m := b16Base()
+			for _, rec := range recs {
+				for _, p := range rec.Pairs {
+					if err := m.RelateAnnot(p.Dim, rec.FactID, p.Value, p.Annot); err != nil {
+						fatal(err)
+					}
+				}
+			}
+			// A from-source ingest closes over ⊤ and validates the model
+			// before serving, exactly as casestudy.Generate does; the store
+			// did the equivalent work record by record at append time, so
+			// the baseline owes it too.
+			m.EnsureTotal()
+			if err := m.Validate(); err != nil {
+				fatal(err)
+			}
+			e, err := storage.BuildEngine(bg, m, ctx())
+			if err != nil {
+				fatal(err)
+			}
+			if err := e.WarmColumns(bg, 2); err != nil {
+				fatal(err)
+			}
+			return e
+		}
+
+		// Differential verification: the mmap-backed cold start must answer
+		// the column-kernel aggregations identically to the full rebuild.
+		want := rebuild()
+		ms := coldStart(segment.Options{MMap: true})
+		got := ms.Engine()
+		if g, w := got.NumFacts(), want.NumFacts(); g != w {
+			fatal(fmt.Errorf("B16: loaded %d facts, rebuilt %d", g, w))
+		}
+		wc, err := want.CountByColumn(bg, casestudy.DimDiagnosis, casestudy.CatLowLevel)
+		if err != nil {
+			fatal(err)
+		}
+		gc, err := got.CountByColumn(bg, casestudy.DimDiagnosis, casestudy.CatLowLevel)
+		if err != nil {
+			fatal(err)
+		}
+		if fmt.Sprint(gc) != fmt.Sprint(wc) {
+			fatal(errors.New("B16: mmap column count diverged from rebuild"))
+		}
+		ws, err := want.SumByColumn(bg, casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimAge)
+		if err != nil {
+			fatal(err)
+		}
+		gs, err := got.SumByColumn(bg, casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimAge)
+		if err != nil {
+			fatal(err)
+		}
+		if fmt.Sprint(gs) != fmt.Sprint(ws) {
+			fatal(errors.New("B16: mmap column sum diverged from rebuild"))
+		}
+		if err := ms.Close(); err != nil {
+			fatal(err)
+		}
+
+		tRebuild := measure("rebuild", n, func() { rebuild() })
+		tLoad := measure("load", n, func() {
+			s := coldStart(segment.Options{})
+			if err := s.Close(); err != nil {
+				fatal(err)
+			}
+		})
+		tMMap := measure("load-mmap", n, func() {
+			s := coldStart(segment.Options{MMap: true})
+			if err := s.Close(); err != nil {
+				fatal(err)
+			}
+		})
+		speedup := float64(tRebuild) / float64(tLoad)
+		benchRows = append(benchRows, benchRow{Exp: curExp, Op: "speedup-load-vs-rebuild", N: n, Value: speedup})
+		fmt.Printf("%10d %14v %14v %14v %9.1fx\n", n, tRebuild, tLoad, tMMap, speedup)
+		if n >= 100_000 && speedup < 5 {
+			fatal(fmt.Errorf("B16: cold-start speedup %.1fx at %d facts, want >= 5x", speedup, n))
+		}
+	}
+	fmt.Println("  verify: mmap-backed column kernels identical to the rebuilt in-RAM engine ✓")
+	fmt.Println()
 }
 
 // pctlDur reports the p-th percentile of ds (sorting it in place).

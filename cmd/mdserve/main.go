@@ -8,10 +8,15 @@
 //	mdserve -gen 10000 -timeout 2s      # synthetic data, 2s per query
 //	mdserve -admission 8 -admit-target 50ms -tenant-rps 100
 //	                                    # shed past the knee: 429 + Retry-After
+//	mdserve -data /var/lib/mddm         # persistent appends: WAL + segments,
+//	                                    # crash-recovered at startup
 //	curl 'localhost:8344/query?q=SELECT+SETCOUNT(*)+FROM+patients'
 //
 // The catalog contains the patient MO under the name "patients"; NOW
-// resolves to -ref.
+// resolves to -ref. With -data, facts POSTed to /append are durably
+// logged before they become visible and survive restarts (including
+// kill -9): startup replays the directory's segments and log tail onto
+// the deterministic base and serves bit-identical results.
 package main
 
 import (
@@ -32,6 +37,8 @@ import (
 	"mddm/internal/admission"
 	"mddm/internal/casestudy"
 	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/segment"
 	"mddm/internal/serve"
 	"mddm/internal/temporal"
 )
@@ -57,6 +64,10 @@ func main() {
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "drain window on SIGINT/SIGTERM")
 	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus text format) and GET /debug/queries")
 	selfcheck := flag.Bool("selfcheck", false, "start on a loopback port, run one query through HTTP, and exit")
+	data := flag.String("data", "", "persistent data directory: recover appended facts at startup and durably log POST /append (empty = in-memory only)")
+	dataSync := flag.Bool("data-sync", true, "fsync the write-ahead log on every append (off: durability of the newest appends rides on the OS page cache)")
+	dataFold := flag.Int("data-fold", 1024, "fold the append log into an immutable segment every N appends (0 = only at shutdown)")
+	dataMMap := flag.Bool("data-mmap", false, "serve the persisted column checkpoint via a read-only memory mapping instead of copying it onto the heap")
 	flag.Parse()
 
 	ref, err := temporal.ParseDate(*refS)
@@ -68,9 +79,6 @@ func main() {
 		fatal(err)
 	}
 	cat := serve.NewCatalog()
-	if err := cat.Register("patients", mo); err != nil {
-		fatal(err)
-	}
 	srv := serve.NewServer(cat, serve.Limits{
 		Timeout:          *timeout,
 		MaxResultRows:    *maxRows,
@@ -88,6 +96,34 @@ func main() {
 			TenantBurst:    *tenantBurst,
 		},
 	}, ref)
+
+	if *data != "" {
+		st, err := segment.Open(*data, mo, segment.Options{
+			Sync: *dataSync, MMap: *dataMMap, FoldEvery: *dataFold,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		baseFacts := mo.Facts().Len()
+		eng, err := st.Recover(context.Background(), dimension.CurrentContext(ref))
+		if err != nil {
+			fatal(err)
+		}
+		if *columns > 0 {
+			// Warm after install: categories the checkpoint carried are
+			// free, the rest build once here instead of on the first query.
+			if err := eng.WarmColumns(context.Background(), *columns); err != nil {
+				fatal(err)
+			}
+		}
+		if err := srv.AttachStore("patients", st); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mdserve: data dir %s: recovered %d appended facts (%d total)\n",
+			*data, eng.NumFacts()-baseFacts, eng.NumFacts())
+	} else if err := cat.Register("patients", mo); err != nil {
+		fatal(err)
+	}
 
 	handler := srv.Handler()
 	if *metrics {
@@ -109,7 +145,22 @@ func main() {
 	}
 
 	if *selfcheck {
-		if err := runSelfcheck(hs, *metrics, *resultCache > 0, *admit > 0); err != nil {
+		var appendBody string
+		if *data != "" {
+			lows := mo.Dimension(casestudy.DimDiagnosis).Category(casestudy.CatLowLevel)
+			if len(lows) == 0 {
+				fatal(fmt.Errorf("selfcheck: no low-level diagnoses to append"))
+			}
+			appendBody = fmt.Sprintf(`{"mo":"patients","fact":"selfcheck-%d","pairs":[{"dim":%q,"value":%q}]}`,
+				time.Now().UnixNano(), casestudy.DimDiagnosis, lows[0])
+		}
+		err := runSelfcheck(hs, *metrics, *resultCache > 0, *admit > 0, appendBody)
+		// Flush before exiting so the appended fact is folded durable —
+		// the second -selfcheck run on the same -data dir replays it.
+		if cerr := srv.CloseStores(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -154,6 +205,12 @@ func serveUntilShutdown(ctx context.Context, hs *http.Server, ln net.Listener, s
 	if err := <-errc; err != nil && err != http.ErrServerClosed {
 		return err
 	}
+	// With the listener closed and in-flight requests drained, no more
+	// appends can arrive: fold the log tail and close the stores so the
+	// next start recovers from segments instead of replaying the WAL.
+	if err := srv.CloseStores(); err != nil {
+		return fmt.Errorf("closing data stores: %w", err)
+	}
 	fmt.Fprintln(os.Stderr, "mdserve: drained")
 	return nil
 }
@@ -177,8 +234,10 @@ func buildMO(n int, seed int64) (*core.MO, error) {
 // with -result-cache it repeats the query and checks the X-Mddm-Cache
 // header walks miss → hit → bypass; with -admission it checks the
 // admission gauges are exposed and that every response carries
-// X-Mddm-Request-Id.
-func runSelfcheck(hs *http.Server, metrics, resultCache, admissionOn bool) error {
+// X-Mddm-Request-Id; with -data (appendBody non-empty) it POSTs one
+// durable append, checks it is immediately visible to FACTS, and checks
+// the duplicate is rejected without being logged.
+func runSelfcheck(hs *http.Server, metrics, resultCache, admissionOn bool, appendBody string) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -279,6 +338,49 @@ func runSelfcheck(hs *http.Server, metrics, resultCache, admissionOn bool) error
 			return fmt.Errorf("selfcheck: /debug/queries returned %s", dresp.Status)
 		}
 		fmt.Println("selfcheck ok: metrics surface up")
+	}
+	if appendBody != "" {
+		aresp, err := http.Post(base+"/append", "application/json", strings.NewReader(appendBody))
+		if err != nil {
+			return err
+		}
+		var ack struct {
+			Fact string `json:"fact"`
+			Seq  uint64 `json:"seq"`
+		}
+		aerr := json.NewDecoder(io.LimitReader(aresp.Body, 1<<20)).Decode(&ack)
+		aresp.Body.Close()
+		if aresp.StatusCode != http.StatusOK {
+			return fmt.Errorf("selfcheck: /append returned %s", aresp.Status)
+		}
+		if aerr != nil || ack.Fact == "" {
+			return fmt.Errorf("selfcheck: /append ack malformed: %v", aerr)
+		}
+		// The duplicate must be rejected by validation — before logging.
+		dresp, err := http.Post(base+"/append", "application/json", strings.NewReader(appendBody))
+		if err != nil {
+			return err
+		}
+		dresp.Body.Close()
+		if dresp.StatusCode != http.StatusBadRequest {
+			return fmt.Errorf("selfcheck: duplicate /append returned %s, want 400", dresp.Status)
+		}
+		// The append is visible to queries on the same connection that
+		// acknowledged it.
+		fq := `SELECT FACTS FROM patients`
+		fresp, err := http.Get(base + "/query?q=" + url.QueryEscape(fq) + "&nocache=1")
+		if err != nil {
+			return err
+		}
+		fbody, ferr := io.ReadAll(io.LimitReader(fresp.Body, 8<<20))
+		fresp.Body.Close()
+		if ferr != nil || fresp.StatusCode != http.StatusOK {
+			return fmt.Errorf("selfcheck: FACTS after append returned %s (%v)", fresp.Status, ferr)
+		}
+		if !strings.Contains(string(fbody), ack.Fact) {
+			return fmt.Errorf("selfcheck: appended fact %s not visible to FACTS", ack.Fact)
+		}
+		fmt.Printf("selfcheck ok: durable append %s at seq %d\n", ack.Fact, ack.Seq)
 	}
 	fmt.Printf("selfcheck ok: %d rows, columns %v\n", len(out.Rows), out.Columns)
 	return nil

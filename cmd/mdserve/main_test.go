@@ -37,6 +37,7 @@ func TestMainSelfcheck(t *testing.T) {
 		"-admit-target", "250ms",
 		"-tenant-rps", "1000",
 		"-stale-on-shed", "30s",
+		"-data", t.TempDir(),
 	}
 	main()
 }

@@ -1,0 +1,167 @@
+package fact
+
+import (
+	"testing"
+
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+// eagerTwin builds the relation a deferred fill describes through the
+// ordinary mutators, for equivalence checks.
+func eagerTwin() *Relation {
+	r := NewRelation()
+	r.Add("f1", "a")
+	r.Add("f1", "b")
+	r.Add("f2", "a")
+	r.AddAnnot("f3", "c", dimension.Annot{
+		Time: temporal.Bitemporal{Valid: temporal.Single(0, 10), Trans: temporal.AlwaysElement()},
+		Prob: 0.5,
+	})
+	return r
+}
+
+func deferredTwin(t *testing.T, ran *int) *Relation {
+	t.Helper()
+	return NewRelationDeferred(3, func(r *Relation) {
+		*ran++
+		r.AdoptPairs("f1", map[string]dimension.Annot{"a": dimension.Always(), "b": dimension.Always()})
+		r.AdoptPairs("f2", map[string]dimension.Annot{"a": dimension.Always()})
+		r.AdoptPairs("f3", map[string]dimension.Annot{"c": {
+			Time: temporal.Bitemporal{Valid: temporal.Single(0, 10), Trans: temporal.AlwaysElement()},
+			Prob: 0.5,
+		}})
+	})
+}
+
+// TestDeferredRelationEquivalence pins that a deferred relation is
+// observationally identical to the eagerly built one through every
+// accessor, and that the fill runs exactly once.
+func TestDeferredRelationEquivalence(t *testing.T) {
+	want := eagerTwin()
+	ran := 0
+	r := deferredTwin(t, &ran)
+	if ran != 0 {
+		t.Fatal("fill ran before first access")
+	}
+	if !r.Equal(want) {
+		t.Fatal("deferred relation diverges from eager build")
+	}
+	if ran != 1 {
+		t.Fatalf("fill ran %d times", ran)
+	}
+	// Exhaust the accessor surface on a fresh deferred instance each time,
+	// so every method proves it materializes on its own.
+	accessors := map[string]func(r *Relation) bool{
+		"ValuesLen":   func(r *Relation) bool { return r.ValuesLen("f1") == 2 },
+		"RangeValues": func(r *Relation) bool { n := 0; r.RangeValues("f1", func(string, dimension.Annot) bool { n++; return true }); return n == 2 },
+		"Annot":       func(r *Relation) bool { a, ok := r.Annot("f3", "c"); return ok && a.Prob == 0.5 },
+		"Has":         func(r *Relation) bool { return r.Has("f2", "a") && !r.Has("f2", "b") },
+		"ValuesOf":    func(r *Relation) bool { v := r.ValuesOf("f1"); return len(v) == 2 && v[0] == "a" },
+		"FactsOf":     func(r *Relation) bool { f := r.FactsOf("a"); return len(f) == 2 && f[0] == "f1" },
+		"Facts":       func(r *Relation) bool { return len(r.Facts()) == 3 },
+		"Len":         func(r *Relation) bool { return r.Len() == 4 },
+		"Pairs":       func(r *Relation) bool { return len(r.Pairs()) == 4 },
+		"Restrict":    func(r *Relation) bool { return r.Restrict(func(f string) bool { return f == "f1" }).Len() == 2 },
+		"Clone":       func(r *Relation) bool { return r.Clone().Len() == 4 },
+	}
+	for name, probe := range accessors {
+		ran := 0
+		if !probe(deferredTwin(t, &ran)) {
+			t.Errorf("%s observed wrong state on a deferred relation", name)
+		}
+		if ran != 1 {
+			t.Errorf("%s materialized %d times, want exactly 1", name, ran)
+		}
+	}
+}
+
+// TestDeferredRelationMutators pins the write paths: mutating a deferred
+// relation materializes it first, so the fill's pairs and the new ones
+// coexist under the normal coalescing rules.
+func TestDeferredRelationMutators(t *testing.T) {
+	ran := 0
+	r := deferredTwin(t, &ran)
+	r.AddAnnot("f4", "d", dimension.Always())
+	if ran != 1 || r.Len() != 5 || !r.Has("f1", "a") {
+		t.Fatalf("AddAnnot on deferred: ran=%d len=%d", ran, r.Len())
+	}
+	// Coalescing with a filled pair: max prob wins.
+	r.AddAnnot("f3", "c", dimension.Annot{Time: dimension.Always().Time, Prob: 0.9})
+	if a, _ := r.Annot("f3", "c"); a.Prob != 0.9 {
+		t.Fatalf("coalesce after fill: prob %v", a.Prob)
+	}
+
+	ran = 0
+	r = deferredTwin(t, &ran)
+	r.Remove("f1", "a")
+	if ran != 1 || r.Len() != 3 || r.Has("f1", "a") {
+		t.Fatalf("Remove on deferred: ran=%d len=%d", ran, r.Len())
+	}
+	if got := r.FactsOf("a"); len(got) != 1 || got[0] != "f2" {
+		t.Fatalf("postings after Remove: %v", got)
+	}
+
+	// Union materializes the other side too.
+	ran = 0
+	other := deferredTwin(t, &ran)
+	u := NewRelation()
+	u.Add("f9", "z")
+	if got := u.Union(other); ran != 1 || got.Len() != 5 {
+		t.Fatalf("Union with deferred operand: ran=%d len=%d", ran, got.Len())
+	}
+}
+
+// TestAdoptPairsSemantics pins AdoptPairs' contract on an ordinary
+// relation: ownership transfer, empty-map no-op, and the AddAnnot
+// fallback when the fact already exists.
+func TestAdoptPairsSemantics(t *testing.T) {
+	r := NewRelation()
+	r.AdoptPairs("f1", map[string]dimension.Annot{})
+	if r.Len() != 0 {
+		t.Fatal("empty adopt must be a no-op")
+	}
+	r.AdoptPairs("f1", map[string]dimension.Annot{"a": {Time: dimension.Always().Time, Prob: 0.4}})
+	if r.Len() != 1 {
+		t.Fatal("adopt did not record the pair")
+	}
+	// Adopting into an existing fact coalesces instead of clobbering.
+	r.AdoptPairs("f1", map[string]dimension.Annot{
+		"a": {Time: dimension.Always().Time, Prob: 0.7},
+		"b": dimension.Always(),
+	})
+	if r.Len() != 2 {
+		t.Fatalf("len after re-adopt = %d", r.Len())
+	}
+	if a, _ := r.Annot("f1", "a"); a.Prob != 0.7 {
+		t.Fatalf("re-adopt must coalesce by max prob, got %v", a.Prob)
+	}
+	// Postings catch up lazily but completely.
+	if got := r.FactsOf("b"); len(got) != 1 || got[0] != "f1" {
+		t.Fatalf("postings after adopt: %v", got)
+	}
+	// A reader between adopts sees a consistent index even though the
+	// staleness flag cycles.
+	r.AdoptPairs("f2", map[string]dimension.Annot{"b": dimension.Always()})
+	if got := r.FactsOf("b"); len(got) != 2 {
+		t.Fatalf("postings after second adopt: %v", got)
+	}
+}
+
+// TestSetGrow pins Grow: pre-sizing keeps the members intact and never
+// shrinks.
+func TestSetGrow(t *testing.T) {
+	s := NewSet(NewFact("a"), NewFact("b"))
+	s.Grow(100)
+	if s.Len() != 2 || !s.Has("a") || !s.Has("b") {
+		t.Fatal("grow lost members")
+	}
+	s.Grow(1) // no-op: already larger
+	if s.Len() != 2 {
+		t.Fatal("shrinking grow must be a no-op")
+	}
+	s.Add(NewFact("c"))
+	if s.Len() != 3 {
+		t.Fatal("add after grow broken")
+	}
+}

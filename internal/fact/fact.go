@@ -87,6 +87,20 @@ func NewSet(facts ...Fact) *Set {
 // Add inserts a fact (idempotent).
 func (s *Set) Add(f Fact) { s.facts[f.ID] = f }
 
+// Grow re-allocates the set pre-sized for n facts, so a bulk load of a
+// known size pays one allocation instead of incremental map growth. A
+// no-op when the set already holds n or more facts.
+func (s *Set) Grow(n int) {
+	if n <= len(s.facts) {
+		return
+	}
+	facts := make(map[string]Fact, n)
+	for id, f := range s.facts {
+		facts[id] = f
+	}
+	s.facts = facts
+}
+
 // Remove deletes a fact by identity.
 func (s *Set) Remove(id string) { delete(s.facts, id) }
 

@@ -46,6 +46,19 @@ const (
 	// QuotaExhausted fires in the admission controller's tenant-quota
 	// check; while armed every request is treated as out of quota.
 	QuotaExhausted Point = "quota-exhausted"
+	// WALTear fires in the segment store's WAL append after a partial
+	// frame has been written — the durable state is exactly what a crash
+	// mid-write leaves behind, so recovery tests exercise the torn-tail
+	// truncation path deterministically.
+	WALTear Point = "wal-tear"
+	// SegmentWrite fires mid-fold after a partial segment temp file has
+	// been written, simulating a crash during compaction: the orphaned
+	// temp file must be ignored and cleaned at the next open.
+	SegmentWrite Point = "segment-write"
+	// ChecksumMismatch fires in the segment store's checksum
+	// verification; while armed every verified artifact is treated as
+	// corrupt.
+	ChecksumMismatch Point = "checksum-mismatch"
 )
 
 type rule struct {

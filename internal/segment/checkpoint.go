@@ -1,0 +1,268 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/faultinject"
+	"mddm/internal/storage"
+)
+
+// A column checkpoint snapshots the engine's built characterization
+// columns — dictionary, dense []uint32 codes with the colNone/colMulti
+// sentinels, sorted overflow side-table — covering the fact prefix
+// [0, facts). It is a derived acceleration cache, not a source of truth:
+// recovery that cannot use it (checksum failure, fingerprint or context
+// drift, dictionary mismatch) rejects it with a counter and rebuilds
+// columns from the closure bitmaps instead. The codes arrays are 8-byte
+// aligned in the file so an mmap'd checkpoint can serve kernels directly
+// from the page cache without copying.
+//
+//	"MCOL" | version u32 | baseFP u64 | ctxFP u64 | facts u64 | seq u64
+//	cols:   u32 n, then per column:
+//	        dim str | cat str
+//	        dict:     u32 n, n strings
+//	        overflow: u32 n, n × (fact u32 | vid u32)
+//	        codes:    u32 n | pad to 8 | n × u32 (raw little-endian)
+//	crc32c u32 over everything above
+
+const ckMagic = "MCOL"
+
+// ckColumn is one decoded checkpoint column. codes may be a view into
+// the checkpoint image (the mmap path) — it is handed to
+// storage.InstallColumn with len == cap so the engine's first append
+// reallocates instead of writing through the view.
+type ckColumn struct {
+	dim, cat string
+	vals     []string
+	over     []storage.OverflowEntry
+	codes    []uint32
+}
+
+// encodeCheckpoint snapshots every built column of eng.
+func encodeCheckpoint(baseFP, ctxFP uint64, seq uint64, eng *storage.Engine) []byte {
+	e := &enc{}
+	e.b = append(e.b, ckMagic...)
+	e.u32(formatVersion)
+	e.u64(baseFP)
+	e.u64(ctxFP)
+	e.u64(uint64(eng.NumFacts()))
+	e.u64(seq)
+	cols := eng.BuiltColumns()
+	e.u32(uint32(len(cols)))
+	for _, dc := range cols {
+		vals, codes, over, ok := eng.ColumnData(dc[0], dc[1])
+		if !ok {
+			// BuiltColumns just listed it; a concurrent engine swap would be
+			// a caller bug. Encode an empty column rather than panic.
+			vals, codes, over = nil, nil, nil
+		}
+		e.str(dc[0])
+		e.str(dc[1])
+		e.u32(uint32(len(vals)))
+		for _, v := range vals {
+			e.str(v)
+		}
+		e.u32(uint32(len(over)))
+		for _, o := range over {
+			e.u32(uint32(o.Fact))
+			e.u32(o.Vid)
+		}
+		e.u32(uint32(len(codes)))
+		e.pad8()
+		for _, c := range codes {
+			e.u32(c)
+		}
+	}
+	e.u32(crc32.Checksum(e.b, castagnoli))
+	return e.b
+}
+
+// decodeCheckpoint validates and parses a checkpoint image. When view is
+// true (the mmap path on a little-endian machine with aligned data) the
+// returned codes slices alias b; otherwise they are copies.
+func decodeCheckpoint(b []byte, baseFP, ctxFP uint64, view bool) (facts int, seq uint64, cols []ckColumn, err error) {
+	if len(b) < 4+4+8+8+8+8+4+4 {
+		return 0, 0, nil, fmt.Errorf("%w: checkpoint truncated at %d bytes", ErrCorrupt, len(b))
+	}
+	if string(b[:4]) != ckMagic {
+		return 0, 0, nil, fmt.Errorf("%w: bad checkpoint magic %q", ErrCorrupt, b[:4])
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if err := checksumOK(body, sum); err != nil {
+		return 0, 0, nil, fmt.Errorf("checkpoint file: %w", err)
+	}
+	d := &dec{b: body, off: 4}
+	ver, err := d.u32()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if ver != formatVersion {
+		return 0, 0, nil, fmt.Errorf("%w: checkpoint format version %d, want %d", ErrCorrupt, ver, formatVersion)
+	}
+	fp, err := d.u64()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if fp != baseFP {
+		return 0, 0, nil, fmt.Errorf("%w: checkpoint fingerprint %016x, base is %016x", ErrBaseMismatch, fp, baseFP)
+	}
+	cfp, err := d.u64()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if cfp != ctxFP {
+		return 0, 0, nil, fmt.Errorf("%w: checkpoint context fingerprint %016x, engine context is %016x", ErrCorrupt, cfp, ctxFP)
+	}
+	nf, err := d.u64()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if nf > 1<<40 {
+		return 0, 0, nil, fmt.Errorf("%w: checkpoint fact count %d implausible", ErrCorrupt, nf)
+	}
+	if seq, err = d.u64(); err != nil {
+		return 0, 0, nil, err
+	}
+	ncols, err := d.count(1<<16, "column")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	cols = make([]ckColumn, 0, ncols)
+	for i := 0; i < ncols; i++ {
+		var c ckColumn
+		if c.dim, err = d.str(); err != nil {
+			return 0, 0, nil, err
+		}
+		if c.cat, err = d.str(); err != nil {
+			return 0, 0, nil, err
+		}
+		if c.vals, err = d.dictStrings("column value"); err != nil {
+			return 0, 0, nil, err
+		}
+		nover, err := d.count(1<<28, "overflow")
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if nover*8 > d.remaining() {
+			return 0, 0, nil, fmt.Errorf("%w: overflow count %d exceeds remaining bytes", ErrCorrupt, nover)
+		}
+		c.over = make([]storage.OverflowEntry, nover)
+		for j := range c.over {
+			f, err := d.u32()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			v, err := d.u32()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			c.over[j] = storage.OverflowEntry{Fact: int(f), Vid: v}
+		}
+		ncodes, err := d.count(1<<30, "code")
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if err := d.pad8(); err != nil {
+			return 0, 0, nil, err
+		}
+		if ncodes*4 > d.remaining() {
+			return 0, 0, nil, fmt.Errorf("%w: code count %d exceeds remaining bytes", ErrCorrupt, ncodes)
+		}
+		raw := d.b[d.off : d.off+ncodes*4]
+		d.off += ncodes * 4
+		if view && nativeLittle && ncodes > 0 && aligned4(raw) {
+			c.codes = viewUint32(raw, ncodes)
+		} else {
+			c.codes = make([]uint32, ncodes)
+			for j := range c.codes {
+				c.codes[j] = binary.LittleEndian.Uint32(raw[j*4:])
+			}
+		}
+		// len == cap: the engine's first append must reallocate, never
+		// write through a view into read-only pages.
+		c.codes = c.codes[:ncodes:ncodes]
+		cols = append(cols, c)
+	}
+	if d.remaining() != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes after checkpoint columns", ErrCorrupt, d.remaining())
+	}
+	return int(nf), seq, cols, nil
+}
+
+// nativeLittle reports whether the machine's byte order matches the file
+// format's little-endian layout; only then may codes be viewed in place.
+var nativeLittle = func() bool {
+	var x uint32 = 1
+	b := make([]byte, 4)
+	binary.NativeEndian.PutUint32(b, x)
+	return b[0] == 1
+}()
+
+// checksumOK verifies a whole-artifact CRC-32C. The ChecksumMismatch
+// faultinject point fires first, so corruption handling is testable
+// without hand-crafting bit flips.
+func checksumOK(body []byte, sum uint32) error {
+	if err := faultinject.Check(faultinject.ChecksumMismatch); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if crc32.Checksum(body, castagnoli) != sum {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return nil
+}
+
+// fingerprintMO hashes the identity of the base MO — schema dimension
+// names in schema order, the fact count, and every base fact id in
+// sorted order. Two runs that derive the same base data agree on it;
+// a store opened over different data is rejected with ErrBaseMismatch
+// before any record is applied.
+func fingerprintMO(m *core.MO) uint64 {
+	h := fnv.New64a()
+	for _, name := range m.Schema().DimensionNames() {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+	}
+	ids := m.Facts().IDs()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(ids)))
+	h.Write(n[:])
+	for _, id := range ids {
+		h.Write([]byte(id))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// fingerprintCtx hashes the evaluation context a checkpoint's columns
+// were computed under: the same store reopened with a different
+// reference date, instant filter, or probability threshold must not
+// install columns admitting a different pair set.
+func fingerprintCtx(ctx dimension.Context) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	if ctx.Valid != nil {
+		put(1)
+		put(uint64(int64(*ctx.Valid)))
+	} else {
+		put(0)
+	}
+	if ctx.Trans != nil {
+		put(1)
+		put(uint64(int64(*ctx.Trans)))
+	} else {
+		put(0)
+	}
+	put(uint64(int64(ctx.Ref)))
+	put(math.Float64bits(ctx.MinProb))
+	return h.Sum64()
+}

@@ -1,0 +1,443 @@
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"mddm/internal/dimension"
+	"mddm/internal/storage"
+	"mddm/internal/temporal"
+)
+
+// stamp appends the CRC-32C trailer, turning a hand-built body into a
+// checksum-valid artifact so the structural validation branches behind
+// the checksum are reachable.
+func stamp(b []byte) []byte {
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+}
+
+const testFP = uint64(0xdeadbeefcafe1234)
+
+// segBody builds a minimal valid segment body (one record, one pair)
+// up to but not including the trailer, then lets mutate rewrite it.
+func segBody(mutate func(e *enc)) []byte {
+	e := &enc{}
+	e.b = append(e.b, segMagic...)
+	e.u32(formatVersion)
+	e.u64(testFP)
+	e.u64(0) // from
+	e.u64(1) // to
+	if mutate != nil {
+		mutate(e)
+		return e.b
+	}
+	e.u32(1)
+	e.str("D")
+	e.u32(1)
+	e.str("v")
+	e.str("f1")
+	e.u32(1)
+	e.u32(0)
+	e.u32(0)
+	e.byte(annotAlways)
+	return e.b
+}
+
+func TestDecodeSegmentValidation(t *testing.T) {
+	if _, _, _, err := decodeSegment(stamp(segBody(nil)), testFP); err != nil {
+		t.Fatalf("minimal valid segment rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		img  []byte
+		want error
+	}{
+		{"truncated", []byte("MSEG"), ErrCorrupt},
+		{"bad-magic", stamp(append([]byte("XSEG"), segBody(nil)[4:]...)), ErrCorrupt},
+		{"bad-version", stamp(func() []byte {
+			b := segBody(nil)
+			binary.LittleEndian.PutUint32(b[4:], 9)
+			return b
+		}()), ErrCorrupt},
+		{"fp-mismatch", stamp(func() []byte {
+			b := segBody(nil)
+			binary.LittleEndian.PutUint64(b[8:], testFP+1)
+			return b
+		}()), ErrBaseMismatch},
+		{"inverted-range", stamp(func() []byte {
+			b := segBody(nil)
+			binary.LittleEndian.PutUint64(b[16:], 5) // from > to
+			return b
+		}()), ErrCorrupt},
+		{"absurd-range", stamp(func() []byte {
+			b := segBody(nil)
+			binary.LittleEndian.PutUint64(b[24:], 1<<34)
+			return b
+		}()), ErrCorrupt},
+		{"dict-count-lies", stamp(segBody(func(e *enc) {
+			e.u32(1 << 20) // dimension dict claims 1M entries with no bytes
+		})), ErrCorrupt},
+		{"empty-fact-id", stamp(segBody(func(e *enc) {
+			e.u32(1)
+			e.str("D")
+			e.u32(1)
+			e.str("v")
+			e.str("") // record with empty id
+			e.u32(1)
+			e.u32(0)
+			e.u32(0)
+			e.byte(annotAlways)
+		})), ErrCorrupt},
+		{"zero-pairs", stamp(segBody(func(e *enc) {
+			e.u32(1)
+			e.str("D")
+			e.u32(1)
+			e.str("v")
+			e.str("f1")
+			e.u32(0)
+		})), ErrCorrupt},
+		{"pair-count-over-cap", stamp(segBody(func(e *enc) {
+			e.u32(1)
+			e.str("D")
+			e.u32(1)
+			e.str("v")
+			e.str("f1")
+			e.u32(maxPairs + 1)
+		})), ErrCorrupt},
+		{"dict-ref-out-of-range", stamp(segBody(func(e *enc) {
+			e.u32(1)
+			e.str("D")
+			e.u32(1)
+			e.str("v")
+			e.str("f1")
+			e.u32(1)
+			e.u32(7) // dim index 7, dict has 1 entry
+			e.u32(0)
+			e.byte(annotAlways)
+		})), ErrCorrupt},
+		{"trailing-bytes", stamp(append(segBody(nil), 0xff)), ErrCorrupt},
+		{"flipped-bit", func() []byte {
+			b := stamp(segBody(nil))
+			b[30] ^= 1
+			return b
+		}(), ErrCorrupt},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, _, err := decodeSegment(c.img, testFP)
+			if !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+// ckBody builds a checkpoint body with no columns, or hands the column
+// region to mutate.
+func ckBody(ncols uint32, mutate func(e *enc)) []byte {
+	e := &enc{}
+	e.b = append(e.b, ckMagic...)
+	e.u32(formatVersion)
+	e.u64(testFP)
+	e.u64(testFP + 1) // ctxFP
+	e.u64(3)          // facts
+	e.u64(7)          // seq
+	e.u32(ncols)
+	if mutate != nil {
+		mutate(e)
+	}
+	return e.b
+}
+
+func TestDecodeCheckpointValidation(t *testing.T) {
+	ctxFP := testFP + 1
+	facts, seq, cols, err := decodeCheckpoint(stamp(ckBody(0, nil)), testFP, ctxFP, false)
+	if err != nil || facts != 3 || seq != 7 || len(cols) != 0 {
+		t.Fatalf("empty checkpoint: facts=%d seq=%d cols=%d err=%v", facts, seq, len(cols), err)
+	}
+	oneCol := func(e *enc) {
+		e.str("D")
+		e.str("C")
+		e.u32(2) // dict
+		e.str("a")
+		e.str("b")
+		e.u32(2) // overflow
+		e.u32(0)
+		e.u32(0)
+		e.u32(0)
+		e.u32(1)
+		e.u32(3) // codes
+		e.pad8()
+		e.u32(storage.ColSentinelMulti)
+		e.u32(1)
+		e.u32(storage.ColSentinelNone)
+	}
+	for _, view := range []bool{false, true} {
+		_, _, cols, err := decodeCheckpoint(stamp(ckBody(1, oneCol)), testFP, ctxFP, view)
+		if err != nil || len(cols) != 1 {
+			t.Fatalf("one-column checkpoint (view=%v): cols=%d err=%v", view, len(cols), err)
+		}
+		c := cols[0]
+		if c.dim != "D" || c.cat != "C" || len(c.vals) != 2 || len(c.over) != 2 || len(c.codes) != 3 {
+			t.Fatalf("decoded column mangled: %+v", c)
+		}
+		if cap(c.codes) != len(c.codes) {
+			t.Fatalf("codes cap %d != len %d: an append could write through the view", cap(c.codes), len(c.codes))
+		}
+		if c.codes[1] != 1 {
+			t.Fatalf("codes round-trip: %v", c.codes)
+		}
+	}
+	cases := []struct {
+		name string
+		img  []byte
+		want error
+	}{
+		{"truncated", []byte("MCOL"), ErrCorrupt},
+		{"bad-magic", stamp(append([]byte("XCOL"), ckBody(0, nil)[4:]...)), ErrCorrupt},
+		{"bad-version", stamp(func() []byte {
+			b := ckBody(0, nil)
+			binary.LittleEndian.PutUint32(b[4:], 2)
+			return b
+		}()), ErrCorrupt},
+		{"fp-mismatch", stamp(func() []byte {
+			b := ckBody(0, nil)
+			binary.LittleEndian.PutUint64(b[8:], testFP+9)
+			return b
+		}()), ErrBaseMismatch},
+		{"ctx-mismatch", stamp(func() []byte {
+			b := ckBody(0, nil)
+			binary.LittleEndian.PutUint64(b[16:], testFP+9)
+			return b
+		}()), ErrCorrupt},
+		{"implausible-facts", stamp(func() []byte {
+			b := ckBody(0, nil)
+			binary.LittleEndian.PutUint64(b[24:], 1<<50)
+			return b
+		}()), ErrCorrupt},
+		{"column-count-over-cap", stamp(ckBody(1<<16+1, nil)), ErrCorrupt},
+		{"overflow-count-lies", stamp(ckBody(1, func(e *enc) {
+			e.str("D")
+			e.str("C")
+			e.u32(0)       // dict
+			e.u32(1 << 27) // overflow count with no bytes behind it
+		})), ErrCorrupt},
+		{"code-count-lies", stamp(ckBody(1, func(e *enc) {
+			e.str("D")
+			e.str("C")
+			e.u32(0)       // dict
+			e.u32(0)       // overflow
+			e.u32(1 << 29) // codes count with no bytes behind it
+		})), ErrCorrupt},
+		{"trailing-bytes", stamp(append(ckBody(0, nil), 0)), ErrCorrupt},
+		{"flipped-bit", func() []byte {
+			b := stamp(ckBody(0, nil))
+			b[20] ^= 1
+			return b
+		}(), ErrCorrupt},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, _, err := decodeCheckpoint(c.img, testFP, ctxFP, false)
+			if !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestDecodeRecordValidation(t *testing.T) {
+	full := FactAppend{Seq: 42, FactID: "f-1", Pairs: []Pair{
+		{Dim: "D", Value: "v", Annot: dimension.Annot{
+			Time: temporal.Bitemporal{
+				Valid: temporal.NewElement(temporal.Interval{Start: 10, End: 20}, temporal.Interval{Start: 30, End: 40}),
+				Trans: temporal.AlwaysElement(),
+			},
+			Prob: 0.25,
+		}},
+		{Dim: "D2", Value: "v2", Annot: dimension.Always()},
+	}}
+	got, err := decodeRecord(encodeRecord(full))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if got.Seq != full.Seq || got.FactID != full.FactID || len(got.Pairs) != 2 {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+	if got.Pairs[0].Annot.Prob != 0.25 || !got.Pairs[0].Annot.Time.Valid.Equal(full.Pairs[0].Annot.Time.Valid) {
+		t.Fatalf("annotation round trip mangled: %+v", got.Pairs[0].Annot)
+	}
+
+	rec := func(mutate func(e *enc)) []byte {
+		e := &enc{}
+		e.u64(1)
+		e.str("f")
+		mutate(e)
+		return e.b
+	}
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"truncated-mid-string", []byte{1, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0, 'f'}},
+		{"empty-fact-id", func() []byte {
+			e := &enc{}
+			e.u64(1)
+			e.str("")
+			e.u32(1)
+			return e.b
+		}()},
+		{"zero-pairs", rec(func(e *enc) { e.u32(0) })},
+		{"pair-cap", rec(func(e *enc) { e.u32(maxPairs + 1) })},
+		{"string-cap", rec(func(e *enc) {
+			e.u32(1)
+			e.u32(maxString + 1) // dim name length over cap
+		})},
+		{"bad-annot-flag", rec(func(e *enc) {
+			e.u32(1)
+			e.str("D")
+			e.str("v")
+			e.byte(7)
+		})},
+		{"nan-prob", rec(func(e *enc) {
+			e.u32(1)
+			e.str("D")
+			e.str("v")
+			e.byte(annotFull)
+			e.u64(math.Float64bits(math.NaN()))
+		})},
+		{"prob-over-one", rec(func(e *enc) {
+			e.u32(1)
+			e.str("D")
+			e.str("v")
+			e.byte(annotFull)
+			e.u64(math.Float64bits(1.5))
+		})},
+		{"interval-cap", rec(func(e *enc) {
+			e.u32(1)
+			e.str("D")
+			e.str("v")
+			e.byte(annotFull)
+			e.u64(math.Float64bits(0.5))
+			e.u32(maxIntervals + 1)
+		})},
+		{"trailing-bytes", append(encodeRecord(full), 0)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := decodeRecord(c.b); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestScanWALValidation(t *testing.T) {
+	header := encodeWALHeader(walHeader{baseFP: testFP, startSeq: 5})
+	recFrame := func(seq uint64) []byte {
+		return encodeFrame(encodeRecord(FactAppend{
+			Seq: seq, FactID: "f", Pairs: []Pair{{Dim: "D", Value: "v", Annot: dimension.Always()}},
+		}))
+	}
+
+	t.Run("header-errors", func(t *testing.T) {
+		if _, err := decodeWALHeader(header[:10]); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("short header: %v", err)
+		}
+		bad := append([]byte("XWAL"), header[4:]...)
+		if _, err := decodeWALHeader(bad); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("bad magic: %v", err)
+		}
+		ver := append([]byte(nil), header...)
+		binary.LittleEndian.PutUint32(ver[4:], 3)
+		binary.LittleEndian.PutUint32(ver[walHeaderSize-4:], crc32.Checksum(ver[:walHeaderSize-4], castagnoli))
+		if _, err := decodeWALHeader(ver); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("bad version: %v", err)
+		}
+		crc := append([]byte(nil), header...)
+		crc[walHeaderSize-1] ^= 1
+		if _, err := decodeWALHeader(crc); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("bad crc: %v", err)
+		}
+		if _, err := scanWAL(crc, testFP); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("scan over bad header: %v", err)
+		}
+	})
+	t.Run("fp-mismatch-hard", func(t *testing.T) {
+		if _, err := scanWAL(header, testFP+1); !errors.Is(err, ErrBaseMismatch) {
+			t.Errorf("err = %v, want ErrBaseMismatch", err)
+		}
+	})
+	t.Run("clean", func(t *testing.T) {
+		img := append(append([]byte(nil), header...), recFrame(5)...)
+		img = append(img, recFrame(6)...)
+		s, err := scanWAL(img, testFP)
+		if err != nil || s.torn || len(s.recs) != 2 || s.good != int64(len(img)) {
+			t.Fatalf("clean scan: torn=%v recs=%d good=%d err=%v", s.torn, len(s.recs), s.good, err)
+		}
+		if s.recs[0].Seq != 5 || s.recs[1].Seq != 6 {
+			t.Fatalf("seqs: %d %d", s.recs[0].Seq, s.recs[1].Seq)
+		}
+	})
+	tornCases := []struct {
+		name string
+		tail []byte
+	}{
+		{"short-frame-header", []byte{1, 2, 3}},
+		{"absurd-length", binary.LittleEndian.AppendUint32(nil, maxRecord+1)},
+		{"length-past-eof", []byte{0xff, 0, 0, 0, 1, 2, 3, 4, 9}},
+		{"payload-crc", func() []byte {
+			f := recFrame(6)
+			f[len(f)-1] ^= 1
+			return f
+		}()},
+		{"undecodable-payload", encodeFrame([]byte("not a record"))},
+		{"seq-gap", recFrame(9)},
+	}
+	for _, c := range tornCases {
+		t.Run("torn-"+c.name, func(t *testing.T) {
+			img := append(append([]byte(nil), header...), recFrame(5)...)
+			good := int64(len(img))
+			img = append(img, c.tail...)
+			s, err := scanWAL(img, testFP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.torn || len(s.recs) != 1 || s.good != good {
+				t.Fatalf("torn=%v recs=%d good=%d, want torn with 1 rec at %d", s.torn, len(s.recs), s.good, good)
+			}
+		})
+	}
+}
+
+// TestFingerprints pins that the fingerprints react to every input they
+// claim to cover.
+func TestFingerprints(t *testing.T) {
+	m := base(t)
+	if fingerprintMO(m) != fingerprintMO(base(t)) {
+		t.Error("same base, different fingerprints")
+	}
+	ref := testRef
+	a := fingerprintCtx(dimension.CurrentContext(ref))
+	if a != fingerprintCtx(dimension.CurrentContext(ref)) {
+		t.Error("same context, different fingerprints")
+	}
+	variants := []dimension.Context{
+		dimension.CurrentContext(ref + 1),
+		{Valid: &ref, Ref: ref},
+		{Trans: &ref, Ref: ref},
+		{Ref: ref, MinProb: 0.5},
+	}
+	seen := map[uint64]bool{a: true}
+	for i, v := range variants {
+		fp := fingerprintCtx(v)
+		if seen[fp] {
+			t.Errorf("context variant %d collides with a previous fingerprint", i)
+		}
+		seen[fp] = true
+	}
+}

@@ -1,0 +1,326 @@
+// Package segment is the persistence subsystem: immutable, checksummed,
+// mmap-friendly on-disk segments plus a write-ahead append log, so a
+// process can recover a storage.Engine from disk instead of rebuilding
+// it from scratch.
+//
+// A Store persists the append history of one MO on top of a
+// deterministic base (the paper's case study, a seeded generator, or a
+// CSV load): the base is re-derived by the caller at open and
+// fingerprint-checked, and everything appended through Store.Append is
+// durably logged before it mutates in-memory state. A background folder
+// compacts the log into immutable segment files and snapshots the
+// engine's characterization columns into a checkpoint the next open can
+// install without recomputing any rollup closure. See docs/PERSISTENCE.md
+// for the format layout, the WAL protocol, and the recovery invariants.
+//
+// Every decoder in this package treats its input as untrusted bytes: a
+// corrupt or truncated artifact yields a typed error (ErrCorrupt,
+// ErrBaseMismatch), never a panic and never a half-applied state.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"mddm/internal/dimension"
+	"mddm/internal/temporal"
+)
+
+// ErrCorrupt reports a persisted artifact that failed structural
+// validation: a bad magic number, a failed checksum, a truncated or
+// over-long field, or an impossible cross-reference. The artifact is
+// unusable; whether that is fatal depends on its role (see Recover).
+var ErrCorrupt = errors.New("segment: corrupt artifact")
+
+// ErrBaseMismatch reports a store whose persisted base fingerprint does
+// not match the base MO the caller provided: the append history on disk
+// belongs to different data and applying it would corrupt the engine.
+var ErrBaseMismatch = errors.New("segment: base MO mismatch")
+
+// formatVersion versions every on-disk artifact; readers reject versions
+// they do not understand rather than guessing.
+const formatVersion = 1
+
+// Decoder resource caps: arbitrary bytes must not be able to request an
+// absurd allocation before validation catches them.
+const (
+	maxString    = 1 << 20 // longest id/value/dimension name
+	maxPairs     = 1 << 16 // fact–dimension pairs per record
+	maxIntervals = 1 << 16 // intervals per temporal element
+	maxRecord    = 4 << 20 // WAL frame payload bytes
+)
+
+// castagnoli is the CRC-32C polynomial table every artifact checksum
+// uses (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Pair is one annotated fact–dimension characterization of an appended
+// fact: (dimension, value, annotation), mirroring core.MO.RelateAnnot.
+type Pair struct {
+	Dim   string
+	Value string
+	Annot dimension.Annot
+}
+
+// FactAppend is one durable append record: a new fact and its
+// characterizations. Seq is the store-assigned append ordinal (the
+// record's identity for folding and replay dedup); callers leave it
+// zero.
+type FactAppend struct {
+	Seq    uint64
+	FactID string
+	Pairs  []Pair
+}
+
+// enc is an append-only little-endian encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i32(v int32)  { e.u32(uint32(v)) }
+func (e *enc) byte(v byte)  { e.b = append(e.b, v) }
+func (e *enc) str(s string) { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+func (e *enc) pad8() { // align the next field to 8 bytes
+	for len(e.b)%8 != 0 {
+		e.b = append(e.b, 0)
+	}
+}
+
+// dec is a bounds-checked little-endian decoder over untrusted bytes.
+// Every read method reports failure through a typed error; none panics.
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+func (d *dec) need(n int) error {
+	if n < 0 || d.remaining() < n {
+		return fmt.Errorf("%w: need %d bytes at offset %d, have %d", ErrCorrupt, n, d.off, d.remaining())
+	}
+	return nil
+}
+
+func (d *dec) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *dec) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *dec) i32() (int32, error) {
+	v, err := d.u32()
+	return int32(v), err
+}
+
+func (d *dec) readByte() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *dec) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxString {
+		return "", fmt.Errorf("%w: string length %d exceeds cap at offset %d", ErrCorrupt, n, d.off)
+	}
+	if err := d.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// count reads a u32 element count capped at max — the cap bounds the
+// allocation an adversarial length prefix can request.
+func (d *dec) count(max uint32, what string) (int, error) {
+	n, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if n > max {
+		return 0, fmt.Errorf("%w: %s count %d exceeds cap %d", ErrCorrupt, what, n, max)
+	}
+	return int(n), nil
+}
+
+func (d *dec) pad8() error {
+	for d.off%8 != 0 {
+		if _, err := d.readByte(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// annotAlways is the flag byte for the ubiquitous Always() annotation
+// (probability 1, bitemporally unconstrained) — one byte instead of a
+// serialized pair of elements.
+const (
+	annotAlways byte = 1
+	annotFull   byte = 0
+)
+
+// alwaysAnnot is the one shared decode result for annotAlways flags:
+// annotations are immutable values, and minting fresh temporal elements
+// for every pair of a bulk replay is pure allocator churn.
+var alwaysAnnot = dimension.Always()
+
+func (e *enc) annot(a dimension.Annot) {
+	if a.Prob == 1 &&
+		a.Time.Valid.Equal(temporal.AlwaysElement()) &&
+		a.Time.Trans.Equal(temporal.AlwaysElement()) {
+		e.byte(annotAlways)
+		return
+	}
+	e.byte(annotFull)
+	e.u64(math.Float64bits(a.Prob))
+	e.element(a.Time.Valid)
+	e.element(a.Time.Trans)
+}
+
+func (e *enc) element(el temporal.Element) {
+	ivs := el.Intervals()
+	e.u32(uint32(len(ivs)))
+	for _, iv := range ivs {
+		e.i32(int32(iv.Start))
+		e.i32(int32(iv.End))
+	}
+}
+
+func (d *dec) annot() (dimension.Annot, error) {
+	flag, err := d.readByte()
+	if err != nil {
+		return dimension.Annot{}, err
+	}
+	switch flag {
+	case annotAlways:
+		return alwaysAnnot, nil
+	case annotFull:
+		bits, err := d.u64()
+		if err != nil {
+			return dimension.Annot{}, err
+		}
+		prob := math.Float64frombits(bits)
+		if math.IsNaN(prob) || prob < 0 || prob > 1 {
+			return dimension.Annot{}, fmt.Errorf("%w: annotation probability %v out of [0,1]", ErrCorrupt, prob)
+		}
+		valid, err := d.element()
+		if err != nil {
+			return dimension.Annot{}, err
+		}
+		trans, err := d.element()
+		if err != nil {
+			return dimension.Annot{}, err
+		}
+		return dimension.Annot{Time: temporal.Bitemporal{Valid: valid, Trans: trans}, Prob: prob}, nil
+	default:
+		return dimension.Annot{}, fmt.Errorf("%w: unknown annotation flag %d", ErrCorrupt, flag)
+	}
+}
+
+func (d *dec) element() (temporal.Element, error) {
+	n, err := d.count(maxIntervals, "interval")
+	if err != nil {
+		return temporal.Element{}, err
+	}
+	ivs := make([]temporal.Interval, n)
+	for i := range ivs {
+		s, err := d.i32()
+		if err != nil {
+			return temporal.Element{}, err
+		}
+		e, err := d.i32()
+		if err != nil {
+			return temporal.Element{}, err
+		}
+		ivs[i] = temporal.Interval{Start: temporal.Chronon(s), End: temporal.Chronon(e)}
+	}
+	// NewElement canonicalizes (sorts, coalesces, drops empties), so no
+	// byte sequence can smuggle a non-canonical element into the model.
+	return temporal.NewElement(ivs...), nil
+}
+
+// encodeRecord serializes one append record as a WAL frame payload.
+func encodeRecord(rec FactAppend) []byte {
+	e := &enc{}
+	e.u64(rec.Seq)
+	e.str(rec.FactID)
+	e.u32(uint32(len(rec.Pairs)))
+	for _, p := range rec.Pairs {
+		e.str(p.Dim)
+		e.str(p.Value)
+		e.annot(p.Annot)
+	}
+	return e.b
+}
+
+// decodeRecord parses a WAL frame payload. The payload must be consumed
+// exactly — trailing bytes mean the frame length lied.
+func decodeRecord(b []byte) (FactAppend, error) {
+	d := &dec{b: b}
+	rec, err := d.record()
+	if err != nil {
+		return FactAppend{}, err
+	}
+	if d.remaining() != 0 {
+		return FactAppend{}, fmt.Errorf("%w: %d trailing bytes after record", ErrCorrupt, d.remaining())
+	}
+	return rec, nil
+}
+
+func (d *dec) record() (FactAppend, error) {
+	var rec FactAppend
+	var err error
+	if rec.Seq, err = d.u64(); err != nil {
+		return rec, err
+	}
+	if rec.FactID, err = d.str(); err != nil {
+		return rec, err
+	}
+	if rec.FactID == "" {
+		return rec, fmt.Errorf("%w: record with empty fact id", ErrCorrupt)
+	}
+	n, err := d.count(maxPairs, "pair")
+	if err != nil {
+		return rec, err
+	}
+	if n == 0 {
+		return rec, fmt.Errorf("%w: record %q with no pairs", ErrCorrupt, rec.FactID)
+	}
+	rec.Pairs = make([]Pair, n)
+	for i := range rec.Pairs {
+		if rec.Pairs[i].Dim, err = d.str(); err != nil {
+			return rec, err
+		}
+		if rec.Pairs[i].Value, err = d.str(); err != nil {
+			return rec, err
+		}
+		if rec.Pairs[i].Annot, err = d.annot(); err != nil {
+			return rec, err
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package segment
+
+import "errors"
+
+// mmapFile is unsupported off unix; Options.MMap falls back to the
+// copying read path.
+func mmapFile(path string) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmap(b []byte) error { return nil }

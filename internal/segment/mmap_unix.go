@@ -1,0 +1,35 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. The mapping aliases the page cache:
+// kernels scan it without the file's bytes ever being copied into the
+// heap. Callers own the returned mapping and release it with munmap —
+// but only once no engine can still hold column views into it.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,188 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// A fact segment is the immutable fold of a half-open append-sequence
+// range [from, to): the records the WAL acknowledged, re-encoded in a
+// compact dictionary form (dimension and value names are interned once
+// per segment instead of once per pair, the Kimball-style trick that
+// makes append history cheap to keep forever). Segments are written to a
+// temp file, fsynced, and renamed into place; after that they are never
+// modified, so a whole-file CRC-32C trailer is enough to detect any
+// corruption. A segment that fails its checksum is a hard error — unlike
+// the column checkpoint it is the durable source of truth for its range.
+//
+//	"MSEG" | version u32 | baseFP u64 | from u64 | to u64
+//	dims:   u32 n, n strings      (dictionary of dimension names)
+//	vals:   u32 n, n strings      (dictionary of value ids)
+//	recs:   per seq in [from,to): factID str | u32 npairs |
+//	        npairs × (dim u32 | val u32 | annot)
+//	crc32c u32 over everything above
+
+const segMagic = "MSEG"
+
+// encodeSegment folds recs — which must carry contiguous seqs
+// [from, to) in order — into a segment image.
+func encodeSegment(baseFP, from, to uint64, recs []FactAppend) []byte {
+	dims := newDict()
+	vals := newDict()
+	for _, rec := range recs {
+		for _, p := range rec.Pairs {
+			dims.add(p.Dim)
+			vals.add(p.Value)
+		}
+	}
+	e := &enc{}
+	e.b = append(e.b, segMagic...)
+	e.u32(formatVersion)
+	e.u64(baseFP)
+	e.u64(from)
+	e.u64(to)
+	e.u32(uint32(len(dims.order)))
+	for _, s := range dims.order {
+		e.str(s)
+	}
+	e.u32(uint32(len(vals.order)))
+	for _, s := range vals.order {
+		e.str(s)
+	}
+	for _, rec := range recs {
+		e.str(rec.FactID)
+		e.u32(uint32(len(rec.Pairs)))
+		for _, p := range rec.Pairs {
+			e.u32(dims.id[p.Dim])
+			e.u32(vals.id[p.Value])
+			e.annot(p.Annot)
+		}
+	}
+	e.u32(crc32.Checksum(e.b, castagnoli))
+	return e.b
+}
+
+// dict interns strings in first-seen order.
+type dict struct {
+	id    map[string]uint32
+	order []string
+}
+
+func newDict() *dict { return &dict{id: map[string]uint32{}} }
+
+func (d *dict) add(s string) {
+	if _, ok := d.id[s]; !ok {
+		d.id[s] = uint32(len(d.order))
+		d.order = append(d.order, s)
+	}
+}
+
+// decodeSegment validates and parses a segment image, reconstructing the
+// records with their sequence numbers (from+i). Every failure is an
+// ErrCorrupt (or ErrBaseMismatch) — arbitrary bytes cannot panic this.
+func decodeSegment(b []byte, baseFP uint64) (from, to uint64, recs []FactAppend, err error) {
+	if len(b) < 4+4+8+8+8+4 {
+		return 0, 0, nil, fmt.Errorf("%w: segment truncated at %d bytes", ErrCorrupt, len(b))
+	}
+	if string(b[:4]) != segMagic {
+		return 0, 0, nil, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, b[:4])
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if err := checksumOK(body, sum); err != nil {
+		return 0, 0, nil, fmt.Errorf("segment file: %w", err)
+	}
+	d := &dec{b: body, off: 4}
+	ver, err := d.u32()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if ver != formatVersion {
+		return 0, 0, nil, fmt.Errorf("%w: segment format version %d, want %d", ErrCorrupt, ver, formatVersion)
+	}
+	fp, err := d.u64()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if fp != baseFP {
+		return 0, 0, nil, fmt.Errorf("%w: segment fingerprint %016x, base is %016x", ErrBaseMismatch, fp, baseFP)
+	}
+	if from, err = d.u64(); err != nil {
+		return 0, 0, nil, err
+	}
+	if to, err = d.u64(); err != nil {
+		return 0, 0, nil, err
+	}
+	if to < from || to-from > 1<<32 {
+		return 0, 0, nil, fmt.Errorf("%w: segment range [%d, %d) invalid", ErrCorrupt, from, to)
+	}
+	dims, err := d.dictStrings("dimension")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	vals, err := d.dictStrings("value")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	recs = make([]FactAppend, 0, to-from)
+	for seq := from; seq < to; seq++ {
+		var rec FactAppend
+		rec.Seq = seq
+		if rec.FactID, err = d.str(); err != nil {
+			return 0, 0, nil, err
+		}
+		if rec.FactID == "" {
+			return 0, 0, nil, fmt.Errorf("%w: segment record %d with empty fact id", ErrCorrupt, seq)
+		}
+		n, err := d.count(maxPairs, "pair")
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if n == 0 {
+			return 0, 0, nil, fmt.Errorf("%w: segment record %q with no pairs", ErrCorrupt, rec.FactID)
+		}
+		rec.Pairs = make([]Pair, n)
+		for i := range rec.Pairs {
+			di, err := d.u32()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			vi, err := d.u32()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			if int(di) >= len(dims) || int(vi) >= len(vals) {
+				return 0, 0, nil, fmt.Errorf("%w: segment dictionary reference (%d, %d) out of range", ErrCorrupt, di, vi)
+			}
+			rec.Pairs[i].Dim = dims[di]
+			rec.Pairs[i].Value = vals[vi]
+			if rec.Pairs[i].Annot, err = d.annot(); err != nil {
+				return 0, 0, nil, err
+			}
+		}
+		recs = append(recs, rec)
+	}
+	if d.remaining() != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes after segment records", ErrCorrupt, d.remaining())
+	}
+	return from, to, recs, nil
+}
+
+func (d *dec) dictStrings(what string) ([]string, error) {
+	n, err := d.count(1<<24, what)
+	if err != nil {
+		return nil, err
+	}
+	// Each entry costs at least a length prefix; reject counts the
+	// remaining bytes cannot possibly hold before allocating.
+	if n*4 > d.remaining() {
+		return nil, fmt.Errorf("%w: %s dictionary count %d exceeds remaining bytes", ErrCorrupt, what, n)
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,316 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/fact"
+	"mddm/internal/storage"
+)
+
+// An engine snapshot is the O(facts) cold-start artifact: the store's
+// entire materialized state — the dense fact order plus every
+// fact–dimension pair of every relation — written at fold time so the
+// next open can reconstruct the MO relations and the engine's direct
+// bitmaps without replaying history record by record or re-scanning the
+// pair space. Like the column checkpoint it is derived acceleration, not
+// a source of truth: any validation failure rejects it with a counter
+// and recovery falls back to the replay path, whose input (segments +
+// WAL) the snapshot never replaces. Unlike the checkpoint it carries no
+// context fingerprint — pairs are context-independent facts of the
+// model, and the direct bitmaps are re-derived at decode time under the
+// opening context's Admits filter, exactly as BuildEngine would.
+//
+// The fact list doubles as the verified positional order for the column
+// checkpoint: codes in an .mcol file are positional over the fold-time
+// engine order, which is NOT the sorted order a from-scratch rebuild
+// produces once appended ids sort before existing ones. Only a recovery
+// that restored this snapshot may install the checkpoint.
+//
+//	"MSNP" | version u32 | baseFP u64 | seq u64
+//	facts:  u32 n, n × str                  (engine dense order)
+//	dims:   u32 nd, per schema dimension (schema order):
+//	        name str
+//	        dict:   u32 nv, nv × str        (value ids, first-seen order)
+//	        groups: u32 ng, ng × (factIdx u32 | u32 nvals |
+//	                nvals × (valIdx u32 | annot))
+//	crc32c u32 over everything above
+//
+// Groups cover only facts with at least one pair in the dimension, each
+// fact at most once.
+
+const snapMagic = "MSNP"
+
+// snapImage is a decoded, fully validated snapshot, ready to install:
+// nothing in it aliases the store's live state, so a caller that rejects
+// it leaves the MO untouched.
+type snapImage struct {
+	seq      uint64
+	facts    []string                              // engine dense order
+	appended []string                              // facts not in the base MO, in dense order
+	rels     map[string]*fact.Relation             // per dimension: every pair
+	direct   map[string]map[string]*storage.Bitmap // per dimension: admitted-pair bitmaps
+}
+
+// encodeSnapshot serializes the store's materialized state at seq: the
+// engine's dense fact order and, per schema dimension, the relation's
+// pairs in a dictionary-interned group form.
+func encodeSnapshot(baseFP, seq uint64, m *core.MO, eng *storage.Engine) []byte {
+	facts := eng.ExportFacts()
+	e := &enc{}
+	e.b = append(e.b, snapMagic...)
+	e.u32(formatVersion)
+	e.u64(baseFP)
+	e.u64(seq)
+	e.u32(uint32(len(facts)))
+	for _, f := range facts {
+		e.str(f)
+	}
+	names := m.Schema().DimensionNames()
+	e.u32(uint32(len(names)))
+	for _, name := range names {
+		e.str(name)
+		r := m.Relation(name)
+		vals := newDict()
+		groups := &enc{}
+		ng := 0
+		if r != nil {
+			for i, f := range facts {
+				nv := r.ValuesLen(f)
+				if nv == 0 {
+					continue
+				}
+				ng++
+				groups.u32(uint32(i))
+				groups.u32(uint32(nv))
+				r.RangeValues(f, func(v string, a dimension.Annot) bool {
+					vals.add(v)
+					groups.u32(vals.id[v])
+					groups.annot(a)
+					return true
+				})
+			}
+		}
+		e.u32(uint32(len(vals.order)))
+		for _, v := range vals.order {
+			e.str(v)
+		}
+		e.u32(uint32(ng))
+		e.b = append(e.b, groups.b...)
+	}
+	e.u32(crc32.Checksum(e.b, castagnoli))
+	return e.b
+}
+
+// decodeSnapshot validates and parses a snapshot image against the live
+// base MO and the opening context, building the direct bitmaps a restore
+// would install and deferred relations whose maps materialize on first
+// access. Every failure is a typed error and
+// leaves m untouched — validation is complete before the caller applies
+// anything. Checks beyond the envelope (magic, version, fingerprint,
+// CRC-32C): the dimension sections must name the schema's dimensions in
+// schema order, every dictionary value must exist in its dimension, the
+// fact list must extend the base's facts by exactly seq new ids with no
+// duplicates, and every group and pair reference must be in range with
+// no fact or value repeated.
+func decodeSnapshot(b []byte, baseFP uint64, m *core.MO, ectx dimension.Context) (*snapImage, error) {
+	if len(b) < 4+4+8+8+4+4+4 {
+		return nil, fmt.Errorf("%w: snapshot truncated at %d bytes", ErrCorrupt, len(b))
+	}
+	if string(b[:4]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic %q", ErrCorrupt, b[:4])
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if err := checksumOK(body, sum); err != nil {
+		return nil, fmt.Errorf("snapshot file: %w", err)
+	}
+	d := &dec{b: body, off: 4}
+	ver, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("%w: snapshot format version %d, want %d", ErrCorrupt, ver, formatVersion)
+	}
+	fp, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if fp != baseFP {
+		return nil, fmt.Errorf("%w: snapshot fingerprint %016x, base is %016x", ErrBaseMismatch, fp, baseFP)
+	}
+	img := &snapImage{
+		rels:   map[string]*fact.Relation{},
+		direct: map[string]map[string]*storage.Bitmap{},
+	}
+	if img.seq, err = d.u64(); err != nil {
+		return nil, err
+	}
+	nf, err := d.count(1<<30, "snapshot fact")
+	if err != nil {
+		return nil, err
+	}
+	if nf*4 > d.remaining() {
+		return nil, fmt.Errorf("%w: snapshot fact count %d exceeds remaining bytes", ErrCorrupt, nf)
+	}
+	baseLen := m.Facts().Len()
+	if uint64(nf) != uint64(baseLen)+img.seq {
+		return nil, fmt.Errorf("%w: snapshot holds %d facts, base %d + seq %d demand %d",
+			ErrCorrupt, nf, baseLen, img.seq, uint64(baseLen)+img.seq)
+	}
+	img.facts = make([]string, nf)
+	seen := make(map[string]struct{}, nf)
+	for i := range img.facts {
+		f, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if f == "" {
+			return nil, fmt.Errorf("%w: snapshot fact %d has empty id", ErrCorrupt, i)
+		}
+		if _, dup := seen[f]; dup {
+			return nil, fmt.Errorf("%w: snapshot repeats fact %q", ErrCorrupt, f)
+		}
+		seen[f] = struct{}{}
+		img.facts[i] = f
+		if !m.Facts().Has(f) {
+			img.appended = append(img.appended, f)
+		}
+	}
+	if uint64(len(img.appended)) != img.seq {
+		// Equivalently: some base fact is missing (the counts above fix the
+		// total, so extra appended ids means absent base ids).
+		return nil, fmt.Errorf("%w: snapshot covers %d appended facts, seq is %d — base coverage broken",
+			ErrCorrupt, len(img.appended), img.seq)
+	}
+	names := m.Schema().DimensionNames()
+	nd, err := d.count(1<<16, "snapshot dimension")
+	if err != nil {
+		return nil, err
+	}
+	if nd != len(names) {
+		return nil, fmt.Errorf("%w: snapshot has %d dimensions, schema has %d", ErrCorrupt, nd, len(names))
+	}
+	for k := 0; k < nd; k++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if name != names[k] {
+			return nil, fmt.Errorf("%w: snapshot dimension %d is %q, schema says %q", ErrCorrupt, k, name, names[k])
+		}
+		dim := m.Dimension(name)
+		if dim == nil {
+			return nil, fmt.Errorf("%w: schema dimension %q has no instance", ErrCorrupt, name)
+		}
+		nv, err := d.count(1<<24, "snapshot value")
+		if err != nil {
+			return nil, err
+		}
+		if nv*4 > d.remaining() {
+			return nil, fmt.Errorf("%w: snapshot value count %d exceeds remaining bytes", ErrCorrupt, nv)
+		}
+		vals := make([]string, nv)
+		for vi := range vals {
+			v, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			if !dim.Has(v) {
+				return nil, fmt.Errorf("%w: snapshot dimension %q has no value %q", ErrCorrupt, name, v)
+			}
+			vals[vi] = v
+		}
+		ng, err := d.count(1<<30, "snapshot group")
+		if err != nil {
+			return nil, err
+		}
+		if ng > nf {
+			return nil, fmt.Errorf("%w: snapshot dimension %q has %d groups over %d facts", ErrCorrupt, name, ng, nf)
+		}
+		// The groups decode into flat columnar slices, fully validated —
+		// and the relation's per-fact maps build lazily from them on first
+		// access. The bitmaps the engine serves from are derived eagerly
+		// here, so a restore that never touches the relation never builds
+		// its maps at all.
+		grouped := make([]bool, nf)
+		valSeen := make([]uint32, nv) // per-value marker: group index + 1
+		bms := map[string]*storage.Bitmap{}
+		gFact := make([]uint32, ng)
+		gLen := make([]uint32, ng)
+		pVal := make([]uint32, 0, 2*ng)
+		pAnn := make([]dimension.Annot, 0, 2*ng)
+		for g := 0; g < ng; g++ {
+			fi, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			if int(fi) >= nf {
+				return nil, fmt.Errorf("%w: snapshot group references fact %d of %d", ErrCorrupt, fi, nf)
+			}
+			if grouped[fi] {
+				return nil, fmt.Errorf("%w: snapshot dimension %q repeats fact %q", ErrCorrupt, name, img.facts[fi])
+			}
+			grouped[fi] = true
+			gFact[g] = fi
+			nvals, err := d.count(maxPairs, "snapshot pair")
+			if err != nil {
+				return nil, err
+			}
+			if nvals == 0 {
+				return nil, fmt.Errorf("%w: snapshot group for fact %q has no pairs", ErrCorrupt, img.facts[fi])
+			}
+			gLen[g] = uint32(nvals)
+			for j := 0; j < nvals; j++ {
+				vi, err := d.u32()
+				if err != nil {
+					return nil, err
+				}
+				if int(vi) >= nv {
+					return nil, fmt.Errorf("%w: snapshot pair references value %d of %d", ErrCorrupt, vi, nv)
+				}
+				if valSeen[vi] == uint32(g+1) {
+					return nil, fmt.Errorf("%w: snapshot group for fact %q repeats value %q",
+						ErrCorrupt, img.facts[fi], vals[vi])
+				}
+				valSeen[vi] = uint32(g + 1)
+				a, err := d.annot()
+				if err != nil {
+					return nil, err
+				}
+				pVal = append(pVal, vi)
+				pAnn = append(pAnn, a)
+				// The direct bitmaps admit exactly what BuildEngine admits.
+				if ectx.Admits(a) {
+					v := vals[vi]
+					bm := bms[v]
+					if bm == nil {
+						bm = storage.NewBitmap(nf)
+						bms[v] = bm
+					}
+					bm.Set(int(fi))
+				}
+			}
+		}
+		facts := img.facts
+		img.rels[name] = fact.NewRelationDeferred(len(gFact), func(r *fact.Relation) {
+			p := 0
+			for g, fi := range gFact {
+				vs := make(map[string]dimension.Annot, gLen[g])
+				for j := uint32(0); j < gLen[g]; j++ {
+					vs[vals[pVal[p]]] = pAnn[p]
+					p++
+				}
+				r.AdoptPairs(facts[fi], vs)
+			}
+		})
+		img.direct[name] = bms
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot dimensions", ErrCorrupt, d.remaining())
+	}
+	return img, nil
+}

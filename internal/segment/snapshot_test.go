@@ -1,0 +1,687 @@
+package segment
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/core"
+)
+
+// snapHeader starts a snapshot body for base m at seq, up to but not
+// including the facts section.
+func snapHeader(m *core.MO, seq uint64) *enc {
+	e := &enc{}
+	e.b = append(e.b, snapMagic...)
+	e.u32(formatVersion)
+	e.u64(fingerprintMO(m))
+	e.u64(seq)
+	return e
+}
+
+// snapFacts writes the fact section: every base fact plus extras.
+func snapFacts(e *enc, m *core.MO, extra ...string) []string {
+	ids := append(m.Facts().IDs(), extra...)
+	e.u32(uint32(len(ids)))
+	for _, f := range ids {
+		e.str(f)
+	}
+	return ids
+}
+
+// snapDims writes an empty dimension section per schema dimension.
+func snapDims(e *enc, m *core.MO) {
+	names := m.Schema().DimensionNames()
+	e.u32(uint32(len(names)))
+	for _, n := range names {
+		e.str(n)
+		e.u32(0) // dict
+		e.u32(0) // groups
+	}
+}
+
+// snapValid is the minimal decodable snapshot: all base facts, no
+// appended records, every dimension empty.
+func snapValid(m *core.MO) []byte {
+	e := snapHeader(m, 0)
+	snapFacts(e, m)
+	snapDims(e, m)
+	return e.b
+}
+
+func TestDecodeSnapshotValidation(t *testing.T) {
+	m := base(t)
+	fp := fingerprintMO(m)
+	if _, err := decodeSnapshot(stamp(snapValid(m)), fp, m, testCtx()); err != nil {
+		t.Fatalf("minimal valid snapshot rejected: %v", err)
+	}
+
+	// One dimension populated: the first schema dimension gets one value
+	// and one single-pair group for fact index 0.
+	names := m.Schema().DimensionNames()
+	someVal := func(name string) string {
+		vs := m.Dimension(name).Values()
+		if len(vs) == 0 {
+			t.Fatalf("dimension %q has no values", name)
+		}
+		return vs[0]
+	}
+	withGroup := func(mutate func(e *enc, name string)) []byte {
+		e := snapHeader(m, 0)
+		snapFacts(e, m)
+		e.u32(uint32(len(names)))
+		for i, n := range names {
+			e.str(n)
+			if i == 0 {
+				mutate(e, n)
+				continue
+			}
+			e.u32(0)
+			e.u32(0)
+		}
+		return e.b
+	}
+	goodGroup := func(e *enc, name string) {
+		e.u32(1)
+		e.str(someVal(name))
+		e.u32(1) // one group
+		e.u32(0) // fact 0
+		e.u32(1) // one pair
+		e.u32(0) // value 0
+		e.byte(annotAlways)
+	}
+	img, err := decodeSnapshot(stamp(withGroup(goodGroup)), fp, m, testCtx())
+	if err != nil {
+		t.Fatalf("populated snapshot rejected: %v", err)
+	}
+	if got := img.rels[names[0]].ValuesOf(img.facts[0]); len(got) != 1 || got[0] != someVal(names[0]) {
+		t.Fatalf("decoded relation pairs: %v", got)
+	}
+	if bm := img.direct[names[0]][someVal(names[0])]; bm == nil || !bm.Has(0) {
+		t.Fatal("decoded direct bitmap missing the admitted pair")
+	}
+
+	cases := []struct {
+		name string
+		img  []byte
+		want error
+	}{
+		{"truncated", []byte("MSNP"), ErrCorrupt},
+		{"bad-magic", stamp(append([]byte("XSNP"), snapValid(m)[4:]...)), ErrCorrupt},
+		{"bad-version", stamp(func() []byte {
+			b := snapValid(m)
+			binary.LittleEndian.PutUint32(b[4:], 9)
+			return b
+		}()), ErrCorrupt},
+		{"fp-mismatch", stamp(func() []byte {
+			b := snapValid(m)
+			binary.LittleEndian.PutUint64(b[8:], fp+1)
+			return b
+		}()), ErrBaseMismatch},
+		{"fact-count-vs-seq", stamp(func() []byte {
+			// seq 1 demands one appended fact; only the base is present.
+			e := snapHeader(m, 1)
+			snapFacts(e, m)
+			snapDims(e, m)
+			return e.b
+		}()), ErrCorrupt},
+		{"fact-count-lies", stamp(func() []byte {
+			e := snapHeader(m, 0)
+			e.u32(1 << 29) // facts claimed with no bytes behind them
+			return e.b
+		}()), ErrCorrupt},
+		{"empty-fact-id", stamp(func() []byte {
+			e := snapHeader(m, 1)
+			ids := m.Facts().IDs()
+			e.u32(uint32(len(ids) + 1))
+			e.str("")
+			for _, f := range ids {
+				e.str(f)
+			}
+			snapDims(e, m)
+			return e.b
+		}()), ErrCorrupt},
+		{"dup-fact", stamp(func() []byte {
+			e := snapHeader(m, 1)
+			ids := m.Facts().IDs()
+			e.u32(uint32(len(ids) + 1))
+			for _, f := range ids {
+				e.str(f)
+			}
+			e.str(ids[0])
+			snapDims(e, m)
+			return e.b
+		}()), ErrCorrupt},
+		{"base-fact-missing", stamp(func() []byte {
+			// Right total, but a base fact was swapped for a second new id:
+			// appended coverage no longer matches seq.
+			e := snapHeader(m, 1)
+			ids := m.Facts().IDs()
+			e.u32(uint32(len(ids) + 1))
+			e.str("zz-new-a")
+			e.str("zz-new-b")
+			for _, f := range ids[1:] {
+				e.str(f)
+			}
+			snapDims(e, m)
+			return e.b
+		}()), ErrCorrupt},
+		{"dim-count-mismatch", stamp(func() []byte {
+			e := snapHeader(m, 0)
+			snapFacts(e, m)
+			e.u32(uint32(len(names) + 1))
+			return e.b
+		}()), ErrCorrupt},
+		{"dim-name-mismatch", stamp(func() []byte {
+			e := snapHeader(m, 0)
+			snapFacts(e, m)
+			e.u32(uint32(len(names)))
+			e.str("NoSuchDimension")
+			e.u32(0)
+			e.u32(0)
+			return e.b
+		}()), ErrCorrupt},
+		{"unknown-value", stamp(withGroup(func(e *enc, name string) {
+			e.u32(1)
+			e.str("no-such-value")
+			e.u32(0)
+		})), ErrCorrupt},
+		{"value-count-lies", stamp(withGroup(func(e *enc, name string) {
+			e.u32(1 << 23) // values claimed with no bytes behind them
+		})), ErrCorrupt},
+		{"groups-over-facts", stamp(withGroup(func(e *enc, name string) {
+			e.u32(1)
+			e.str(someVal(name))
+			e.u32(uint32(m.Facts().Len() + 1))
+		})), ErrCorrupt},
+		{"group-fact-out-of-range", stamp(withGroup(func(e *enc, name string) {
+			e.u32(1)
+			e.str(someVal(name))
+			e.u32(1)
+			e.u32(uint32(m.Facts().Len())) // one past the end
+			e.u32(1)
+			e.u32(0)
+			e.byte(annotAlways)
+		})), ErrCorrupt},
+		{"dup-group-fact", stamp(withGroup(func(e *enc, name string) {
+			e.u32(1)
+			e.str(someVal(name))
+			e.u32(2)
+			for i := 0; i < 2; i++ {
+				e.u32(0) // fact 0 twice
+				e.u32(1)
+				e.u32(0)
+				e.byte(annotAlways)
+			}
+		})), ErrCorrupt},
+		{"zero-pair-group", stamp(withGroup(func(e *enc, name string) {
+			e.u32(1)
+			e.str(someVal(name))
+			e.u32(1)
+			e.u32(0)
+			e.u32(0) // no pairs
+		})), ErrCorrupt},
+		{"pair-value-out-of-range", stamp(withGroup(func(e *enc, name string) {
+			e.u32(1)
+			e.str(someVal(name))
+			e.u32(1)
+			e.u32(0)
+			e.u32(1)
+			e.u32(7) // value index 7, dict has 1
+			e.byte(annotAlways)
+		})), ErrCorrupt},
+		{"dup-value-in-group", stamp(withGroup(func(e *enc, name string) {
+			e.u32(1)
+			e.str(someVal(name))
+			e.u32(1)
+			e.u32(0)
+			e.u32(2)
+			for i := 0; i < 2; i++ {
+				e.u32(0) // value 0 twice
+				e.byte(annotAlways)
+			}
+		})), ErrCorrupt},
+		{"trailing-bytes", stamp(append(snapValid(m), 0xbe)), ErrCorrupt},
+		{"flipped-bit", func() []byte {
+			b := stamp(snapValid(m))
+			b[25] ^= 1
+			return b
+		}(), ErrCorrupt},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := decodeSnapshot(c.img, fp, m, testCtx()); !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTrip encodes a live engine's state and decodes it
+// against a fresh base: facts, appended ids, relations, and admitted
+// bitmaps must all survive the trip.
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, eng := openRecovered(t, dir, Options{})
+	recs := testRecords(t, st.MO(), 9)
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := encodeSnapshot(st.baseFP, st.Seq(), st.MO(), eng)
+
+	fresh := base(t)
+	dec, err := decodeSnapshot(img, st.baseFP, fresh, testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.seq != uint64(len(recs)) || len(dec.appended) != len(recs) {
+		t.Fatalf("seq %d appended %d, want %d", dec.seq, len(dec.appended), len(recs))
+	}
+	if len(dec.facts) != fresh.Facts().Len()+len(recs) {
+		t.Fatalf("facts %d", len(dec.facts))
+	}
+	for _, name := range fresh.Schema().DimensionNames() {
+		if !dec.rels[name].Equal(st.MO().Relation(name)) {
+			t.Errorf("relation %q did not round-trip", name)
+		}
+	}
+	// Spot-check a bitmap: the first record's diagnosis pair must be
+	// admitted for its fact position.
+	pos := -1
+	for i, f := range dec.facts {
+		if f == recs[0].FactID {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		t.Fatal("appended fact missing from snapshot order")
+	}
+	bm := dec.direct[casestudy.DimDiagnosis][recs[0].Pairs[0].Value]
+	if bm == nil || !bm.Has(pos) {
+		t.Fatal("admitted diagnosis pair missing from direct bitmap")
+	}
+}
+
+// TestSnapshotRestoreFastPath pins that a reopen of a folded store goes
+// through the snapshot (restore counter advances, no checkpoint or
+// snapshot rejects) and answers queries identically to a from-scratch
+// rebuild.
+func TestSnapshotRestoreFastPath(t *testing.T) {
+	dir := t.TempDir()
+	st, eng := openRecovered(t, dir, Options{})
+	if err := eng.WarmColumns(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(t, st.MO(), 20)
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restores, rejects, ckRejects := mSnapshotRestores.Value(), mSnapshotRejects.Value(), mCheckpointRejects.Value()
+	_, eng2 := openRecovered(t, dir, Options{})
+	if mSnapshotRestores.Value() != restores+1 {
+		t.Error("recovery did not restore from the snapshot")
+	}
+	if mSnapshotRejects.Value() != rejects || mCheckpointRejects.Value() != ckRejects {
+		t.Error("clean recovery counted a reject")
+	}
+	assertEngineEqual(t, eng2, rebuildReference(t, recs))
+}
+
+// TestSnapshotCorruptionSoft damages the snapshot in every way a disk
+// can (corrupt bytes, truncation, deletion) and requires recovery to
+// fall back to full replay with a counted reject — bit-identical
+// answers, no error surfaced.
+func TestSnapshotCorruptionSoft(t *testing.T) {
+	damage := []struct {
+		name string
+		hit  func(t *testing.T, path string)
+	}{
+		{"byte-flip", func(t *testing.T, path string) { flipByte(t, path, 60) }},
+		{"truncated", func(t *testing.T, path string) {
+			if err := os.Truncate(path, 40); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(t *testing.T, path string) {
+			if err := os.Truncate(path, 0); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"missing", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, _ := openRecovered(t, dir, Options{})
+			recs := testRecords(t, st.MO(), 12)
+			for _, rec := range recs {
+				if err := st.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			man, _, err := loadManifest(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man.Snapshot == nil {
+				t.Fatal("close-time fold wrote no snapshot")
+			}
+			d.hit(t, filepath.Join(dir, man.Snapshot.File))
+
+			rejects := mSnapshotRejects.Value()
+			_, eng := openRecovered(t, dir, Options{})
+			if mSnapshotRejects.Value() != rejects+1 {
+				t.Error("damaged snapshot was not counted rejected")
+			}
+			assertEngineEqual(t, eng, rebuildReference(t, recs))
+		})
+	}
+}
+
+// TestSnapshotManifestDisagreement rejects a snapshot whose commit-record
+// entry disagrees with the decoded file — and falls back to replay.
+func TestSnapshotManifestDisagreement(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{})
+	recs := testRecords(t, st.MO(), 8)
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := loadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Snapshot.Seq++
+	if err := saveManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+
+	rejects := mSnapshotRejects.Value()
+	_, eng := openRecovered(t, dir, Options{})
+	if mSnapshotRejects.Value() != rejects+1 {
+		t.Error("disagreeing snapshot was not counted rejected")
+	}
+	assertEngineEqual(t, eng, rebuildReference(t, recs))
+}
+
+// TestSnapshotFactOrderPreserved is the permutation regression: appended
+// ids that sort BEFORE every base id make the rebuild order differ from
+// the fold-time engine order, which is exactly the case the snapshot's
+// persisted order (and the checkpoint install gated on it) must survive.
+func TestSnapshotFactOrderPreserved(t *testing.T) {
+	dir := t.TempDir()
+	st, eng := openRecovered(t, dir, Options{})
+	if err := eng.WarmColumns(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(t, st.MO(), 10)
+	for i := range recs {
+		// "AAA..." sorts before every base fact id.
+		recs[i].FactID = strings.Replace(recs[i].FactID, "newpat", "AAApat", 1)
+		if err := st.Append(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, eng2 := openRecovered(t, dir, Options{})
+	// The restored order must be the fold-time order: base facts first,
+	// appended after — not the sorted order a rebuild would produce.
+	facts := eng2.ExportFacts()
+	if facts[0] == recs[0].FactID {
+		t.Fatal("restored engine sorted appended facts first: fold-time order lost")
+	}
+	if got := facts[len(facts)-len(recs)]; got != recs[0].FactID {
+		t.Fatalf("appended facts not in append order: %q", got)
+	}
+	// And the installed columns must agree with a from-scratch reference
+	// on every kernel answer.
+	if len(eng2.BuiltColumns()) == 0 {
+		t.Fatal("checkpoint did not install on the snapshot path")
+	}
+	assertEngineEqual(t, eng2, rebuildReference(t, recs))
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotOnlyRefreshIsPaired pins the pairing invariant: whenever a
+// fold refreshes one derived artifact it refreshes both, and the two
+// always carry the same seq — the checkpoint is only installable against
+// the snapshot's fact order.
+func TestSnapshotOnlyRefreshIsPaired(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{})
+	recs := testRecords(t, st.MO(), 30)
+	for i, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			if err := st.Fold(); err != nil {
+				t.Fatal(err)
+			}
+			man, _, err := loadManifest(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man.Snapshot == nil || man.Columns == nil {
+				t.Fatal("fold left a derived artifact missing")
+			}
+			if man.Snapshot.Seq != man.Columns.Seq {
+				t.Fatalf("derived artifacts diverged: snapshot seq %d, columns seq %d",
+					man.Snapshot.Seq, man.Columns.Seq)
+			}
+		}
+	}
+}
+
+// TestFallbackRejectsCheckpoint pins the order-trust rule directly: a
+// recovery that could not use the snapshot must not install the
+// checkpoint either, because nothing then vouches for the positional
+// fact order its codes assume.
+func TestFallbackRejectsCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, eng := openRecovered(t, dir, Options{})
+	if err := eng.WarmColumns(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(t, st.MO(), 10)
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := loadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, man.Snapshot.File)); err != nil {
+		t.Fatal(err)
+	}
+
+	ckRejects := mCheckpointRejects.Value()
+	_, eng2 := openRecovered(t, dir, Options{})
+	if mCheckpointRejects.Value() != ckRejects+1 {
+		t.Error("fallback recovery did not count the checkpoint rejected")
+	}
+	if n := len(eng2.BuiltColumns()); n != 0 {
+		t.Fatalf("fallback recovery installed %d checkpoint columns over an unverified fact order", n)
+	}
+	assertEngineEqual(t, eng2, rebuildReference(t, recs))
+}
+
+// TestDeferredRelationMaterializes pins that a restored MO's relations,
+// though lazily built, behave identically to eagerly built ones for
+// every accessor — including the write paths appends use.
+func TestDeferredRelationMaterializes(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{})
+	recs := testRecords(t, st.MO(), 6)
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, _ := openRecovered(t, dir, Options{})
+	want := base(t)
+	for _, rec := range recs {
+		if err := applyPairs(want, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range want.Schema().DimensionNames() {
+		got, ref := st2.MO().Relation(name), want.Relation(name)
+		if got.Len() != ref.Len() {
+			t.Fatalf("relation %q: %d pairs, want %d", name, got.Len(), ref.Len())
+		}
+		if !got.Equal(ref) {
+			t.Errorf("relation %q diverges from eager build", name)
+		}
+	}
+	// The restored store keeps accepting appends through the same path.
+	extra := testRecords(t, st2.MO(), 8)[7]
+	if err := st2.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if !st2.MO().Relation(casestudy.DimDiagnosis).Has(extra.FactID, extra.Pairs[0].Value) {
+		t.Fatal("append after restore missing from relation")
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShallowSegmentVerification pins that snapshot-covered segments are
+// still integrity-checked at open: corruption under the snapshot is a
+// hard error, not silently skipped.
+func TestShallowSegmentVerification(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{})
+	recs := testRecords(t, st.MO(), 10)
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := loadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Segments) == 0 || man.Snapshot == nil || man.Snapshot.Seq < man.Segments[0].To {
+		t.Fatal("test setup: segment not covered by the snapshot")
+	}
+	flipByte(t, filepath.Join(dir, man.Segments[0].File), 60)
+
+	st2, err := Open(dir, base(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.Recover(context.Background(), testCtx()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("recovery over a corrupt covered segment: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSnapshotOrphanSweep pins that unreferenced .msnp files are crash
+// debris and removed at open.
+func TestSnapshotOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{})
+	recs := testRecords(t, st.MO(), 3)
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "snap-999999999999.msnp")
+	if err := os.WriteFile(orphan, []byte("debris"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := openRecovered(t, dir, Options{})
+	defer st2.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan snapshot survived open: %v", err)
+	}
+	man, _, err := loadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, man.Snapshot.File)); err != nil {
+		t.Fatalf("live snapshot swept: %v", err)
+	}
+}
+
+// TestAnnotationsSurviveSnapshot pins that non-Always annotations
+// (probability, bounded valid time) round-trip the snapshot path: the
+// restored engine must answer a context-sensitive query identically to a
+// rebuild, which only holds if every annotation decoded exactly.
+func TestAnnotationsSurviveSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{})
+	recs := testRecords(t, st.MO(), 15) // every third record: prob 0.9, bounded valid time
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, eng := openRecovered(t, dir, Options{})
+	assertEngineEqual(t, eng, rebuildReference(t, recs))
+	// Annotation-level check, beyond the aggregate differential: the
+	// restored relation must hold the probabilistic bounded-time annotation
+	// bit-for-bit.
+	m2 := base(t)
+	for _, rec := range recs {
+		if err := applyPairs(m2, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok1 := st2.MO().Relation(casestudy.DimDiagnosis).Annot(recs[1].FactID, recs[1].Pairs[0].Value)
+	ref, ok2 := m2.Relation(casestudy.DimDiagnosis).Annot(recs[1].FactID, recs[1].Pairs[0].Value)
+	if !ok1 || !ok2 || got.Prob != ref.Prob || !got.Time.Valid.Equal(ref.Time.Valid) || !got.Time.Trans.Equal(ref.Time.Trans) {
+		t.Fatalf("annotation did not survive: got %+v ok=%v, want %+v ok=%v", got, ok1, ref, ok2)
+	}
+}

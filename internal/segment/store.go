@@ -1,0 +1,812 @@
+package segment
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/fact"
+	"mddm/internal/faultinject"
+	"mddm/internal/storage"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Sync fsyncs the WAL after every append. Off, durability of the
+	// newest appends rides on the OS page cache (a machine crash may lose
+	// the tail; a process crash cannot), which is the right trade for
+	// bulk loads and benchmarks.
+	Sync bool
+	// MMap serves the column checkpoint via a read-only memory mapping
+	// instead of copying it onto the heap: kernels then scan the page
+	// cache directly. Mappings live until ReleaseMaps (or process exit) —
+	// see that method for the lifetime contract.
+	MMap bool
+	// FoldEvery folds the log into a new segment in the background once
+	// this many unfolded appends accumulate (0 = fold only on Close or
+	// explicit Fold calls).
+	FoldEvery int
+}
+
+// Store persists the append history of one MO on top of a deterministic
+// base. All methods are safe for concurrent use; Append serializes
+// writers while readers keep querying the engine lock-free.
+type Store struct {
+	dir    string
+	opts   Options
+	baseFP uint64
+
+	mu        sync.Mutex
+	man       *manifest
+	wal       *os.File
+	seq       uint64 // next append ordinal
+	tail      []FactAppend
+	mo        *core.MO
+	eng       *storage.Engine
+	ectx      dimension.Context
+	recovered bool
+	poisoned  bool // an injected or real mid-write fault; disk needs re-open recovery
+	closed    bool
+	maps      [][]byte
+
+	foldC chan struct{}
+	stopC chan struct{}
+	wg    sync.WaitGroup
+}
+
+var errClosed = errors.New("segment: store closed")
+
+// Open opens (or initializes) the store in dir for the given base MO.
+// The base must be exactly the data the store was created over — it is
+// fingerprinted (schema dimension names + sorted base fact ids) and a
+// mismatch is ErrBaseMismatch before anything is applied. Open repairs
+// crash damage that is repairable (torn WAL tail → truncate, orphaned
+// temp and unreferenced artifact files → delete) and rejects damage that
+// is not (corrupt manifest or WAL header, missing committed segments).
+// The returned store holds base and will mutate it during Recover and
+// Append; the caller must not mutate it independently.
+func Open(dir string, base *core.MO, opts Options) (*Store, error) {
+	if base == nil {
+		return nil, errors.New("segment: open: nil base MO")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:    dir,
+		opts:   opts,
+		baseFP: fingerprintMO(base),
+		mo:     base,
+		foldC:  make(chan struct{}, 1),
+		stopC:  make(chan struct{}),
+	}
+	man, ok, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		// A WAL without a manifest means the manifest was lost, not that
+		// the store is fresh — initializing would silently discard history.
+		if _, err := os.Stat(filepath.Join(dir, walName)); err == nil {
+			return nil, fmt.Errorf("%w: %s has a WAL but no manifest", ErrCorrupt, dir)
+		}
+		man = &manifest{
+			Version:   formatVersion,
+			BaseFP:    fmt.Sprintf("%016x", s.baseFP),
+			BaseFacts: base.Facts().Len(),
+		}
+		if err := saveManifest(dir, man); err != nil {
+			return nil, err
+		}
+	} else if man.BaseFP != fmt.Sprintf("%016x", s.baseFP) || man.BaseFacts != base.Facts().Len() {
+		return nil, fmt.Errorf("%w: store holds history of base %s (%d facts), caller provided %016x (%d facts)",
+			ErrBaseMismatch, man.BaseFP, man.BaseFacts, s.baseFP, base.Facts().Len())
+	}
+	s.man = man
+	if err := cleanOrphans(dir, man); err != nil {
+		return nil, err
+	}
+	if err := s.openWAL(); err != nil {
+		return nil, err
+	}
+	if opts.FoldEvery > 0 {
+		s.wg.Add(1)
+		go s.folder()
+	}
+	return s, nil
+}
+
+// cleanOrphans deletes temp files and segment/checkpoint files the
+// manifest does not name — leftovers of a crash mid-fold. Their records
+// are safe: the WAL only rotates after the manifest naming a segment is
+// durable, so an unnamed segment's range is still in the log.
+func cleanOrphans(dir string, man *manifest) error {
+	live := map[string]bool{manifestName: true, walName: true}
+	for _, se := range man.Segments {
+		live[se.File] = true
+	}
+	if man.Columns != nil {
+		live[man.Columns.File] = true
+	}
+	if man.Snapshot != nil {
+		live[man.Snapshot.File] = true
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || live[name] {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") || strings.HasSuffix(name, ".mseg") ||
+			strings.HasSuffix(name, ".mcol") || strings.HasSuffix(name, ".msnp") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// openWAL reads, validates, and repairs the log, leaving the handle
+// positioned for appends and the unfolded tail records staged for
+// Recover.
+func (s *Store) openWAL() error {
+	path := filepath.Join(s.dir, walName)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		b = encodeWALHeader(walHeader{baseFP: s.baseFP, startSeq: s.man.FoldedSeq})
+		if err := atomicWrite(s.dir, walName, b); err != nil {
+			return err
+		}
+	} else if err != nil {
+		return err
+	}
+	scan, err := scanWAL(b, s.baseFP)
+	if err != nil {
+		return err
+	}
+	if scan.header.startSeq > s.man.FoldedSeq {
+		return fmt.Errorf("%w: WAL starts at seq %d but only %d are folded — a log range is missing",
+			ErrCorrupt, scan.header.startSeq, s.man.FoldedSeq)
+	}
+	if scan.torn {
+		if err := os.Truncate(path, scan.good); err != nil {
+			return err
+		}
+		mRecoveryTruncations.Inc()
+	}
+	end := scan.header.startSeq + uint64(len(scan.recs))
+	if end < s.man.FoldedSeq {
+		// Rotation-crash remnant: every surviving record is already folded
+		// into a committed segment; the log contributes nothing.
+		end = s.man.FoldedSeq
+	}
+	s.seq = end
+	for _, rec := range scan.recs {
+		if rec.Seq >= s.man.FoldedSeq {
+			s.tail = append(s.tail, rec)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	s.wal = f
+	return nil
+}
+
+// Recover reconstructs the engine from disk. The fast path restores the
+// engine snapshot — the base MO absorbs every persisted pair in one
+// validated bulk load and the engine comes back with its fact order and
+// direct bitmaps intact, O(facts) instead of O(history replay) — then
+// applies only the records the snapshot postdates. Snapshot-covered
+// segments are still integrity-checked (magic, checksum, fingerprint,
+// range) without being decoded: they remain the source of truth, the
+// snapshot is acceleration. Without a usable snapshot (none written yet,
+// or rejected with a counter) recovery falls back to full replay: every
+// persisted record is applied through the same RelateAnnot path live
+// appends use and the engine is built over the result. The column
+// checkpoint installs only on the snapshot path — its codes are
+// positional over the fold-time engine order, which the snapshot carries
+// and verifies; BuildEngine's sorted order offers no such guarantee once
+// appended ids sort before base ids, so the fallback counts the
+// checkpoint rejected and rebuilds columns lazily. Idempotent: a second
+// call returns the same engine.
+func (s *Store) Recover(ctx context.Context, ectx dimension.Context) (*storage.Engine, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	if s.recovered {
+		return s.eng, nil
+	}
+	var (
+		eng     *storage.Engine
+		snapSeq uint64
+	)
+	if img := s.loadSnapshot(ectx); img != nil {
+		e, err := s.applySnapshot(img, ectx)
+		if err != nil {
+			return nil, err
+		}
+		eng, snapSeq = e, img.seq
+		mSnapshotRestores.Inc()
+	}
+	for _, se := range s.man.Segments {
+		if eng != nil && se.To <= snapSeq {
+			if err := verifySegmentShallow(filepath.Join(s.dir, se.File), s.baseFP, se); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.dir, se.File))
+		if err != nil {
+			return nil, err
+		}
+		from, to, recs, err := decodeSegment(b, s.baseFP)
+		if err != nil {
+			return nil, fmt.Errorf("segment %s: %w", se.File, err)
+		}
+		if from != se.From || to != se.To {
+			return nil, fmt.Errorf("%w: segment %s covers [%d, %d), manifest says [%d, %d)",
+				ErrCorrupt, se.File, from, to, se.From, se.To)
+		}
+		for _, rec := range recs {
+			if err := s.replayRecord(eng, rec, snapSeq); err != nil {
+				return nil, fmt.Errorf("replaying segment %s: %w", se.File, err)
+			}
+		}
+	}
+	for _, rec := range s.tail {
+		if err := s.replayRecord(eng, rec, snapSeq); err != nil {
+			return nil, fmt.Errorf("replaying log: %w", err)
+		}
+	}
+	if eng == nil {
+		e, err := storage.BuildEngine(ctx, s.mo, ectx)
+		if err != nil {
+			return nil, err
+		}
+		eng = e
+		if s.man.Columns != nil {
+			// See the doc comment: without the snapshot's verified fact
+			// order the checkpoint's positional codes cannot be trusted.
+			mCheckpointRejects.Inc()
+		}
+	} else {
+		s.installCheckpoint(eng, ectx)
+	}
+	s.eng, s.ectx = eng, ectx
+	s.recovered = true
+	s.tail = nil
+	mSegmentsOpen.Add(int64(len(s.man.Segments)))
+	s.updateBytes()
+	return eng, nil
+}
+
+// replayRecord applies one persisted record during recovery, skipping
+// records the snapshot already covers (their pairs and index entries
+// arrived with the restore). On the snapshot path the engine exists and
+// is maintained incrementally, the exact path live appends take.
+func (s *Store) replayRecord(eng *storage.Engine, rec FactAppend, snapSeq uint64) error {
+	if eng != nil && rec.Seq < snapSeq {
+		return nil
+	}
+	if err := applyPairs(s.mo, rec); err != nil {
+		return err
+	}
+	if eng != nil {
+		if err := eng.AppendFact(rec.FactID); err != nil {
+			return fmt.Errorf("%w: record %d: %v", ErrCorrupt, rec.Seq, err)
+		}
+	}
+	return nil
+}
+
+// loadSnapshot reads and fully validates the manifest's engine snapshot.
+// Every failure here is soft — counted, and recovery falls back to
+// replaying the history the snapshot merely accelerates. A nil return
+// with no counter just means no snapshot has been written yet.
+func (s *Store) loadSnapshot(ectx dimension.Context) *snapImage {
+	sn := s.man.Snapshot
+	if sn == nil {
+		return nil
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir, sn.File))
+	if err != nil {
+		mSnapshotRejects.Inc()
+		return nil
+	}
+	img, err := decodeSnapshot(b, s.baseFP, s.mo, ectx)
+	if err != nil {
+		mSnapshotRejects.Inc()
+		return nil
+	}
+	if img.seq != sn.Seq || len(img.facts) != sn.Facts || img.seq > s.man.FoldedSeq {
+		// The file disagrees with the commit record that named it, or
+		// claims records no segment holds.
+		mSnapshotRejects.Inc()
+		return nil
+	}
+	return img
+}
+
+// applySnapshot installs a validated snapshot: the relations replace the
+// base MO's wholesale (the base pairs are a subset of the snapshot's by
+// the decoder's coverage check), the appended facts join the fact set,
+// and the engine is restored over the persisted order and bitmaps.
+// decodeSnapshot validated everything against the live MO already, so a
+// failure here means the model mutated underneath us mid-recovery — and
+// since the MO is no longer the pristine base the replay fallback
+// requires, it is a hard ErrCorrupt, not a soft reject.
+func (s *Store) applySnapshot(img *snapImage, ectx dimension.Context) (*storage.Engine, error) {
+	s.mo.Facts().Grow(len(img.facts))
+	for _, f := range img.appended {
+		s.mo.AddFact(fact.NewFact(f))
+	}
+	for name, rel := range img.rels {
+		if err := s.mo.SetRelation(name, rel); err != nil {
+			return nil, fmt.Errorf("%w: snapshot relation %q: %v", ErrCorrupt, name, err)
+		}
+	}
+	eng, err := storage.RestoreEngine(s.mo, ectx, img.facts, img.direct)
+	if err != nil {
+		return nil, fmt.Errorf("%w: snapshot restore: %v", ErrCorrupt, err)
+	}
+	return eng, nil
+}
+
+// verifySegmentShallow integrity-checks a segment whose records the
+// snapshot already covers: magic, whole-file CRC-32C, format version,
+// base fingerprint, and the manifest's claimed range against the fixed
+// header offsets — everything but the record decode. Corruption of
+// committed history is a hard error even when its records are redundant;
+// the segments stay the durable source of truth the snapshot is audited
+// against.
+func verifySegmentShallow(path string, baseFP uint64, se segEntry) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) < 4+4+8+8+8+4 {
+		return fmt.Errorf("%w: segment %s truncated at %d bytes", ErrCorrupt, se.File, len(b))
+	}
+	if string(b[:4]) != segMagic {
+		return fmt.Errorf("%w: bad segment magic %q in %s", ErrCorrupt, b[:4], se.File)
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return fmt.Errorf("%w: segment %s checksum mismatch", ErrCorrupt, se.File)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != formatVersion {
+		return fmt.Errorf("%w: segment %s format version %d, want %d", ErrCorrupt, se.File, v, formatVersion)
+	}
+	if fp := binary.LittleEndian.Uint64(b[8:]); fp != baseFP {
+		return fmt.Errorf("%w: segment %s fingerprint %016x, base is %016x", ErrBaseMismatch, se.File, fp, baseFP)
+	}
+	from := binary.LittleEndian.Uint64(b[16:])
+	to := binary.LittleEndian.Uint64(b[24:])
+	if from != se.From || to != se.To {
+		return fmt.Errorf("%w: segment %s covers [%d, %d), manifest says [%d, %d)",
+			ErrCorrupt, se.File, from, to, se.From, se.To)
+	}
+	return nil
+}
+
+// applyPairs replays one record into the MO — the identical path
+// Append takes after logging, which is what makes load-after-crash
+// equivalent to rebuild-from-scratch by construction.
+func applyPairs(m *core.MO, rec FactAppend) error {
+	if m.Facts().Has(rec.FactID) {
+		return fmt.Errorf("%w: record %d re-appends fact %q", ErrCorrupt, rec.Seq, rec.FactID)
+	}
+	for _, p := range rec.Pairs {
+		if err := m.RelateAnnot(p.Dim, rec.FactID, p.Value, p.Annot); err != nil {
+			return fmt.Errorf("%w: record %d: %v", ErrCorrupt, rec.Seq, err)
+		}
+	}
+	return nil
+}
+
+// installCheckpoint best-effort installs the persisted columns into a
+// freshly built engine. Any failure — unreadable file, checksum, base or
+// context fingerprint drift, a column the engine rejects — counts a
+// rejection and leaves that column to be rebuilt from bitmaps.
+func (s *Store) installCheckpoint(eng *storage.Engine, ectx dimension.Context) {
+	ck := s.man.Columns
+	if ck == nil {
+		return
+	}
+	path := filepath.Join(s.dir, ck.File)
+	var b []byte
+	mapped := false
+	if s.opts.MMap {
+		if mb, err := mmapFile(path); err == nil && mb != nil {
+			b, mapped = mb, true
+		}
+	}
+	if b == nil {
+		rb, err := os.ReadFile(path)
+		if err != nil {
+			mCheckpointRejects.Inc()
+			return
+		}
+		b = rb
+	}
+	facts, _, cols, err := decodeCheckpoint(b, s.baseFP, fingerprintCtx(ectx), mapped)
+	if err != nil || facts > eng.NumFacts() {
+		mCheckpointRejects.Inc()
+		if mapped {
+			_ = munmap(b)
+		}
+		return
+	}
+	viewInstalled := false
+	for _, c := range cols {
+		if len(c.codes) != facts {
+			mCheckpointRejects.Inc()
+			continue
+		}
+		if err := eng.InstallColumn(c.dim, c.cat, c.vals, c.codes, c.over); err != nil {
+			mCheckpointRejects.Inc()
+			continue
+		}
+		viewInstalled = viewInstalled || mapped
+	}
+	if mapped && !viewInstalled {
+		_ = munmap(b)
+		mapped = false
+	}
+	if mapped {
+		s.maps = append(s.maps, b)
+	}
+}
+
+// Append durably logs one new fact and then applies it: validate first
+// (so a logged record can always replay), frame into the WAL, fsync when
+// Options.Sync, then mutate the MO and the engine. A crash after the
+// write and before the apply is exactly what recovery replays. The
+// record's Seq is assigned by the store; the caller's value is ignored.
+func (s *Store) Append(rec FactAppend) error {
+	_, err := s.AppendSeq(rec)
+	return err
+}
+
+// AppendSeq is Append returning the sequence number the record was
+// logged under — the durable acknowledgment an API can hand back to a
+// client.
+func (s *Store) AppendSeq(rec FactAppend) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errClosed
+	}
+	if s.poisoned {
+		return 0, errors.New("segment: store poisoned by a write fault; re-open to recover")
+	}
+	if !s.recovered {
+		return 0, errors.New("segment: store not recovered; call Recover before Append")
+	}
+	if err := s.validate(rec); err != nil {
+		return 0, err
+	}
+	rec.Seq = s.seq
+	frame := encodeFrame(encodeRecord(rec))
+	if err := faultinject.Check(faultinject.WALTear); err != nil {
+		// Simulate a crash mid-append: half a frame reaches the disk and
+		// this process stops. In-memory state is untouched — the record
+		// was never acknowledged.
+		_, _ = s.wal.Write(frame[:len(frame)/2])
+		_ = s.wal.Sync()
+		s.poisoned = true
+		return 0, fmt.Errorf("segment: wal append: %w", err)
+	}
+	if _, err := s.wal.Write(frame); err != nil {
+		s.poisoned = true
+		return 0, fmt.Errorf("segment: wal append: %w", err)
+	}
+	if s.opts.Sync {
+		if err := s.wal.Sync(); err != nil {
+			s.poisoned = true
+			return 0, fmt.Errorf("segment: wal fsync: %w", err)
+		}
+		mWALFsyncs.Inc()
+	}
+	mWALAppends.Inc()
+	mBytesWAL.Add(int64(len(frame)))
+	// The record is durable; the apply cannot fail validation again, so
+	// in-memory state and the log stay in lockstep.
+	if err := applyPairs(s.mo, rec); err != nil {
+		return 0, fmt.Errorf("segment: apply after log: %w", err)
+	}
+	if err := s.eng.AppendFact(rec.FactID); err != nil {
+		return 0, fmt.Errorf("segment: index after log: %w", err)
+	}
+	s.seq++
+	if s.opts.FoldEvery > 0 && s.seq-s.man.FoldedSeq >= uint64(s.opts.FoldEvery) {
+		select {
+		case s.foldC <- struct{}{}:
+		default:
+		}
+	}
+	return rec.Seq, nil
+}
+
+// validate rejects a record the replay path could not apply — the check
+// runs before the WAL write so the log never holds an unreplayable
+// record.
+func (s *Store) validate(rec FactAppend) error {
+	if rec.FactID == "" {
+		return errors.New("segment: append: empty fact id")
+	}
+	if s.mo.Facts().Has(rec.FactID) {
+		return fmt.Errorf("segment: append: fact %q already exists", rec.FactID)
+	}
+	if len(rec.Pairs) == 0 {
+		return fmt.Errorf("segment: append: fact %q has no characterizations", rec.FactID)
+	}
+	for _, p := range rec.Pairs {
+		d := s.mo.Dimension(p.Dim)
+		if d == nil {
+			return fmt.Errorf("segment: append: unknown dimension %q", p.Dim)
+		}
+		if !d.Has(p.Value) {
+			return fmt.Errorf("segment: append: dimension %q has no value %q", p.Dim, p.Value)
+		}
+	}
+	return nil
+}
+
+// Fold compacts the unfolded log tail into a new immutable segment,
+// snapshots the engine's columns into a fresh checkpoint, commits both
+// through the manifest, and rotates the WAL. Crash-safe at every step:
+// until the manifest rename lands the old commit is intact, and after it
+// lands a lost WAL rotation only leaves already-folded records that
+// replay dedups by sequence number.
+func (s *Store) Fold() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	return s.foldLocked()
+}
+
+func (s *Store) foldLocked() error {
+	if s.poisoned {
+		return errors.New("segment: store poisoned by a write fault; re-open to recover")
+	}
+	if !s.recovered {
+		return errors.New("segment: store not recovered; call Recover before Fold")
+	}
+	from, to := s.man.FoldedSeq, s.seq
+	if from == to {
+		return nil
+	}
+	// Fold what is durable, not what is resident: re-reading the log is
+	// the cheap way to guarantee segments never contain a record the WAL
+	// would not have replayed.
+	b, err := os.ReadFile(filepath.Join(s.dir, walName))
+	if err != nil {
+		return err
+	}
+	scan, err := scanWAL(b, s.baseFP)
+	if err != nil {
+		return err
+	}
+	if scan.torn {
+		return fmt.Errorf("%w: live WAL has a torn tail", ErrCorrupt)
+	}
+	recs := make([]FactAppend, 0, to-from)
+	for _, rec := range scan.recs {
+		if rec.Seq >= from {
+			recs = append(recs, rec)
+		}
+	}
+	if uint64(len(recs)) != to-from {
+		return fmt.Errorf("%w: WAL holds %d unfolded records, store expects %d", ErrCorrupt, len(recs), to-from)
+	}
+	segName := fmt.Sprintf("seg-%012d-%012d.mseg", from, to)
+	if err := s.writeArtifact(segName, encodeSegment(s.baseFP, from, to, recs)); err != nil {
+		return err
+	}
+	man2 := *s.man
+	man2.Segments = append(append([]segEntry(nil), s.man.Segments...), segEntry{File: segName, From: from, To: to})
+	man2.FoldedSeq = to
+	// The checkpoint and the engine snapshot refresh together or not at
+	// all — the checkpoint's positional codes are only installable against
+	// the fact order the paired snapshot carries, so the two must always
+	// come from the same fold. Skipping the refresh while the unfolded
+	// tail stays under a tenth of the engine keeps steady-state folds
+	// O(tail) instead of O(facts); the final flush always refreshes so a
+	// graceful shutdown leaves the fastest possible next open.
+	refresh := s.closed || s.man.Snapshot == nil || s.man.Columns == nil ||
+		(to-s.man.Snapshot.Seq)*10 >= uint64(s.eng.NumFacts())
+	var oldCol, oldSnap *ckEntry
+	if refresh {
+		ckName := fmt.Sprintf("col-%012d.mcol", to)
+		if err := s.writeArtifact(ckName, encodeCheckpoint(s.baseFP, fingerprintCtx(s.ectx), to, s.eng)); err != nil {
+			return err
+		}
+		snapName := fmt.Sprintf("snap-%012d.msnp", to)
+		if err := s.writeArtifact(snapName, encodeSnapshot(s.baseFP, to, s.mo, s.eng)); err != nil {
+			return err
+		}
+		man2.Columns = &ckEntry{File: ckName, Facts: s.eng.NumFacts(), Seq: to}
+		man2.Snapshot = &ckEntry{File: snapName, Facts: s.eng.NumFacts(), Seq: to}
+		oldCol, oldSnap = s.man.Columns, s.man.Snapshot
+	}
+	if err := saveManifest(s.dir, &man2); err != nil {
+		return err
+	}
+	s.man = &man2
+	if oldCol != nil && oldCol.File != man2.Columns.File {
+		_ = os.Remove(filepath.Join(s.dir, oldCol.File))
+	}
+	if oldSnap != nil && oldSnap.File != man2.Snapshot.File {
+		_ = os.Remove(filepath.Join(s.dir, oldSnap.File))
+	}
+	if err := s.rotateWAL(to); err != nil {
+		return err
+	}
+	mFolds.Inc()
+	mSegmentsOpen.Add(1)
+	s.updateBytes()
+	return nil
+}
+
+// writeArtifact atomically publishes an immutable artifact; the
+// SegmentWrite faultinject point instead leaves the partial temp file a
+// crash mid-fold would.
+func (s *Store) writeArtifact(name string, b []byte) error {
+	if err := faultinject.Check(faultinject.SegmentWrite); err != nil {
+		_ = os.WriteFile(filepath.Join(s.dir, name+".tmp"), b[:len(b)/2], 0o644)
+		s.poisoned = true
+		return fmt.Errorf("segment: writing %s: %w", name, err)
+	}
+	return atomicWrite(s.dir, name, b)
+}
+
+// rotateWAL replaces the log with an empty one starting at startSeq.
+// Losing this step to a crash is harmless: the stale log's records all
+// carry seqs below the committed folded_seq and replay skips them.
+func (s *Store) rotateWAL(startSeq uint64) error {
+	if err := atomicWrite(s.dir, walName, encodeWALHeader(walHeader{baseFP: s.baseFP, startSeq: startSeq})); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	old := s.wal
+	s.wal = f
+	return old.Close()
+}
+
+// folder is the background compaction loop; Append signals it when the
+// unfolded tail reaches Options.FoldEvery.
+func (s *Store) folder() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopC:
+			return
+		case <-s.foldC:
+			// A fold error is not actionable here; a poisoned store
+			// refuses further work and Close reports the final flush.
+			_ = s.Fold()
+		}
+	}
+}
+
+// Close stops the background folder, folds the remaining tail (the
+// graceful-shutdown flush), fsyncs, and closes the log. The recovered
+// engine stays valid — it owns only heap state plus any retained
+// mappings (see ReleaseMaps).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopC)
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.recovered && !s.poisoned {
+		err = s.foldLocked()
+	}
+	if s.wal != nil {
+		if serr := s.wal.Sync(); err == nil && serr != nil {
+			err = serr
+		}
+		if cerr := s.wal.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		s.wal = nil
+	}
+	if s.recovered {
+		mSegmentsOpen.Add(-int64(len(s.man.Segments)))
+	}
+	return err
+}
+
+// ReleaseMaps unmaps any mmap'd checkpoint the store retained. Column
+// views installed into the recovered engine alias these mappings, so
+// this must only be called once that engine is unreachable; a live
+// server simply never calls it and lets the mappings die with the
+// process.
+func (s *Store) ReleaseMaps() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.maps {
+		_ = munmap(m)
+	}
+	s.maps = nil
+}
+
+// Seq returns the next append ordinal (equivalently: how many records
+// the store has ever acknowledged).
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Engine returns the recovered engine (nil before Recover).
+func (s *Store) Engine() *storage.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng
+}
+
+// MO returns the recovered model — the base plus every replayed and
+// appended record. It is owned by the store: mutate it only through
+// Append, or replay determinism is gone.
+func (s *Store) MO() *core.MO {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mo
+}
+
+// updateBytes refreshes the size gauges from the live artifact set.
+func (s *Store) updateBytes() {
+	var segB, colB, snapB, walB int64
+	for _, se := range s.man.Segments {
+		if st, err := os.Stat(filepath.Join(s.dir, se.File)); err == nil {
+			segB += st.Size()
+		}
+	}
+	if s.man.Columns != nil {
+		if st, err := os.Stat(filepath.Join(s.dir, s.man.Columns.File)); err == nil {
+			colB = st.Size()
+		}
+	}
+	if s.man.Snapshot != nil {
+		if st, err := os.Stat(filepath.Join(s.dir, s.man.Snapshot.File)); err == nil {
+			snapB = st.Size()
+		}
+	}
+	if st, err := os.Stat(filepath.Join(s.dir, walName)); err == nil {
+		walB = st.Size()
+	}
+	mBytesSegments.Set(segB)
+	mBytesColumns.Set(colB)
+	mBytesSnapshot.Set(snapB)
+	mBytesWAL.Set(walB)
+}

@@ -1,0 +1,828 @@
+package segment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/faultinject"
+	"mddm/internal/storage"
+	"mddm/internal/temporal"
+)
+
+var testRef = func() temporal.Chronon {
+	c, err := temporal.ParseDate("01/01/1999")
+	if err != nil {
+		panic(err)
+	}
+	return c
+}()
+
+func testCtx() dimension.Context { return dimension.CurrentContext(testRef) }
+
+// base rebuilds the deterministic base MO every open starts from —
+// exactly what a restarted process would re-derive.
+func base(t testing.TB) *core.MO {
+	t.Helper()
+	m, err := casestudy.BuildPatientMO(casestudy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// testRecords derives n valid append records from the base dimensions:
+// a low-level diagnosis, a residence area, and an age per fact, with
+// every third record carrying a probabilistic valid-time annotation and
+// every other third a second diagnosis (many-to-many → colMulti
+// coverage in the columns).
+func testRecords(t testing.TB, m *core.MO, n int) []FactAppend {
+	t.Helper()
+	lows := m.Dimension(casestudy.DimDiagnosis).CategoryAt(casestudy.CatLowLevel, testCtx())
+	areas := m.Dimension(casestudy.DimResidence).CategoryAt(casestudy.CatArea, testCtx())
+	ages := m.Dimension(casestudy.DimAge).CategoryAt(casestudy.CatAge, testCtx())
+	if len(lows) == 0 || len(areas) == 0 || len(ages) == 0 {
+		t.Fatalf("base dimensions unexpectedly empty: %d lows, %d areas, %d ages", len(lows), len(areas), len(ages))
+	}
+	recs := make([]FactAppend, n)
+	for i := range recs {
+		pairs := []Pair{
+			{Dim: casestudy.DimDiagnosis, Value: lows[i%len(lows)], Annot: dimension.Always()},
+			{Dim: casestudy.DimResidence, Value: areas[i%len(areas)], Annot: dimension.Always()},
+			{Dim: casestudy.DimAge, Value: ages[i%len(ages)], Annot: dimension.Always()},
+		}
+		switch i % 3 {
+		case 1:
+			pairs[0].Annot = dimension.Annot{
+				Time: temporal.Bitemporal{Valid: temporal.Single(0, 20000), Trans: temporal.AlwaysElement()},
+				Prob: 0.9,
+			}
+		case 2:
+			pairs = append(pairs, Pair{
+				Dim: casestudy.DimDiagnosis, Value: lows[(i+7)%len(lows)], Annot: dimension.Always(),
+			})
+		}
+		recs[i] = FactAppend{FactID: fmt.Sprintf("newpat%04d", i), Pairs: pairs}
+	}
+	return recs
+}
+
+// rebuildReference is the from-scratch path every recovery must match:
+// apply the records to a fresh base, build, warm.
+func rebuildReference(t testing.TB, recs []FactAppend) *storage.Engine {
+	t.Helper()
+	m := base(t)
+	for _, rec := range recs {
+		if err := applyPairs(m, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := storage.BuildEngine(context.Background(), m, testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+var testCats = [][2]string{
+	{casestudy.DimDiagnosis, casestudy.CatLowLevel},
+	{casestudy.DimDiagnosis, casestudy.CatFamily},
+	{casestudy.DimDiagnosis, casestudy.CatGroup},
+	{casestudy.DimResidence, casestudy.CatArea},
+	{casestudy.DimResidence, casestudy.CatCounty},
+	{casestudy.DimResidence, casestudy.CatRegion},
+	{casestudy.DimAge, casestudy.CatAge},
+}
+
+// assertEngineEqual is the recovery differential: distinct counts over
+// every category of the case study plus an age SUM must match the
+// rebuilt reference exactly. Ages are integer-valued, so the sums are
+// exact regardless of fact order.
+func assertEngineEqual(t *testing.T, got, want *storage.Engine) {
+	t.Helper()
+	if g, w := got.NumFacts(), want.NumFacts(); g != w {
+		t.Fatalf("recovered engine has %d facts, reference has %d", g, w)
+	}
+	ctx := context.Background()
+	for _, dc := range testCats {
+		g, err := got.CountDistinctByContext(ctx, dc[0], dc[1])
+		if err != nil {
+			t.Fatalf("recovered count %s/%s: %v", dc[0], dc[1], err)
+		}
+		w, err := want.CountDistinctByContext(ctx, dc[0], dc[1])
+		if err != nil {
+			t.Fatalf("reference count %s/%s: %v", dc[0], dc[1], err)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("count %s/%s diverges:\nrecovered %v\nreference %v", dc[0], dc[1], g, w)
+		}
+	}
+	g, err := got.SumByContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimAge)
+	if err != nil {
+		t.Fatalf("recovered sum: %v", err)
+	}
+	w, err := want.SumByContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup, casestudy.DimAge)
+	if err != nil {
+		t.Fatalf("reference sum: %v", err)
+	}
+	if !reflect.DeepEqual(g, w) {
+		t.Errorf("age sum by diagnosis group diverges:\nrecovered %v\nreference %v", g, w)
+	}
+}
+
+// openRecovered opens dir over a fresh base and recovers the engine.
+func openRecovered(t *testing.T, dir string, opts Options) (*Store, *storage.Engine) {
+	t.Helper()
+	st, err := Open(dir, base(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	eng, err := st.Recover(context.Background(), testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, eng
+}
+
+// TestSegmentStoreRecoverEquivalence is the recovery matrix: whatever
+// mix of folded segments and unfolded log tail a shutdown (clean or
+// crash) leaves behind, load-after-crash must equal
+// rebuild-from-scratch.
+func TestSegmentStoreRecoverEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(t *testing.T, st *Store, recs []FactAppend)
+	}{
+		{"unfolded-tail", func(t *testing.T, st *Store, recs []FactAppend) {
+			for _, rec := range recs {
+				if err := st.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// No Close: the process "crashes" with everything in the WAL.
+		}},
+		{"segments-plus-tail", func(t *testing.T, st *Store, recs []FactAppend) {
+			for i, rec := range recs {
+				if err := st.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+				if i == len(recs)/2 {
+					if err := st.Fold(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"clean-shutdown", func(t *testing.T, st *Store, recs []FactAppend) {
+			for _, rec := range recs {
+				if err := st.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, eng := openRecovered(t, dir, Options{})
+			if err := eng.WarmColumns(context.Background(), 2); err != nil {
+				t.Fatal(err)
+			}
+			recs := testRecords(t, st.mo, 40)
+			sc.run(t, st, recs)
+
+			_, got := openRecovered(t, dir, Options{})
+			assertEngineEqual(t, got, rebuildReference(t, recs))
+		})
+	}
+}
+
+// TestSegmentAppendAfterRecover proves a recovered store keeps
+// accepting appends and stays durable through another cycle.
+func TestSegmentAppendAfterRecover(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{})
+	recs := testRecords(t, st.mo, 30)
+	for _, rec := range recs[:20] {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := openRecovered(t, dir, Options{Sync: true})
+	if got, want := st2.Seq(), uint64(20); got != want {
+		t.Fatalf("recovered seq %d, want %d", got, want)
+	}
+	for _, rec := range recs[20:] {
+		if err := st2.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, got := openRecovered(t, dir, Options{})
+	assertEngineEqual(t, got, rebuildReference(t, recs))
+}
+
+func TestSegmentAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{})
+	recs := testRecords(t, st.mo, 2)
+	good := recs[0]
+	cases := []struct {
+		name string
+		rec  FactAppend
+	}{
+		{"empty-id", FactAppend{Pairs: good.Pairs}},
+		{"no-pairs", FactAppend{FactID: "lonely"}},
+		{"unknown-dim", FactAppend{FactID: "x1", Pairs: []Pair{{Dim: "Nope", Value: "v"}}}},
+		{"unknown-value", FactAppend{FactID: "x1", Pairs: []Pair{{Dim: casestudy.DimDiagnosis, Value: "no-such-diagnosis"}}}},
+	}
+	for _, c := range cases {
+		if err := st.Append(c.rec); err == nil {
+			t.Errorf("%s: append accepted invalid record", c.name)
+		}
+	}
+	if err := st.Append(good); err != nil {
+		t.Fatalf("append after rejections: %v", err)
+	}
+	if err := st.Append(good); err == nil {
+		t.Error("duplicate fact id accepted")
+	}
+	// Rejections must not have logged anything unreplayable.
+	if err := st.Append(recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, got := openRecovered(t, dir, Options{})
+	assertEngineEqual(t, got, rebuildReference(t, recs))
+}
+
+// TestWALTornTailTruncated injures the log the way a crash mid-write
+// does — a frame header with only part of its payload — and checks the
+// opener truncates exactly back to the acknowledged prefix.
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{Sync: true})
+	recs := testRecords(t, st.mo, 10)
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulated crash: a torn frame lands after the 10 good ones.
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := encodeFrame(encodeRecord(FactAppend{Seq: 10, FactID: "torn", Pairs: recs[0].Pairs}))
+	if _, err := f.Write(torn[:len(torn)-3]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	before := mRecoveryTruncations.Value()
+	_, got := openRecovered(t, dir, Options{})
+	if mRecoveryTruncations.Value() != before+1 {
+		t.Errorf("truncation counter did not advance")
+	}
+	assertEngineEqual(t, got, rebuildReference(t, recs))
+}
+
+// TestWALTearFaultPoint drives the same scenario through the
+// faultinject point: the append reports failure, in-memory state is
+// untouched, and a re-open recovers everything acknowledged before the
+// tear.
+func TestWALTearFaultPoint(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	st, eng := openRecovered(t, dir, Options{})
+	recs := testRecords(t, st.mo, 8)
+	for _, rec := range recs[:7] {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultinject.Enable(faultinject.WALTear, nil)
+	if err := st.Append(recs[7]); err == nil {
+		t.Fatal("append during WAL tear reported success")
+	}
+	faultinject.Reset()
+	if got, want := eng.NumFacts(), rebuildReference(t, recs[:7]).NumFacts(); got != want {
+		t.Fatalf("torn append mutated the engine: %d facts, want %d", got, want)
+	}
+	if err := st.Append(recs[7]); err == nil {
+		t.Fatal("poisoned store accepted another append")
+	}
+
+	before := mRecoveryTruncations.Value()
+	_, got := openRecovered(t, dir, Options{})
+	if mRecoveryTruncations.Value() != before+1 {
+		t.Errorf("truncation counter did not advance")
+	}
+	assertEngineEqual(t, got, rebuildReference(t, recs[:7]))
+}
+
+// TestSegmentPartialWriteFaultPoint crashes a fold mid-segment-write:
+// the orphaned temp file must be swept at the next open and every
+// record must still recover from the log.
+func TestSegmentPartialWriteFaultPoint(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{})
+	recs := testRecords(t, st.mo, 12)
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultinject.Enable(faultinject.SegmentWrite, nil)
+	if err := st.Fold(); err == nil {
+		t.Fatal("fold during injected segment-write fault reported success")
+	}
+	faultinject.Reset()
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) == 0 {
+		t.Fatal("injected fold crash left no partial temp file")
+	}
+
+	_, got := openRecovered(t, dir, Options{})
+	tmps, _ = filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) != 0 {
+		t.Errorf("open left orphan temp files behind: %v", tmps)
+	}
+	assertEngineEqual(t, got, rebuildReference(t, recs))
+}
+
+// TestSegmentChecksumHardError corrupts a committed segment: the source
+// of truth for its range is gone, so recovery must refuse loudly rather
+// than serve wrong results.
+func TestSegmentChecksumHardError(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{})
+	for _, rec := range testRecords(t, st.mo, 10) {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*.mseg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("expected one segment file, got %v (%v)", segs, err)
+	}
+	flipByte(t, segs[0], 60)
+
+	st2, err := Open(dir, base(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.Recover(context.Background(), testCtx()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("recover over corrupt segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestChecksumFaultPoint arms the checksum point past the segment read
+// so it fires on the checkpoint: recovery must succeed anyway, with the
+// columns rebuilt instead of installed.
+func TestChecksumFaultPoint(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	recs := writeFoldedStoreWithColumns(t, dir)
+
+	before := mCheckpointRejects.Value()
+	faultinject.EnableAfter(faultinject.ChecksumMismatch, nil, 1)
+	_, got := openRecovered(t, dir, Options{})
+	faultinject.Reset()
+	if got.HasColumn(casestudy.DimDiagnosis, casestudy.CatLowLevel) {
+		t.Error("checkpoint installed despite checksum fault")
+	}
+	if mCheckpointRejects.Value() == before {
+		t.Error("checkpoint reject counter did not advance")
+	}
+	assertEngineEqual(t, got, rebuildReference(t, recs))
+}
+
+// TestCheckpointCorruptionSoft flips a byte in the column checkpoint:
+// unlike a segment this is a derived cache, so recovery proceeds and
+// rebuilds columns.
+func TestCheckpointCorruptionSoft(t *testing.T) {
+	dir := t.TempDir()
+	recs := writeFoldedStoreWithColumns(t, dir)
+	cols, err := filepath.Glob(filepath.Join(dir, "*.mcol"))
+	if err != nil || len(cols) != 1 {
+		t.Fatalf("expected one checkpoint file, got %v (%v)", cols, err)
+	}
+	flipByte(t, cols[0], 200)
+
+	before := mCheckpointRejects.Value()
+	_, got := openRecovered(t, dir, Options{})
+	if got.HasColumn(casestudy.DimDiagnosis, casestudy.CatLowLevel) {
+		t.Error("corrupt checkpoint was installed")
+	}
+	if mCheckpointRejects.Value() == before {
+		t.Error("checkpoint reject counter did not advance")
+	}
+	assertEngineEqual(t, got, rebuildReference(t, recs))
+}
+
+// TestCheckpointContextDrift reopens a folded store under a different
+// reference date: the persisted columns were computed under the old
+// context and must be rejected, while the replayed records (which are
+// context-independent) still recover correctly under the new one.
+func TestCheckpointContextDrift(t *testing.T) {
+	dir := t.TempDir()
+	recs := writeFoldedStoreWithColumns(t, dir)
+
+	drifted := dimension.CurrentContext(testRef + 500)
+	st, err := Open(dir, base(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, err := st.Recover(context.Background(), drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasColumn(casestudy.DimDiagnosis, casestudy.CatLowLevel) {
+		t.Error("checkpoint from a different context was installed")
+	}
+
+	m := base(t)
+	for _, rec := range recs {
+		if err := applyPairs(m, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := storage.BuildEngine(context.Background(), m, drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, dc := range testCats {
+		g, err1 := got.CountDistinctByContext(ctx, dc[0], dc[1])
+		w, err2 := want.CountDistinctByContext(ctx, dc[0], dc[1])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("count %s/%s: %v / %v", dc[0], dc[1], err1, err2)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("count %s/%s diverges under drifted context", dc[0], dc[1])
+		}
+	}
+}
+
+// TestCheckpointInstalledAndMMapParity recovers a folded store twice —
+// once copying the checkpoint onto the heap, once mmap'ing it — and
+// requires the column kernels to agree with each other, with the
+// closure-bitmap path, and to survive an append (the mmap'd views are
+// handed over with len == cap, so growth reallocates instead of writing
+// the read-only pages).
+func TestCheckpointInstalledAndMMapParity(t *testing.T) {
+	dir := t.TempDir()
+	recs := writeFoldedStoreWithColumns(t, dir)
+	ctx := context.Background()
+
+	stRAM, engRAM := openRecovered(t, dir, Options{})
+	stMap, engMap := openRecovered(t, dir, Options{MMap: true})
+	for _, eng := range []*storage.Engine{engRAM, engMap} {
+		if !eng.HasColumn(casestudy.DimDiagnosis, casestudy.CatLowLevel) {
+			t.Fatal("checkpoint columns were not installed")
+		}
+	}
+	_ = stRAM
+	for _, dc := range testCats {
+		ram, err1 := engRAM.CountByColumn(ctx, dc[0], dc[1])
+		mm, err2 := engMap.CountByColumn(ctx, dc[0], dc[1])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("column count %s/%s: %v / %v", dc[0], dc[1], err1, err2)
+		}
+		if ram != nil && !reflect.DeepEqual(ram, mm) {
+			t.Errorf("kernel over mmap diverges from in-RAM at %s/%s", dc[0], dc[1])
+		}
+	}
+	assertEngineEqual(t, engMap, rebuildReference(t, recs))
+
+	// Appending through the mmap-backed engine must reallocate, not
+	// write the mapping.
+	extra := testRecords(t, stMap.mo, len(recs)+1)[len(recs)]
+	if err := stMap.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	after, err := engMap.CountByColumn(ctx, casestudy.DimDiagnosis, casestudy.CatLowLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == nil {
+		t.Fatal("column vanished after append")
+	}
+	if err := stMap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	engMap = nil
+	stMap.ReleaseMaps()
+}
+
+func TestBaseMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, Options{})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := casestudy.MustGenerate(func() casestudy.GenConfig {
+		cfg := casestudy.DefaultGen()
+		cfg.Patients = 20
+		return cfg
+	}())
+	if _, err := Open(dir, other, Options{}); !errors.Is(err, ErrBaseMismatch) {
+		t.Fatalf("open with a different base: err = %v, want ErrBaseMismatch", err)
+	}
+}
+
+func TestOpenRejectsWALWithoutManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walName), []byte("MWALgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, base(t), Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with orphan WAL: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSegmentBackgroundFolder exercises the FoldEvery path: appends
+// trigger folds without explicit calls, and recovery still matches.
+func TestSegmentBackgroundFolder(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, base(t), Options{FoldEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Recover(context.Background(), testCtx()); err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(t, st.mo, 30)
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, ok, err := loadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest after folds: %v ok=%v", err, ok)
+	}
+	if man.FoldedSeq != 30 || len(man.Segments) == 0 {
+		t.Fatalf("expected everything folded, got folded_seq=%d segments=%d", man.FoldedSeq, len(man.Segments))
+	}
+	_, got := openRecovered(t, dir, Options{})
+	assertEngineEqual(t, got, rebuildReference(t, recs))
+}
+
+// TestSegmentAppendRaceWithQueries races appends (with background
+// folding) against queries on the recovered engine — the store-level
+// version of the storage package's append/query race tests.
+func TestSegmentAppendRaceWithQueries(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, base(t), Options{FoldEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng, err := st.Recover(context.Background(), testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.WarmColumns(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(t, st.mo, 40)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, rec := range recs {
+			if err := st.Append(rec); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 20; i++ {
+				if _, err := eng.CountDistinctByContext(ctx, casestudy.DimDiagnosis, casestudy.CatGroup); err != nil {
+					t.Errorf("query during appends: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got := openRecovered(t, dir, Options{})
+	assertEngineEqual(t, got, rebuildReference(t, recs))
+}
+
+// TestDecodeCorruptionSweep flips every byte of each artifact image in
+// turn: the whole-file checksums must catch every flip with a typed
+// error — no panic, no silent acceptance.
+func TestDecodeCorruptionSweep(t *testing.T) {
+	m := base(t)
+	recs := testRecords(t, m, 6)
+	for i := range recs {
+		recs[i].Seq = uint64(i)
+	}
+	seg := encodeSegment(0xabcd, 0, 6, recs)
+	for i := range seg {
+		mut := append([]byte(nil), seg...)
+		mut[i] ^= 0x40
+		if _, _, _, err := decodeSegment(mut, 0xabcd); err == nil {
+			t.Fatalf("segment byte flip at %d went undetected", i)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBaseMismatch) {
+			t.Fatalf("segment byte flip at %d: untyped error %v", i, err)
+		}
+	}
+
+	eng, err := storage.BuildEngine(context.Background(), m, testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.WarmColumns(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ck := encodeCheckpoint(0xabcd, 0x1234, 0, eng)
+	for i := 0; i < len(ck); i += 3 {
+		mut := append([]byte(nil), ck...)
+		mut[i] ^= 0x40
+		if _, _, _, err := decodeCheckpoint(mut, 0xabcd, 0x1234, false); err == nil {
+			t.Fatalf("checkpoint byte flip at %d went undetected", i)
+		}
+	}
+
+	fp := fingerprintMO(m)
+	snap := encodeSnapshot(fp, 0, m, eng)
+	for i := 0; i < len(snap); i += 3 {
+		mut := append([]byte(nil), snap...)
+		mut[i] ^= 0x40
+		if _, err := decodeSnapshot(mut, fp, m, testCtx()); err == nil {
+			t.Fatalf("snapshot byte flip at %d went undetected", i)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBaseMismatch) {
+			t.Fatalf("snapshot byte flip at %d: untyped error %v", i, err)
+		}
+	}
+
+	wal := encodeWALHeader(walHeader{baseFP: 0xabcd, startSeq: 0})
+	for _, rec := range recs {
+		wal = append(wal, encodeFrame(encodeRecord(rec))...)
+	}
+	for i := range wal {
+		mut := append([]byte(nil), wal...)
+		mut[i] ^= 0x40
+		scan, err := scanWAL(mut, 0xabcd)
+		if i < walHeaderSize {
+			if err == nil {
+				t.Fatalf("WAL header byte flip at %d went undetected", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("WAL body byte flip at %d: unexpected hard error %v", i, err)
+		}
+		if !scan.torn || len(scan.recs) >= len(recs) {
+			t.Fatalf("WAL body byte flip at %d: not detected as torn (%d recs)", i, len(scan.recs))
+		}
+	}
+}
+
+// writeFoldedStoreWithColumns builds a store whose single fold produced
+// a checkpoint with warmed columns, then closes it cleanly.
+func writeFoldedStoreWithColumns(t *testing.T, dir string) []FactAppend {
+	t.Helper()
+	st, err := Open(dir, base(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := st.Recover(context.Background(), testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.WarmColumns(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(t, st.mo, 15)
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func flipByte(t *testing.T, path string, off int) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off >= len(b) {
+		off = len(b) / 2
+	}
+	b[off] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreLifecycleErrors pins the misuse surface: appends and folds
+// before Recover, everything after Close, and double Close.
+func TestStoreLifecycleErrors(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, base(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(FactAppend{FactID: "x", Pairs: []Pair{{Dim: casestudy.DimDiagnosis, Value: "whatever"}}}); err == nil {
+		t.Error("append before Recover accepted")
+	}
+	if err := st.Fold(); err == nil {
+		t.Error("fold before Recover accepted")
+	}
+	if st.Engine() != nil {
+		t.Error("engine non-nil before Recover")
+	}
+	if _, err := st.Recover(context.Background(), testCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine() == nil {
+		t.Error("engine nil after Recover")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if err := st.Append(FactAppend{}); !errors.Is(err, errClosed) {
+		t.Errorf("append after close: %v", err)
+	}
+	if _, err := st.Recover(context.Background(), testCtx()); !errors.Is(err, errClosed) {
+		t.Errorf("recover after close: %v", err)
+	}
+	if err := st.Fold(); !errors.Is(err, errClosed) {
+		t.Errorf("fold after close: %v", err)
+	}
+}
+
+// TestManifestValidation rejects gap and version damage in the commit
+// record.
+func TestManifestValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(s string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("{not json")
+	if _, _, err := loadManifest(dir); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad json: %v", err)
+	}
+	write(`{"version": 99}`)
+	if _, _, err := loadManifest(dir); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad version: %v", err)
+	}
+	write(`{"version": 1, "folded_seq": 10, "segments": [{"file":"a","from":0,"to":4}]}`)
+	if _, _, err := loadManifest(dir); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("segment gap: %v", err)
+	}
+	write(`{"version": 1, "folded_seq": 4, "segments": [{"file":"a","from":0,"to":4}]}`)
+	if _, ok, err := loadManifest(dir); err != nil || !ok {
+		t.Errorf("valid manifest rejected: %v", err)
+	}
+	if !strings.Contains(dir, string(os.PathSeparator)) {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,18 @@
+package segment
+
+import "unsafe"
+
+// viewUint32 reinterprets raw little-endian code bytes as a []uint32
+// without copying — the zero-copy path kernels take over an mmap'd
+// checkpoint. Callers guard with nativeLittle and aligned4; the file
+// format 8-byte-aligns every codes array so the guard holds on any
+// page-aligned mapping.
+func viewUint32(raw []byte, n int) []uint32 {
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&raw[0])), n)
+}
+
+// aligned4 reports whether the slice's backing data is 4-byte aligned,
+// the requirement for viewing it as []uint32.
+func aligned4(b []byte) bool {
+	return len(b) > 0 && uintptr(unsafe.Pointer(&b[0]))%4 == 0
+}

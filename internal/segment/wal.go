@@ -1,0 +1,134 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The write-ahead log is the durability point of every append: a fixed
+// header followed by length-prefixed, CRC-framed record payloads. The
+// protocol is strictly append-only — a crash can only ever damage the
+// final frame, and the opener detects that torn tail (short frame,
+// over-long length, checksum or decode failure, sequence gap) and
+// truncates the file back to the last intact frame. Anything before the
+// tear was acknowledged durable and is never dropped; anything after it
+// was never acknowledged and is never half-applied.
+//
+//	header:  "MWAL" | version u32 | baseFP u64 | startSeq u64 | crc32c u32
+//	frame:   len u32 | crc32c(payload) u32 | payload (encodeRecord)
+//
+// startSeq is the sequence number of the first frame; frame i carries
+// seq startSeq+i, so replay can dedup against the folded prefix after a
+// crash between folding and log rotation.
+
+const (
+	walMagic      = "MWAL"
+	walHeaderSize = 4 + 4 + 8 + 8 + 4
+	frameHeader   = 4 + 4
+)
+
+type walHeader struct {
+	baseFP   uint64
+	startSeq uint64
+}
+
+func encodeWALHeader(h walHeader) []byte {
+	e := &enc{}
+	e.b = append(e.b, walMagic...)
+	e.u32(formatVersion)
+	e.u64(h.baseFP)
+	e.u64(h.startSeq)
+	e.u32(crc32.Checksum(e.b, castagnoli))
+	return e.b
+}
+
+func decodeWALHeader(b []byte) (walHeader, error) {
+	if len(b) < walHeaderSize {
+		return walHeader{}, fmt.Errorf("%w: WAL header truncated at %d bytes", ErrCorrupt, len(b))
+	}
+	if string(b[:4]) != walMagic {
+		return walHeader{}, fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, b[:4])
+	}
+	sum := binary.LittleEndian.Uint32(b[walHeaderSize-4:])
+	if crc32.Checksum(b[:walHeaderSize-4], castagnoli) != sum {
+		return walHeader{}, fmt.Errorf("%w: WAL header checksum mismatch", ErrCorrupt)
+	}
+	d := &dec{b: b[4:walHeaderSize]}
+	ver, _ := d.u32()
+	if ver != formatVersion {
+		return walHeader{}, fmt.Errorf("%w: WAL format version %d, want %d", ErrCorrupt, ver, formatVersion)
+	}
+	var h walHeader
+	h.baseFP, _ = d.u64()
+	h.startSeq, _ = d.u64()
+	return h, nil
+}
+
+// encodeFrame wraps one record payload in the WAL framing.
+func encodeFrame(payload []byte) []byte {
+	e := &enc{b: make([]byte, 0, frameHeader+len(payload))}
+	e.u32(uint32(len(payload)))
+	e.u32(crc32.Checksum(payload, castagnoli))
+	e.b = append(e.b, payload...)
+	return e.b
+}
+
+// walScan is the result of scanning a WAL file: the intact records in
+// order, and where the intact prefix ends. torn is true when the file
+// holds bytes past good — the signature of a crash mid-append.
+type walScan struct {
+	header walHeader
+	recs   []FactAppend
+	good   int64 // byte offset just past the last intact frame
+	torn   bool
+}
+
+// scanWAL walks the frames of a WAL image. A damaged frame — short,
+// over-long, failing its checksum, undecodable, or breaking the
+// startSeq+i sequence contract — ends the scan: everything before it is
+// intact, everything from it on is a torn tail for the caller to
+// truncate. Only a damaged header is a hard error: with the header gone
+// there is no intact prefix to stand on.
+func scanWAL(b []byte, baseFP uint64) (walScan, error) {
+	h, err := decodeWALHeader(b)
+	if err != nil {
+		return walScan{}, err
+	}
+	if h.baseFP != baseFP {
+		return walScan{}, fmt.Errorf("%w: WAL fingerprint %016x, base is %016x", ErrBaseMismatch, h.baseFP, baseFP)
+	}
+	s := walScan{header: h, good: walHeaderSize}
+	off := int64(walHeaderSize)
+	for off < int64(len(b)) {
+		rest := b[off:]
+		if len(rest) < frameHeader {
+			s.torn = true
+			break
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if n > maxRecord || int64(len(rest)) < frameHeader+int64(n) {
+			s.torn = true
+			break
+		}
+		payload := rest[frameHeader : frameHeader+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			s.torn = true
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			s.torn = true
+			break
+		}
+		if rec.Seq != h.startSeq+uint64(len(s.recs)) {
+			s.torn = true
+			break
+		}
+		s.recs = append(s.recs, rec)
+		off += frameHeader + int64(n)
+		s.good = off
+	}
+	return s, nil
+}

@@ -55,6 +55,10 @@ type errorResponse struct {
 //	                      X-Mddm-Cache: hit|miss (bypass for &nocache=1, stale
 //	                      plus X-Mddm-Degraded: stale-on-shed for a degraded
 //	                      answer served under overload)
+//	POST     /append       durably append a fact to an MO with an attached
+//	                      persistent store (segment.Store): the record is
+//	                      WAL-logged before it becomes visible, and the
+//	                      response carries its append sequence number
 //	GET      /healthz     liveness probe
 //
 // Every response carries X-Mddm-Request-Id (the client's own id is
@@ -74,6 +78,7 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/append", s.handleAppend)
 	return withRequestID(mux)
 }
 

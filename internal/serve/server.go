@@ -18,6 +18,7 @@ import (
 	"mddm/internal/obs"
 	"mddm/internal/qos"
 	"mddm/internal/query"
+	"mddm/internal/segment"
 	"mddm/internal/storage"
 	"mddm/internal/temporal"
 )
@@ -32,6 +33,10 @@ type Server struct {
 
 	mu      sync.Mutex
 	engines map[string]*engineEntry
+	// stores maps MO names to their attached persistent stores (see
+	// persist.go); appends route through them so they are durably logged
+	// before touching serving state.
+	stores map[string]*segment.Store
 
 	activeMu sync.Mutex
 	active   map[uint64]*activeQuery

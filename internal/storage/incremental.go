@@ -70,7 +70,12 @@ func (e *Engine) AppendFact(factID string) error {
 			bm.Set(i)
 			// Propagate into the memoized closures of the value itself and
 			// of its ancestors (walked once; only existing closures are
-			// touched).
+			// touched). A cold dimension — no closure memoized yet, the
+			// normal state during segment replay at startup — skips the
+			// ancestor walk entirely.
+			if len(di.closure) == 0 {
+				continue
+			}
 			if cbm, ok := di.closure[v]; ok {
 				cbm.grow(n)
 				cbm.Set(i)

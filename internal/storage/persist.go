@@ -1,0 +1,256 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+)
+
+// This file is the persistence seam of the engine: it exports the built
+// characterization columns in a stable, validated interchange form and
+// installs persisted columns back into a freshly loaded engine. The
+// on-disk format itself lives in internal/segment; storage only promises
+// that ColumnData → InstallColumn round-trips to an engine whose kernels
+// answer bit-identically to one that built its columns from the closure
+// bitmaps. Installation is defensive — persisted artifacts are untrusted
+// input (a checksum match does not prove semantic fit against the live
+// MO), so every invariant the kernels rely on is re-checked and a
+// mismatch is a typed rejection, never a panic or a silently wrong
+// column.
+
+// OverflowEntry is one (fact, value-id) overflow pair of a persisted
+// characterization column: Fact is the dense fact index, Vid the
+// dictionary index. The overflow table is sorted by (Fact, Vid).
+type OverflowEntry struct {
+	Fact int
+	Vid  uint32
+}
+
+// ErrBadColumn reports persisted column data that does not fit the live
+// engine (dictionary drift, out-of-range codes, unsorted or dangling
+// overflow entries). Callers treat the artifact as invalid and fall back
+// to building columns from the closure bitmaps.
+var ErrBadColumn = errors.New("storage: persisted column rejected")
+
+// ColSentinelNone and ColSentinelMulti are the persisted code sentinels,
+// re-exported so the on-disk format and its fuzzers can name them.
+const (
+	ColSentinelNone  = colNone
+	ColSentinelMulti = colMulti
+)
+
+// ExportFacts returns a copy of the engine's dense fact order — the
+// positional frame of reference every persisted column and bitmap uses.
+func (e *Engine) ExportFacts() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.facts...)
+}
+
+// RestoreEngine builds an engine from a persisted dense fact order and
+// per-dimension direct bitmaps, skipping BuildEngine's full pair scan.
+// The caller (the segment package's snapshot restore) guarantees the
+// bitmaps were derived by admitting each persisted pair under ectx —
+// exactly the filter BuildEngine applies — so a restored engine answers
+// every query identically to a rebuilt one. What restore re-checks here
+// is positional integrity: facts must exactly cover the MO's fact set
+// with no duplicates (a permuted or partial order would silently
+// misattribute every bitmap bit), and every bitmap dimension must exist
+// in the schema. facts and dims are retained; the caller must not
+// mutate them afterwards.
+func RestoreEngine(m *core.MO, ectx dimension.Context, facts []string, perDim map[string]map[string]*Bitmap) (*Engine, error) {
+	if m.Facts().Len() != len(facts) {
+		return nil, fmt.Errorf("storage: restore: %d facts provided, MO holds %d", len(facts), m.Facts().Len())
+	}
+	e := &Engine{
+		mo:    m,
+		ctx:   ectx,
+		facts: facts,
+		idx:   make(map[string]int, len(facts)),
+		dims:  map[string]*dimIndex{},
+	}
+	for i, f := range facts {
+		if _, dup := e.idx[f]; dup {
+			return nil, fmt.Errorf("storage: restore: duplicate fact %q", f)
+		}
+		if !m.Facts().Has(f) {
+			return nil, fmt.Errorf("storage: restore: fact %q not in the MO", f)
+		}
+		e.idx[f] = i
+	}
+	names := m.Schema().DimensionNames()
+	known := make(map[string]bool, len(names))
+	for _, name := range names {
+		known[name] = true
+	}
+	for name := range perDim {
+		if !known[name] {
+			return nil, fmt.Errorf("storage: restore: bitmaps for unknown dimension %q", name)
+		}
+	}
+	for _, name := range names {
+		direct := perDim[name]
+		if direct == nil {
+			direct = map[string]*Bitmap{}
+		}
+		e.dims[name] = &dimIndex{direct: direct, closure: map[string]*Bitmap{}}
+	}
+	e.bumpEpoch()
+	mEngineBuilds.Inc()
+	return e, nil
+}
+
+// BuiltColumns lists the (dimension, category) pairs with a built
+// characterization column, sorted, regardless of the selection threshold.
+func (e *Engine) BuiltColumns() [][2]string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([][2]string, 0, len(e.cols))
+	for _, col := range e.cols {
+		out = append(out, [2]string{col.dim, col.cat})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// ColumnData exports the built column of (dim, cat) in interchange form:
+// the dictionary in CategoryAt order, the dense codes (including the
+// colNone/colMulti sentinels), and the sorted overflow side-table. The
+// returned slices are copies owned by the caller. ok is false when no
+// column is built.
+func (e *Engine) ColumnData(dim, cat string) (vals []string, codes []uint32, over []OverflowEntry, ok bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	col := e.cols[colKey(dim, cat)]
+	if col == nil {
+		return nil, nil, nil, false
+	}
+	vals = append([]string(nil), col.vals...)
+	codes = append([]uint32(nil), col.codes...)
+	over = make([]OverflowEntry, len(col.over))
+	for i, p := range col.over {
+		over[i] = OverflowEntry{Fact: p.fact, Vid: p.vid}
+	}
+	return vals, codes, over, true
+}
+
+// InstallColumn installs a persisted characterization column, validating
+// it against the live engine first: the dictionary must be exactly the
+// category's CategoryAt order (dictionary drift would silently relabel
+// every group), codes must be in-range or sentinels, and the overflow
+// table must be sorted by (fact, vid) with every entry belonging to a
+// colMulti fact and every colMulti fact owning at least two entries —
+// the invariants the single-pass kernels assume. codes may cover a
+// prefix of the engine's facts (a checkpoint older than the log tail);
+// the remaining facts are appended through the same maintenance path
+// AppendFact uses, so an installed column is element-for-element
+// identical to a rebuilt one. Installing over an already built column is
+// a no-op (the built one is already correct). Violations return
+// ErrBadColumn-wrapped errors and leave the engine untouched.
+//
+// codes and over are retained by the engine; callers must not mutate
+// them afterwards. They may be views over read-only storage (an mmap'd
+// segment): the engine only ever appends to them, and an append copies
+// to fresh memory because the views are handed over with len == cap.
+func (e *Engine) InstallColumn(dim, cat string, vals []string, codes []uint32, over []OverflowEntry) error {
+	d := e.mo.Dimension(dim)
+	if d == nil {
+		return fmt.Errorf("%w: unknown dimension %q", ErrBadColumn, dim)
+	}
+	want := d.CategoryAt(cat, e.ctx)
+	if len(want) != len(vals) {
+		return fmt.Errorf("%w: %s/%s dictionary has %d values, category has %d",
+			ErrBadColumn, dim, cat, len(vals), len(want))
+	}
+	for i, v := range want {
+		if vals[i] != v {
+			return fmt.Errorf("%w: %s/%s dictionary drift at %d: %q != %q",
+				ErrBadColumn, dim, cat, i, vals[i], v)
+		}
+	}
+	if uint64(len(vals)) >= uint64(colMulti) {
+		return fmt.Errorf("%w: %s/%s: %d values exceed the uint32 dictionary", ErrBadColumn, dim, cat, len(vals))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(codes) > len(e.facts) {
+		return fmt.Errorf("%w: %s/%s covers %d facts, engine has %d",
+			ErrBadColumn, dim, cat, len(codes), len(e.facts))
+	}
+	nv := uint32(len(vals))
+	oc := 0
+	for i, c := range codes {
+		switch {
+		case c == colNone:
+		case c == colMulti:
+			// Every colMulti fact must own a sorted run of ≥2 in-range
+			// overflow entries; the cursor walk also rejects entries for
+			// non-multi facts (they would be skipped here and caught below).
+			run := 0
+			var prev uint32
+			for oc < len(over) && over[oc].Fact == i {
+				en := over[oc]
+				if en.Vid >= nv {
+					return fmt.Errorf("%w: %s/%s overflow vid %d out of range at fact %d",
+						ErrBadColumn, dim, cat, en.Vid, i)
+				}
+				if run > 0 && en.Vid <= prev {
+					return fmt.Errorf("%w: %s/%s overflow not sorted at fact %d", ErrBadColumn, dim, cat, i)
+				}
+				prev = en.Vid
+				run++
+				oc++
+			}
+			if run < 2 {
+				return fmt.Errorf("%w: %s/%s fact %d is colMulti with %d overflow entries",
+					ErrBadColumn, dim, cat, i, run)
+			}
+		case c >= nv:
+			return fmt.Errorf("%w: %s/%s code %d out of range at fact %d", ErrBadColumn, dim, cat, c, i)
+		}
+		if oc < len(over) && over[oc].Fact <= i {
+			return fmt.Errorf("%w: %s/%s overflow entry for non-multi or out-of-order fact %d",
+				ErrBadColumn, dim, cat, over[oc].Fact)
+		}
+	}
+	if oc != len(over) {
+		return fmt.Errorf("%w: %s/%s has %d dangling overflow entries", ErrBadColumn, dim, cat, len(over)-oc)
+	}
+	if e.cols == nil {
+		e.cols = map[string]*column{}
+	}
+	if e.cols[colKey(dim, cat)] != nil {
+		return nil
+	}
+	col := &column{
+		dim:   dim,
+		cat:   cat,
+		vals:  append([]string(nil), vals...),
+		vid:   make(map[string]uint32, len(vals)),
+		codes: codes[:len(codes):len(codes)],
+	}
+	for j, v := range col.vals {
+		col.vid[v] = uint32(j)
+	}
+	col.over = make([]overPair, len(over))
+	for i, p := range over {
+		col.over[i] = overPair{fact: p.Fact, vid: p.Vid}
+	}
+	// Extend to the engine's current facts through the same maintenance
+	// path AppendFact uses, so a checkpoint older than the log tail still
+	// yields a column identical to a rebuilt one.
+	for i := len(codes); i < len(e.facts); i++ {
+		e.appendToColumn(col, e.facts[i], i)
+	}
+	e.cols[colKey(dim, cat)] = col
+	mColumnBuilds.Inc()
+	return nil
+}
