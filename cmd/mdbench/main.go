@@ -17,6 +17,8 @@
 //	mdbench -exp B13  # column kernel vs bitmap over category cardinality
 //	mdbench -exp B14  # result cache hit vs recompute
 //	mdbench -exp B15  # overload resilience: admitted p99 + shed latency at 1×/2×/4× load
+//	mdbench -exp B16  # persistent segment storage: append, recovery, checkpoint
+//	mdbench -exp B17  # columnar planner vs full algebra (differential oracle asserted)
 //	mdbench -all
 //
 // With -json, every measurement is also written to BENCH_<exp>.json in the
@@ -25,6 +27,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -45,6 +48,7 @@ import (
 	"mddm/internal/dimension"
 	"mddm/internal/exec"
 	"mddm/internal/obs"
+	"mddm/internal/plan"
 	"mddm/internal/query"
 	"mddm/internal/segment"
 	"mddm/internal/serve"
@@ -78,9 +82,9 @@ type benchRow struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B16; B8 runs under go test -bench=WideMO)")
+	exp := flag.String("exp", "", "experiment id (B1..B17; B8 runs under go test -bench=WideMO)")
 	all := flag.Bool("all", false, "run every experiment")
-	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B14 and B16")
+	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B14, B16 and B17")
 	jsonOut = flag.Bool("json", false, "also write BENCH_<exp>.json with one row per measurement")
 	flag.Parse()
 	if !*all && *exp == "" {
@@ -111,6 +115,7 @@ func main() {
 	run("B14", func() { b14(*nFacts) })
 	run("B15", b15)
 	run("B16", func() { b16(*nFacts) })
+	run("B17", func() { b17(*nFacts) })
 }
 
 // flushJSON writes the experiment's recorded rows to BENCH_<id>.json when
@@ -1268,5 +1273,99 @@ func timed(fn func()) time.Duration {
 			return el / time.Duration(iters)
 		}
 		iters *= 2
+	}
+}
+
+// b17 — columnar planner vs full algebra, with the differential oracle
+// asserted before any timing: the planned result must be bit-identical
+// (JSON bytes) to the algebra result at parallelism degrees 1–8 on every
+// timed query shape. The planner's point is skipping the materialized
+// result MO; the oracle proves the skip loses nothing.
+func b17(nFacts int) {
+	fmt.Printf("B17: columnar planner vs full algebra (%d facts, 1000 low-level values)\n", nFacts)
+	bg := context.Background()
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = nFacts
+	cfg.NonStrict = false
+	cfg.Churn = false
+	cfg.LowLevel = 1000 // the B13/B14 workload
+	m := casestudy.MustGenerate(cfg)
+	cat := query.Catalog{"patients": m}
+	engines := plan.NewCatalogEngines(cat, ref)
+	eng, err := engines.EngineFor(bg, "patients")
+	if err != nil {
+		fatal(err)
+	}
+	// Warm the grouping column so the planned path times the column
+	// kernel (the bitmap kernel is the same contract, just slower).
+	if err := eng.BuildColumn(bg, casestudy.DimDiagnosis, casestudy.CatGroup); err != nil {
+		fatal(err)
+	}
+
+	const q = `SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group"`
+	const qWhere = `SELECT SETCOUNT(*) AS N FROM patients WHERE Residence = 'R0' GROUP BY Diagnosis."Diagnosis Group"`
+	const qSum = `SELECT SUM(Age) AS S FROM patients GROUP BY Residence."Region"`
+
+	verify := func(src string) {
+		base, err := query.Exec(src, cat, ref)
+		if err != nil {
+			fatal(err)
+		}
+		want, err := json.Marshal(base)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range []int{1, 2, 4, 8} {
+			c := bg
+			if d > 1 {
+				c = exec.WithParallelism(bg, d)
+			}
+			res, err := plan.ExecContext(c, src, cat, ref, engines)
+			if err != nil {
+				fatal(err)
+			}
+			got, err := json.Marshal(res)
+			if err != nil {
+				fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				fatal(fmt.Errorf("B17: planned result at degree %d diverged from the algebra for %s:\n planned: %s\n algebra: %s", d, src, got, want))
+			}
+		}
+	}
+	for _, src := range []string{q, qWhere, qSum} {
+		verify(src)
+	}
+	fmt.Println("differential oracle: planned ≡ algebra (bit-identical JSON) at degrees 1/2/4/8 on all timed shapes")
+
+	tAlgebra := measure("algebra-uncached", nFacts, func() {
+		if _, err := query.Exec(q, cat, ref); err != nil {
+			fatal(err)
+		}
+	})
+	tPlanned := measure("planner-uncached", nFacts, func() {
+		if _, err := plan.ExecContext(bg, q, cat, ref, engines); err != nil {
+			fatal(err)
+		}
+	})
+	tWhere := measure("planner-where", nFacts, func() {
+		if _, err := plan.ExecContext(bg, qWhere, cat, ref, engines); err != nil {
+			fatal(err)
+		}
+	})
+	tSum := measure("planner-sum", nFacts, func() {
+		if _, err := plan.ExecContext(bg, qSum, cat, ref, engines); err != nil {
+			fatal(err)
+		}
+	})
+	speedup := float64(tAlgebra) / float64(tPlanned)
+	benchRows = append(benchRows, benchRow{Exp: curExp, Op: "speedup-planner-vs-algebra", N: nFacts, Value: speedup})
+	fmt.Printf("%22s %14v\n", "algebra-uncached/op", tAlgebra)
+	fmt.Printf("%22s %14v\n", "planner-uncached/op", tPlanned)
+	fmt.Printf("%22s %14v\n", "planner-where/op", tWhere)
+	fmt.Printf("%22s %14v\n", "planner-sum/op", tSum)
+	fmt.Printf("%22s %13.1fx\n", "speedup", speedup)
+	if nFacts >= 100000 && speedup < 100 {
+		fatal(fmt.Errorf("B17: planner speedup %.1fx below the 100x acceptance floor at %d facts", speedup, nFacts))
 	}
 }

@@ -61,6 +61,7 @@ func main() {
 	tenantRPS := flag.Float64("tenant-rps", 0, "per-tenant admissions per second (0 disables tenant quotas; tenant from X-Mddm-Tenant or ?tenant=)")
 	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant quota burst (0 = 2× -tenant-rps)")
 	staleOnShed := flag.Duration("stale-on-shed", 0, "serve a result-cache entry this stale (with a warning) instead of shedding a query under overload (0 disables; needs -result-cache)")
+	planner := flag.Bool("planner", false, "execute queries through the columnar planner (late materialization; ?plan=1 shows the chosen plan)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "drain window on SIGINT/SIGTERM")
 	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus text format) and GET /debug/queries")
 	selfcheck := flag.Bool("selfcheck", false, "start on a loopback port, run one query through HTTP, and exit")
@@ -87,6 +88,7 @@ func main() {
 		ColumnMinValues:  *columns,
 		ResultCacheBytes: *resultCache,
 		StaleOnShed:      *staleOnShed,
+		Planner:          *planner,
 		Admission: admission.Config{
 			MaxConcurrency: *admit,
 			MinConcurrency: *admitFloor,

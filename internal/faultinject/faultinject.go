@@ -34,6 +34,11 @@ const (
 	// QueryExec fires at the start of serve.(*Server).Query, inside the
 	// panic-isolation scope.
 	QueryExec Point = "query-exec"
+	// PlanExec fires in the columnar planner (internal/plan) after a
+	// query has been admitted to the planned path, just before the plan
+	// executor runs — arming it proves the planner surfaces injected
+	// failures instead of silently falling back to the algebra.
+	PlanExec Point = "plan-exec"
 	// PartitionWorker fires inside every partition worker of the parallel
 	// execution engine (internal/exec), once per claimed task — arming it
 	// with EnablePanic makes exactly the worker-panic containment path

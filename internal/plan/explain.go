@@ -1,0 +1,63 @@
+package plan
+
+import "context"
+
+// Explain mode and shape labels.
+const (
+	ModePlanned  = "planned"
+	ModeFallback = "fallback"
+
+	ShapeFacts       = "facts"
+	ShapeGlobal      = "global"
+	ShapeKernelCount = "kernel-count"
+	ShapeKernelSum   = "kernel-sum"
+	ShapeGroupFold   = "group-fold"
+	ShapeCross       = "cross"
+)
+
+// Fallback reasons — the operators that need full MO semantics, plus the
+// defensive engine conditions. The set is closed so the per-reason
+// fallback counters can be registered up front.
+const (
+	ReasonDescribe          = "describe"
+	ReasonMinProb           = "min-prob"
+	ReasonTimeslice         = "timeslice"
+	ReasonProbabilistic     = "probabilistic"
+	ReasonHolistic          = "holistic"
+	ReasonEngineUnavailable = "engine-unavailable"
+	ReasonContextMismatch   = "context-mismatch"
+)
+
+// Explain describes how one query was executed; it is filled in when the
+// caller installed a sink with WithExplain (the `?plan=1` HTTP output).
+type Explain struct {
+	// Mode is "planned" (columnar execution) or "fallback" (full algebra).
+	Mode string `json:"mode"`
+	// Reason names the fallback trigger; empty when planned.
+	Reason string `json:"reason,omitempty"`
+	// Shape is the physical plan shape of a planned query: "facts",
+	// "global", "kernel-count", "kernel-sum", "group-fold", or "cross".
+	Shape string `json:"shape,omitempty"`
+	// Kernel reports which grouping kernel ran ("column" or "bitmap") for
+	// shapes that dispatch on the cost heuristic.
+	Kernel string `json:"kernel,omitempty"`
+	// Degree is the context-carried parallelism degree (0: unset).
+	Degree int `json:"degree,omitempty"`
+	// Groups counts the result rows before HAVING/ORDER/LIMIT.
+	Groups int `json:"groups,omitempty"`
+}
+
+type explainKey struct{}
+
+// WithExplain installs an explain sink into the context and returns it;
+// the planner fills the sink while executing.
+func WithExplain(ctx context.Context) (context.Context, *Explain) {
+	ex := &Explain{}
+	return context.WithValue(ctx, explainKey{}, ex), ex
+}
+
+// explainFrom returns the context's explain sink, or nil.
+func explainFrom(ctx context.Context) *Explain {
+	ex, _ := ctx.Value(explainKey{}).(*Explain)
+	return ex
+}

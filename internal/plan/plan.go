@@ -1,0 +1,264 @@
+// Package plan is the columnar query planner: it lowers a parsed query to
+// a physical plan over the storage engine's kernels and bitmap indexes —
+// selection becomes bitmap algebra, grouping becomes per-value closure
+// folds, aggregation becomes flat column folds — and materializes nothing
+// but the surviving result rows. The full-algebra path (internal/query →
+// internal/algebra), which builds a complete result MO per the paper's
+// aggregate-formation operator, remains the semantic oracle: every
+// operator the planner cannot express columnar (probabilistic functions,
+// temporal timeslices, holistic aggregates, probability thresholds)
+// falls back to it, and every planned result is differentially tested
+// against it (see plan_test.go), mirroring how column ≡ bitmap ≡
+// index-free is pinned per-kernel in internal/storage.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"mddm/internal/agg"
+	"mddm/internal/core"
+	"mddm/internal/dimension"
+	"mddm/internal/exec"
+	"mddm/internal/faultinject"
+	"mddm/internal/obs"
+	"mddm/internal/qos"
+	"mddm/internal/query"
+	"mddm/internal/storage"
+	"mddm/internal/temporal"
+)
+
+// Engines resolves the read-optimized engine snapshot for a catalog MO.
+// serve.(*Server) satisfies it directly; standalone callers use
+// CatalogEngines.
+type Engines interface {
+	EngineFor(ctx context.Context, name string) (*storage.Engine, error)
+}
+
+// ExecContext parses and executes a query through the planner, falling
+// back to the algebra path (query.RunContext) for operators that need MO
+// semantics. It is a drop-in replacement for query.ExecContext: same
+// results, same error texts for every validation error, same result-cache
+// canonical key (planning happens after cache keying).
+func ExecContext(cctx context.Context, src string, cat query.Catalog, ref temporal.Chronon, engines Engines) (*query.Result, error) {
+	start := time.Now()
+	sp := obs.StartSpan(cctx, "plan.query")
+	defer func() {
+		mPlanSeconds.Observe(time.Since(start))
+		sp.End()
+	}()
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return RunContext(cctx, q, cat, ref, engines)
+}
+
+// RunContext executes a parsed query through the planner; see ExecContext.
+func RunContext(cctx context.Context, q *query.Query, cat query.Catalog, ref temporal.Chronon, engines Engines) (*query.Result, error) {
+	ex := explainFrom(cctx)
+	guard := qos.NewGuard(cctx)
+	if err := guard.CheckNow(); err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	// Operators that need MO semantics route to the algebra before any
+	// planning work; see docs/PLANNER.md for the fallback matrix.
+	if q.Describe != "" {
+		return fallback(cctx, q, cat, ref, ex, ReasonDescribe)
+	}
+	if q.MinProb > 0 {
+		return fallback(cctx, q, cat, ref, ex, ReasonMinProb)
+	}
+	if q.AsofValid != nil || q.AsofTrans != nil {
+		return fallback(cctx, q, cat, ref, ex, ReasonTimeslice)
+	}
+	if !q.FactsOnly {
+		// A resolvable aggregate decides its path here; an unknown name
+		// stays on the planned path so the lookup error surfaces in the
+		// same order the algebra path reports it (after WHERE compilation).
+		if fn, err := agg.Lookup(q.Agg); err == nil {
+			if fn.NeedsProb {
+				return fallback(cctx, q, cat, ref, ex, ReasonProbabilistic)
+			}
+			if fn.NewState == nil {
+				return fallback(cctx, q, cat, ref, ex, ReasonHolistic)
+			}
+		}
+	}
+	if _, ok := cat[q.From]; !ok {
+		return nil, fmt.Errorf("query: unknown MO %q (catalog has %v)", q.From, query.CatalogNames(cat))
+	}
+	eng, err := engines.EngineFor(cctx, q.From)
+	if err != nil {
+		return fallback(cctx, q, cat, ref, ex, ReasonEngineUnavailable)
+	}
+	ectx := dimension.CurrentContext(ref)
+	if ec := eng.Context(); ec.Valid != nil || ec.Trans != nil || ec.MinProb != 0 || ec.Ref != ectx.Ref {
+		// The engine was built under a different evaluation context than
+		// this query's; its closures would answer a different question.
+		return fallback(cctx, q, cat, ref, ex, ReasonContextMismatch)
+	}
+	// The engine's MO is the authoritative pairing: reading names through
+	// it keeps dimension metadata and bitmap indexes from one snapshot
+	// even if the catalog entry was swapped after the engine resolved.
+	m := eng.MO()
+
+	var sel *storage.Bitmap
+	if q.Where != nil {
+		sel, err = compileWhere(cctx, q.Where, m, eng, ectx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := faultinject.Check(faultinject.PlanExec); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	mPlanPlanned.Inc()
+	if ex != nil {
+		ex.Mode = ModePlanned
+		ex.Degree = exec.DegreeFrom(cctx)
+	}
+
+	if q.FactsOnly {
+		return execFacts(guard, eng, m, sel, ex)
+	}
+
+	fn, err := agg.Lookup(q.Agg)
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	resultDim := q.Alias
+	if resultDim == "" {
+		resultDim = q.Agg
+	}
+	argDim := ""
+	if fn.NeedsArg {
+		if q.AggArg == "*" {
+			return nil, fmt.Errorf("query: %s needs an argument dimension", q.Agg)
+		}
+		argDim = q.AggArg
+	} else if q.AggArg != "*" {
+		return nil, fmt.Errorf("query: %s takes no argument dimension (use %s(*))", q.Agg, q.Agg)
+	}
+	groupBy := map[string]string{}
+	var shownDims []string
+	for _, g := range q.GroupBy {
+		dt := m.Schema().DimensionType(g.Dim)
+		if dt == nil {
+			return nil, fmt.Errorf("query: unknown dimension %q", g.Dim)
+		}
+		c := g.Cat
+		if c == "" {
+			c = dt.Bottom()
+		}
+		if !dt.Has(c) {
+			return nil, fmt.Errorf("query: dimension %q has no category %q (has %v)", g.Dim, c, dt.CategoryTypes())
+		}
+		groupBy[g.Dim] = c
+		shownDims = append(shownDims, g.Dim)
+	}
+	// Aggregate-formation validations, replicated in the algebra's order
+	// and wrapping so error texts match the fallback path byte-for-byte.
+	if m.Schema().DimensionType(resultDim) != nil {
+		return nil, fmt.Errorf("query: algebra: aggregate: result dimension %q collides with an argument dimension", resultDim)
+	}
+	var argDims []string
+	if argDim != "" {
+		if m.Schema().DimensionType(argDim) == nil {
+			return nil, fmt.Errorf("query: algebra: aggregate: unknown argument dimension %q", argDim)
+		}
+		argDims = []string{argDim}
+	}
+	if err := agg.CheckLegal(m, fn, argDims); err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	report := checkSummarizable(eng, m, fn, groupBy, ectx, sel)
+
+	grouped := groupedDims(m, groupBy)
+	var rows [][]string
+	switch {
+	case len(grouped) == 0:
+		if ex != nil {
+			ex.Shape = ShapeGlobal
+		}
+		rows, err = execGlobal(guard, eng, fn, argDim, sel)
+	case len(grouped) == 1:
+		rows, err = execOneDim(cctx, eng, fn, grouped[0], argDim, sel, ex)
+	default:
+		if ex != nil {
+			ex.Shape = ShapeCross
+		}
+		rows, err = execCross(cctx, guard, eng, fn, grouped, argDim, sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sortRows(rows)
+	if len(rows) == 0 {
+		rows = nil // the algebra path leaves empty row sets nil
+	}
+	res := &query.Result{
+		Columns:      append(append([]string{}, shownDims...), resultDim),
+		Rows:         rows,
+		Summarizable: report.Summarizable,
+		Reasons:      report.Reasons,
+	}
+	if ex != nil {
+		ex.Groups = len(rows)
+	}
+	if err := query.ApplyHaving(q, res); err != nil {
+		return nil, err
+	}
+	if err := query.OrderAndLimit(q, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// fallback delegates the query to the full algebra path, recording why.
+func fallback(cctx context.Context, q *query.Query, cat query.Catalog, ref temporal.Chronon, ex *Explain, reason string) (*query.Result, error) {
+	mPlanFallback.Inc()
+	if c := mFallbacks[reason]; c != nil {
+		c.Inc()
+	}
+	if ex != nil {
+		ex.Mode = ModeFallback
+		ex.Reason = reason
+	}
+	return query.RunContext(cctx, q, cat, ref)
+}
+
+// groupDim is one effective grouping leg: a dimension grouped below ⊤.
+type groupDim struct {
+	dim string
+	cat string
+}
+
+// groupedDims lists the effective grouping legs in schema order — the
+// same order the algebra's row flattening shows them, with ⊤-grouped
+// dimensions dropped.
+func groupedDims(m *core.MO, groupBy map[string]string) []groupDim {
+	var out []groupDim
+	for _, n := range m.Schema().DimensionNames() {
+		if c, ok := groupBy[n]; ok && c != dimension.TopName {
+			out = append(out, groupDim{dim: n, cat: c})
+		}
+	}
+	return out
+}
+
+// sortRows orders flattened rows by group values then aggregate value —
+// the canonical order the algebra's SQL flattening produces.
+func sortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

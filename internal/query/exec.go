@@ -86,7 +86,7 @@ func RunContext(cctx context.Context, q *Query, cat Catalog, ref temporal.Chrono
 	}
 	m, ok := cat[q.From]
 	if !ok {
-		return nil, fmt.Errorf("query: unknown MO %q (catalog has %v)", q.From, catalogNames(cat))
+		return nil, fmt.Errorf("query: unknown MO %q (catalog has %v)", q.From, CatalogNames(cat))
 	}
 	ctx := dimension.CurrentContext(ref).WithMinProb(q.MinProb)
 
@@ -177,31 +177,44 @@ func RunContext(cctx context.Context, q *Query, cat Catalog, ref temporal.Chrono
 	for _, r := range rows {
 		res.Rows = append(res.Rows, append(append([]string{}, r.Group...), r.Value))
 	}
-	if q.Having {
-		op, err := cmpOp(q.HavingOp)
-		if err != nil {
-			return nil, err
-		}
-		col := len(res.Columns) - 1
-		kept := res.Rows[:0]
-		for _, row := range res.Rows {
-			v, err := strconv.ParseFloat(row[col], 64)
-			if err == nil && op.Holds(v, q.HavingVal) {
-				kept = append(kept, row)
-			}
-		}
-		res.Rows = kept
+	if err := ApplyHaving(q, res); err != nil {
+		return nil, err
 	}
-	if err := orderAndLimit(q, res); err != nil {
+	if err := OrderAndLimit(q, res); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// orderAndLimit applies ORDER BY and LIMIT to the flattened rows. Values
+// ApplyHaving filters the flattened rows by the HAVING clause, comparing
+// the last (aggregate) column numerically; rows whose aggregate does not
+// parse as a number are dropped. Exported so the planned execution path
+// post-processes rows exactly like the algebra path.
+func ApplyHaving(q *Query, res *Result) error {
+	if !q.Having {
+		return nil
+	}
+	op, err := CmpOp(q.HavingOp)
+	if err != nil {
+		return err
+	}
+	col := len(res.Columns) - 1
+	kept := res.Rows[:0]
+	for _, row := range res.Rows {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err == nil && op.Holds(v, q.HavingVal) {
+			kept = append(kept, row)
+		}
+	}
+	res.Rows = kept
+	return nil
+}
+
+// OrderAndLimit applies ORDER BY and LIMIT to the flattened rows. Values
 // that parse as numbers sort numerically, others lexicographically (the
-// aggregate column is almost always numeric).
-func orderAndLimit(q *Query, res *Result) error {
+// aggregate column is almost always numeric). Exported for the planned
+// execution path.
+func OrderAndLimit(q *Query, res *Result) error {
 	if q.OrderBy != "" {
 		col := -1
 		for i, c := range res.Columns {
@@ -303,7 +316,7 @@ func compileCond(c CondNode, m *core.MO) (algebra.Predicate, error) {
 		return nil, fmt.Errorf("query: unknown dimension %q", c.Dim)
 	}
 	if c.IsNum {
-		op, err := cmpOp(c.Op)
+		op, err := CmpOp(c.Op)
 		if err != nil {
 			return nil, err
 		}
@@ -343,7 +356,9 @@ func resolveValuePred(c CondNode, d *dimension.Dimension) (algebra.Predicate, er
 	return algebra.Or(preds...), nil
 }
 
-func cmpOp(s string) (algebra.CmpOp, error) {
+// CmpOp resolves a comparison operator literal to its algebra CmpOp;
+// exported so the planner compiles WHERE/HAVING operators identically.
+func CmpOp(s string) (algebra.CmpOp, error) {
 	switch s {
 	case "=":
 		return algebra.EQ, nil
@@ -367,7 +382,7 @@ func cmpOp(s string) (algebra.CmpOp, error) {
 func describe(q *Query, cat Catalog) (*Result, error) {
 	m, ok := cat[q.Describe]
 	if !ok {
-		return nil, fmt.Errorf("query: unknown MO %q (catalog has %v)", q.Describe, catalogNames(cat))
+		return nil, fmt.Errorf("query: unknown MO %q (catalog has %v)", q.Describe, CatalogNames(cat))
 	}
 	res := &Result{Columns: []string{"Dimension", "Category", "AggType", "ContainedIn"}, Summarizable: true}
 	dims := m.Schema().DimensionNames()
@@ -388,7 +403,9 @@ func describe(q *Query, cat Catalog) (*Result, error) {
 	return res, nil
 }
 
-func catalogNames(cat Catalog) []string {
+// CatalogNames returns the catalog's MO names, sorted; exported so the
+// planner's unknown-MO error lists the same names in the same order.
+func CatalogNames(cat Catalog) []string {
 	out := make([]string, 0, len(cat))
 	for n := range cat {
 		out = append(out, n)

@@ -18,6 +18,7 @@ import (
 	"mddm/internal/exec"
 	"mddm/internal/faultinject"
 	"mddm/internal/obs"
+	"mddm/internal/plan"
 	"mddm/internal/query"
 )
 
@@ -35,6 +36,9 @@ type queryResponse struct {
 	Reasons      []string          `json:"reasons,omitempty"`
 	Warnings     []string          `json:"warnings,omitempty"`
 	Trace        *obs.TraceSummary `json:"trace,omitempty"`
+	// Plan is the planner's explain output, present with ?plan=1 on a
+	// server running with Limits.Planner.
+	Plan *plan.Explain `json:"plan,omitempty"`
 }
 
 // errorResponse is the JSON shape of any failure.
@@ -172,6 +176,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	var ex *plan.Explain
+	if p := r.URL.Query().Get("plan"); p != "" {
+		on, err := strconv.ParseBool(p)
+		if err != nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("serve: invalid plan %q: want a boolean (1/0, true/false)", p))
+			return
+		}
+		if on {
+			ctx, ex = plan.WithExplain(ctx)
+		}
+	}
 	nocache := false
 	if nc := r.URL.Query().Get("nocache"); nc != "" {
 		on, err := strconv.ParseBool(nc)
@@ -214,6 +230,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	if ex != nil && ex.Mode == "" {
+		// The planner never ran (cache hit, or the server is not running
+		// with Limits.Planner): no plan to report.
+		ex = nil
+	}
 	writeJSON(w, http.StatusOK, queryResponse{
 		Columns:      res.Columns,
 		Rows:         res.Rows,
@@ -221,6 +242,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Reasons:      res.Reasons,
 		Warnings:     res.Warnings,
 		Trace:        tr.Finish().Summary(),
+		Plan:         ex,
 	})
 }
 

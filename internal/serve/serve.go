@@ -102,4 +102,13 @@ type Limits struct {
 	// — with a warning attached, instead of a 429. Zero means shed
 	// requests always get the overload error. Requires ResultCacheBytes.
 	StaleOnShed time.Duration
+	// Planner routes queries through the columnar planner
+	// (internal/plan): selection, grouping, and aggregation run over the
+	// engine's bitmap indexes and kernels without materializing a result
+	// MO, and operators needing full MO semantics (probabilistic,
+	// timeslice, holistic, probability thresholds) fall back to the
+	// algebra path. Results, error texts, and cache keys are identical on
+	// either path — only wall-clock and allocations change. See
+	// docs/PLANNER.md.
+	Planner bool
 }

@@ -16,6 +16,7 @@ import (
 	"mddm/internal/exec"
 	"mddm/internal/faultinject"
 	"mddm/internal/obs"
+	"mddm/internal/plan"
 	"mddm/internal/qos"
 	"mddm/internal/query"
 	"mddm/internal/segment"
@@ -198,7 +199,15 @@ func (s *Server) Query(ctx context.Context, src string) (res *query.Result, err 
 	if ferr := faultinject.Check(faultinject.QueryExec); ferr != nil {
 		return nil, fmt.Errorf("serve: query: %w", ferr)
 	}
-	res, err = query.ExecContext(ctx, src, s.cat.Snapshot(), s.ref)
+	if s.limits.Planner {
+		// The server itself is the engine resolver, so the planner reads
+		// the same warmed, version-checked snapshots the aggregate
+		// endpoints use; an unresolvable engine falls back to the algebra
+		// inside the planner.
+		res, err = plan.ExecContext(ctx, src, s.cat.Snapshot(), s.ref, s)
+	} else {
+		res, err = query.ExecContext(ctx, src, s.cat.Snapshot(), s.ref)
+	}
 	if err != nil {
 		return nil, err
 	}

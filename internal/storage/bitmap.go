@@ -155,6 +155,18 @@ func (b *Bitmap) AndInto(x, y *Bitmap) *Bitmap {
 	return b
 }
 
+// Fill marks every fact in the universe and returns the receiver — the
+// complement seed for NOT predicates (full ∧¬ base).
+func (b *Bitmap) Fill() *Bitmap {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if r := uint(b.n) & 63; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= ^uint64(0) >> (64 - r)
+	}
+	return b
+}
+
 // AndNot removes o's bits in place and returns the receiver.
 func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
 	for i := range b.words {
