@@ -1,0 +1,134 @@
+// benchguard is the CI bench-trend gate: it parses the committed
+// BENCH_*.json artifacts in -current against the same files from the
+// base revision in -baseline and fails when a headline number regressed
+// by more than -tolerance (default 20%).
+//
+//	git show "$BASE:BENCH_B14.json" > baseline/BENCH_B14.json
+//	benchguard -baseline baseline -current .
+//
+// The guard compares committed runs against committed runs — never a CI
+// smoke against a dev-machine run — so machine speed largely cancels
+// out of the ratio-type metrics and stays comparable for the
+// size-independent ones. A missing baseline file (benchmark introduced
+// by this very change) or a changed fact count (a deliberate
+// re-baselining, visible in review) skips that guard with a notice
+// rather than failing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+type benchRow struct {
+	Exp   string  `json:"exp"`
+	Op    string  `json:"op"`
+	N     int     `json:"n"`
+	NsOp  int64   `json:"ns_per_op"`
+	Value float64 `json:"value,omitempty"`
+}
+
+// guard names one headline metric and which direction is better.
+type guard struct {
+	file, op string
+	// metric extracts the guarded number from a row.
+	metric func(benchRow) float64
+	// higherIsBetter: speedup ratios regress by falling, latencies by
+	// rising.
+	higherIsBetter bool
+	label          string
+}
+
+var guards = []guard{
+	{
+		file: "BENCH_B14.json", op: "query-hit",
+		metric: func(r benchRow) float64 { return float64(r.NsOp) },
+		label:  "B14 cache-hit latency (ns/op)",
+	},
+	{
+		file: "BENCH_B17.json", op: "speedup-planner-vs-algebra",
+		metric:         func(r benchRow) float64 { return r.Value },
+		higherIsBetter: true,
+		label:          "B17 planner speedup vs algebra",
+	},
+	{
+		file: "BENCH_B18.json", op: "speedup-upgrade-vs-recompute",
+		metric:         func(r benchRow) float64 { return r.Value },
+		higherIsBetter: true,
+		label:          "B18 delta-upgrade speedup vs recompute",
+	},
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "directory holding the base revision's BENCH_*.json files")
+	current := flag.String("current", ".", "directory holding the candidate BENCH_*.json files")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression before failing")
+	flag.Parse()
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, g := range guards {
+		base, ok := loadRow(filepath.Join(*baseline, g.file), g.op)
+		if !ok {
+			fmt.Printf("skip %s: no committed baseline for %s/%s\n", g.label, g.file, g.op)
+			continue
+		}
+		cur, ok := loadRow(filepath.Join(*current, g.file), g.op)
+		if !ok {
+			fmt.Printf("FAIL %s: %s/%s present in baseline but missing from this revision\n", g.label, g.file, g.op)
+			failed = true
+			continue
+		}
+		if base.N != cur.N {
+			fmt.Printf("skip %s: fact count changed %d -> %d (re-baselined)\n", g.label, base.N, cur.N)
+			continue
+		}
+		b, c := g.metric(base), g.metric(cur)
+		if b <= 0 {
+			fmt.Printf("skip %s: non-positive baseline %v\n", g.label, b)
+			continue
+		}
+		regression := (c - b) / b // latency: up is worse
+		if g.higherIsBetter {
+			regression = (b - c) / b
+		}
+		verdict := "ok  "
+		if regression > *tolerance {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s: baseline %.4g, current %.4g (regression %+.1f%%, tolerance %.0f%%)\n",
+			verdict, g.label, b, c, regression*100, *tolerance*100)
+	}
+	if failed {
+		fmt.Println("bench-trend guard failed: a committed headline number regressed past tolerance")
+		os.Exit(1)
+	}
+}
+
+// loadRow reads a bench JSON file and returns the row for op; ok is
+// false when the file is absent or holds no such row (both are "no
+// baseline", not errors — the guard's caller decides what that means).
+func loadRow(path, op string) (benchRow, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchRow{}, false
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", path, err)
+		return benchRow{}, false
+	}
+	for _, r := range rows {
+		if r.Op == op {
+			return r, true
+		}
+	}
+	return benchRow{}, false
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRow(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "BENCH_B14.json", `[
+		{"exp":"B14","op":"query-hit","n":100000,"ns_per_op":3355},
+		{"exp":"B14","op":"query-miss","n":100000,"ns_per_op":7288821967}
+	]`)
+	r, ok := loadRow(filepath.Join(dir, "BENCH_B14.json"), "query-hit")
+	if !ok || r.NsOp != 3355 || r.N != 100000 {
+		t.Fatalf("loadRow = %+v, %v", r, ok)
+	}
+	if _, ok := loadRow(filepath.Join(dir, "BENCH_B14.json"), "nope"); ok {
+		t.Fatal("row for absent op")
+	}
+	if _, ok := loadRow(filepath.Join(dir, "absent.json"), "query-hit"); ok {
+		t.Fatal("row from absent file")
+	}
+	writeBench(t, dir, "garbage.json", "{not json")
+	if _, ok := loadRow(filepath.Join(dir, "garbage.json"), "query-hit"); ok {
+		t.Fatal("row from malformed file")
+	}
+}
+
+// TestGuardDirections pins the regression arithmetic both ways: a
+// latency regresses by rising, a speedup by falling, and both pass
+// within tolerance.
+func TestGuardDirections(t *testing.T) {
+	lat := guards[0] // B14 hit latency, lower is better
+	spd := guards[1] // B17 speedup, higher is better
+	if lat.higherIsBetter || !spd.higherIsBetter {
+		t.Fatal("guard directions miswired")
+	}
+	cases := []struct {
+		g          guard
+		base, cur  float64
+		regression float64
+	}{
+		{lat, 1000, 1100, 0.10}, // 10% slower hit: within tolerance
+		{lat, 1000, 1300, 0.30}, // 30% slower hit: past tolerance
+		{spd, 400, 380, 0.05},   // speedup dipped 5%: fine
+		{spd, 400, 280, 0.30},   // speedup lost 30%: fail
+		{spd, 400, 500, -0.25},  // improvement is a negative regression
+	}
+	for _, c := range cases {
+		reg := (c.cur - c.base) / c.base
+		if c.g.higherIsBetter {
+			reg = (c.base - c.cur) / c.base
+		}
+		if diff := reg - c.regression; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s base=%v cur=%v: regression %v, want %v", c.g.label, c.base, c.cur, reg, c.regression)
+		}
+	}
+}

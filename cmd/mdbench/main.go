@@ -19,6 +19,7 @@
 //	mdbench -exp B15  # overload resilience: admitted p99 + shed latency at 1×/2×/4× load
 //	mdbench -exp B16  # persistent segment storage: append, recovery, checkpoint
 //	mdbench -exp B17  # columnar planner vs full algebra (differential oracle asserted)
+//	mdbench -exp B18  # delta-merge maintenance: upgraded hit vs recompute under appends
 //	mdbench -all
 //
 // With -json, every measurement is also written to BENCH_<exp>.json in the
@@ -82,9 +83,9 @@ type benchRow struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B17; B8 runs under go test -bench=WideMO)")
+	exp := flag.String("exp", "", "experiment id (B1..B18; B8 runs under go test -bench=WideMO)")
 	all := flag.Bool("all", false, "run every experiment")
-	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B14, B16 and B17")
+	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B14 and B16–B18")
 	jsonOut = flag.Bool("json", false, "also write BENCH_<exp>.json with one row per measurement")
 	flag.Parse()
 	if !*all && *exp == "" {
@@ -116,6 +117,7 @@ func main() {
 	run("B15", b15)
 	run("B16", func() { b16(*nFacts) })
 	run("B17", func() { b17(*nFacts) })
+	run("B18", func() { b18(*nFacts) })
 }
 
 // flushJSON writes the experiment's recorded rows to BENCH_<id>.json when
@@ -1367,5 +1369,224 @@ func b17(nFacts int) {
 	fmt.Printf("%22s %13.1fx\n", "speedup", speedup)
 	if nFacts >= 100000 && speedup < 100 {
 		fatal(fmt.Errorf("B17: planner speedup %.1fx below the 100x acceptance floor at %d facts", speedup, nFacts))
+	}
+}
+
+// b18 — delta-merge incremental maintenance under a write-heavy append
+// stream. The claim under test: with Limits.DeltaMaintenance, a cached
+// result made version-stale by appends is repaired by folding only the
+// appended facts — µs-class, within 10× of a pure hit's p99 — instead
+// of recomputed, and the repair is bit-identical to the recompute.
+// Before any timing, the differential oracle runs for every registered
+// distributive (mergeable, non-probabilistic) aggregate at parallelism
+// degrees 1/2/4/8 under an interleaved append schedule, asserting both
+// the equality and that every round actually took the upgrade path — a
+// silent fallback to recompute would pass the equality and fake the
+// win, so upgrade outcomes and cache upgrade counters are hard-checked.
+func b18(nFacts int) {
+	fmt.Printf("B18: delta-merge maintenance under appends (%d facts, 1000 low-level values)\n", nFacts)
+	bg := context.Background()
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = nFacts
+	cfg.NonStrict = false
+	cfg.Churn = false
+	cfg.LowLevel = 1000 // the B13/B14/B17 workload
+	m := casestudy.MustGenerate(cfg)
+
+	scat := serve.NewCatalog()
+	if err := scat.Register("patients", m); err != nil {
+		fatal(err)
+	}
+	srv := serve.NewServer(scat, serve.Limits{
+		ResultCacheBytes: 64 << 20,
+		Planner:          true,
+		DeltaMaintenance: true,
+	}, ref)
+	// The engine must exist before new facts are related: a later build
+	// would index them eagerly and reject the incremental AppendFact.
+	eng, err := srv.EngineFor(bg, "patients")
+	if err != nil {
+		fatal(err)
+	}
+	lows := m.Dimension(casestudy.DimDiagnosis).Category(casestudy.CatLowLevel)
+	appended := 0
+	grow := func(n int) {
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("b18f%06d", appended)
+			appended++
+			if err := m.Relate(casestudy.DimDiagnosis, id, lows[appended%len(lows)]); err != nil {
+				fatal(err)
+			}
+			ageID, err := casestudy.AddAge(m.Dimension(casestudy.DimAge), 20+appended%55)
+			if err != nil {
+				fatal(err)
+			}
+			if err := m.Relate(casestudy.DimAge, id, ageID); err != nil {
+				fatal(err)
+			}
+			if err := eng.AppendFact(id); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	// Phase 1: the differential oracle, appends interleaved with queries.
+	names := agg.Names()
+	sort.Strings(names)
+	verified := 0
+	for _, name := range names {
+		g, err := agg.Lookup(name)
+		if err != nil {
+			fatal(err)
+		}
+		if !g.Mergeable() || g.NeedsProb {
+			continue // holistic/probabilistic: no delta contract to verify
+		}
+		arg := "*"
+		if g.NeedsArg {
+			arg = "Age"
+		}
+		src := fmt.Sprintf(`SELECT %s(%s) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group" ORDER BY N DESC`, name, arg)
+		if _, out, err := srv.ServeQuery(bg, src); err != nil {
+			fatal(err)
+		} else if out.CacheHit {
+			fatal(fmt.Errorf("B18: %s fill hit an empty cache", name))
+		}
+		var lastUpgraded []byte
+		for _, d := range []int{1, 2, 4, 8} {
+			grow(d)
+			c := bg
+			if d > 1 {
+				c = exec.WithParallelism(bg, d)
+			}
+			got, out, err := srv.ServeQuery(c, src)
+			if err != nil {
+				fatal(err)
+			}
+			if !out.Upgraded {
+				fatal(fmt.Errorf("B18: %s at degree %d answered without an upgrade (outcome %+v) — silent fallback-to-recompute", name, d, out))
+			}
+			want, err := srv.Query(c, src)
+			if err != nil {
+				fatal(err)
+			}
+			gj, err := json.Marshal(got)
+			if err != nil {
+				fatal(err)
+			}
+			wj, err := json.Marshal(want)
+			if err != nil {
+				fatal(err)
+			}
+			if !bytes.Equal(gj, wj) {
+				fatal(fmt.Errorf("B18: %s delta-merged result at degree %d diverged from recompute:\n merged:    %s\n recompute: %s", name, d, gj, wj))
+			}
+			lastUpgraded = gj
+		}
+		// And against the index-free algebra baseline at the final state.
+		base, err := query.Exec(src, scat.Snapshot(), ref)
+		if err != nil {
+			fatal(err)
+		}
+		bj, err := json.Marshal(base)
+		if err != nil {
+			fatal(err)
+		}
+		if !bytes.Equal(lastUpgraded, bj) {
+			fatal(fmt.Errorf("B18: %s delta-merged result diverged from the algebra baseline:\n merged:  %s\n algebra: %s", name, lastUpgraded, bj))
+		}
+		verified++
+	}
+	fmt.Printf("differential oracle: delta-merged ≡ recompute ≡ algebra (bit-identical JSON) for %d distributive aggregates at degrees 1/2/4/8\n", verified)
+
+	// Phase 2: the write-heavy serving loop on the headline query.
+	const q = `SELECT SETCOUNT(*) AS N FROM patients GROUP BY Diagnosis."Diagnosis Group"`
+	if _, _, err := srv.ServeQuery(bg, q); err != nil {
+		fatal(err)
+	}
+	const samples = 500
+
+	// Recompute-on-miss: what a stale lookup costs without delta
+	// maintenance — the full planned computation through the server.
+	tRecompute := measure("recompute-on-miss", nFacts, func() {
+		if _, err := srv.Query(bg, q); err != nil {
+			fatal(err)
+		}
+	})
+
+	// The write-heavy loop: one append, then two lookups. The first is
+	// version-stale and must be repaired by folding exactly one fact
+	// (hit-upgraded); the second finds the repaired entry current
+	// (hit-pure). Measuring both inside the same loop is deliberate: the
+	// appends churn the allocator, and sampling the pure-hit baseline in
+	// a quiescent loop instead would hand it an artificially clean tail —
+	// the p99 comparison would then measure GC scheduling, not the fold.
+	st0 := srv.ResultCacheStats()
+	runtime.GC()
+	ups := make([]time.Duration, samples)
+	hits := make([]time.Duration, samples)
+	var upTotal time.Duration
+	for i := range ups {
+		grow(1)
+		start := time.Now()
+		_, out, err := srv.ServeQuery(bg, q)
+		ups[i] = time.Since(start)
+		if err != nil {
+			fatal(err)
+		}
+		if !out.Upgraded {
+			fatal(fmt.Errorf("B18: append %d answered without an upgrade (outcome %+v) — silent fallback-to-recompute", i, out))
+		}
+		upTotal += ups[i]
+
+		start = time.Now()
+		_, out, err = srv.ServeQuery(bg, q)
+		hits[i] = time.Since(start)
+		if err != nil {
+			fatal(err)
+		}
+		if !out.CacheHit || out.Upgraded {
+			fatal(fmt.Errorf("B18: pure-hit op outcome %+v", out))
+		}
+	}
+	if got := srv.ResultCacheStats().Upgrades - st0.Upgrades; got != samples {
+		fatal(fmt.Errorf("B18: cache counted %d upgrades over %d upgraded lookups", got, samples))
+	}
+	hitP50, hitP99 := pctlDur(hits, 0.50), pctlDur(hits, 0.99)
+	upMean := upTotal / samples
+	upP50, upP99 := pctlDur(ups, 0.50), pctlDur(ups, 0.99)
+
+	speedup := float64(tRecompute) / float64(upMean)
+	p99Ratio := float64(upP99) / float64(hitP99)
+	for _, r := range []struct {
+		op string
+		t  time.Duration
+	}{
+		{"hit-pure-p50", hitP50}, {"hit-pure-p99", hitP99},
+		{"hit-upgraded-p50", upP50}, {"hit-upgraded-p99", upP99},
+		{"hit-upgraded-mean", upMean},
+	} {
+		benchRows = append(benchRows, benchRow{Exp: curExp, Op: r.op, N: nFacts, NsPerOp: float64(r.t.Nanoseconds())})
+	}
+	benchRows = append(benchRows,
+		benchRow{Exp: curExp, Op: "speedup-upgrade-vs-recompute", N: nFacts, Value: speedup},
+		benchRow{Exp: curExp, Op: "p99-ratio-upgraded-vs-pure-hit", N: nFacts, Value: p99Ratio},
+		benchRow{Exp: curExp, Op: "upgrades", N: nFacts, Value: float64(samples)})
+
+	fmt.Printf("%22s %14s\n", "op", "latency")
+	fmt.Printf("%22s %14v\n", "hit-pure-p50", hitP50)
+	fmt.Printf("%22s %14v\n", "hit-pure-p99", hitP99)
+	fmt.Printf("%22s %14v\n", "hit-upgraded-p50", upP50)
+	fmt.Printf("%22s %14v\n", "hit-upgraded-p99", upP99)
+	fmt.Printf("%22s %14v\n", "hit-upgraded-mean", upMean)
+	fmt.Printf("%22s %14v\n", "recompute-on-miss", tRecompute)
+	fmt.Printf("%22s %13.1fx\n", "upgrade speedup", speedup)
+	fmt.Printf("%22s %13.1fx\n", "p99 vs pure hit", p99Ratio)
+	fmt.Printf("  verify: %d/%d upgraded lookups took the delta path (zero silent fallbacks) ✓\n", samples, samples)
+	if p99Ratio > 10 {
+		fatal(fmt.Errorf("B18: upgraded-hit p99 is %.1fx the pure-hit p99, limit is 10x", p99Ratio))
+	}
+	if nFacts >= 100000 && speedup < 25 {
+		fatal(fmt.Errorf("B18: upgrade speedup %.1fx below the 25x acceptance floor at %d facts", speedup, nFacts))
 	}
 }

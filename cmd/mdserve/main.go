@@ -62,6 +62,7 @@ func main() {
 	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant quota burst (0 = 2× -tenant-rps)")
 	staleOnShed := flag.Duration("stale-on-shed", 0, "serve a result-cache entry this stale (with a warning) instead of shedding a query under overload (0 disables; needs -result-cache)")
 	planner := flag.Bool("planner", false, "execute queries through the columnar planner (late materialization; ?plan=1 shows the chosen plan)")
+	delta := flag.Bool("delta", false, "delta-merge incremental maintenance: repair version-stale cached results by folding only appended facts (needs -planner and -result-cache)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "drain window on SIGINT/SIGTERM")
 	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus text format) and GET /debug/queries")
 	selfcheck := flag.Bool("selfcheck", false, "start on a loopback port, run one query through HTTP, and exit")
@@ -71,6 +72,9 @@ func main() {
 	dataMMap := flag.Bool("data-mmap", false, "serve the persisted column checkpoint via a read-only memory mapping instead of copying it onto the heap")
 	flag.Parse()
 
+	if *delta && (!*planner || *resultCache <= 0) {
+		fatal(fmt.Errorf("-delta needs -planner and a positive -result-cache: the upgrade path folds through the planner into result-cache entries"))
+	}
 	ref, err := temporal.ParseDate(*refS)
 	if err != nil {
 		fatal(err)
@@ -89,6 +93,7 @@ func main() {
 		ResultCacheBytes: *resultCache,
 		StaleOnShed:      *staleOnShed,
 		Planner:          *planner,
+		DeltaMaintenance: *delta,
 		Admission: admission.Config{
 			MaxConcurrency: *admit,
 			MinConcurrency: *admitFloor,

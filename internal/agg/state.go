@@ -35,6 +35,12 @@ type State interface {
 	Add(v float64)
 	Merge(o State)
 	Finalize() (res float64, ok bool)
+	// Clone returns an independent copy of the partial: mutating the copy
+	// (Add, Merge) never changes the original. Delta maintenance relies on
+	// this to continue a cached fold without destroying the cached partial
+	// — the clone absorbs the appended facts, the original stays valid for
+	// the entry's own version.
+	Clone() State
 }
 
 // Mergeable reports whether the function's partials merge in constant
@@ -76,6 +82,8 @@ func (s *sumState) Finalize() (float64, bool) {
 	return s.sum, s.okEmpty || s.n > 0
 }
 
+func (s *sumState) Clone() State { cp := *s; return &cp }
+
 // countState counts inputs admitted by pred (nil admits all); COUNT,
 // SETCOUNT, MINCOUNT and MAXCOUNT are all counts under different
 // predicates, and counts merge by integer addition — always exactly.
@@ -93,6 +101,8 @@ func (s *countState) Add(v float64) {
 func (s *countState) Merge(o State) { s.n += o.(*countState).n }
 
 func (s *countState) Finalize() (float64, bool) { return float64(s.n), true }
+
+func (s *countState) Clone() State { cp := *s; return &cp }
 
 // extremeState merges MIN/MAX partials via the function itself — the
 // textbook distributive case.
@@ -122,6 +132,8 @@ func (s *extremeState) Merge(o State) {
 
 func (s *extremeState) Finalize() (float64, bool) { return s.m, s.n > 0 }
 
+func (s *extremeState) Clone() State { cp := *s; return &cp }
+
 // avgState is AVG reformulated as the pair (sum, count) — not
 // distributive as a single value, but algebraic: the pair merges
 // component-wise and finalizes to sum/count.
@@ -148,6 +160,8 @@ func (s *avgState) Finalize() (float64, bool) {
 	return s.sum / float64(s.n), true
 }
 
+func (s *avgState) Clone() State { cp := *s; return &cp }
+
 // collectState is the holistic fallback: it keeps every value (in Add
 // order; merges concatenate in merge order, so ascending-partition merges
 // reproduce the sequential order) and recomputes with the function's own
@@ -172,6 +186,10 @@ func (s *collectState) Finalize() (float64, bool) {
 	default:
 		return float64(len(s.vals)), true
 	}
+}
+
+func (s *collectState) Clone() State {
+	return &collectState{g: s.g, vals: append([]float64(nil), s.vals...)}
 }
 
 // MEDIAN is the registry's holistic exemplar: order-statistic aggregates

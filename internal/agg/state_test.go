@@ -147,3 +147,56 @@ func TestEmptyStateFinalize(t *testing.T) {
 		}
 	}
 }
+
+// TestStateCloneIndependence: for every registered function, mutating a
+// clone (Add and Merge) never changes the original's finalized value —
+// the invariant delta maintenance relies on to continue a cached fold
+// while the cached partial stays valid for its own version.
+func TestStateCloneIndependence(t *testing.T) {
+	for _, name := range Names() {
+		g := MustLookup(name)
+		orig := g.State()
+		for _, v := range []float64{3, 1, 4, 1, 5} {
+			orig.Add(v)
+		}
+		res0, ok0 := orig.Clone().Finalize() // Finalize via a throwaway: some states could be fold-once
+
+		cl := orig.Clone()
+		cl.Add(999)
+		other := g.State()
+		other.Add(-42)
+		cl.Merge(other)
+
+		res1, ok1 := orig.Finalize()
+		if res0 != res1 || ok0 != ok1 {
+			t.Errorf("%s: original changed after clone mutation: (%v,%v) -> (%v,%v)",
+				name, res0, ok0, res1, ok1)
+		}
+	}
+}
+
+// TestCloneContinuationEqualsSequential: cloning mid-stream and feeding
+// the clone the rest reproduces the full sequential fold — the exact
+// shape of a delta upgrade (cached prefix partial + appended suffix).
+func TestCloneContinuationEqualsSequential(t *testing.T) {
+	vals := []float64{2, 7, 1, 8, 2, 8, 1, 8, 2, 8}
+	for _, name := range Names() {
+		g := MustLookup(name)
+		for _, cut := range []int{0, 3, 5, len(vals)} {
+			prefix := g.State()
+			for _, v := range vals[:cut] {
+				prefix.Add(v)
+			}
+			cont := prefix.Clone()
+			for _, v := range vals[cut:] {
+				cont.Add(v)
+			}
+			got, gok := cont.Finalize()
+			want, wok := foldSequential(g, vals)
+			if got != want || gok != wok {
+				t.Errorf("%s cut=%d: continuation (%v,%v) != sequential (%v,%v)",
+					name, cut, got, gok, want, wok)
+			}
+		}
+	}
+}

@@ -97,6 +97,11 @@ type Stats struct {
 	Misses int64
 	// Invalidations counts entries dropped at lookup for a stale version.
 	Invalidations int64
+	// Upgrades counts entries repaired in place by Upgrade — a delta
+	// merge made a version-stale entry current instead of dropping it.
+	// Distinct from Hits: the lookup that triggered the upgrade was a
+	// miss, and the serving layer reports it separately.
+	Upgrades int64
 	// Evictions counts entries removed to satisfy the byte bound.
 	Evictions int64
 	// Bytes is the current resident payload+overhead size.
@@ -122,6 +127,10 @@ type entry struct {
 	bytes      int64
 	at         time.Time // when the entry was stored; GetStale's age basis
 	prev, next *entry
+	// upgradeable marks an entry whose value carries mergeable partials:
+	// Get retains it on a version mismatch (instead of dropping) so the
+	// serving layer can repair it with a delta merge — see upgrade.go.
+	upgradeable bool
 }
 
 // New creates a cache bounded to roughly maxBytes of declared entry
@@ -173,9 +182,11 @@ func (c *Cache) Get(key string, ver Version) (any, bool) {
 	invalidated := false
 	var freed int64
 	if ok {
-		if c.keepStale > 0 && time.Since(e.at) <= c.keepStale {
-			// Retained for degraded readers (KeepStale): the lookup is a
-			// miss, but the entry stays for GetStale until it ages out.
+		if e.upgradeable || (c.keepStale > 0 && time.Since(e.at) <= c.keepStale) {
+			// Retained: an upgradeable entry stays for the serving layer's
+			// delta-merge repair (GetForUpgrade/Upgrade); a KeepStale entry
+			// stays for GetStale's degraded readers until it ages out.
+			// Either way the lookup is a miss and nothing is dropped.
 			s.mu.Unlock()
 			mMisses.Inc()
 			c.count(func(st *Stats) { st.Misses++ })

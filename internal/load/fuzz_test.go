@@ -1,0 +1,95 @@
+package load
+
+import (
+	"strings"
+	"testing"
+
+	"mddm/internal/dimension"
+)
+
+// FuzzLoadDimensionCSV feeds arbitrary bytes through the dimension CSV
+// loader. Malformed input must produce an error — never a panic — and a
+// successfully loaded dimension must answer the basic hierarchy queries
+// the rest of the system immediately asks of it.
+func FuzzLoadDimensionCSV(f *testing.F) {
+	// Seed with the package's doc examples and the known error shapes.
+	f.Add(areaCSV)
+	f.Add(diagCSV)
+	f.Add("low,family\nx,\ny,F\n") // ragged row: non-partitioning, valid
+	f.Add("")
+	f.Add("a,b\nx,y,z,w")
+	f.Add("a,a\nx,y")
+	f.Add("low,family\nx,y\ny,x")
+	f.Add("\"unterminated")
+	f.Add("a,,b\nx,y,z\n")
+	f.Add(" a , a \nx,y\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Dimension(DimensionSpec{
+			Name:    "D",
+			AggType: dimension.Constant,
+			Kind:    dimension.KindString,
+			R:       strings.NewReader(src),
+		})
+		if err != nil {
+			return // rejected input: that is the contract
+		}
+		if d == nil {
+			t.Fatal("nil dimension without error")
+		}
+		ctx := dimension.Context{}
+		_ = d.IsStrict()
+		_ = d.IsPartitioning()
+		bottom := d.Type().Bottom()
+		for _, v := range d.Category(bottom) {
+			_ = d.Ancestors(v, ctx)
+		}
+	})
+}
+
+// FuzzLoadFactCSV feeds arbitrary bytes through the fact-table loader
+// against the doc-example dimensions. Malformed input must error, never
+// panic; an accepted table must yield a validated MO.
+func FuzzLoadFactCSV(f *testing.F) {
+	f.Add(factCSV)
+	f.Add("Residence\nA1\nA2\n")
+	f.Add("Residence\nC1\n") // mixed granularity
+	f.Add("")
+	f.Add("id,Nope\np1,x\n")
+	f.Add("Residence\nA1\n")
+	f.Add("id,Residence\n,A1\n")
+	f.Add("id,Residence,Residence:from\np1,A1,bogus\n")
+	f.Add("id,Residence,Residence:from,Residence:to\np1,A1,01/01/90,01/01/80\n")
+	f.Add("id,Residence,Residence:prob\np1,A1,2.5\n")
+	f.Add("id,Residence,Diagnosis\np1,A1,L3\n")
+	f.Add("\"quote")
+	f.Fuzz(func(t *testing.T, src string) {
+		dims := map[string]*dimension.Dimension{
+			"Residence": mustDim(t, "Residence", areaCSV),
+			"Diagnosis": mustDim(t, "Diagnosis", diagCSV),
+		}
+		m, err := Facts(FactSpec{
+			FactType:   "F",
+			IDColumn:   "id",
+			Dimensions: dims,
+			R:          strings.NewReader(src),
+		})
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("nil MO without error")
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("loaded MO fails validation: %v", err)
+		}
+	})
+}
+
+func mustDim(t *testing.T, name, csv string) *dimension.Dimension {
+	t.Helper()
+	d, err := Dimension(DimensionSpec{Name: name, AggType: dimension.Constant, Kind: dimension.KindString, R: strings.NewReader(csv)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,313 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mddm/internal/casestudy"
+	"mddm/internal/faultinject"
+	"mddm/internal/query"
+	"mddm/internal/storage"
+)
+
+// deltaFixture builds a strict, churn-free generated MO (so GROUP BY the
+// low-level category starts with a clean strictness verdict) plus an
+// engine and an appender. The appender relates a new fact to each given
+// low-level diagnosis (two lows make the fact multi-valued), optionally
+// gives it an Age, and appends it to the engine — MO and engine stay in
+// sync, so the algebra recompute remains a valid oracle after appends.
+func deltaFixture(t *testing.T, patients int) (query.Catalog, *CatalogEngines, *storage.Engine, func(age int, lows ...string)) {
+	t.Helper()
+	cfg := casestudy.DefaultGen()
+	cfg.Patients = patients
+	cfg.NonStrict = false
+	cfg.Churn = false
+	cfg.MixedGranularity = false
+	cfg.UncertainFrac = 0
+	// One diagnosis per patient: a fact related to several lows would be
+	// multi-valued at the low-level category before any append happens.
+	cfg.DiagnosesPerPatient = 1
+	m := casestudy.MustGenerate(cfg)
+	cat := query.Catalog{"gen": m}
+	engines := NewCatalogEngines(cat, testRef)
+	eng, err := engines.EngineFor(context.Background(), "gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended := 0
+	appendFact := func(age int, lows ...string) {
+		t.Helper()
+		id := fmt.Sprintf("up%d", appended)
+		appended++
+		for _, low := range lows {
+			if err := m.Relate(casestudy.DimDiagnosis, id, low); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if age >= 0 {
+			ageID, err := casestudy.AddAge(m.Dimension(casestudy.DimAge), age)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Relate(casestudy.DimAge, id, ageID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.AppendFact(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat, engines, eng, appendFact
+}
+
+// capturePartials runs src through the planner with a capture sink and
+// requires the query to have produced upgradeable partials.
+func capturePartials(t *testing.T, src string, cat query.Catalog, engines Engines) (*query.Result, *Partials) {
+	t.Helper()
+	cctx, cp := WithCapture(context.Background())
+	res, err := ExecContext(cctx, src, cat, testRef, engines)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	if cp.Partials == nil {
+		t.Fatalf("%s: no partials captured", src)
+	}
+	return res, cp.Partials
+}
+
+// upgradeOnce resolves the delta range since epoch and continues the
+// partials over it, requiring the journal lookup to succeed.
+func upgradeOnce(t *testing.T, eng *storage.Engine, p *Partials, epoch uint64) (*query.Result, *Partials, uint64) {
+	t.Helper()
+	lo, hi, cur, ok := eng.DeltaRange(epoch)
+	if !ok {
+		t.Fatalf("DeltaRange(%d) not resolvable", epoch)
+	}
+	res, next, err := UpgradeResult(context.Background(), eng, p, lo, hi, testRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, next, cur
+}
+
+// requireMatchesAlgebra recomputes src from scratch on the algebra path
+// and requires the upgraded result to be identical — the same oracle the
+// planner differential suite uses, applied to a continued fold.
+func requireMatchesAlgebra(t *testing.T, src string, cat query.Catalog, got *query.Result) {
+	t.Helper()
+	want, err := query.ExecContext(context.Background(), src, cat, testRef)
+	if err != nil {
+		t.Fatalf("%s: algebra recompute: %v", src, err)
+	}
+	if !reflect.DeepEqual(got.Columns, want.Columns) {
+		t.Fatalf("%s: columns diverged:\n upgraded: %v\n algebra:  %v", src, got.Columns, want.Columns)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("%s: rows diverged (%d vs %d):\n upgraded: %v\n algebra:  %v",
+			src, len(got.Rows), len(want.Rows), got.Rows, want.Rows)
+	}
+	if got.Summarizable != want.Summarizable || !reflect.DeepEqual(got.Reasons, want.Reasons) {
+		t.Fatalf("%s: summarizability diverged:\n upgraded: %v %v\n algebra:  %v %v",
+			src, got.Summarizable, got.Reasons, want.Summarizable, want.Reasons)
+	}
+}
+
+// unusedLow returns a low-level diagnosis no captured group references —
+// appending a fact there forces the continuation to create a group the
+// cached partials never saw.
+func unusedLow(t *testing.T, cat query.Catalog, p *Partials, skip map[string]bool) string {
+	t.Helper()
+	lows := cat["gen"].Dimension(casestudy.DimDiagnosis).Category(casestudy.CatLowLevel)
+	for _, low := range lows {
+		if _, used := p.Groups[low]; !used && !skip[low] {
+			return low
+		}
+	}
+	t.Fatal("no unused low-level diagnosis in fixture")
+	return ""
+}
+
+// TestUpgradeResultGlobalShapes continues every globally-grouped
+// mergeable function over appended facts — including a fact with no Age,
+// so argument extraction skips it — and requires bit-identity with an
+// algebra recompute. A second continuation from the returned partials
+// proves chaining, and an empty delta range must reproduce the cached
+// result verbatim.
+func TestUpgradeResultGlobalShapes(t *testing.T) {
+	cat, engines, eng, appendFact := deltaFixture(t, 30)
+	queries := []string{
+		`SELECT SETCOUNT(*) FROM gen`,
+		`SELECT SUM(Age) FROM gen`,
+		`SELECT AVG(Age) FROM gen`,
+		`SELECT COUNT(Age) FROM gen`,
+		`SELECT MIN(Age) FROM gen`,
+	}
+	for _, src := range queries {
+		t.Run(src, func(t *testing.T) {
+			cached, parts := capturePartials(t, src, cat, engines)
+			if parts.Dim != "" {
+				t.Fatalf("global shape captured grouping leg %q", parts.Dim)
+			}
+			epoch := eng.Epoch()
+
+			// Empty range: the continuation is a no-op that must round-trip
+			// the cached result exactly.
+			noop, _, cur := upgradeOnce(t, eng, parts, epoch)
+			if !reflect.DeepEqual(noop.Rows, cached.Rows) {
+				t.Fatalf("empty-range upgrade changed rows: %v vs %v", noop.Rows, cached.Rows)
+			}
+
+			oldCount := parts.Groups[""].Count
+			for i := 0; i < 5; i++ {
+				appendFact(25+7*i, cat["gen"].Dimension(casestudy.DimDiagnosis).Category(casestudy.CatLowLevel)[i])
+			}
+			appendFact(-1, cat["gen"].Dimension(casestudy.DimDiagnosis).Category(casestudy.CatLowLevel)[5])
+
+			res, next, cur := upgradeOnce(t, eng, parts, cur)
+			requireMatchesAlgebra(t, src, cat, res)
+			if parts.Groups[""].Count != oldCount {
+				t.Fatalf("upgrade mutated cached partials: count %d -> %d", oldCount, parts.Groups[""].Count)
+			}
+
+			// Chain a second round from the returned partials.
+			appendFact(60, cat["gen"].Dimension(casestudy.DimDiagnosis).Category(casestudy.CatLowLevel)[6])
+			res2, _, _ := upgradeOnce(t, eng, next, cur)
+			requireMatchesAlgebra(t, src, cat, res2)
+			_ = res2
+		})
+	}
+}
+
+// TestUpgradeResultGroupedStrict pins the grouped continuation on a
+// strict hierarchy: the capture records a clean strictness verdict, the
+// delta probe keeps it clean across appends, and facts landing in groups
+// the cache never saw create fresh group states — including an
+// argument-consuming group whose only fact has no Age, which must be
+// withheld from the rows exactly as a recompute withholds it.
+func TestUpgradeResultGroupedStrict(t *testing.T) {
+	cat, engines, eng, appendFact := deltaFixture(t, 30)
+
+	countSrc := `SELECT SETCOUNT(*) FROM gen GROUP BY Diagnosis."Low-level Diagnosis"`
+	_, parts := capturePartials(t, countSrc, cat, engines)
+	if parts.MultiValued {
+		t.Fatal("strict fixture captured a multi-valued verdict")
+	}
+	newLow := unusedLow(t, cat, parts, nil)
+	epoch := eng.Epoch()
+	appendFact(40, newLow)
+	res, next, _ := upgradeOnce(t, eng, parts, epoch)
+	requireMatchesAlgebra(t, countSrc, cat, res)
+	if next.MultiValued {
+		t.Fatal("single-valued append flipped the strictness verdict")
+	}
+	if gs := next.Groups[newLow]; gs == nil || gs.Count != 1 {
+		t.Fatalf("new group %q not merged: %+v", newLow, next.Groups[newLow])
+	}
+
+	avgSrc := `SELECT AVG(Age) FROM gen GROUP BY Diagnosis."Low-level Diagnosis"`
+	_, avgParts := capturePartials(t, avgSrc, cat, engines)
+	withAge := unusedLow(t, cat, avgParts, nil)
+	noAge := unusedLow(t, cat, avgParts, map[string]bool{withAge: true})
+	epoch = eng.Epoch()
+	appendFact(33, withAge)
+	appendFact(-1, noAge)
+	avgRes, avgNext, _ := upgradeOnce(t, eng, avgParts, epoch)
+	requireMatchesAlgebra(t, avgSrc, cat, avgRes)
+	if gs := avgNext.Groups[noAge]; gs == nil || gs.Count != 1 {
+		t.Fatalf("age-less group %q not tracked in partials: %+v", noAge, avgNext.Groups[noAge])
+	}
+	for _, row := range avgRes.Rows {
+		if row[0] == noAge {
+			t.Fatalf("group %q has no argument values but produced row %v", noAge, row)
+		}
+	}
+}
+
+// TestUpgradeResultMultiValuedFlip appends one fact characterized by two
+// low-level diagnoses: the delta strictness probe must flip the cached
+// verdict, the upgraded result must carry the non-strictness reason, and
+// the whole thing must still match a recompute bit for bit.
+func TestUpgradeResultMultiValuedFlip(t *testing.T) {
+	cat, engines, eng, appendFact := deltaFixture(t, 30)
+	src := `SELECT SETCOUNT(*) FROM gen GROUP BY Diagnosis."Low-level Diagnosis"`
+	_, parts := capturePartials(t, src, cat, engines)
+	if parts.MultiValued {
+		t.Fatal("strict fixture captured a multi-valued verdict")
+	}
+	lows := cat["gen"].Dimension(casestudy.DimDiagnosis).Category(casestudy.CatLowLevel)
+	epoch := eng.Epoch()
+	appendFact(50, lows[0], lows[1])
+	res, next, _ := upgradeOnce(t, eng, parts, epoch)
+	requireMatchesAlgebra(t, src, cat, res)
+	if !next.MultiValued {
+		t.Fatal("two-valued append did not flip the strictness verdict")
+	}
+	if res.Summarizable {
+		t.Fatal("non-strict grouping reported summarizable")
+	}
+	found := false
+	for _, r := range res.Reasons {
+		if strings.Contains(r, "non-strict") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("upgraded reasons missing the strictness text: %v", res.Reasons)
+	}
+
+	// Once flipped, the verdict is sticky: the next continuation keeps it
+	// without re-probing.
+	epoch = eng.Epoch()
+	appendFact(51, lows[2])
+	res2, next2, _ := upgradeOnce(t, eng, next, epoch)
+	requireMatchesAlgebra(t, src, cat, res2)
+	if !next2.MultiValued {
+		t.Fatal("strictness verdict lost on the second continuation")
+	}
+}
+
+// TestUpgradeResultSelectionAndErrors pins the selection-bearing paths:
+// an empty selection stays an empty (nil-row) result through a
+// continuation, and a WHERE recompile failure surfaces as an error
+// instead of a wrong answer.
+func TestUpgradeResultSelectionAndErrors(t *testing.T) {
+	cat, engines, eng, appendFact := deltaFixture(t, 20)
+	lows := cat["gen"].Dimension(casestudy.DimDiagnosis).Category(casestudy.CatLowLevel)
+
+	emptySrc := `SELECT SUM(Age) FROM gen WHERE Age >= 200`
+	_, parts := capturePartials(t, emptySrc, cat, engines)
+	epoch := eng.Epoch()
+	appendFact(45, lows[0])
+	res, _, _ := upgradeOnce(t, eng, parts, epoch)
+	requireMatchesAlgebra(t, emptySrc, cat, res)
+	if res.Rows != nil {
+		t.Fatalf("empty selection produced rows: %v", res.Rows)
+	}
+
+	whereSrc := `SELECT SETCOUNT(*) FROM gen WHERE Residence = 'R0'`
+	_, wparts := capturePartials(t, whereSrc, cat, engines)
+	epoch = eng.Epoch()
+	appendFact(46, lows[1])
+	lo, hi, _, ok := eng.DeltaRange(epoch)
+	if !ok {
+		t.Fatal("delta range not resolvable")
+	}
+	boom := errors.New("injected closure fault")
+	faultinject.Enable(faultinject.ClosureExpand, boom)
+	defer faultinject.Reset()
+	if _, _, err := UpgradeResult(context.Background(), eng, wparts, lo, hi, testRef); !errors.Is(err, boom) {
+		t.Fatalf("WHERE recompile fault not surfaced: %v", err)
+	}
+	faultinject.Reset()
+
+	// With the fault cleared the same continuation succeeds and matches.
+	res2, _, err := UpgradeResult(context.Background(), eng, wparts, lo, hi, testRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMatchesAlgebra(t, whereSrc, cat, res2)
+}

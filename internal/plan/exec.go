@@ -39,7 +39,7 @@ func execFacts(guard *qos.Guard, eng *storage.Engine, m *core.MO, sel *storage.B
 // execGlobal evaluates an aggregate with every dimension grouped at ⊤:
 // one group holding every selected fact. No facts, no group, no row —
 // the algebra forms no group from an empty fact set.
-func execGlobal(guard *qos.Guard, eng *storage.Engine, fn *agg.Func, argDim string, sel *storage.Bitmap) ([][]string, error) {
+func execGlobal(guard *qos.Guard, eng *storage.Engine, fn *agg.Func, argDim string, sel *storage.Bitmap, parts *Partials) ([][]string, error) {
 	count := eng.NumFacts()
 	if sel != nil {
 		count = sel.Count()
@@ -48,6 +48,7 @@ func execGlobal(guard *qos.Guard, eng *storage.Engine, fn *agg.Func, argDim stri
 		return nil, err
 	}
 	if count == 0 {
+		parts.captureGlobal(0, nil)
 		return nil, nil
 	}
 	if err := guard.Facts(int64(count)); err != nil {
@@ -61,6 +62,7 @@ func execGlobal(guard *qos.Guard, eng *storage.Engine, fn *agg.Func, argDim stri
 			}
 		}
 	}
+	parts.captureGlobal(count, argvals)
 	v, ok := fn.Apply(count, argvals)
 	if !ok {
 		return nil, nil
@@ -73,7 +75,7 @@ func execGlobal(guard *qos.Guard, eng *storage.Engine, fn *agg.Func, argDim stri
 // (CountByColumn/SumByColumn with bitmap fallback) — the exact paths the
 // per-kernel differential tests pin; everything else folds the grouped
 // per-value counts and argument columns from AggregateBy.
-func execOneDim(cctx context.Context, eng *storage.Engine, fn *agg.Func, gd groupDim, argDim string, sel *storage.Bitmap, ex *Explain) ([][]string, error) {
+func execOneDim(cctx context.Context, eng *storage.Engine, fn *agg.Func, gd groupDim, argDim string, sel *storage.Bitmap, ex *Explain, parts *Partials) ([][]string, error) {
 	if ex != nil {
 		if eng.HasColumn(gd.dim, gd.cat) {
 			ex.Kernel = "column"
@@ -85,10 +87,12 @@ func execOneDim(cctx context.Context, eng *storage.Engine, fn *agg.Func, gd grou
 		if ex != nil {
 			ex.Shape = ShapeKernelCount
 		}
+		parts.setShape(ShapeKernelCount)
 		counts, err := eng.CountDistinctByContext(cctx, gd.dim, gd.cat)
 		if err != nil {
 			return nil, fmt.Errorf("query: %w", err)
 		}
+		parts.captureCounts(counts)
 		rows := make([][]string, 0, len(counts))
 		for v, c := range counts {
 			rows = append(rows, []string{v, agg.FormatResult(float64(c))})
@@ -99,10 +103,12 @@ func execOneDim(cctx context.Context, eng *storage.Engine, fn *agg.Func, gd grou
 		if ex != nil {
 			ex.Shape = ShapeKernelSum
 		}
+		parts.setShape(ShapeKernelSum)
 		sums, err := eng.SumByContext(cctx, gd.dim, gd.cat, argDim)
 		if err != nil {
 			return nil, fmt.Errorf("query: %w", err)
 		}
+		parts.captureSums(sums)
 		rows := make([][]string, 0, len(sums))
 		for v, s := range sums {
 			rows = append(rows, []string{v, agg.FormatResult(s)})
@@ -112,10 +118,12 @@ func execOneDim(cctx context.Context, eng *storage.Engine, fn *agg.Func, gd grou
 	if ex != nil {
 		ex.Shape = ShapeGroupFold
 	}
+	parts.setShape(ShapeGroupFold)
 	values, counts, args, err := eng.AggregateBy(cctx, gd.dim, gd.cat, argDim, sel)
 	if err != nil {
 		return nil, fmt.Errorf("query: %w", err)
 	}
+	parts.captureFold(values, counts, args)
 	rows := make([][]string, 0, len(values))
 	for j, val := range values {
 		v, ok := fn.Apply(counts[j], args[j])

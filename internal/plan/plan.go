@@ -177,15 +177,25 @@ func RunContext(cctx context.Context, q *query.Query, cat query.Catalog, ref tem
 	report := checkSummarizable(eng, m, fn, groupBy, ectx, sel)
 
 	grouped := groupedDims(m, groupBy)
+	// Delta-maintenance capture: the single-leg shapes retain mergeable
+	// per-group partials so the serving layer can continue the fold over
+	// appended facts instead of recomputing (delta.go). Cross stays out —
+	// its merged set-valued groups do not decompose per appended fact.
+	cp := captureFrom(cctx)
+	var parts *Partials
+	if cp != nil && len(grouped) <= 1 {
+		parts = newPartials(q, fn, grouped, argDim, m.Schema().FactType(), report)
+	}
 	var rows [][]string
 	switch {
 	case len(grouped) == 0:
 		if ex != nil {
 			ex.Shape = ShapeGlobal
 		}
-		rows, err = execGlobal(guard, eng, fn, argDim, sel)
+		parts.setShape(ShapeGlobal)
+		rows, err = execGlobal(guard, eng, fn, argDim, sel, parts)
 	case len(grouped) == 1:
-		rows, err = execOneDim(cctx, eng, fn, grouped[0], argDim, sel, ex)
+		rows, err = execOneDim(cctx, eng, fn, grouped[0], argDim, sel, ex, parts)
 	default:
 		if ex != nil {
 			ex.Shape = ShapeCross
@@ -213,6 +223,10 @@ func RunContext(cctx context.Context, q *query.Query, cat query.Catalog, ref tem
 	}
 	if err := query.OrderAndLimit(q, res); err != nil {
 		return nil, err
+	}
+	if parts != nil {
+		parts.Columns = res.Columns
+		cp.Partials = parts
 	}
 	return res, nil
 }

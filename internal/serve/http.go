@@ -56,7 +56,9 @@ type errorResponse struct {
 //	                      &tenant=… (or the X-Mddm-Tenant header) names the
 //	                      quota bucket when per-tenant admission quotas are on.
 //	                      When the result cache is enabled the response carries
-//	                      X-Mddm-Cache: hit|miss (bypass for &nocache=1, stale
+//	                      X-Mddm-Cache: hit|miss (bypass for &nocache=1;
+//	                      hit-upgraded for a stale entry repaired by a delta
+//	                      merge under Limits.DeltaMaintenance; stale
 //	                      plus X-Mddm-Degraded: stale-on-shed for a degraded
 //	                      answer served under overload)
 //	POST     /append       durably append a fact to an MO with an attached
@@ -214,6 +216,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var out QueryOutcome
 		res, out, err = s.ServeQuery(ctx, src)
 		switch {
+		case out.Upgraded:
+			// A version-stale entry answered fresh after a delta merge
+			// folded the appended facts in (Limits.DeltaMaintenance): a hit
+			// for freshness purposes, distinguished so clients can see the
+			// maintenance machinery working.
+			w.Header().Set("X-Mddm-Cache", "hit-upgraded")
 		case out.CacheHit:
 			w.Header().Set("X-Mddm-Cache", "hit")
 		case out.DegradedStale:

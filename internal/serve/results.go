@@ -9,6 +9,7 @@ import (
 
 	"mddm/internal/cache"
 	"mddm/internal/obs"
+	"mddm/internal/plan"
 	"mddm/internal/query"
 	"mddm/internal/storage"
 )
@@ -29,6 +30,13 @@ import (
 // mid-computation leaves the (possibly already-fresh) result stored
 // under the pre-write version, which no post-write lookup accepts.
 // Entries can be over-fresh and die young; they are never stale.
+//
+// With Limits.DeltaMaintenance, a version mismatch caused only by
+// appended facts is repaired instead of recomputed: the entry carries
+// the query's mergeable partials and a delta fold over just the appended
+// range makes it current again (delta.go). Over-fresh entries are the
+// one thing that must NOT carry partials — the fill below attaches them
+// only when the version did not move during computation.
 
 // ResultCacheEnabled reports whether the server was built with a result
 // cache (Limits.ResultCacheBytes > 0).
@@ -65,8 +73,15 @@ func (s *Server) resultVersion(name string) cache.Version {
 
 // QueryOutcome reports how a ServeQuery answer was produced.
 type QueryOutcome struct {
-	// CacheHit: answered from a current-version result-cache entry.
+	// CacheHit: answered from a current-version result-cache entry
+	// (including an entry made current by a delta upgrade — see Upgraded).
 	CacheHit bool
+	// Upgraded: the entry was version-stale but carried mergeable
+	// partials, and the answer was produced by folding only the facts
+	// appended since the entry's version and merging (delta maintenance,
+	// Limits.DeltaMaintenance). CacheHit is also set: the result is fresh
+	// and served from cache-resident state, not recomputed.
+	Upgraded bool
 	// DegradedStale: the query was shed by admission control and
 	// answered from a version-stale cache entry within the
 	// Limits.StaleOnShed bound instead of failing with ErrOverloaded.
@@ -115,22 +130,59 @@ func (s *Server) ServeQuery(ctx context.Context, src string) (*query.Result, Que
 		return res, QueryOutcome{}, err
 	}
 	ver := s.resultVersion(mo)
+	if ver.Epoch == 0 && s.limits.Planner {
+		// Cold start: no engine yet, so the version lacks its epoch half. A
+		// fill now would build the engine mid-computation, move the version,
+		// and store a doomed entry (and the over-fresh guard would rightly
+		// withhold its partials). Build the engine first — the fill pays
+		// that cost anyway — and re-read the version so the first fill is
+		// cacheable and upgradeable. An unknown MO falls through to Query's
+		// canonical error.
+		if _, err := s.EngineFor(ctx, mo); err == nil {
+			ver = s.resultVersion(mo)
+		}
+	}
 	if v, ok := s.results.Get(key, ver); ok {
 		s.queries.Add(1)
 		mQueries.Inc()
 		obs.TraceFrom(ctx).SetAttr("cache_hit", 1)
-		return v.(*query.Result), QueryOutcome{CacheHit: true}, nil
+		return v.(*cachedResult).res, QueryOutcome{CacheHit: true}, nil
+	}
+	// Before recomputing, try to repair a retained upgradeable entry by
+	// folding only the appended facts (delta.go). This runs ahead of the
+	// single-flight and the degraded stale path: an entry a delta merge
+	// can answer fresh must never be served degraded-stale instead.
+	if s.deltaEnabled() {
+		if res, out, err, handled := s.tryUpgrade(ctx, key, mo, ver); handled {
+			return res, out, err
+		}
 	}
 	obs.TraceFrom(ctx).SetAttr("cache_hit", 0)
 	v, err := s.flights.Do(flightKey(key, ver), func() (any, error) {
-		res, err := s.Query(ctx, src)
+		fctx := ctx
+		var cp *plan.Capture
+		if s.deltaEnabled() {
+			fctx, cp = plan.WithCapture(fctx)
+		}
+		res, err := s.Query(fctx, src)
 		if err != nil {
 			// Errors are not cached: transient failures (timeouts,
 			// budgets, sheds) must not shadow a later healthy computation.
 			return nil, err
 		}
-		s.results.Put(key, ver, res, resultBytes(res))
-		return res, nil
+		entry := &cachedResult{res: res}
+		if cp != nil && cp.Partials != nil && s.resultVersion(mo) == ver {
+			// The partials are attached only when no write raced the
+			// computation: an over-fresh result stored under the pre-write
+			// version is harmless as a plain entry (it dies at its next
+			// lookup) but poisonous as an upgradeable one — a later delta
+			// fold would double-count the facts the race already included.
+			entry.parts = cp.Partials
+			s.results.PutUpgradeable(key, ver, entry, resultBytes(res)+partialsBytes(entry.parts))
+			return entry, nil
+		}
+		s.results.Put(key, ver, entry, resultBytes(res))
+		return entry, nil
 	})
 	if err != nil {
 		// Query already converts execution panics to *InternalError, so a
@@ -149,7 +201,7 @@ func (s *Server) ServeQuery(ctx context.Context, src string) (*query.Result, Que
 		}
 		return nil, QueryOutcome{}, err
 	}
-	return v.(*query.Result), QueryOutcome{}, nil
+	return v.(*cachedResult).res, QueryOutcome{}, nil
 }
 
 // staleOnShed is the degraded read for a shed query: a version-stale
@@ -164,7 +216,7 @@ func (s *Server) staleOnShed(ctx context.Context, key string, ver cache.Version)
 	obs.TraceFrom(ctx).SetAttr("degraded_stale", 1)
 	// Shallow copy: the cached entry is shared and must not grow the
 	// warning; rows and columns are immutable by the cache contract.
-	cp := *v.(*query.Result)
+	cp := *v.(*cachedResult).res
 	cp.Warnings = append(append([]string(nil), cp.Warnings...),
 		fmt.Sprintf("degraded: served stale cached result (age %s) because the server shed this query under overload",
 			age.Round(time.Millisecond)))

@@ -111,4 +111,15 @@ type Limits struct {
 	// either path — only wall-clock and allocations change. See
 	// docs/PLANNER.md.
 	Planner bool
+	// DeltaMaintenance keeps cached results and pre-aggregates warm under
+	// sustained appends: result-cache fills through the planner retain
+	// mergeable per-group partials, and a lookup that misses only because
+	// facts were appended is answered by folding just the appended fact
+	// range and merging — work proportional to the append volume, not to
+	// history. Requires Planner and ResultCacheBytes (it is inert without
+	// them); when an upgrade is not sound (catalog re-registration, epoch
+	// outside the engine's journal, non-mergeable shape) the query takes
+	// the normal recompute path and the fallback reason is counted in
+	// mddm_delta_fallbacks_total. See docs/STORAGE.md "Delta maintenance".
+	DeltaMaintenance bool
 }

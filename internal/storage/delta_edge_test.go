@@ -1,0 +1,77 @@
+package storage
+
+import (
+	"context"
+	"testing"
+
+	"mddm/internal/casestudy"
+)
+
+// TestRangeFoldEdges pins the range folds' boundary behavior: ranges are
+// clamped rather than trusted (a caller holding a slightly-stale hi must
+// not read past the universe, and a negative lo must not panic), an
+// unknown dimension is an empty answer rather than a nil-map crash, and
+// cancellation surfaces as an error on both the grouped and global
+// paths.
+func TestRangeFoldEdges(t *testing.T) {
+	e, grow := growEngine(t, 30)
+	grow(10)
+	n := e.NumFacts()
+	ctx := context.Background()
+
+	// hi past the end clamps to the universe; lo < 0 clamps to 0.
+	vals, counts, _, err := e.AggregateByRange(ctx, casestudy.DimDiagnosis, casestudy.CatGroup, "", nil, 0, n+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, fullCounts, _, err := e.AggregateByRange(ctx, casestudy.DimDiagnosis, casestudy.CatGroup, "", nil, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(full) {
+		t.Fatalf("clamped fold diverged: %v vs %v", vals, full)
+	}
+	for i := range counts {
+		if counts[i] != fullCounts[i] {
+			t.Fatalf("clamped counts diverged: %v vs %v", counts, fullCounts)
+		}
+	}
+	cnt, _, err := e.GlobalRange(ctx, "", nil, -5, n+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != n {
+		t.Fatalf("clamped global count = %d, want %d", cnt, n)
+	}
+	if e.MultiValuedRange(casestudy.DimDiagnosis, casestudy.CatGroup, nil, -5, n+100) !=
+		e.MultiValuedRange(casestudy.DimDiagnosis, casestudy.CatGroup, nil, 0, n) {
+		t.Fatal("clamped multi-valued probe diverged from the exact range")
+	}
+
+	// Empty range and unknown dimension: empty answers, no error.
+	if v, c, a, err := e.AggregateByRange(ctx, casestudy.DimDiagnosis, casestudy.CatGroup, "", nil, n, n); err != nil || v != nil || c != nil || a != nil {
+		t.Fatalf("empty range = %v %v %v %v", v, c, a, err)
+	}
+	if v, _, _, err := e.AggregateByRange(ctx, "Nope", "Nada", "", nil, 0, n); err != nil || v != nil {
+		t.Fatalf("unknown dimension = %v %v", v, err)
+	}
+	if e.MultiValuedRange(casestudy.DimDiagnosis, casestudy.CatGroup, nil, n, n) {
+		t.Fatal("empty range reported multi-valued")
+	}
+
+	// A selection restricts the probe exactly as it restricts the fold: an
+	// empty selection can never see two values for one fact.
+	if e.MultiValuedRange(casestudy.DimDiagnosis, casestudy.CatGroup, NewBitmap(n), 0, n) {
+		t.Fatal("empty selection reported multi-valued")
+	}
+
+	// Cancellation is honored on both fold paths.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := e.AggregateByRange(canceled, casestudy.DimDiagnosis, casestudy.CatGroup, "", nil, 0, n); err == nil {
+		t.Fatal("canceled grouped fold did not error")
+	}
+	if _, _, err := e.GlobalRange(canceled, "", nil, 0, n); err == nil {
+		t.Fatal("canceled global fold did not error")
+	}
+}

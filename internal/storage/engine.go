@@ -66,6 +66,10 @@ type Engine struct {
 	// process-unique value at build time and after every AppendFact.
 	// Atomic so Epoch() never takes the engine lock.
 	epoch atomic.Uint64
+	// windows journals (epoch, fact count) pairs so delta maintenance can
+	// resolve "what was appended since epoch E" (see epoch.go); guarded
+	// by mu, appended by bumpEpoch.
+	windows []epochWindow
 }
 
 type dimIndex struct {

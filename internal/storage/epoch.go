@@ -1,6 +1,9 @@
 package storage
 
-import "sync/atomic"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // epochSource issues mutation epochs process-wide. Drawing every
 // engine's epochs from one monotone source — rather than a per-engine
@@ -14,6 +17,23 @@ var epochSource atomic.Uint64
 // callers can use 0 as the "no engine" sentinel).
 func nextEpoch() uint64 { return epochSource.Add(1) }
 
+// maxEpochWindows bounds the per-engine epoch journal. 4096 windows is
+// hours of sustained appends between two lookups of the same cache
+// entry; an entry older than that falls back to invalidation, which is
+// always sound.
+const maxEpochWindows = 4096
+
+// epochWindow records that when the engine's epoch was `epoch`, exactly
+// the first `facts` dense indices existed. Because the only mutation an
+// engine survives is AppendFact — builds and restores create fresh
+// engines — the fact range [w.facts, len(e.facts)) is precisely what was
+// appended after epoch w.epoch: the delta a mergeable cached result
+// needs to fold to become current.
+type epochWindow struct {
+	epoch uint64
+	facts int
+}
+
 // Epoch returns the engine's current mutation epoch. The epoch moves to
 // a fresh process-unique value when the engine is built and after every
 // successful AppendFact; readers comparing epochs across those events
@@ -22,6 +42,60 @@ func nextEpoch() uint64 { return epochSource.Add(1) }
 // equality.
 func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
 
-// bumpEpoch moves the engine to a fresh epoch; called with the write
-// lock held at the end of each successful mutation.
-func (e *Engine) bumpEpoch() { e.epoch.Store(nextEpoch()) }
+// EpochFacts returns the current epoch and fact count as one consistent
+// observation (a lock-free Epoch() then NumFacts() could straddle an
+// append). Delta folds bound their range with the `facts` value and tag
+// the merged result with the matching `epoch`.
+func (e *Engine) EpochFacts() (epoch uint64, facts int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch.Load(), len(e.facts)
+}
+
+// bumpEpoch moves the engine to a fresh epoch and journals the window;
+// called with the write lock held at the end of each successful
+// mutation.
+func (e *Engine) bumpEpoch() {
+	e.epoch.Store(nextEpoch())
+	e.windows = append(e.windows, epochWindow{epoch: e.epoch.Load(), facts: len(e.facts)})
+	if len(e.windows) > maxEpochWindows {
+		// Trim in bulk so sustained appends amortize the copy.
+		keep := maxEpochWindows / 2
+		e.windows = append(e.windows[:0], e.windows[len(e.windows)-keep:]...)
+	}
+}
+
+// FactsAt reports how many facts the engine held when `epoch` was its
+// current epoch, or ok=false when the epoch is not in this engine's
+// journal (it belonged to another engine, predates a restart, or was
+// trimmed). Epochs in the journal are strictly increasing, so the
+// lookup is a binary search.
+func (e *Engine) FactsAt(epoch uint64) (int, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.factsAtLocked(epoch)
+}
+
+func (e *Engine) factsAtLocked(epoch uint64) (int, bool) {
+	i := sort.Search(len(e.windows), func(i int) bool { return e.windows[i].epoch >= epoch })
+	if i < len(e.windows) && e.windows[i].epoch == epoch {
+		return e.windows[i].facts, true
+	}
+	return 0, false
+}
+
+// DeltaRange resolves the append-only gap between oldEpoch and the
+// engine's current state: the dense fact range [lo, hi) appended since
+// oldEpoch, plus the epoch that exactly covers [0, hi). ok=false means
+// oldEpoch is unknown to this engine and no sound delta exists — the
+// caller must fall back to invalidation. The three values are one
+// consistent observation under the read lock.
+func (e *Engine) DeltaRange(oldEpoch uint64) (lo, hi int, cur uint64, ok bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	lo, ok = e.factsAtLocked(oldEpoch)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	return lo, len(e.facts), e.epoch.Load(), true
+}

@@ -25,6 +25,26 @@ var (
 		"Pre-aggregate reuse decisions by outcome.", obs.Label{Key: "outcome", Value: "fallback"})
 )
 
+// Delta-maintenance outcomes for the pre-aggregate layer (the result
+// cache registers the same family with layer="result-cache" in
+// internal/serve): an upgrade keeps a materialization warm by folding
+// only the appended facts; a fallback is the gate refusing the merge
+// and reverting to invalidation, labeled by why.
+var (
+	mDeltaPreaggUpgrades = obs.NewCounter("mddm_delta_upgrades_total",
+		"Cached aggregates upgraded in place by a delta merge instead of invalidated.",
+		obs.Label{Key: "layer", Value: "preagg"})
+	mDeltaPreaggFolds = obs.NewCounter("mddm_delta_folds_total",
+		"Delta folds run over appended fact ranges.",
+		obs.Label{Key: "layer", Value: "preagg"})
+	mDeltaPreaggFallbackNonStrict = obs.NewCounter("mddm_delta_fallbacks_total",
+		"Delta upgrades abandoned for invalidation, by reason.",
+		obs.Label{Key: "layer", Value: "preagg"}, obs.Label{Key: "reason", Value: "non-strict"})
+	mDeltaPreaggFallbackWindow = obs.NewCounter("mddm_delta_fallbacks_total",
+		"Delta upgrades abandoned for invalidation, by reason.",
+		obs.Label{Key: "layer", Value: "preagg"}, obs.Label{Key: "reason", Value: "window-unknown"})
+)
+
 // This file implements the summarizability-guarded pre-aggregate cache:
 // the flexible reuse of pre-computed aggregates that §3.4 identifies as the
 // payoff of summarizability. A materialized lower-level result is combined
@@ -53,20 +73,27 @@ type Materialization struct {
 }
 
 // Cache holds materializations keyed by (dim, cat, kind, arg). It is
-// safe for concurrent use; the underlying engine carries its own lock.
+// safe for concurrent use; the underlying engine carries its own lock
+// (lock order: Cache.mu, then the engine's — never the reverse).
 type Cache struct {
 	engine *Engine
-	mu     sync.Mutex // guards mats, guards, Hits, Misses
+	mu     sync.Mutex // guards mats, guards, epoch, Hits, Misses, Upgrades, Fallbacks
 	mats   map[string]*Materialization
 	guards map[string]error // memoized ReuseGuard verdicts
-	// Hits and Misses count reuse outcomes, for observability and tests.
-	// Read them only after concurrent work has quiesced.
-	Hits, Misses int
+	// epoch is the engine epoch every cached materialization (and guard
+	// verdict) reflects; refresh folds the appended delta when it lags.
+	epoch uint64
+	// Hits and Misses count reuse outcomes; Upgrades and Fallbacks count
+	// delta-refresh outcomes (materializations kept warm by a delta merge
+	// vs dropped back to invalidation). For observability and tests —
+	// read them only after concurrent work has quiesced.
+	Hits, Misses        int
+	Upgrades, Fallbacks int
 }
 
 // NewCache creates an empty pre-aggregate cache over an engine.
 func NewCache(e *Engine) *Cache {
-	return &Cache{engine: e, mats: map[string]*Materialization{}, guards: map[string]error{}}
+	return &Cache{engine: e, mats: map[string]*Materialization{}, guards: map[string]error{}, epoch: e.Epoch()}
 }
 
 func key(dim, cat string, kind AggKind, arg string) string {
@@ -80,23 +107,116 @@ func (c *Cache) Materialize(dim, cat string, kind AggKind, arg string) (*Materia
 
 // MaterializeContext is Materialize with cooperative cancellation.
 func (c *Cache) MaterializeContext(ctx context.Context, dim, cat string, kind AggKind, arg string) (*Materialization, error) {
+	if err := c.refresh(ctx); err != nil {
+		return nil, err
+	}
+	e0, _ := c.engine.EpochFacts()
 	rows, err := c.computeBaseContext(ctx, dim, cat, kind, arg)
 	if err != nil {
 		return nil, err
 	}
 	m := &Materialization{Dim: dim, Cat: cat, Kind: kind, Arg: arg, Rows: rows}
 	c.mu.Lock()
-	c.mats[key(dim, cat, kind, arg)] = m
+	// Store only when no append raced the compute (the rows would cover
+	// facts beyond the cache's epoch, and a later delta fold would count
+	// them twice). The caller still gets the answer; the cache just skips
+	// an entry it could not tag coherently.
+	if post, _ := c.engine.EpochFacts(); post == e0 && c.epoch == e0 {
+		c.mats[key(dim, cat, kind, arg)] = m
+	}
 	c.mu.Unlock()
 	return m, nil
 }
 
-// Lookup returns the cached materialization, if any.
+// Lookup returns the cached materialization, if any. It does not
+// refresh: callers outside the AggregateContext/RollupFromContext entry
+// points see the rows as of the cache's last refresh epoch.
 func (c *Cache) Lookup(dim, cat string, kind AggKind, arg string) (*Materialization, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m, ok := c.mats[key(dim, cat, kind, arg)]
 	return m, ok
+}
+
+// refresh brings every materialization and memoized guard verdict up to
+// the engine's current epoch. For each materialization the delta gate
+// runs ReuseGuard's partitioning check on just the appended range: when
+// the delta keeps the category strict (no new many-to-many attachment),
+// the per-value delta fold is merged into the rows in place — an
+// upgrade; otherwise the materialization is invalidated, exactly the
+// pre-delta behaviour. Guard verdicts are always dropped on an epoch
+// move: an appended fact can flip the fact-level disjointness and
+// coverage checks, so a memoized verdict must be re-proven against the
+// new fact population.
+func (c *Cache) refresh(ctx context.Context) error {
+	if c.engine.Epoch() == c.loadEpoch() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.engine.Epoch() == c.epoch {
+		return nil // raced with another refresher
+	}
+	// Whatever happens below, the memoized verdicts are stale.
+	c.guards = map[string]error{}
+	lo, hi, cur, ok := c.engine.DeltaRange(c.epoch)
+	if !ok {
+		// The cache's epoch is not in the engine's journal (it predates the
+		// journal window, or the engine was swapped): no sound delta exists.
+		// Today's invalidation — drop everything.
+		if n := len(c.mats); n > 0 {
+			c.Fallbacks += n
+			mDeltaPreaggFallbackWindow.Add(int64(n))
+			c.mats = map[string]*Materialization{}
+		}
+		c.epoch = c.engine.Epoch()
+		return nil
+	}
+	for k, m := range c.mats {
+		if c.engine.MultiValuedRange(m.Dim, m.Cat, nil, lo, hi) {
+			// The delta attached a fact to two values of the category: the
+			// strict/partitioning premise behind reusing this materialization
+			// (ReuseGuard's Σ|B_v| = |∪B_v| check) no longer holds, so the
+			// gate refuses the merge and falls back to invalidation.
+			delete(c.mats, k)
+			c.Fallbacks++
+			mDeltaPreaggFallbackNonStrict.Inc()
+			continue
+		}
+		values, counts, args, err := c.engine.AggregateByRange(ctx, m.Dim, m.Cat, m.Arg, nil, lo, hi)
+		if err != nil {
+			// Cancellation mid-refresh: leave the epoch unmoved so the next
+			// entry retries; already-merged materializations were tagged by
+			// the same fold and stay coherent once the epoch does move.
+			return err
+		}
+		mDeltaPreaggFolds.Inc()
+		for j, v := range values {
+			switch m.Kind {
+			case KindSum:
+				// Continue the fold value by value in ascending fact order —
+				// the exact association a from-scratch sequential recompute
+				// would use, so the merged float is bit-identical to it.
+				acc := m.Rows[v]
+				for _, x := range args[j] {
+					acc += x
+				}
+				m.Rows[v] = acc
+			default:
+				m.Rows[v] += float64(counts[j])
+			}
+		}
+		c.Upgrades++
+		mDeltaPreaggUpgrades.Inc()
+	}
+	c.epoch = cur
+	return nil
+}
+
+func (c *Cache) loadEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 // AggregateContext answers (dim, cat, kind, arg) from the cache,
@@ -106,6 +226,9 @@ func (c *Cache) Lookup(dim, cat string, kind AggKind, arg string) (*Materializat
 func (c *Cache) AggregateContext(ctx context.Context, dim, cat string, kind AggKind, arg string) (map[string]float64, error) {
 	if err := faultinject.Check(faultinject.PreAggLookup); err != nil {
 		return nil, fmt.Errorf("storage: pre-agg lookup: %w", err)
+	}
+	if err := c.refresh(ctx); err != nil {
+		return nil, err
 	}
 	if m, ok := c.Lookup(dim, cat, kind, arg); ok {
 		c.mu.Lock()
@@ -182,9 +305,11 @@ func (c *Cache) ReuseGuard(dim, fromCat, toCat string, kind AggKind) error {
 	return nil
 }
 
-// guardCached memoizes ReuseGuard per (dim, fromCat, toCat, kind): the
-// engine is an immutable snapshot, so a hierarchy's verdict cannot change
-// and a production system validates it once, not per query.
+// guardCached memoizes ReuseGuard per (dim, fromCat, toCat, kind): a
+// verdict is stable between mutations, so a production system validates
+// it once per epoch, not per query. The memo is dropped wholesale by
+// refresh on every epoch move — an appended fact can flip the
+// fact-level disjointness/coverage checks in either direction.
 func (c *Cache) guardCached(dim, fromCat, toCat string, kind AggKind) error {
 	k := strings.Join([]string{dim, fromCat, toCat, string(kind)}, "\x00")
 	c.mu.Lock()
@@ -213,6 +338,9 @@ func (c *Cache) RollupFrom(dim, fromCat, toCat string, kind AggKind, arg string)
 
 // RollupFromContext is RollupFrom with cooperative cancellation.
 func (c *Cache) RollupFromContext(ctx context.Context, dim, fromCat, toCat string, kind AggKind, arg string) (map[string]float64, error) {
+	if err := c.refresh(ctx); err != nil {
+		return nil, err
+	}
 	m, ok := c.Lookup(dim, fromCat, kind, arg)
 	if !ok {
 		var err error
