@@ -60,6 +60,12 @@ var guards = []guard{
 		higherIsBetter: true,
 		label:          "B18 delta-upgrade speedup vs recompute",
 	},
+	{
+		file: "BENCH_B19.json", op: "throughput-ratio-batched-vs-unbatched",
+		metric:         func(r benchRow) float64 { return r.Value },
+		higherIsBetter: true,
+		label:          "B19 batched throughput ratio vs unbatched",
+	},
 }
 
 func main() {

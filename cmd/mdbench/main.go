@@ -20,6 +20,7 @@
 //	mdbench -exp B16  # persistent segment storage: append, recovery, checkpoint
 //	mdbench -exp B17  # columnar planner vs full algebra (differential oracle asserted)
 //	mdbench -exp B18  # delta-merge maintenance: upgraded hit vs recompute under appends
+//	mdbench -exp B19  # shared-scan batching: throughput + member latency tax (oracle asserted)
 //	mdbench -all
 //
 // With -json, every measurement is also written to BENCH_<exp>.json in the
@@ -83,9 +84,9 @@ type benchRow struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (B1..B18; B8 runs under go test -bench=WideMO)")
+	exp := flag.String("exp", "", "experiment id (B1..B19; B8 runs under go test -bench=WideMO)")
 	all := flag.Bool("all", false, "run every experiment")
-	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B14 and B16–B18")
+	nFacts := flag.Int("n", 100000, "synthetic MO size (facts) for B11–B14 and B16–B19")
 	jsonOut = flag.Bool("json", false, "also write BENCH_<exp>.json with one row per measurement")
 	flag.Parse()
 	if !*all && *exp == "" {
@@ -118,6 +119,7 @@ func main() {
 	run("B16", func() { b16(*nFacts) })
 	run("B17", func() { b17(*nFacts) })
 	run("B18", func() { b18(*nFacts) })
+	run("B19", func() { b19(*nFacts) })
 }
 
 // flushJSON writes the experiment's recorded rows to BENCH_<id>.json when

@@ -1,0 +1,121 @@
+// Command mdload drives a declarative traffic mix against a running
+// mdserve instance and reports the latency distribution per query class
+// — the workload front-end for the batching and caching experiments
+// (docs/TRAFFIC.md).
+//
+//	mdload -url http://127.0.0.1:8344 -mix mix.json
+//	mdload -mix mix.json -duration 10s -out report.json
+//
+// The mix file (see internal/traffic) declares closed- or open-loop
+// traffic: weighted query classes, zipf hot-set skew, tenant spread, and
+// an optional append interleave. The report carries per-class
+// p50/p90/p99/p999 latency (milliseconds), error counts, and tallies of
+// the X-Mddm-Batch and X-Mddm-Cache response headers, so one run shows
+// both how fast the server answered and how it answered.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"mddm/internal/traffic"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8344", "base URL of the mdserve instance")
+	mixPath := flag.String("mix", "", "traffic mix JSON file (required; see internal/traffic)")
+	duration := flag.Duration("duration", 0, "override the mix duration")
+	concurrency := flag.Int("concurrency", 0, "override the closed-loop worker count")
+	rate := flag.Float64("rate", 0, "override the open-loop arrival rate (requests/sec)")
+	requests := flag.Int64("requests", 0, "override the request-count bound")
+	seed := flag.Int64("seed", 0, "override the mix seed")
+	out := flag.String("out", "", "write the JSON report to this file (default: stdout)")
+	flag.Parse()
+
+	if *mixPath == "" {
+		fatal(fmt.Errorf("-mix is required"))
+	}
+	data, err := os.ReadFile(*mixPath)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := traffic.ParseMix(data)
+	if err != nil {
+		fatal(err)
+	}
+	// Overrides are re-validated by the runner, so a bad combination
+	// (e.g. -duration 0 on a mix with no request bound) still fails fast.
+	if *duration != 0 {
+		m.Duration = duration.String()
+	}
+	if *concurrency != 0 {
+		m.Concurrency = *concurrency
+	}
+	if *rate != 0 {
+		m.RatePerSec = *rate
+	}
+	if *requests != 0 {
+		m.Requests = *requests
+	}
+	if *seed != 0 {
+		m.Seed = *seed
+	}
+
+	// SIGINT/SIGTERM stops the run early; the partial report still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	rep, err := (&traffic.Runner{BaseURL: *url}).Run(ctx, m)
+	if err != nil {
+		fatal(err)
+	}
+	summarize(rep, time.Since(start))
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// summarize prints the human-readable run summary to stderr, keeping
+// stdout clean for the JSON report.
+func summarize(rep *traffic.Report, wall time.Duration) {
+	fmt.Fprintf(os.Stderr, "mdload: mix %q (%s) ran %s: %d requests, %d errors, %.1f req/s\n",
+		rep.Mix, rep.Mode, wall.Round(time.Millisecond), rep.Requests, rep.Errors, rep.Throughput)
+	names := make([]string, 0, len(rep.Classes))
+	for name := range rep.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cs := rep.Classes[name]
+		fmt.Fprintf(os.Stderr, "mdload:   %-20s %6d reqs %4d errs  p50 %7.2fms  p99 %7.2fms  p999 %7.2fms",
+			name, cs.Requests, cs.Errors, cs.Latency.P50, cs.Latency.P99, cs.Latency.P999)
+		if len(cs.Batch) > 0 {
+			fmt.Fprintf(os.Stderr, "  batch %v", cs.Batch)
+		}
+		if len(cs.Cache) > 0 {
+			fmt.Fprintf(os.Stderr, "  cache %v", cs.Cache)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdload:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,8 @@
 //	                                    # shed past the knee: 429 + Retry-After
 //	mdserve -data /var/lib/mddm         # persistent appends: WAL + segments,
 //	                                    # crash-recovered at startup
+//	mdserve -planner -batch             # fuse concurrent similar queries
+//	                                    # into shared scans (X-Mddm-Batch)
 //	curl 'localhost:8344/query?q=SELECT+SETCOUNT(*)+FROM+patients'
 //
 // The catalog contains the patient MO under the name "patients"; NOW
@@ -35,6 +37,7 @@ import (
 	"time"
 
 	"mddm/internal/admission"
+	"mddm/internal/batch"
 	"mddm/internal/casestudy"
 	"mddm/internal/core"
 	"mddm/internal/dimension"
@@ -63,6 +66,9 @@ func main() {
 	staleOnShed := flag.Duration("stale-on-shed", 0, "serve a result-cache entry this stale (with a warning) instead of shedding a query under overload (0 disables; needs -result-cache)")
 	planner := flag.Bool("planner", false, "execute queries through the columnar planner (late materialization; ?plan=1 shows the chosen plan)")
 	delta := flag.Bool("delta", false, "delta-merge incremental maintenance: repair version-stale cached results by folding only appended facts (needs -planner and -result-cache)")
+	batching := flag.Bool("batch", false, "shared-scan batching: fuse concurrent similar queries into one scan (needs -planner; responses carry X-Mddm-Batch: solo|leader|member)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long a batch leader waits gathering similar queries before scanning")
+	batchMax := flag.Int("batch-max", 32, "batch size that launches the fused scan before the gather window expires")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "drain window on SIGINT/SIGTERM")
 	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus text format) and GET /debug/queries")
 	selfcheck := flag.Bool("selfcheck", false, "start on a loopback port, run one query through HTTP, and exit")
@@ -74,6 +80,9 @@ func main() {
 
 	if *delta && (!*planner || *resultCache <= 0) {
 		fatal(fmt.Errorf("-delta needs -planner and a positive -result-cache: the upgrade path folds through the planner into result-cache entries"))
+	}
+	if *batching && !*planner {
+		fatal(fmt.Errorf("-batch needs -planner: only planned kernel legs can share a scan"))
 	}
 	ref, err := temporal.ParseDate(*refS)
 	if err != nil {
@@ -94,6 +103,12 @@ func main() {
 		StaleOnShed:      *staleOnShed,
 		Planner:          *planner,
 		DeltaMaintenance: *delta,
+		Batching: batch.Config{
+			Enabled:        *batching,
+			GatherWindow:   *batchWindow,
+			MaxBatch:       *batchMax,
+			MaxParallelism: *parallelism,
+		},
 		Admission: admission.Config{
 			MaxConcurrency: *admit,
 			MinConcurrency: *admitFloor,
@@ -161,7 +176,7 @@ func main() {
 			appendBody = fmt.Sprintf(`{"mo":"patients","fact":"selfcheck-%d","pairs":[{"dim":%q,"value":%q}]}`,
 				time.Now().UnixNano(), casestudy.DimDiagnosis, lows[0])
 		}
-		err := runSelfcheck(hs, *metrics, *resultCache > 0, *admit > 0, appendBody)
+		err := runSelfcheck(hs, *metrics, *resultCache > 0, *admit > 0, *batching, appendBody)
 		// Flush before exiting so the appended fact is folded durable —
 		// the second -selfcheck run on the same -data dir replays it.
 		if cerr := srv.CloseStores(); err == nil {
@@ -243,8 +258,11 @@ func buildMO(n int, seed int64) (*core.MO, error) {
 // admission gauges are exposed and that every response carries
 // X-Mddm-Request-Id; with -data (appendBody non-empty) it POSTs one
 // durable append, checks it is immediately visible to FACTS, and checks
-// the duplicate is rejected without being logged.
-func runSelfcheck(hs *http.Server, metrics, resultCache, admissionOn bool, appendBody string) error {
+// the duplicate is rejected without being logged; with -batch it walks
+// the X-Mddm-Batch header through all three outcomes — solo (a
+// non-batchable FACTS query), leader (a lone batchable aggregate), and
+// member (concurrent similar aggregates fusing into one scan).
+func runSelfcheck(hs *http.Server, metrics, resultCache, admissionOn, batchOn bool, appendBody string) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -346,6 +364,12 @@ func runSelfcheck(hs *http.Server, metrics, resultCache, admissionOn bool, appen
 		}
 		fmt.Println("selfcheck ok: metrics surface up")
 	}
+	if batchOn {
+		if err := selfcheckBatch(base, q); err != nil {
+			return err
+		}
+		fmt.Println("selfcheck ok: batch outcomes solo/leader/member")
+	}
 	if appendBody != "" {
 		aresp, err := http.Post(base+"/append", "application/json", strings.NewReader(appendBody))
 		if err != nil {
@@ -391,6 +415,77 @@ func runSelfcheck(hs *http.Server, metrics, resultCache, admissionOn bool, appen
 	}
 	fmt.Printf("selfcheck ok: %d rows, columns %v\n", len(out.Rows), out.Columns)
 	return nil
+}
+
+// selfcheckBatch walks X-Mddm-Batch through solo → leader → member.
+// nocache=1 keeps a configured result cache from answering before the
+// batching path runs.
+func selfcheckBatch(base, groupQ string) error {
+	get := func(q string) (string, error) {
+		resp, err := http.Get(base + "/query?nocache=1&q=" + url.QueryEscape(q))
+		if err != nil {
+			return "", err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("selfcheck: batch query returned %s", resp.Status)
+		}
+		return resp.Header.Get("X-Mddm-Batch"), nil
+	}
+
+	// A FACTS query has no kernel leg to share: it must bypass as solo.
+	got, err := get(`SELECT FACTS FROM patients`)
+	if err != nil {
+		return err
+	}
+	if got != "solo" {
+		return fmt.Errorf("selfcheck: FACTS X-Mddm-Batch = %q, want \"solo\"", got)
+	}
+
+	// A lone batchable aggregate opens (and is) its own batch: leader.
+	got, err = get(groupQ)
+	if err != nil {
+		return err
+	}
+	if got != "leader" {
+		return fmt.Errorf("selfcheck: lone aggregate X-Mddm-Batch = %q, want \"leader\"", got)
+	}
+
+	// Concurrent similar aggregates must fuse: at least one response joins
+	// an open batch as a member. The gather window is milliseconds, so
+	// scheduling jitter can miss the fusion in one round — retry a few.
+	similar := []string{
+		groupQ,
+		`SELECT COUNT(Age) FROM patients GROUP BY Diagnosis."Diagnosis Group"`,
+		`SELECT SETCOUNT(*) FROM patients WHERE Age >= 40 GROUP BY Diagnosis."Diagnosis Group"`,
+		`SELECT AVG(Age) FROM patients GROUP BY Diagnosis."Diagnosis Group"`,
+	}
+	for round := 0; round < 20; round++ {
+		outcomes := make(chan string, 2*len(similar))
+		errc := make(chan error, 2*len(similar))
+		for i := 0; i < cap(outcomes); i++ {
+			go func(q string) {
+				o, err := get(q)
+				if err != nil {
+					errc <- err
+					return
+				}
+				outcomes <- o
+			}(similar[i%len(similar)])
+		}
+		for i := 0; i < cap(outcomes); i++ {
+			select {
+			case err := <-errc:
+				return err
+			case o := <-outcomes:
+				if o == "member" {
+					return nil
+				}
+			}
+		}
+	}
+	return fmt.Errorf("selfcheck: no member outcome in 20 rounds of concurrent similar queries")
 }
 
 func fatal(err error) {

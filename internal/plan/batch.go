@@ -1,0 +1,317 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mddm/internal/agg"
+	"mddm/internal/obs"
+	"mddm/internal/qos"
+	"mddm/internal/query"
+	"mddm/internal/storage"
+	"mddm/internal/temporal"
+)
+
+// This file is the planner's half of shared-scan batching (internal/batch):
+// PrepareContext stops a query at the brink of shape execution so the
+// scheduler can group it with concurrent queries over the same
+// (engine, dimension, category) leg, and FinishShared consumes the fused
+// scan's full-width outputs while replaying — value by value, in
+// dictionary order — the exact qos budget sequence the solo kernels
+// charge. Batched results are bit-identical to solo execution: same rows,
+// same error texts, same budget spend, same captured delta partials.
+
+// Batch bypass reasons — the closed set of "why this query cannot join a
+// fused scan" labels (internal/batch registers a counter per reason).
+const (
+	// BypassFallback: the query routes to the algebra path (probabilistic,
+	// holistic, timeslice, …) — there is no kernel leg to share.
+	BypassFallback = "fallback"
+	// BypassFacts: SELECT FACTS enumerates identities, not group folds.
+	BypassFacts = "facts"
+	// BypassGlobal: the single ⊤ group needs no per-value scan.
+	BypassGlobal = "global"
+	// BypassCross: multi-leg grouping has combo/merge semantics a fused
+	// single-leg scan cannot reproduce.
+	BypassCross = "cross"
+	// BypassError: planning failed; Execute surfaces the validation error.
+	BypassError = "error"
+	// BypassScanUnavailable: the fused kernel refused (stale column
+	// dictionary); members ran solo instead.
+	BypassScanUnavailable = "scan-unavailable"
+)
+
+// PrepareContext parses and plans a query, stopping short of shape
+// execution. The caller then either Executes it solo or — when Batchable —
+// routes it through a fused shared scan and FinishShared. Spans and
+// planner latency metrics cover prepare through finish, mirroring
+// ExecContext.
+func PrepareContext(cctx context.Context, src string, cat query.Catalog, ref temporal.Chronon, engines Engines) (*Prepared, error) {
+	start := time.Now()
+	sp := obs.StartSpan(cctx, "plan.query")
+	q, err := query.Parse(src)
+	if err != nil {
+		mPlanSeconds.Observe(time.Since(start))
+		sp.End()
+		return nil, err
+	}
+	p, err := prepare(cctx, q, cat, ref)
+	if err != nil {
+		mPlanSeconds.Observe(time.Since(start))
+		sp.End()
+		return nil, err
+	}
+	p.plan(engines)
+	p.sp, p.start = sp, start
+	return p, nil
+}
+
+// Abort releases the Prepared's span and latency observation without
+// executing — the batch glue's path for a member whose context died
+// while waiting on its batch.
+func (p *Prepared) Abort() { p.finishSpan() }
+
+// Batchable reports whether the prepared query can join a fused shared
+// scan — a planned single-leg aggregate — and the bypass reason when it
+// cannot (one of the Bypass* constants).
+func (p *Prepared) Batchable() (bool, string) {
+	switch {
+	case p.fallbackReason != "":
+		return false, BypassFallback
+	case p.planErr != nil:
+		return false, BypassError
+	case p.factsOnly:
+		return false, BypassFacts
+	case len(p.grouped) == 0:
+		return false, BypassGlobal
+	case len(p.grouped) > 1:
+		return false, BypassCross
+	}
+	return true, ""
+}
+
+// Engine returns the resolved engine snapshot (nil unless Batchable).
+func (p *Prepared) Engine() *storage.Engine { return p.eng }
+
+// GroupLeg returns the single grouping leg a batchable query folds over.
+func (p *Prepared) GroupLeg() (dim, cat string) {
+	if len(p.grouped) != 1 {
+		return "", ""
+	}
+	return p.grouped[0].dim, p.grouped[0].cat
+}
+
+// ArgDim returns the argument dimension ("" when the function takes none).
+func (p *Prepared) ArgDim() string { return p.argDim }
+
+// Selection returns the compiled WHERE bitmap (nil admits every fact).
+func (p *Prepared) Selection() *storage.Bitmap { return p.sel }
+
+// NeedsArgLists reports whether this member's slice of the fused scan
+// must materialize per-value argument lists (storage.SharedScanMember
+// ListArgs): delta-capture consumers rebuild mergeable partials from the
+// value lists themselves, and aggregates outside the accumulator-foldable
+// set finalize with their own Eval over a list. Everything else finishes
+// from the scan's constant-size FoldAccs, which cost no per-member
+// allocation.
+func (p *Prepared) NeedsArgLists() bool {
+	if p.argDim == "" {
+		return false
+	}
+	if captureFrom(p.cctx) != nil {
+		return true
+	}
+	return !accFoldable(p.fn)
+}
+
+// accFoldable reports whether fn finalizes bit-identically from a FoldAcc
+// folded in the solo kernels' ascending order: SUM and AVG replay the
+// exact left-to-right addition sequence, COUNT is the fold's value count,
+// MIN/MAX replay Eval's seed-then-compare ladder. Anything else (or a
+// future registration) falls back to argument lists.
+func accFoldable(fn *agg.Func) bool {
+	switch fn.Name {
+	case "SUM", "COUNT", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// accApply finalizes fn from a FoldAcc exactly as fn.Apply would from the
+// argument list the fold consumed: same empty-list ok semantics, same
+// float results.
+func accApply(fn *agg.Func, acc storage.FoldAcc) (float64, bool) {
+	switch fn.Name {
+	case "SUM":
+		if acc.N == 0 {
+			return 0, false
+		}
+		return acc.Sum, true
+	case "COUNT":
+		return float64(acc.N), true
+	case "AVG":
+		if acc.N == 0 {
+			return 0, false
+		}
+		return acc.Sum / float64(acc.N), true
+	case "MIN":
+		if !acc.Seen {
+			return 0, false
+		}
+		return acc.Min, true
+	case "MAX":
+		if !acc.Seen {
+			return 0, false
+		}
+		return acc.Max, true
+	}
+	return 0, false
+}
+
+// FinishShared completes a batchable query from a fused shared scan's
+// full-width outputs: values is the column dictionary in CategoryAt order
+// and counts this member's per-value fact counts (zero-count values
+// included); an argument-carrying member supplies either args (per-value
+// argument lists, when NeedsArgLists) or folds (the scan's constant-size
+// per-value FoldAccs). It replays the solo kernels' budget sequence — per
+// dictionary value, Check then Facts(count), with the solo paths' exact
+// error wrapping — against a fresh guard on the member's own context,
+// then runs the shared result tail (sort, HAVING/ORDER/LIMIT, partials
+// capture). The output is bit-identical to Execute at degree 1; see
+// docs/TRAFFIC.md for the float-order argument.
+func (p *Prepared) FinishShared(values []string, counts []int64, args [][]float64, folds []storage.FoldAcc) (*query.Result, error) {
+	defer p.finishSpan()
+	if ok, reason := p.Batchable(); !ok {
+		return nil, fmt.Errorf("plan: FinishShared on a non-batchable query (%s)", reason)
+	}
+	if p.NeedsArgLists() && args == nil {
+		return nil, fmt.Errorf("plan: FinishShared without argument lists for a list-mode member")
+	}
+	gd := p.grouped[0]
+	cp := captureFrom(p.cctx)
+	var parts *Partials
+	if cp != nil {
+		parts = newPartials(p.q, p.fn, p.grouped, p.argDim, p.m.Schema().FactType(), p.report)
+	}
+	g := qos.NewGuard(p.cctx)
+	var rows [][]string
+	switch {
+	case p.sel == nil && !p.fn.NeedsArg:
+		if p.ex != nil {
+			p.ex.Shape = ShapeKernelCount
+			p.ex.Kernel = KernelShared
+		}
+		parts.setShape(ShapeKernelCount)
+		out := make(map[string]int, len(values))
+		for j, v := range values {
+			if err := g.Check(); err != nil {
+				return nil, fmt.Errorf("query: %w", err)
+			}
+			if err := g.Facts(counts[j]); err != nil {
+				return nil, fmt.Errorf("query: %w",
+					fmt.Errorf("storage: count-distinct %s/%s: %w", gd.dim, gd.cat, err))
+			}
+			if counts[j] > 0 {
+				out[v] = int(counts[j])
+			}
+		}
+		parts.captureCounts(out)
+		rows = make([][]string, 0, len(out))
+		for v, c := range out {
+			rows = append(rows, []string{v, agg.FormatResult(float64(c))})
+		}
+	case p.sel == nil && p.fn.Name == "SUM":
+		if p.ex != nil {
+			p.ex.Shape = ShapeKernelSum
+			p.ex.Kernel = KernelShared
+		}
+		parts.setShape(ShapeKernelSum)
+		sums := make(map[string]float64, len(values))
+		for j, v := range values {
+			if err := g.Check(); err != nil {
+				return nil, fmt.Errorf("query: %w", err)
+			}
+			if err := g.Facts(counts[j]); err != nil {
+				return nil, fmt.Errorf("query: %w",
+					fmt.Errorf("storage: sum %s/%s: %w", gd.dim, gd.cat, err))
+			}
+			if args != nil {
+				if len(args[j]) > 0 {
+					// Left fold in ascending dense-index order — the exact
+					// addition order of the sequential solo kernels.
+					s := 0.0
+					for _, x := range args[j] {
+						s += x
+					}
+					sums[v] = s
+				}
+			} else if folds[j].N > 0 {
+				// The FoldAcc's Sum already IS that left fold — the scan
+				// accumulated it in the same ascending order.
+				sums[v] = folds[j].Sum
+			}
+		}
+		parts.captureSums(sums)
+		rows = make([][]string, 0, len(sums))
+		for v, s := range sums {
+			rows = append(rows, []string{v, agg.FormatResult(s)})
+		}
+	default:
+		if p.ex != nil {
+			p.ex.Shape = ShapeGroupFold
+			p.ex.Kernel = KernelShared
+		}
+		parts.setShape(ShapeGroupFold)
+		// An argument-carrying member finishes from lists or from FoldAccs,
+		// depending on what the scan materialized for it.
+		accMode := p.argDim != "" && args == nil
+		var kvals []string
+		var kcounts []int
+		var kargs [][]float64
+		var kaccs []storage.FoldAcc
+		for j, v := range values {
+			if err := g.Check(); err != nil {
+				return nil, fmt.Errorf("query: %w", err)
+			}
+			if err := g.Facts(counts[j]); err != nil {
+				return nil, fmt.Errorf("query: %w",
+					fmt.Errorf("storage: aggregate %s/%s: %w", gd.dim, gd.cat, err))
+			}
+			if counts[j] == 0 {
+				continue
+			}
+			kvals = append(kvals, v)
+			kcounts = append(kcounts, int(counts[j]))
+			switch {
+			case accMode:
+				kaccs = append(kaccs, folds[j])
+				kargs = append(kargs, nil)
+			case p.argDim != "":
+				list := args[j]
+				if list == nil {
+					list = []float64{}
+				}
+				kargs = append(kargs, list)
+			default:
+				kargs = append(kargs, nil)
+			}
+		}
+		parts.captureFold(kvals, kcounts, kargs)
+		rows = make([][]string, 0, len(kvals))
+		for j, val := range kvals {
+			var v float64
+			var ok bool
+			if accMode {
+				v, ok = accApply(p.fn, kaccs[j])
+			} else {
+				v, ok = p.fn.Apply(kcounts[j], kargs[j])
+			}
+			if !ok {
+				continue
+			}
+			rows = append(rows, []string{val, agg.FormatResult(v)})
+		}
+	}
+	return p.finish(rows, parts, cp)
+}

@@ -13,6 +13,10 @@ const (
 	ShapeKernelSum   = "kernel-sum"
 	ShapeGroupFold   = "group-fold"
 	ShapeCross       = "cross"
+
+	// KernelShared marks a query answered from a fused shared scan (batch
+	// scheduling); solo queries report "column" or "bitmap".
+	KernelShared = "shared-scan"
 )
 
 // Fallback reasons — the operators that need full MO semantics, plus the

@@ -57,22 +57,75 @@ func ExecContext(cctx context.Context, src string, cat query.Catalog, ref tempor
 }
 
 // RunContext executes a parsed query through the planner; see ExecContext.
+// It is prepare followed by Execute — the split exists so the batch
+// scheduler (internal/batch) can hold a query between planning and shape
+// execution; running them back to back is byte-identical to the original
+// single pass.
 func RunContext(cctx context.Context, q *query.Query, cat query.Catalog, ref temporal.Chronon, engines Engines) (*query.Result, error) {
-	ex := explainFrom(cctx)
-	guard := qos.NewGuard(cctx)
-	if err := guard.CheckNow(); err != nil {
+	p, err := prepare(cctx, q, cat, ref)
+	if err != nil {
+		return nil, err
+	}
+	p.plan(engines)
+	return p.Execute()
+}
+
+// Prepared is a query planned to the brink of shape execution: parsed,
+// routed (planned vs fallback), engine-resolved, WHERE-compiled, and
+// validated. Execute runs the solo tail; FinishShared consumes a fused
+// shared scan's outputs instead (batch.go). A Prepared is good for one
+// execution and is not safe for concurrent use.
+type Prepared struct {
+	cctx    context.Context
+	q       *query.Query
+	cat     query.Catalog
+	ref     temporal.Chronon
+	ex      *Explain
+	guard   *qos.Guard
+	eng     *storage.Engine
+	m       *core.MO
+	sel     *storage.Bitmap
+	fn      *agg.Func
+	report  agg.Report
+	grouped []groupDim
+
+	resultDim string
+	argDim    string
+	shownDims []string
+
+	// fallbackReason, when non-empty, routes Execute to the algebra path.
+	fallbackReason string
+	factsOnly      bool
+
+	// planned records that planning completed (mode metrics fired); the
+	// validation errors before that point surface from plan itself.
+	planErr error
+
+	// Span bookkeeping for PrepareContext callers; nil on the RunContext
+	// path, which is covered by ExecContext's own span.
+	sp    *obs.Span
+	start time.Time
+}
+
+// prepare routes the query: the fallback decisions that need no engine.
+func prepare(cctx context.Context, q *query.Query, cat query.Catalog, ref temporal.Chronon) (*Prepared, error) {
+	p := &Prepared{cctx: cctx, q: q, cat: cat, ref: ref, ex: explainFrom(cctx), guard: qos.NewGuard(cctx)}
+	if err := p.guard.CheckNow(); err != nil {
 		return nil, fmt.Errorf("query: %w", err)
 	}
 	// Operators that need MO semantics route to the algebra before any
 	// planning work; see docs/PLANNER.md for the fallback matrix.
 	if q.Describe != "" {
-		return fallback(cctx, q, cat, ref, ex, ReasonDescribe)
+		p.fallbackReason = ReasonDescribe
+		return p, nil
 	}
 	if q.MinProb > 0 {
-		return fallback(cctx, q, cat, ref, ex, ReasonMinProb)
+		p.fallbackReason = ReasonMinProb
+		return p, nil
 	}
 	if q.AsofValid != nil || q.AsofTrans != nil {
-		return fallback(cctx, q, cat, ref, ex, ReasonTimeslice)
+		p.fallbackReason = ReasonTimeslice
+		return p, nil
 	}
 	if !q.FactsOnly {
 		// A resolvable aggregate decides its path here; an unknown name
@@ -80,148 +133,207 @@ func RunContext(cctx context.Context, q *query.Query, cat query.Catalog, ref tem
 		// same order the algebra path reports it (after WHERE compilation).
 		if fn, err := agg.Lookup(q.Agg); err == nil {
 			if fn.NeedsProb {
-				return fallback(cctx, q, cat, ref, ex, ReasonProbabilistic)
+				p.fallbackReason = ReasonProbabilistic
+				return p, nil
 			}
 			if fn.NewState == nil {
-				return fallback(cctx, q, cat, ref, ex, ReasonHolistic)
+				p.fallbackReason = ReasonHolistic
+				return p, nil
 			}
 		}
 	}
-	if _, ok := cat[q.From]; !ok {
-		return nil, fmt.Errorf("query: unknown MO %q (catalog has %v)", q.From, query.CatalogNames(cat))
+	return p, nil
+}
+
+// plan resolves the engine, compiles the WHERE selection, and runs every
+// validation up to the shape dispatch. Errors are deferred into planErr so
+// Execute surfaces them in the original call order.
+func (p *Prepared) plan(engines Engines) {
+	if p.fallbackReason != "" {
+		return
 	}
-	eng, err := engines.EngineFor(cctx, q.From)
+	q := p.q
+	if _, ok := p.cat[q.From]; !ok {
+		p.planErr = fmt.Errorf("query: unknown MO %q (catalog has %v)", q.From, query.CatalogNames(p.cat))
+		return
+	}
+	eng, err := engines.EngineFor(p.cctx, q.From)
 	if err != nil {
-		return fallback(cctx, q, cat, ref, ex, ReasonEngineUnavailable)
+		p.fallbackReason = ReasonEngineUnavailable
+		return
 	}
-	ectx := dimension.CurrentContext(ref)
+	ectx := dimension.CurrentContext(p.ref)
 	if ec := eng.Context(); ec.Valid != nil || ec.Trans != nil || ec.MinProb != 0 || ec.Ref != ectx.Ref {
 		// The engine was built under a different evaluation context than
 		// this query's; its closures would answer a different question.
-		return fallback(cctx, q, cat, ref, ex, ReasonContextMismatch)
+		p.fallbackReason = ReasonContextMismatch
+		return
 	}
 	// The engine's MO is the authoritative pairing: reading names through
 	// it keeps dimension metadata and bitmap indexes from one snapshot
 	// even if the catalog entry was swapped after the engine resolved.
+	p.eng = eng
 	m := eng.MO()
+	p.m = m
 
-	var sel *storage.Bitmap
 	if q.Where != nil {
-		sel, err = compileWhere(cctx, q.Where, m, eng, ectx)
+		p.sel, err = compileWhere(p.cctx, q.Where, m, eng, ectx)
 		if err != nil {
-			return nil, err
+			p.planErr = err
+			return
 		}
 	}
 	if err := faultinject.Check(faultinject.PlanExec); err != nil {
-		return nil, fmt.Errorf("plan: %w", err)
+		p.planErr = fmt.Errorf("plan: %w", err)
+		return
 	}
 	mPlanPlanned.Inc()
-	if ex != nil {
-		ex.Mode = ModePlanned
-		ex.Degree = exec.DegreeFrom(cctx)
+	if p.ex != nil {
+		p.ex.Mode = ModePlanned
+		p.ex.Degree = exec.DegreeFrom(p.cctx)
 	}
 
 	if q.FactsOnly {
-		return execFacts(guard, eng, m, sel, ex)
+		p.factsOnly = true
+		return
 	}
 
 	fn, err := agg.Lookup(q.Agg)
 	if err != nil {
-		return nil, fmt.Errorf("query: %w", err)
+		p.planErr = fmt.Errorf("query: %w", err)
+		return
 	}
-	resultDim := q.Alias
-	if resultDim == "" {
-		resultDim = q.Agg
+	p.fn = fn
+	p.resultDim = q.Alias
+	if p.resultDim == "" {
+		p.resultDim = q.Agg
 	}
-	argDim := ""
 	if fn.NeedsArg {
 		if q.AggArg == "*" {
-			return nil, fmt.Errorf("query: %s needs an argument dimension", q.Agg)
+			p.planErr = fmt.Errorf("query: %s needs an argument dimension", q.Agg)
+			return
 		}
-		argDim = q.AggArg
+		p.argDim = q.AggArg
 	} else if q.AggArg != "*" {
-		return nil, fmt.Errorf("query: %s takes no argument dimension (use %s(*))", q.Agg, q.Agg)
+		p.planErr = fmt.Errorf("query: %s takes no argument dimension (use %s(*))", q.Agg, q.Agg)
+		return
 	}
 	groupBy := map[string]string{}
-	var shownDims []string
 	for _, g := range q.GroupBy {
 		dt := m.Schema().DimensionType(g.Dim)
 		if dt == nil {
-			return nil, fmt.Errorf("query: unknown dimension %q", g.Dim)
+			p.planErr = fmt.Errorf("query: unknown dimension %q", g.Dim)
+			return
 		}
 		c := g.Cat
 		if c == "" {
 			c = dt.Bottom()
 		}
 		if !dt.Has(c) {
-			return nil, fmt.Errorf("query: dimension %q has no category %q (has %v)", g.Dim, c, dt.CategoryTypes())
+			p.planErr = fmt.Errorf("query: dimension %q has no category %q (has %v)", g.Dim, c, dt.CategoryTypes())
+			return
 		}
 		groupBy[g.Dim] = c
-		shownDims = append(shownDims, g.Dim)
+		p.shownDims = append(p.shownDims, g.Dim)
 	}
 	// Aggregate-formation validations, replicated in the algebra's order
 	// and wrapping so error texts match the fallback path byte-for-byte.
-	if m.Schema().DimensionType(resultDim) != nil {
-		return nil, fmt.Errorf("query: algebra: aggregate: result dimension %q collides with an argument dimension", resultDim)
+	if m.Schema().DimensionType(p.resultDim) != nil {
+		p.planErr = fmt.Errorf("query: algebra: aggregate: result dimension %q collides with an argument dimension", p.resultDim)
+		return
 	}
 	var argDims []string
-	if argDim != "" {
-		if m.Schema().DimensionType(argDim) == nil {
-			return nil, fmt.Errorf("query: algebra: aggregate: unknown argument dimension %q", argDim)
+	if p.argDim != "" {
+		if m.Schema().DimensionType(p.argDim) == nil {
+			p.planErr = fmt.Errorf("query: algebra: aggregate: unknown argument dimension %q", p.argDim)
+			return
 		}
-		argDims = []string{argDim}
+		argDims = []string{p.argDim}
 	}
 	if err := agg.CheckLegal(m, fn, argDims); err != nil {
-		return nil, fmt.Errorf("query: %w", err)
+		p.planErr = fmt.Errorf("query: %w", err)
+		return
 	}
-	report := checkSummarizable(eng, m, fn, groupBy, ectx, sel)
+	p.report = checkSummarizable(eng, m, fn, groupBy, ectx, p.sel)
+	p.grouped = groupedDims(m, groupBy)
+}
 
-	grouped := groupedDims(m, groupBy)
+// finishSpan closes the span a PrepareContext call opened; no-op on the
+// RunContext path.
+func (p *Prepared) finishSpan() {
+	if p.sp != nil {
+		mPlanSeconds.Observe(time.Since(p.start))
+		p.sp.End()
+		p.sp = nil
+	}
+}
+
+// Execute runs the prepared query's solo tail: the algebra fallback when
+// routing chose it, otherwise the shape dispatch over the engine kernels.
+func (p *Prepared) Execute() (*query.Result, error) {
+	defer p.finishSpan()
+	if p.fallbackReason != "" {
+		return fallback(p.cctx, p.q, p.cat, p.ref, p.ex, p.fallbackReason)
+	}
+	if p.planErr != nil {
+		return nil, p.planErr
+	}
+	if p.factsOnly {
+		return execFacts(p.guard, p.eng, p.m, p.sel, p.ex)
+	}
 	// Delta-maintenance capture: the single-leg shapes retain mergeable
 	// per-group partials so the serving layer can continue the fold over
 	// appended facts instead of recomputing (delta.go). Cross stays out —
 	// its merged set-valued groups do not decompose per appended fact.
-	cp := captureFrom(cctx)
+	cp := captureFrom(p.cctx)
 	var parts *Partials
-	if cp != nil && len(grouped) <= 1 {
-		parts = newPartials(q, fn, grouped, argDim, m.Schema().FactType(), report)
+	if cp != nil && len(p.grouped) <= 1 {
+		parts = newPartials(p.q, p.fn, p.grouped, p.argDim, p.m.Schema().FactType(), p.report)
 	}
 	var rows [][]string
+	var err error
 	switch {
-	case len(grouped) == 0:
-		if ex != nil {
-			ex.Shape = ShapeGlobal
+	case len(p.grouped) == 0:
+		if p.ex != nil {
+			p.ex.Shape = ShapeGlobal
 		}
 		parts.setShape(ShapeGlobal)
-		rows, err = execGlobal(guard, eng, fn, argDim, sel, parts)
-	case len(grouped) == 1:
-		rows, err = execOneDim(cctx, eng, fn, grouped[0], argDim, sel, ex, parts)
+		rows, err = execGlobal(p.guard, p.eng, p.fn, p.argDim, p.sel, parts)
+	case len(p.grouped) == 1:
+		rows, err = execOneDim(p.cctx, p.eng, p.fn, p.grouped[0], p.argDim, p.sel, p.ex, parts)
 	default:
-		if ex != nil {
-			ex.Shape = ShapeCross
+		if p.ex != nil {
+			p.ex.Shape = ShapeCross
 		}
-		rows, err = execCross(cctx, guard, eng, fn, grouped, argDim, sel)
+		rows, err = execCross(p.cctx, p.guard, p.eng, p.fn, p.grouped, p.argDim, p.sel)
 	}
 	if err != nil {
 		return nil, err
 	}
+	return p.finish(rows, parts, cp)
+}
+
+// finish is the shared result tail: canonical row order, header assembly,
+// HAVING/ORDER/LIMIT, and partials attachment — identical after solo
+// shape execution and after a shared-scan finish.
+func (p *Prepared) finish(rows [][]string, parts *Partials, cp *Capture) (*query.Result, error) {
 	sortRows(rows)
 	if len(rows) == 0 {
 		rows = nil // the algebra path leaves empty row sets nil
 	}
 	res := &query.Result{
-		Columns:      append(append([]string{}, shownDims...), resultDim),
+		Columns:      append(append([]string{}, p.shownDims...), p.resultDim),
 		Rows:         rows,
-		Summarizable: report.Summarizable,
-		Reasons:      report.Reasons,
+		Summarizable: p.report.Summarizable,
+		Reasons:      p.report.Reasons,
 	}
-	if ex != nil {
-		ex.Groups = len(rows)
+	if p.ex != nil {
+		p.ex.Groups = len(rows)
 	}
-	if err := query.ApplyHaving(q, res); err != nil {
+	if err := query.ApplyHaving(p.q, res); err != nil {
 		return nil, err
 	}
-	if err := query.OrderAndLimit(q, res); err != nil {
+	if err := query.OrderAndLimit(p.q, res); err != nil {
 		return nil, err
 	}
 	if parts != nil {

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mddm/internal/batch"
+	"mddm/internal/plan"
+	"mddm/internal/query"
+	"mddm/internal/storage"
+)
+
+// This file wires the shared-scan batch scheduler (internal/batch) into
+// the query path. With Limits.Batching enabled the planner branch of
+// Query splits into prepare → schedule → finish: the query is planned to
+// the brink of shape execution (plan.PrepareContext), batchable shapes
+// join the scheduler's gather window for their (engine, dim, cat) leg,
+// and the fused scan's outputs finish through plan.FinishShared — which
+// replays the solo budget sequence, so a batched answer is bit-identical
+// to solo execution. Non-batchable shapes (fallbacks, facts, global,
+// cross) Execute solo immediately and are counted as bypasses.
+//
+// Placement: batching sits BELOW the result cache and its single-flight
+// (results.go) and AFTER admission. A cache hit never reaches the
+// scheduler; identical concurrent queries are deduped by the
+// single-flight before batching ever sees them — the scheduler's value is
+// fusing *similar* queries (same grouping leg, different WHERE/aggregate)
+// that the cache must compute separately.
+
+// admissionSignals adapts the server's admission controller to the
+// scheduler's load interface.
+type admissionSignals struct{ s *Server }
+
+func (a admissionSignals) Load() (inflight, limit int) {
+	st := a.s.adm.Stats()
+	return st.Inflight, st.Limit
+}
+
+// BatchOutcome is the context sink the HTTP layer installs to learn how
+// a query moved through the scheduler (the X-Mddm-Batch header). Outcome
+// stays empty when the query never reached the batching planner branch —
+// cache hits, delta upgrades, stale-on-shed serves, sheds, and
+// single-flight followers carry no batch header (see docs/TRAFFIC.md for
+// the header precedence rules).
+type BatchOutcome struct {
+	// Outcome is solo, leader, or member.
+	Outcome batch.Outcome
+	// Reason is the bypass reason when Outcome is solo for a query that
+	// could not batch ("" for a plain solo or batched outcome).
+	Reason string
+}
+
+type batchOutcomeKey struct{}
+
+// WithBatchOutcome installs a batch-outcome sink into the context and
+// returns it (mirrors plan.WithExplain).
+func WithBatchOutcome(ctx context.Context) (context.Context, *BatchOutcome) {
+	bo := &BatchOutcome{}
+	return context.WithValue(ctx, batchOutcomeKey{}, bo), bo
+}
+
+// setBatchOutcome fills the context's sink, if any.
+func setBatchOutcome(ctx context.Context, o batch.Outcome, reason string) {
+	if bo, _ := ctx.Value(batchOutcomeKey{}).(*BatchOutcome); bo != nil {
+		bo.Outcome = o
+		bo.Reason = reason
+	}
+}
+
+// BatchingEnabled reports whether the server was built with the shared-
+// scan batch scheduler (Limits.Batching.Enabled with Limits.Planner).
+func (s *Server) BatchingEnabled() bool { return s.batcher != nil }
+
+// BatchStats snapshots the scheduler's counters (zero value when
+// batching is disabled).
+func (s *Server) BatchStats() batch.Stats {
+	if s.batcher == nil {
+		return batch.Stats{}
+	}
+	return s.batcher.Stats()
+}
+
+// batchedQuery is the planner branch with batching on: prepare, route
+// batchable shapes through the scheduler, finish from the fused scan.
+// Every bypass (and the fused kernel refusing) degrades to plain solo
+// execution — batching never fails a query that solo execution would
+// answer.
+func (s *Server) batchedQuery(ctx context.Context, src string) (*query.Result, error) {
+	p, err := plan.PrepareContext(ctx, src, s.cat.Snapshot(), s.ref, s)
+	if err != nil {
+		return nil, err
+	}
+	if ok, reason := p.Batchable(); !ok {
+		s.batcher.Bypass(reason)
+		setBatchOutcome(ctx, batch.OutcomeSolo, reason)
+		return p.Execute()
+	}
+	dim, cat := p.GroupLeg()
+	r := s.batcher.Do(batch.Request{
+		Ctx:      ctx,
+		Engine:   p.Engine(),
+		Dim:      dim,
+		Cat:      cat,
+		ArgDim:   p.ArgDim(),
+		Sel:      p.Selection(),
+		ListArgs: p.NeedsArgLists(),
+	})
+	if r.Err != nil {
+		if errors.Is(r.Err, storage.ErrSharedScanUnavailable) {
+			// The fused kernel refused (stale column dictionary): run solo
+			// against the live dictionary. Transparent — same result, one
+			// more kernel pass.
+			s.batcher.Bypass(plan.BypassScanUnavailable)
+			setBatchOutcome(ctx, batch.OutcomeSolo, plan.BypassScanUnavailable)
+			return p.Execute()
+		}
+		// Cancellation: this member's context died while waiting, or the
+		// scan died after every member's did. Same wrap the planner puts
+		// on a kernel cancellation.
+		setBatchOutcome(ctx, r.Outcome, "")
+		p.Abort()
+		return nil, fmt.Errorf("query: %w", r.Err)
+	}
+	setBatchOutcome(ctx, r.Outcome, "")
+	return p.FinishShared(r.Values, r.Counts, r.Args, r.Folds)
+}

@@ -60,7 +60,12 @@ type errorResponse struct {
 //	                      hit-upgraded for a stale entry repaired by a delta
 //	                      merge under Limits.DeltaMaintenance; stale
 //	                      plus X-Mddm-Degraded: stale-on-shed for a degraded
-//	                      answer served under overload)
+//	                      answer served under overload). With Limits.Batching
+//	                      computed answers also carry X-Mddm-Batch:
+//	                      solo|leader|member; answers that never reached the
+//	                      planner (cache hits, upgrades, degraded serves,
+//	                      sheds, single-flight followers) omit it — see
+//	                      docs/TRAFFIC.md for the precedence rules.
 //	POST     /append       durably append a fact to an MO with an attached
 //	                      persistent store (segment.Store): the record is
 //	                      WAL-logged before it becomes visible, and the
@@ -200,6 +205,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		nocache = on
 	}
+	// Batch-outcome sink: filled only when the query actually executes
+	// through the batch-enabled planner branch, so the X-Mddm-Batch header
+	// appears exactly on computed answers. Header precedence is pinned by
+	// TestBatchHeaderPrecedence and documented in docs/TRAFFIC.md: answers
+	// that never reach the planner — cache hits, delta upgrades,
+	// stale-on-shed degraded serves, sheds, and single-flight followers —
+	// carry X-Mddm-Cache (and X-Mddm-Degraded) alone, never X-Mddm-Batch.
+	var bo *BatchOutcome
+	if s.batcher != nil {
+		ctx, bo = WithBatchOutcome(ctx)
+	}
 	var res *query.Result
 	var err error
 	switch {
@@ -233,6 +249,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		default:
 			w.Header().Set("X-Mddm-Cache", "miss")
 		}
+	}
+	if bo != nil && bo.Outcome != "" {
+		// Set before the error check: a member canceled mid-batch still
+		// reports how far it got.
+		w.Header().Set("X-Mddm-Batch", string(bo.Outcome))
 	}
 	if err != nil {
 		writeError(w, statusFor(err), err)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mddm/internal/admission"
+	"mddm/internal/batch"
 	"mddm/internal/qos"
 )
 
@@ -122,4 +123,15 @@ type Limits struct {
 	// the normal recompute path and the fallback reason is counted in
 	// mddm_delta_fallbacks_total. See docs/STORAGE.md "Delta maintenance".
 	DeltaMaintenance bool
+	// Batching, when Enabled, installs the shared-scan batch scheduler
+	// (internal/batch) between admission and the planner: concurrent
+	// queries grouping over the same (engine, dimension, category) leg
+	// are gathered for a short window and answered from one fused pass
+	// over the characterization column, bit-identical to solo execution
+	// (budget accounting and fallbacks included). Non-batchable shapes
+	// (facts, global, cross, fallbacks) bypass transparently. Requires
+	// Planner (inert without it); the gather window and scan degree adapt
+	// to the admission controller's load signals when Admission is also
+	// configured. See docs/TRAFFIC.md.
+	Batching batch.Config
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mddm/internal/admission"
+	"mddm/internal/batch"
 	"mddm/internal/cache"
 	"mddm/internal/core"
 	"mddm/internal/dimension"
@@ -53,6 +54,10 @@ type Server struct {
 	// duration of execution. Result-cache hits bypass it.
 	adm *admission.Controller
 
+	// batcher is the shared-scan batch scheduler (nil unless
+	// Limits.Batching.Enabled and Limits.Planner); see batch.go.
+	batcher *batch.Scheduler
+
 	queries        atomic.Int64
 	panics         atomic.Int64
 	rebuilds       atomic.Int64
@@ -76,6 +81,15 @@ func NewServer(cat *Catalog, limits Limits, ref temporal.Chronon) *Server {
 	}
 	if limits.Admission.MaxConcurrency > 0 {
 		s.adm = admission.New(limits.Admission)
+	}
+	if limits.Batching.Enabled && limits.Planner {
+		// The admission controller doubles as the scheduler's load signal
+		// (nil adm: fixed window and degree).
+		var sig batch.Signals
+		if s.adm != nil {
+			sig = admissionSignals{s}
+		}
+		s.batcher = batch.New(limits.Batching, sig)
 	}
 	return s
 }
@@ -203,8 +217,14 @@ func (s *Server) Query(ctx context.Context, src string) (res *query.Result, err 
 		// The server itself is the engine resolver, so the planner reads
 		// the same warmed, version-checked snapshots the aggregate
 		// endpoints use; an unresolvable engine falls back to the algebra
-		// inside the planner.
-		res, err = plan.ExecContext(ctx, src, s.cat.Snapshot(), s.ref, s)
+		// inside the planner. With batching on, the query pauses between
+		// planning and shape execution so concurrent similar queries can
+		// share one fused scan (batch.go).
+		if s.batcher != nil {
+			res, err = s.batchedQuery(ctx, src)
+		} else {
+			res, err = plan.ExecContext(ctx, src, s.cat.Snapshot(), s.ref, s)
+		}
 	} else {
 		res, err = query.ExecContext(ctx, src, s.cat.Snapshot(), s.ref)
 	}

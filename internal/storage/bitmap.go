@@ -177,6 +177,23 @@ func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
 	return b
 }
 
+// Equal reports whether b and o mark the same facts over the same
+// universe.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if b == nil || o == nil {
+		return b == o
+	}
+	if b.n != o.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone copies the bitmap.
 func (b *Bitmap) Clone() *Bitmap {
 	c := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}

@@ -1,0 +1,205 @@
+package traffic
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseMixTestdata: every committed mix file must parse — they are
+// the seed corpus for FuzzParseMix and the inputs mdbench B19 mirrors.
+func TestParseMixTestdata(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata mixes: %v", err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := ParseMix(data)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if m.Name == "" || len(m.Classes) == 0 {
+			t.Fatalf("%s: parsed to %+v", f, m)
+		}
+	}
+}
+
+// TestParseMixValidation pins the rejection table: every way a mix can
+// be malformed must produce a descriptive error, not a zero-value run.
+func TestParseMixValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"bad-json", `{`, "unexpected"},
+		{"unknown-field", `{"mode":"closed","concurrency":1,"duration":"1s","classses":[],"classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "unknown field"},
+		{"trailing-garbage", `{"mode":"closed","concurrency":1,"duration":"1s","classes":[{"name":"a","weight":1,"queries":["q"]}]} {"x":1}`, "trailing"},
+		{"bad-mode", `{"mode":"half-open","classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "mode"},
+		{"closed-no-concurrency", `{"mode":"closed","duration":"1s","classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "concurrency"},
+		{"open-no-rate", `{"mode":"open","duration":"1s","classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "rate_per_sec"},
+		{"bad-duration", `{"mode":"closed","concurrency":1,"duration":"eleven","classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "duration"},
+		{"negative-duration", `{"mode":"closed","concurrency":1,"duration":"-1s","classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "positive"},
+		{"no-bound", `{"mode":"closed","concurrency":1,"classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "duration or a request count"},
+		{"negative-requests", `{"mode":"closed","concurrency":1,"requests":-5,"duration":"1s","classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "requests"},
+		{"negative-tenants", `{"mode":"closed","concurrency":1,"duration":"1s","tenants":-1,"classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "tenants"},
+		{"no-classes", `{"mode":"closed","concurrency":1,"duration":"1s","classes":[]}`, "no classes"},
+		{"unnamed-class", `{"mode":"closed","concurrency":1,"duration":"1s","classes":[{"weight":1,"queries":["q"]}]}`, "no name"},
+		{"dup-class", `{"mode":"closed","concurrency":1,"duration":"1s","classes":[{"name":"a","weight":1,"queries":["q"]},{"name":"a","weight":1,"queries":["q"]}]}`, "duplicate"},
+		{"zero-weight", `{"mode":"closed","concurrency":1,"duration":"1s","classes":[{"name":"a","weight":0,"queries":["q"]}]}`, "weight"},
+		{"no-queries", `{"mode":"closed","concurrency":1,"duration":"1s","classes":[{"name":"a","weight":1,"queries":[]}]}`, "no queries"},
+		{"empty-query", `{"mode":"closed","concurrency":1,"duration":"1s","classes":[{"name":"a","weight":1,"queries":[""]}]}`, "empty"},
+		{"zipf-s", `{"mode":"closed","concurrency":1,"duration":"1s","zipf":{"s":1},"classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "zipf s"},
+		{"zipf-v", `{"mode":"closed","concurrency":1,"duration":"1s","zipf":{"s":1.5,"v":0.5},"classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "zipf v"},
+		{"write-every", `{"mode":"closed","concurrency":1,"duration":"1s","write":{"every":0,"mo":"m","dim":"d","values":["v"]},"classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "write.every"},
+		{"write-missing", `{"mode":"closed","concurrency":1,"duration":"1s","write":{"every":3},"classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "write spec"},
+		{"write-empty-value", `{"mode":"closed","concurrency":1,"duration":"1s","write":{"every":3,"mo":"m","dim":"d","values":[""]},"classes":[{"name":"a","weight":1,"queries":["q"]}]}`, "write.values"},
+	}
+	for _, tc := range cases {
+		_, err := ParseMix([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: parsed, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestParseMixDefaults pins what a minimal valid doc resolves to.
+func TestParseMixDefaults(t *testing.T) {
+	m, err := ParseMix([]byte(`{"mode":"closed","concurrency":2,"requests":10,"classes":[{"name":"a","weight":1,"queries":["q1","q2"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.duration != 0 || m.Requests != 10 || m.Seed != 0 {
+		t.Fatalf("minimal mix = %+v", m)
+	}
+	m, err = ParseMix([]byte(`{"mode":"open","rate_per_sec":50,"duration":"250ms","classes":[{"name":"a","weight":1,"queries":["q"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.duration != 250*time.Millisecond {
+		t.Fatalf("duration parsed to %v", m.duration)
+	}
+}
+
+// TestPickerDeterminism: same seed, same picks — the property mdload's
+// reproducible-run promise rests on.
+func TestPickerDeterminism(t *testing.T) {
+	doc := `{"mode":"closed","concurrency":1,"requests":50,"seed":42,"tenants":3,
+		"zipf":{"s":1.5},
+		"write":{"every":5,"mo":"m","dim":"d","values":["v1","v2"]},
+		"classes":[{"name":"a","weight":3,"queries":["q1","q2","q3"]},{"name":"b","weight":1,"queries":["q4"]}]}`
+	m1, err := ParseMix([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := ParseMix([]byte(doc))
+	p1, p2 := newPicker(m1, 0), newPicker(m2, 0)
+	sawWrite, sawB := false, false
+	for i := 0; i < 200; i++ {
+		c1, q1, n1, w1 := p1.next()
+		c2, q2, n2, w2 := p2.next()
+		if c1 != c2 || q1 != q2 || n1 != n2 || w1 != w2 {
+			t.Fatalf("pick %d diverged: %v/%v/%v/%v vs %v/%v/%v/%v", i, c1, q1, n1, w1, c2, q2, n2, w2)
+		}
+		if t1, t2 := p1.tenant(), p2.tenant(); t1 != t2 {
+			t.Fatalf("tenant pick %d diverged: %q vs %q", i, t1, t2)
+		}
+		if w1 {
+			sawWrite = true
+		}
+		if c1 == "b" {
+			sawB = true
+		}
+	}
+	if !sawWrite || !sawB {
+		t.Fatalf("200 picks: write=%v classB=%v, want both sampled", sawWrite, sawB)
+	}
+	// A different worker index must diverge (independent streams).
+	p3 := newPicker(m1, 1)
+	same := 0
+	p1 = newPicker(m1, 0)
+	for i := 0; i < 50; i++ {
+		_, q1, _, _ := p1.next()
+		_, q3, _, _ := p3.next()
+		if q1 == q3 {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("worker streams identical; want independent sequences")
+	}
+}
+
+// TestZipfSkew: with a strong exponent the head query must dominate the
+// rotation — the hot-set property the cache/batch experiments lean on.
+func TestZipfSkew(t *testing.T) {
+	m, err := ParseMix([]byte(`{"mode":"closed","concurrency":1,"requests":1,"seed":3,
+		"zipf":{"s":2.5},
+		"classes":[{"name":"a","weight":1,"queries":["hot","warm","cold","colder","coldest"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newPicker(m, 0)
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		_, q, _, _ := p.next()
+		counts[q]++
+	}
+	if counts["hot"] < counts["coldest"] || counts["hot"] < 500 {
+		t.Fatalf("zipf counts %v: head not hot", counts)
+	}
+}
+
+// FuzzParseMix: the parser must never panic and must uphold its contract
+// — any accepted mix re-validates and re-parses to an equally valid mix.
+func FuzzParseMix(f *testing.F) {
+	files, _ := filepath.Glob("testdata/*.json")
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"mode":"closed","concurrency":1,"duration":"1s","classes":[{"name":"a","weight":1,"queries":["q"]}]}`))
+	f.Add([]byte(`{"mode":"open","rate_per_sec":10,"requests":5,"zipf":{"s":1.1,"v":2},"classes":[{"name":"a","weight":0.5,"queries":["q1","q2"]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseMix(data)
+		if err != nil {
+			return
+		}
+		// Accepted mixes satisfy the invariants the runner assumes.
+		if len(m.Classes) == 0 {
+			t.Fatal("accepted mix with no classes")
+		}
+		if m.Mode != "closed" && m.Mode != "open" {
+			t.Fatalf("accepted mode %q", m.Mode)
+		}
+		if m.duration == 0 && m.Requests <= 0 {
+			t.Fatal("accepted unbounded mix")
+		}
+		for _, c := range m.Classes {
+			if c.Name == "" || !(c.Weight > 0) || len(c.Queries) == 0 {
+				t.Fatalf("accepted invalid class %+v", c)
+			}
+		}
+		// Building pickers from any accepted mix must not panic.
+		p := newPicker(m, 0)
+		for i := 0; i < 8; i++ {
+			p.next()
+			p.tenant()
+		}
+	})
+}

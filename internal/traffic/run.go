@@ -1,0 +1,357 @@
+package traffic
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Report is one run's results: overall throughput plus per-class latency
+// distributions and response-header tallies.
+type Report struct {
+	Mix         string  `json:"mix"`
+	Mode        string  `json:"mode"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	// Throughput is completed requests per second of wall clock.
+	Throughput float64 `json:"throughput_rps"`
+	// Classes maps class name → stats; the write interleave reports
+	// under the reserved name "_write".
+	Classes map[string]*ClassStats `json:"classes"`
+}
+
+// ClassStats is one class's slice of a report.
+type ClassStats struct {
+	Requests int64       `json:"requests"`
+	Errors   int64       `json:"errors"`
+	Latency  Percentiles `json:"latency_ms"`
+	// Batch tallies the X-Mddm-Batch header values observed
+	// (solo/leader/member; "" for responses without the header).
+	Batch map[string]int64 `json:"batch,omitempty"`
+	// Cache tallies the X-Mddm-Cache header values observed.
+	Cache map[string]int64 `json:"cache,omitempty"`
+
+	samples []float64 // latency samples, milliseconds
+}
+
+// Percentiles summarizes a latency sample in milliseconds.
+type Percentiles struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+// WriteName is the reserved class name the write interleave reports
+// under.
+const WriteName = "_write"
+
+// Runner drives one mix against one server.
+type Runner struct {
+	// BaseURL is the server root (e.g. http://127.0.0.1:8080).
+	BaseURL string
+	// Client is the HTTP client (http.DefaultClient when nil).
+	Client *http.Client
+}
+
+// collector accumulates results across workers.
+type collector struct {
+	mu      sync.Mutex
+	classes map[string]*ClassStats
+	reqs    int64
+	errs    int64
+}
+
+func (c *collector) record(class string, ms float64, hdr http.Header, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs := c.classes[class]
+	if cs == nil {
+		cs = &ClassStats{Batch: map[string]int64{}, Cache: map[string]int64{}}
+		c.classes[class] = cs
+	}
+	cs.Requests++
+	c.reqs++
+	if !ok {
+		cs.Errors++
+		c.errs++
+		return
+	}
+	cs.samples = append(cs.samples, ms)
+	if hdr != nil {
+		if b := hdr.Get("X-Mddm-Batch"); b != "" {
+			cs.Batch[b]++
+		}
+		if v := hdr.Get("X-Mddm-Cache"); v != "" {
+			cs.Cache[v]++
+		}
+	}
+}
+
+// picker is one worker's deterministic source of classes, queries, and
+// tenants. Each worker owns one (math/rand is not goroutine-safe).
+type picker struct {
+	rng     *rand.Rand
+	mix     *Mix
+	cum     []float64 // cumulative class weights
+	zipf    []*rand.Zipf
+	wtotal  float64
+	counter int64
+}
+
+func newPicker(m *Mix, worker int) *picker {
+	seed := m.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed + int64(worker)*7919))
+	p := &picker{rng: rng, mix: m}
+	for _, c := range m.Classes {
+		p.wtotal += c.Weight
+		p.cum = append(p.cum, p.wtotal)
+	}
+	if m.Zipf != nil {
+		v := m.Zipf.V
+		if v == 0 {
+			v = 1
+		}
+		for _, c := range m.Classes {
+			p.zipf = append(p.zipf, rand.NewZipf(rng, m.Zipf.S, v, uint64(len(c.Queries)-1)))
+		}
+	}
+	return p
+}
+
+// next picks the next request: a query class and query, or a write when
+// the interleave is due.
+func (p *picker) next() (class string, query string, nocache bool, isWrite bool) {
+	p.counter++
+	if w := p.mix.Write; w != nil && p.counter%int64(w.Every+1) == 0 {
+		return WriteName, "", false, true
+	}
+	x := p.rng.Float64() * p.wtotal
+	ci := sort.SearchFloat64s(p.cum, x)
+	if ci >= len(p.mix.Classes) {
+		ci = len(p.mix.Classes) - 1
+	}
+	c := p.mix.Classes[ci]
+	qi := 0
+	if len(c.Queries) > 1 {
+		if p.zipf != nil {
+			qi = int(p.zipf[ci].Uint64())
+		} else {
+			qi = p.rng.Intn(len(c.Queries))
+		}
+	}
+	return c.Name, c.Queries[qi], c.NoCache, false
+}
+
+func (p *picker) tenant() string {
+	if p.mix.Tenants <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("t%d", p.rng.Intn(p.mix.Tenants))
+}
+
+// Run executes the mix and reports. ctx cancellation stops the run early
+// (the partial report is still returned).
+func (r *Runner) Run(ctx context.Context, m *Mix) (*Report, error) {
+	if m == nil {
+		return nil, fmt.Errorf("traffic: nil mix")
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	client := r.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	col := &collector{classes: map[string]*ClassStats{}}
+	deadline := time.Time{}
+	if m.duration > 0 {
+		deadline = time.Now().Add(m.duration)
+	}
+	var issued atomic.Int64
+	// more reports whether the run should issue another request.
+	more := func() bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		if m.Requests > 0 && issued.Add(1) > m.Requests {
+			return false
+		}
+		return deadline.IsZero() || time.Now().Before(deadline)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	writeSeq := &atomic.Int64{}
+	if m.Mode == "closed" {
+		for w := 0; w < m.Concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				pk := newPicker(m, w)
+				for more() {
+					r.one(ctx, client, m, pk, col, writeSeq)
+				}
+			}(w)
+		}
+	} else {
+		// Open loop: arrivals at a fixed rate, each served in its own
+		// goroutine — latency under overload reflects queueing, which is
+		// the point of an open-loop measurement.
+		interval := time.Duration(float64(time.Second) / m.RatePerSec)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		pk := newPicker(m, 0)
+		var pmu sync.Mutex
+	arrivals:
+		for more() {
+			select {
+			case <-ctx.Done():
+				break arrivals
+			case <-tick.C:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					r.one(ctx, client, m, lockedPicker{pk, &pmu}, col, writeSeq)
+				}()
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Mix:         m.Name,
+		Mode:        m.Mode,
+		DurationSec: elapsed.Seconds(),
+		Requests:    col.reqs,
+		Errors:      col.errs,
+		Classes:     col.classes,
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(col.reqs-col.errs) / elapsed.Seconds()
+	}
+	for _, cs := range rep.Classes {
+		cs.Latency = percentiles(cs.samples)
+		cs.samples = nil
+	}
+	return rep, nil
+}
+
+// source abstracts the per-worker picker so the open loop can share one
+// behind a mutex.
+type source interface {
+	next() (class, query string, nocache, isWrite bool)
+	tenant() string
+}
+
+type lockedPicker struct {
+	p  *picker
+	mu *sync.Mutex
+}
+
+func (l lockedPicker) next() (string, string, bool, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p.next()
+}
+
+func (l lockedPicker) tenant() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p.tenant()
+}
+
+// one issues a single request and records it.
+func (r *Runner) one(ctx context.Context, client *http.Client, m *Mix, pk source, col *collector, writeSeq *atomic.Int64) {
+	class, q, nocache, isWrite := pk.next()
+	if isWrite {
+		r.oneWrite(ctx, client, m, col, writeSeq)
+		return
+	}
+	u := r.BaseURL + "/query?q=" + url.QueryEscape(q)
+	if nocache {
+		u += "&nocache=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		col.record(class, 0, nil, false)
+		return
+	}
+	if t := pk.tenant(); t != "" {
+		req.Header.Set("X-Mddm-Tenant", t)
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	el := time.Since(t0)
+	if err != nil {
+		col.record(class, 0, nil, false)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	col.record(class, float64(el.Nanoseconds())/1e6, resp.Header, resp.StatusCode == http.StatusOK)
+}
+
+// oneWrite issues one interleaved append.
+func (r *Runner) oneWrite(ctx context.Context, client *http.Client, m *Mix, col *collector, writeSeq *atomic.Int64) {
+	w := m.Write
+	seq := writeSeq.Add(1)
+	body := fmt.Sprintf(`{"mo":%q,"fact":"load-%d","pairs":[{"dim":%q,"value":%q}]}`,
+		w.MO, seq, w.Dim, w.Values[int(seq)%len(w.Values)])
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.BaseURL+"/append", bytes.NewReader([]byte(body)))
+	if err != nil {
+		col.record(WriteName, 0, nil, false)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	el := time.Since(t0)
+	if err != nil {
+		col.record(WriteName, 0, nil, false)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	col.record(WriteName, float64(el.Nanoseconds())/1e6, resp.Header, resp.StatusCode == http.StatusOK)
+}
+
+// percentiles summarizes a millisecond sample (zeros when empty).
+func percentiles(ms []float64) Percentiles {
+	if len(ms) == 0 {
+		return Percentiles{}
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(s)))
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Percentiles{
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		P999: at(0.999),
+		Max:  s[len(s)-1],
+	}
+}

@@ -1,0 +1,277 @@
+package traffic
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mddm/internal/serve"
+)
+
+// stubServer fakes just enough of mdserve's surface to exercise the
+// runner: 200 + batching headers on /query (500 when the query says
+// "boom"), 200 on /append, and a tally of everything it saw.
+type stubServer struct {
+	mu      sync.Mutex
+	queries int
+	nocache int
+	writes  int
+	tenants map[string]int
+}
+
+func (st *stubServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		st.queries++
+		nc := r.URL.Query().Get("nocache") == "1"
+		if nc {
+			st.nocache++
+		}
+		if tn := r.Header.Get("X-Mddm-Tenant"); tn != "" {
+			st.tenants[tn]++
+		}
+		st.mu.Unlock()
+		if strings.Contains(r.URL.Query().Get("q"), "boom") {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-Mddm-Batch", "leader")
+		if nc {
+			w.Header().Set("X-Mddm-Cache", "bypass")
+		} else {
+			w.Header().Set("X-Mddm-Cache", "miss")
+		}
+		w.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("/append", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		st.writes++
+		st.mu.Unlock()
+		w.Write([]byte(`{"fact":"x","seq":1}`))
+	})
+	return mux
+}
+
+// TestRunClosedLoop drives the closed loop against the stub and checks
+// every accounting surface: per-class requests, error attribution,
+// header tallies, write interleave, tenant spread, and throughput.
+func TestRunClosedLoop(t *testing.T) {
+	st := &stubServer{tenants: map[string]int{}}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	m, err := ParseMix([]byte(`{
+		"mode":"closed","concurrency":4,"requests":120,"seed":11,"tenants":3,
+		"write":{"every":9,"mo":"m","dim":"d","values":["v1","v2"]},
+		"classes":[
+			{"name":"ok","weight":8,"queries":["SELECT 1","SELECT 2"],"nocache":true},
+			{"name":"failing","weight":1,"queries":["boom"]}
+		]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := (&Runner{BaseURL: ts.URL}).Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Mode != "closed" || rep.Requests != 120 {
+		t.Fatalf("report %+v, want 120 closed-loop requests", rep)
+	}
+	ok := rep.Classes["ok"]
+	fail := rep.Classes["failing"]
+	wr := rep.Classes[WriteName]
+	if ok == nil || fail == nil || wr == nil {
+		t.Fatalf("classes %v, want ok/failing/%s", rep.Classes, WriteName)
+	}
+	if ok.Requests == 0 || fail.Requests == 0 || wr.Requests == 0 {
+		t.Fatalf("empty class: ok=%d failing=%d write=%d", ok.Requests, fail.Requests, wr.Requests)
+	}
+	if ok.Requests+fail.Requests+wr.Requests != 120 {
+		t.Fatalf("class totals %d+%d+%d != 120", ok.Requests, fail.Requests, wr.Requests)
+	}
+	// Error attribution: every "failing" request errors, nothing else does.
+	if fail.Errors != fail.Requests || ok.Errors != 0 || wr.Errors != 0 {
+		t.Fatalf("errors: ok=%d failing=%d/%d write=%d", ok.Errors, fail.Errors, fail.Requests, wr.Errors)
+	}
+	if rep.Errors != fail.Errors {
+		t.Fatalf("report errors %d != class errors %d", rep.Errors, fail.Errors)
+	}
+	// Header tallies: successes only, and nocache classes see "bypass".
+	if ok.Batch["leader"] != ok.Requests || ok.Cache["bypass"] != ok.Requests {
+		t.Fatalf("ok tallies batch=%v cache=%v over %d reqs", ok.Batch, ok.Cache, ok.Requests)
+	}
+	if len(fail.Batch) != 0 || len(fail.Cache) != 0 {
+		t.Fatalf("failing class tallied headers: %v %v", fail.Batch, fail.Cache)
+	}
+	// Percentiles are ordered and populated for classes with successes.
+	p := ok.Latency
+	if !(p.P50 > 0 && p.P50 <= p.P90 && p.P90 <= p.P99 && p.P99 <= p.P999 && p.P999 <= p.Max) {
+		t.Fatalf("percentiles out of order: %+v", p)
+	}
+	if rep.Throughput <= 0 || rep.DurationSec <= 0 {
+		t.Fatalf("throughput %v over %vs", rep.Throughput, rep.DurationSec)
+	}
+	// Server-side view agrees: writes arrived, every query was nocache or
+	// boom, and the tenant ids stayed inside t0..t2.
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if int64(st.writes) != wr.Requests {
+		t.Fatalf("server saw %d writes, report says %d", st.writes, wr.Requests)
+	}
+	if len(st.tenants) == 0 {
+		t.Fatal("no tenant headers observed")
+	}
+	for tn := range st.tenants {
+		if tn != "t0" && tn != "t1" && tn != "t2" {
+			t.Fatalf("unexpected tenant %q", tn)
+		}
+	}
+}
+
+// TestRunOpenLoop: arrivals are paced, the request bound is exact, and
+// cancellation stops the run early with a partial report.
+func TestRunOpenLoop(t *testing.T) {
+	st := &stubServer{tenants: map[string]int{}}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	m, err := ParseMix([]byte(`{
+		"mode":"open","rate_per_sec":500,"requests":40,"seed":5,
+		"classes":[{"name":"a","weight":1,"queries":["SELECT 1"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := (&Runner{BaseURL: ts.URL}).Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" || rep.Requests != 40 || rep.Errors != 0 {
+		t.Fatalf("open-loop report %+v, want exactly 40 clean requests", rep)
+	}
+	// 40 arrivals at 500/s should take roughly 80ms of pacing.
+	if rep.DurationSec < 0.05 {
+		t.Fatalf("run finished in %vs; arrivals were not paced", rep.DurationSec)
+	}
+
+	// Cancellation: a duration-bounded run stops when the context does.
+	m2, err := ParseMix([]byte(`{
+		"mode":"open","rate_per_sec":200,"duration":"30s",
+		"classes":[{"name":"a","weight":1,"queries":["SELECT 1"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	rep2, err := (&Runner{BaseURL: ts.URL}).Run(ctx, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el > 5*time.Second {
+		t.Fatalf("cancelled run took %v", el)
+	}
+	if rep2.Requests == 0 {
+		t.Fatal("cancelled run reported no requests")
+	}
+}
+
+// TestRunInvalidMix: the runner re-validates, so a hand-built bad mix
+// cannot start.
+func TestRunInvalidMix(t *testing.T) {
+	if _, err := (&Runner{}).Run(context.Background(), nil); err == nil {
+		t.Fatal("nil mix ran")
+	}
+	if _, err := (&Runner{}).Run(context.Background(), &Mix{Mode: "closed"}); err == nil {
+		t.Fatal("invalid mix ran")
+	}
+}
+
+// TestRunAgainstBatchedServer is the integration path the B19 benchmark
+// relies on: the committed b19 mix (request-bounded here) against a real
+// batching server, with the batch headers flowing into the report.
+func TestRunAgainstBatchedServer(t *testing.T) {
+	data, err := os.ReadFile("testdata/b19_similar.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the committed scenario to test scale: same queries and skew,
+	// bounded by count instead of wall clock.
+	m.Concurrency = 8
+	m.Requests = 64
+	m.duration = 0
+
+	cat := serve.NewCatalog()
+	mo, err := newPatientMO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("patients", mo); err != nil {
+		t.Fatal(err)
+	}
+	s := serve.NewServer(cat, batchedLimits(), serveRef)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep, err := (&Runner{BaseURL: ts.URL}).Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 64 || rep.Errors != 0 {
+		t.Fatalf("report %+v, want 64 clean requests", rep)
+	}
+	cs := rep.Classes["similar-groupby"]
+	if cs == nil {
+		t.Fatalf("classes %v", rep.Classes)
+	}
+	// Every query in this mix is batchable and nocache: each response must
+	// carry a batch outcome, and concurrent similar queries must fuse.
+	var total int64
+	for _, n := range cs.Batch {
+		total += n
+	}
+	if total != cs.Requests {
+		t.Fatalf("batch tallies %v cover %d of %d requests", cs.Batch, total, cs.Requests)
+	}
+	if cs.Batch["leader"] == 0 {
+		t.Fatalf("batch tallies %v: no leaders", cs.Batch)
+	}
+	if cs.Cache["bypass"] != cs.Requests {
+		t.Fatalf("cache tallies %v, want all bypass (nocache mix)", cs.Cache)
+	}
+	if got := s.BatchStats(); got.Batches == 0 {
+		t.Fatalf("server batch stats %+v", got)
+	}
+}
+
+// Sanity: the /query URL the runner builds round-trips the query text.
+func TestQueryURLEncoding(t *testing.T) {
+	var got string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.URL.Query().Get("q")
+	}))
+	defer ts.Close()
+	q := `SELECT SETCOUNT(*) FROM patients WHERE Residence = 'R0' GROUP BY Diagnosis."Diagnosis Group"`
+	m := &Mix{Mode: "closed", Concurrency: 1, Requests: 1,
+		Classes: []Class{{Name: "a", Weight: 1, Queries: []string{q}}}}
+	if _, err := (&Runner{BaseURL: ts.URL}).Run(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+	if got != q {
+		t.Fatalf("server received %q", got)
+	}
+	if _, err := url.ParseQuery("q=" + url.QueryEscape(q)); err != nil {
+		t.Fatal(err)
+	}
+}
